@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+The fleet simulation and the SoC validation experiment are expensive, so
+they run once per benchmark session; the per-table/figure benchmarks then
+time the regeneration (analysis + model evaluation) over the shared
+measurements and print the rows the paper reports.
+"""
+
+import pytest
+
+from repro.soc import ValidationExperiment
+from repro.workloads.calibration import BIGQUERY, BIGTABLE, PLATFORMS, SPANNER
+from repro.workloads.fleet import FleetSimulation
+
+#: Queries per platform for the benchmark fleet run.  Large enough for
+#: stable group statistics, small enough to keep the session under a minute.
+FLEET_QUERIES = {SPANNER: 200, BIGTABLE: 200, BIGQUERY: 30}
+
+
+@pytest.fixture(scope="session")
+def fleet_result():
+    return FleetSimulation(queries=FLEET_QUERIES, seed=42).run()
+
+
+@pytest.fixture(scope="session")
+def table8_result():
+    return ValidationExperiment(seed=0).run()
+
+
+@pytest.fixture(scope="session")
+def measured_profiles(fleet_result):
+    return {name: fleet_result.measured_profile(name) for name in PLATFORMS}
+
+
+def assert_reproduced(comparisons, *, allow_diverging=0):
+    """Fail the benchmark when more comparisons diverge than allowed."""
+    diverging = [c for c in comparisons if not c.within_tolerance]
+    if len(diverging) > allow_diverging:
+        details = ", ".join(
+            f"{c.experiment}:{c.metric} paper={c.paper:g} measured={c.measured:g}"
+            for c in diverging
+        )
+        raise AssertionError(f"{len(diverging)} comparisons diverged: {details}")

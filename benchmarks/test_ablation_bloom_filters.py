@@ -1,0 +1,73 @@
+"""Ablation: bloom filters on the LSM read path.
+
+BigTable's point reads consult SSTables newest-first; without bloom
+filters, every run whose key range could contain the key is probed (one
+storage block read each).  This ablation measures SSTable probes and read
+latency for a missing-key-heavy workload with bloom filters on and off.
+"""
+
+from conftest import assert_reproduced  # noqa: F401  (shared conftest import path)
+
+from repro.analysis.report import TextTable
+from repro.cluster.manager import Cluster
+from repro.cluster.node import WorkContext
+from repro.platforms.bigtable.tablet import Tablet
+from repro.sim import Environment
+from repro.storage.dfs import DistributedFileSystem, StorageServer
+from repro.storage.tier import TieredStore
+
+MB = 1024.0 * 1024.0
+
+
+def _run_workload(use_bloom: bool):
+    env = Environment()
+    cluster = Cluster(env, racks_per_cluster=3, nodes_per_rack=2)
+    servers = [
+        StorageServer(
+            index=i,
+            topology=node.topology,
+            store=TieredStore(8 * MB, 64 * MB, 512 * MB),
+        )
+        for i, node in enumerate(cluster.nodes[:3])
+    ]
+    dfs = DistributedFileSystem(env, cluster.fabric, servers, chunk_bytes=1 * MB)
+    tablet = Tablet(
+        "t0",
+        cluster.nodes[0],
+        dfs,
+        flush_threshold_bytes=600.0,
+        use_bloom_filters=use_bloom,
+    )
+
+    def workload():
+        # Build several overlapping-key-range L0 runs...
+        for i in range(30):
+            yield from tablet.put(WorkContext(platform="BigTable"), f"k{i:04d}", i)
+        # ...then issue point reads for keys that mostly do not exist.
+        ctx = WorkContext(platform="BigTable")
+        start = env.now
+        for i in range(60):
+            yield from tablet.get(ctx, f"missing{i:04d}")
+        return env.now - start
+
+    read_time = env.run(until=env.process(workload()))
+    return tablet.sstable_probes, read_time, tablet.sstable_count
+
+
+def test_ablation_bloom_filters(benchmark):
+    def run():
+        return _run_workload(use_bloom=True), _run_workload(use_bloom=False)
+
+    (bloom_probes, bloom_time, runs), (plain_probes, plain_time, _) = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    table = TextTable(
+        ["config", "SSTable probes", "read time (ms)"],
+        title=f"Ablation: bloom filters on the LSM read path ({runs} runs)",
+    )
+    table.add_row("bloom filters on", bloom_probes, bloom_time * 1e3)
+    table.add_row("bloom filters off", plain_probes, plain_time * 1e3)
+    print("\n" + table.render())
+    # Misses probe every run without blooms; almost none with them.
+    assert plain_probes > 5 * max(bloom_probes, 1)
+    assert plain_time > bloom_time

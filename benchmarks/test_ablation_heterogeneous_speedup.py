@@ -1,0 +1,51 @@
+"""Ablation: uniform lockstep speedups vs published per-component speedups.
+
+Section 6.2 sweeps every accelerator at the same factor "for experiment
+simplicity", and Section 6.4 notes that "different components can have
+varied speedups leading to more nuanced improvements".  This ablation
+quantifies that: the heterogeneous (published) speedups deliver less than a
+uniform sweep at the *maximum* published factor would suggest, because the
+slowest accelerator (Mallacc's 2x) gates its component.
+"""
+
+from repro.analysis.report import TextTable
+from repro.core.catalog import combined_speedup_map
+from repro.core.scenario import SYNC_ON_CHIP, platform_speedup
+from repro.workloads.calibration import PLATFORMS, build_profile
+
+
+def test_ablation_heterogeneous_speedup(benchmark):
+    def measure():
+        rows = {}
+        for platform in PLATFORMS:
+            profile = build_profile(platform)
+            speedups = combined_speedup_map(profile)
+            targets = tuple(speedups)
+            heterogeneous = platform_speedup(
+                profile, targets, SYNC_ON_CHIP.with_speedup(speedups)
+            )
+            uniform_max = platform_speedup(
+                profile, targets, SYNC_ON_CHIP.with_speedup(max(speedups.values()))
+            )
+            uniform_min = platform_speedup(
+                profile, targets, SYNC_ON_CHIP.with_speedup(min(speedups.values()))
+            )
+            rows[platform] = (uniform_min, heterogeneous, uniform_max)
+        return rows
+
+    rows = benchmark(measure)
+    table = TextTable(
+        ["platform", "uniform @min (2x)", "published per-component", "uniform @max (70x)"],
+        title="Ablation: heterogeneous vs lockstep accelerator speedups",
+    )
+    print()
+    for platform, (lo, mid, hi) in rows.items():
+        table.add_row(platform, lo, mid, hi)
+        assert lo <= mid <= hi
+    print(table.render())
+    # On Spanner -- where memory allocation is the heaviest datacenter tax
+    # (21% of DCT) -- Mallacc's 2x visibly drags the combined bound below
+    # the optimistic uniform sweep: the lockstep assumption overstates the
+    # benefit.  (BigQuery is dependency-capped either way.)
+    _, mid, hi = rows["Spanner"]
+    assert hi - mid > 0.02

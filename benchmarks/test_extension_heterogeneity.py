@@ -1,0 +1,65 @@
+"""Extension: big vs little cores per platform (Section 5.6's takeaway).
+
+Evaluates the measured platform event mixes (Table 6 from the fleet run)
+on two core designs and prints the placement verdict — the quantitative
+version of "complex cores ... are more suited to database workloads, while
+relatively simpler cores are more suited to data analytics workloads".
+"""
+
+from repro.analysis.report import TextTable
+from repro.profiling.counters import CounterRates
+from repro.profiling.heterogeneity import placement_study
+from repro.workloads.calibration import BIGQUERY, BIGTABLE, PLATFORMS, SPANNER
+
+
+def test_extension_heterogeneity(fleet_result, benchmark):
+    def run():
+        rates = {}
+        for platform in PLATFORMS:
+            row = fleet_result.uarch_table(platform)
+            rates[platform] = CounterRates(
+                ipc=row["ipc"],
+                br=row["br"],
+                l1i=row["l1i"],
+                l2i=row["l2i"],
+                llc=row["llc"],
+                itlb=row["itlb"],
+                dtlb_ld=row["dtlb_ld"],
+            )
+        return placement_study(rates)
+
+    rows = benchmark(run)
+    table = TextTable(
+        [
+            "platform",
+            "big GIPS",
+            "little GIPS",
+            "retention on little",
+            "big eff.",
+            "little eff.",
+            "verdict",
+        ],
+        title="Extension: core heterogeneity placement (measured event mixes)",
+    )
+    for platform, row in rows.items():
+        table.add_row(
+            platform,
+            row.big_throughput / 1e9,
+            row.little_throughput / 1e9,
+            f"{row.throughput_retention_on_little:.1%}",
+            row.big_efficiency / 1e9,
+            row.little_efficiency / 1e9,
+            row.recommended,
+        )
+    print("\n" + table.render())
+
+    # Section 5.6 shape: analytics tolerates the simple core best.
+    assert (
+        rows[BIGQUERY].throughput_retention_on_little
+        > rows[SPANNER].throughput_retention_on_little
+    )
+    assert (
+        rows[BIGQUERY].throughput_retention_on_little
+        > rows[BIGTABLE].throughput_retention_on_little
+    )
+    assert rows[BIGQUERY].recommended == "little"

@@ -1,0 +1,75 @@
+"""Extension: learned tier placement (Section 3's ML-tiering pointer).
+
+Serves a scan-polluted, skew-reused access stream against the tiered store
+under three SSD admission policies and compares HDD read shares -- the
+metric Section 3 cares about ("platforms read from SSDs more frequently
+than from HDDs, suggesting that caching is an effective performance
+optimization ... one promising approach is using machine learning to place
+data between the storage tiers").
+"""
+
+import numpy as np
+
+from repro.analysis.report import TextTable
+from repro.storage.device import DeviceKind
+from repro.storage.placement import AdmitAll, LearnedAdmission, SecondChanceAdmission
+from repro.storage.tier import TieredStore
+
+MB = 1024.0 * 1024.0
+
+
+def _workload(store: TieredStore, seed: int = 11, accesses: int = 4000) -> float:
+    """Interleaved one-touch scans and zipf-reused hot objects."""
+    rng = np.random.default_rng(seed)
+    scan_cursor = 0
+    for i in range(accesses):
+        if rng.random() < 0.5:
+            # Scan stream: fresh chunk of an ever-growing cold file.
+            store.read(f"/cold/scan#{scan_cursor}", 128 * 1024)
+            scan_cursor += 1
+        else:
+            # Reuse stream: zipf-skewed chunks of hot files.
+            hot_file = int(rng.zipf(1.5)) % 4
+            hot_chunk = int(rng.zipf(1.4)) % 64
+            store.read(f"/hot/file{hot_file}#{hot_chunk}", 128 * 1024)
+    return store.stats.hit_rate(DeviceKind.HDD)
+
+
+def _store(policy) -> TieredStore:
+    return TieredStore(1 * MB, 4 * MB, 4000 * MB, ssd_admission=policy)
+
+
+def test_extension_tier_placement(benchmark):
+    def run():
+        return {
+            "LRU admit-all (baseline)": _workload(_store(None)),
+            "second-chance admission": _workload(_store(SecondChanceAdmission())),
+            "learned admission (EWMA reuse)": _workload(
+                _store(LearnedAdmission(threshold=0.2, alpha=0.1))
+            ),
+        }
+
+    shares = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["SSD admission policy", "HDD read share"],
+        title="Extension: tier placement policies (lower is better)",
+    )
+    for name, share in shares.items():
+        table.add_row(name, share)
+    print("\n" + table.render())
+    baseline = shares["LRU admit-all (baseline)"]
+    assert shares["second-chance admission"] < baseline
+    assert shares["learned admission (EWMA reuse)"] < baseline
+
+
+def test_extension_admit_all_equals_none(benchmark):
+    """The explicit baseline policy is behavior-identical to no policy."""
+
+    def run():
+        return (
+            _workload(_store(None), seed=3, accesses=800),
+            _workload(_store(AdmitAll()), seed=3, accesses=800),
+        )
+
+    none_share, admit_all_share = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert none_share == admit_all_share

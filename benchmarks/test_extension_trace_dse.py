@@ -1,0 +1,88 @@
+"""Extension: trace-driven design-space exploration (Section 6.4).
+
+Applies the analytical model to every *individual* traced query from the
+fleet run (instead of group aggregates) and reports the per-query speedup
+distribution for each design point -- "complete design space explorations
+of different acceleration strategies using detailed production traces".
+"""
+
+from repro.analysis.report import TextTable
+from repro.core.limits import synchronization_sweep
+from repro.core.scenario import FEATURE_CONFIGS
+from repro.core.trace_model import evaluate_trace_population
+from repro.profiling.breakdown import trace_breakdown
+from repro.workloads.calibration import SPANNER, accelerated_targets, build_profile
+
+
+def test_extension_trace_dse(fleet_result, benchmark):
+    platform = SPANNER
+    queries = [
+        trace_breakdown(t)
+        for t in fleet_result.platforms[platform].tracer.finished_traces()
+    ]
+    fractions = fleet_result.cycles[platform].cpu_fractions()
+    targets = accelerated_targets(platform)
+    bytes_per_query = fleet_result.measured_profile(platform).bytes_per_query
+
+    def run():
+        return {
+            config.label: evaluate_trace_population(
+                queries,
+                fractions,
+                targets,
+                config.with_speedup(8.0),
+                bytes_per_query=bytes_per_query,
+            )
+            for config in FEATURE_CONFIGS
+        }
+
+    distributions = benchmark(run)
+    table = TextTable(
+        ["config", "aggregate", "mean", "p50", "p95", "max"],
+        title=f"Extension: per-query speedup distributions ({platform}, {len(queries)} traces)",
+    )
+    for label, dist in distributions.items():
+        table.add_row(label, dist.aggregate, dist.mean, dist.p50, dist.p95, dist.maximum)
+    print("\n" + table.render())
+
+    sync = distributions["Sync + On-Chip"]
+    chained = distributions["Chained + On-Chip"]
+    asynchronous = distributions["Async + On-Chip"]
+    # Aggregate ordering matches the group-level Figure 13.
+    assert asynchronous.aggregate >= chained.aggregate >= sync.aggregate - 1e-9
+    # The distribution adds information: the tail beats the median.
+    assert sync.p95 > sync.p50
+    # Every query benefits (on-chip, no setup: acceleration cannot hurt).
+    assert sync.minimum >= 1.0 - 1e-9
+
+
+def test_extension_synchronization_continuum(benchmark):
+    """Section 6.4: 'various amounts of synchronization between CPU
+    components' -- the g_sub continuum between sync and async."""
+    profile = build_profile(SPANNER)
+    targets = accelerated_targets(SPANNER)
+
+    def run():
+        return synchronization_sweep(
+            profile, targets, g_values=(0.0, 0.25, 0.5, 0.75, 1.0)
+        )
+
+    sweep = benchmark(run)
+    table = TextTable(
+        ["g_sub"] + [f"{g:g}" for g in sweep.x],
+        title="Extension: synchronization-factor continuum (Spanner, 8x)",
+    )
+    table.add_row("speedup", *sweep.speedups)
+    print("\n" + table.render())
+    # Monotone: less synchronization, more speedup.
+    for earlier, later in zip(sweep.speedups, sweep.speedups[1:]):
+        assert later <= earlier + 1e-9
+    # Endpoints agree with the discrete sync/async design points.
+    from repro.core.scenario import ASYNC_ON_CHIP, SYNC_ON_CHIP, platform_speedup
+
+    assert sweep.speedups[0] == platform_speedup(
+        profile, targets, ASYNC_ON_CHIP.with_speedup(8.0)
+    )
+    assert sweep.speedups[-1] == platform_speedup(
+        profile, targets, SYNC_ON_CHIP.with_speedup(8.0)
+    )

@@ -1,0 +1,32 @@
+"""Figure 10: grouped synchronous on-chip upper bounds (deps removed)."""
+
+from conftest import assert_reproduced
+
+from repro.analysis import figure10_data, render_comparisons
+from repro.core.limits import grouped_speedup_sweep
+from repro.workloads.calibration import BIGTABLE, accelerated_targets, build_profile
+
+
+def test_fig10_grouped_bounds(benchmark):
+    table, comparisons = benchmark(figure10_data)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Figure 10 paper-vs-measured"))
+    assert_reproduced(comparisons)
+
+
+def test_fig10_io_and_remote_groups_dominate(benchmark):
+    """Section 6.2: 'query groups that are IO or remote heavy dominant have
+    the largest speedups across all platforms' once deps are removed."""
+
+    def measure():
+        return grouped_speedup_sweep(
+            build_profile(BIGTABLE), accelerated_targets(BIGTABLE)
+        )
+
+    groups = benchmark(measure)
+    peaks = {name: sweep.peak for name, sweep in groups.items()}
+    print(f"\n  BigTable group peaks: {({k: round(v, 1) for k, v in peaks.items()})}")
+    assert peaks["IO Heavy"] > peaks["CPU Heavy"]
+    assert peaks["Remote Work Heavy"] > peaks["CPU Heavy"]
+    # The BigTable IO-heavy tail is the paper's 3,223x driver.
+    assert peaks["IO Heavy"] > 100

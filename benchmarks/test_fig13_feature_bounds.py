@@ -1,0 +1,61 @@
+"""Figure 13: accelerator feature upper bounds (placement x invocation)."""
+
+from conftest import assert_reproduced
+
+from repro.analysis import figure13_data, render_comparisons
+from repro.core.limits import incremental_feature_study
+from repro.workloads.calibration import (
+    BIGQUERY,
+    PLATFORMS,
+    build_profile,
+    feature_study_order,
+)
+
+
+def test_fig13_feature_bounds(benchmark):
+    table, comparisons = benchmark(figure13_data)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Figure 13 paper-vs-measured"))
+    assert_reproduced(comparisons)
+
+
+def test_fig13_config_ordering(benchmark):
+    """Async >= chained >= sync-on-chip >= sync-off-chip, per platform."""
+
+    def measure():
+        finals = {}
+        for platform in PLATFORMS:
+            study = incremental_feature_study(
+                build_profile(platform), feature_study_order(platform)
+            )
+            finals[platform] = {
+                label: series.speedups[-1] for label, series in study.items()
+            }
+        return finals
+
+    finals = benchmark(measure)
+    print()
+    for platform, row in finals.items():
+        print(f"  {platform}: " + ", ".join(f"{k}={v:.3f}" for k, v in row.items()))
+        assert row["Async + On-Chip"] >= row["Chained + On-Chip"] - 1e-9
+        assert row["Chained + On-Chip"] >= row["Sync + On-Chip"] - 1e-9
+        assert row["Sync + On-Chip"] >= row["Sync + Off-Chip"] - 1e-9
+
+
+def test_fig13_bigquery_offchip_slowdown(benchmark):
+    """Section 6.3.2: BigQuery's large payloads make off-chip acceleration a
+    net slowdown, and moving on-chip recovers it."""
+
+    def measure():
+        study = incremental_feature_study(
+            build_profile(BIGQUERY), feature_study_order(BIGQUERY)
+        )
+        return (
+            study["Sync + Off-Chip"].speedups[-1],
+            study["Sync + On-Chip"].speedups[-1],
+        )
+
+    off_chip, on_chip = benchmark(measure)
+    print(f"\n  BigQuery: off-chip {off_chip:.3f}x (paper 0.98x), on-chip {on_chip:.3f}x")
+    assert off_chip < 1.0
+    assert on_chip > 1.0

@@ -1,0 +1,38 @@
+"""Figure 14: accelerator setup-time sweep."""
+
+from conftest import assert_reproduced
+
+from repro.analysis import figure14_data, render_comparisons
+from repro.core.limits import setup_time_sweep
+from repro.workloads.calibration import SPANNER, accelerated_targets, build_profile
+
+
+def test_fig14_setup_sweep(benchmark):
+    table, comparisons = benchmark(figure14_data)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Figure 14 paper-vs-measured"))
+    assert_reproduced(comparisons)
+
+
+def test_fig14_sync_slowdown_vs_async_resilience(benchmark):
+    """Section 6.3.3: growing setup time drives synchronous configurations
+    into slowdown; async parallelizes the penalty, chaining pays it once."""
+
+    def measure():
+        return setup_time_sweep(
+            build_profile(SPANNER),
+            accelerated_targets(SPANNER),
+            setup_times=(0.0, 1e-6, 1e-5, 1e-4, 1e-3),
+        )
+
+    study = benchmark(measure)
+    sync = study["Sync + On-Chip"].speedups
+    chained = study["Chained + On-Chip"].speedups
+    asynchronous = study["Async + On-Chip"].speedups
+    print(f"\n  sync:    {[round(v, 3) for v in sync]}")
+    print(f"  async:   {[round(v, 3) for v in asynchronous]}")
+    print(f"  chained: {[round(v, 3) for v in chained]}")
+    assert sync[-1] < 1.0  # large setup: net slowdown
+    assert chained[-1] > sync[-1]
+    assert asynchronous[-1] >= chained[-1] - 1e-9
+    assert sync[0] > 1.0  # zero setup: healthy speedup

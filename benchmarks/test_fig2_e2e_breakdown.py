@@ -1,0 +1,42 @@
+"""Figure 2: end-to-end execution time breakdown per query group."""
+
+from conftest import assert_reproduced
+
+from repro.analysis import figure2_data, render_comparisons
+
+
+def test_fig2_e2e_breakdown(fleet_result, benchmark):
+    table, comparisons = benchmark(figure2_data, fleet_result)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Figure 2 paper-vs-measured"))
+    # Group-share targets are the loosest numbers in the paper (they are read
+    # off a line plot); allow a couple of small-group divergences.
+    assert_reproduced(comparisons, allow_diverging=3)
+
+
+def test_fig2_headline_claims(fleet_result, benchmark):
+    """Section 4.2's two headline observations."""
+
+    def measure():
+        spanner = fleet_result.e2e["Spanner"].group_query_fractions()
+        bigtable = fleet_result.e2e["BigTable"].group_query_fractions()
+        bigquery = fleet_result.e2e["BigQuery"].group_query_fractions()
+        overall = {
+            name: fleet_result.e2e[name].overall_breakdown()
+            for name in fleet_result.e2e
+        }
+        return spanner, bigtable, bigquery, overall
+
+    spanner, bigtable, bigquery, overall = benchmark(measure)
+    # "More than 60% of the queries are CPU heavy in Spanner and BigTable,
+    # where only 10% of the BigQuery queries are CPU heavy."
+    assert spanner["CPU Heavy"] > 0.60
+    assert bigtable["CPU Heavy"] > 0.60
+    assert bigquery.get("CPU Heavy", 0.0) < 0.30
+    # "52% of end-to-end time is collectively spent on remote work and
+    # distributed storage operations" -- i.e. non-CPU dominates jointly.
+    mean_noncpu = sum(
+        row["remote"] + row["io"] for row in overall.values()
+    ) / len(overall)
+    print(f"\n  mean non-CPU share across platforms: {mean_noncpu:.3f} (paper 0.52)")
+    assert 0.30 <= mean_noncpu <= 0.65

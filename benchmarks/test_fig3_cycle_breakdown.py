@@ -1,0 +1,32 @@
+"""Figure 3: core compute vs datacenter taxes vs system taxes."""
+
+from conftest import assert_reproduced
+
+from repro.analysis import figure3_data, render_comparisons
+
+
+def test_fig3_cycle_breakdown(fleet_result, benchmark):
+    table, comparisons = benchmark(figure3_data, fleet_result)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Figure 3 paper-vs-measured"))
+    assert_reproduced(comparisons)
+
+
+def test_fig3_taxes_dominate(fleet_result, benchmark):
+    """Section 5.2: 'over 72% of time is spent on datacenter and system tax
+    components' (averaged across platforms)."""
+    from repro import taxonomy
+
+    def measure():
+        shares = []
+        for platform, cycles in fleet_result.cycles.items():
+            broad = cycles.broad_fractions()
+            shares.append(
+                broad[taxonomy.BroadCategory.DATACENTER_TAX]
+                + broad[taxonomy.BroadCategory.SYSTEM_TAX]
+            )
+        return sum(shares) / len(shares)
+
+    mean_tax_share = benchmark(measure)
+    print(f"\n  mean tax share: {mean_tax_share:.3f} (paper: > 0.72)")
+    assert mean_tax_share > 0.60

@@ -1,0 +1,55 @@
+"""Figure 4: fine-grained core-compute breakdown."""
+
+from conftest import assert_reproduced
+
+from repro import taxonomy
+from repro.analysis import figure4_data, render_comparisons
+
+
+def test_fig4_core_compute(fleet_result, benchmark):
+    table, comparisons = benchmark(figure4_data, fleet_result)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Figure 4 paper-vs-measured"))
+    assert_reproduced(comparisons, allow_diverging=2)
+
+
+def test_fig4_no_single_category_dominates(fleet_result, benchmark):
+    """Section 5.3: 'across all of the platforms, no single fine-grained
+    category dominates' -- the sea-of-accelerators motivation."""
+
+    def measure():
+        maxima = {}
+        for platform, cycles in fleet_result.cycles.items():
+            fine = cycles.fine_fractions(taxonomy.BroadCategory.CORE_COMPUTE)
+            maxima[platform] = max(fine.values())
+        return maxima
+
+    maxima = benchmark(measure)
+    print()
+    for platform, peak in maxima.items():
+        print(f"  {platform}: largest core-compute category {peak:.2%}")
+        assert peak < 0.50
+
+
+def test_fig4_databases_center_on_read_write_consensus(fleet_result, benchmark):
+    """Section 5.3: databases 'spend the majority of their cycles on read,
+    write, and consensus protocols'."""
+
+    def measure():
+        shares = {}
+        for platform in ("Spanner", "BigTable"):
+            fine = fleet_result.cycles[platform].fine_fractions(
+                taxonomy.BroadCategory.CORE_COMPUTE
+            )
+            shares[platform] = (
+                fine.get(taxonomy.READ.key, 0)
+                + fine.get(taxonomy.WRITE.key, 0)
+                + fine.get(taxonomy.CONSENSUS.key, 0)
+                + fine.get(taxonomy.COMPACTION.key, 0)
+            )
+        return shares
+
+    shares = benchmark(measure)
+    for platform, share in shares.items():
+        print(f"\n  {platform}: read+write+consensus+compaction = {share:.2%}")
+        assert share > 0.5

@@ -1,0 +1,36 @@
+"""Figure 5: fine-grained datacenter-tax breakdown."""
+
+from conftest import assert_reproduced
+
+from repro import taxonomy
+from repro.analysis import figure5_data, render_comparisons
+
+
+def test_fig5_datacenter_tax(fleet_result, benchmark):
+    table, comparisons = benchmark(figure5_data, fleet_result)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Figure 5 paper-vs-measured"))
+    assert_reproduced(comparisons, allow_diverging=2)
+
+
+def test_fig5_headline_claims(fleet_result, benchmark):
+    """Section 5.4: RPC 23/37/11%, compression > 30% for BigTable/BigQuery,
+    databases' protobuf share below BigQuery's."""
+
+    def measure():
+        fine = {
+            platform: cycles.fine_fractions(taxonomy.BroadCategory.DATACENTER_TAX)
+            for platform, cycles in fleet_result.cycles.items()
+        }
+        return fine
+
+    fine = benchmark(measure)
+    rpc = {p: fine[p].get(taxonomy.RPC.key, 0) for p in fine}
+    print(f"\n  RPC shares: {({p: round(v, 3) for p, v in rpc.items()})}")
+    assert rpc["BigTable"] > rpc["Spanner"] > rpc["BigQuery"]
+    assert fine["BigTable"][taxonomy.COMPRESSION.key] > 0.25
+    assert fine["BigQuery"][taxonomy.COMPRESSION.key] > 0.25
+    assert (
+        fine["BigQuery"][taxonomy.PROTOBUF.key]
+        > fine["Spanner"][taxonomy.PROTOBUF.key]
+    )

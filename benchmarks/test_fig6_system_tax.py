@@ -1,0 +1,36 @@
+"""Figure 6: fine-grained system-tax breakdown."""
+
+from conftest import assert_reproduced
+
+from repro import taxonomy
+from repro.analysis import figure6_data, render_comparisons
+
+
+def test_fig6_system_tax(fleet_result, benchmark):
+    table, comparisons = benchmark(figure6_data, fleet_result)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Figure 6 paper-vs-measured"))
+    assert_reproduced(comparisons, allow_diverging=2)
+
+
+def test_fig6_os_and_stl_stand_out(fleet_result, benchmark):
+    """Section 5.5: 'operating systems consuming 18% to 28% of system tax
+    cycles' and 'standard libraries ... taking up to 53%'."""
+
+    def measure():
+        return {
+            platform: cycles.fine_fractions(taxonomy.BroadCategory.SYSTEM_TAX)
+            for platform, cycles in fleet_result.cycles.items()
+        }
+
+    fine = benchmark(measure)
+    print()
+    for platform, shares in fine.items():
+        os_share = shares.get(taxonomy.OPERATING_SYSTEM.key, 0)
+        stl_share = shares.get(taxonomy.STL.key, 0)
+        print(f"  {platform}: OS {os_share:.2%}, STL {stl_share:.2%}")
+        assert 0.12 <= os_share <= 0.35
+        # The two stand-out categories of the section.
+        top_two = sorted(shares.values(), reverse=True)[:2]
+        assert stl_share in top_two or os_share in top_two
+    assert max(s.get(taxonomy.STL.key, 0) for s in fine.values()) > 0.40

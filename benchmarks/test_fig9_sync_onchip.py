@@ -1,0 +1,64 @@
+"""Figure 9: synchronous on-chip upper bounds, with/without dependencies."""
+
+from conftest import assert_reproduced
+
+from repro.analysis import figure9_data, render_comparisons
+from repro.analysis.figures import PAPER_FIG9_NO_DEPS
+from repro.core.limits import speedup_sweep
+from repro.workloads.calibration import PLATFORMS, accelerated_targets, build_profile
+
+
+def test_fig9_sync_onchip(benchmark):
+    table, comparisons = benchmark(figure9_data)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Figure 9 paper-vs-measured"))
+    assert_reproduced(comparisons)
+
+
+def test_fig9_removing_deps_changes_bounds_by_orders_of_magnitude(benchmark):
+    """Section 6.2: hardware-only acceleration achieves only a fraction of
+    the bound; co-design that removes remote/IO time unlocks it."""
+
+    def measure():
+        rows = {}
+        for platform in PLATFORMS:
+            profile = build_profile(platform)
+            targets = accelerated_targets(platform)
+            with_deps = speedup_sweep(profile, targets).peak
+            no_deps = speedup_sweep(profile, targets, remove_dependencies=True).peak
+            rows[platform] = (with_deps, no_deps)
+        return rows
+
+    rows = benchmark(measure)
+    print()
+    for platform, (with_deps, no_deps) in rows.items():
+        paper_no_deps = PAPER_FIG9_NO_DEPS[platform]
+        print(
+            f"  {platform}: with deps {with_deps:.2f}x | no deps {no_deps:.1f}x "
+            f"(paper peak {paper_no_deps}x)"
+        )
+        assert no_deps > 2.0 * with_deps
+        assert with_deps < 3.0  # bounded by Amdahl + dependencies
+
+
+def test_fig9_measured_profiles_agree_with_calibration(measured_profiles, benchmark):
+    """The same sweep over *measured* profiles (from the fleet run) lands in
+    the same regime -- the full measurement->model hand-off."""
+
+    def measure():
+        rows = {}
+        for platform, profile in measured_profiles.items():
+            rows[platform] = speedup_sweep(
+                profile, accelerated_targets(platform)
+            ).peak
+        return rows
+
+    rows = benchmark(measure)
+    print()
+    for platform, peak in rows.items():
+        calibrated = speedup_sweep(
+            build_profile(platform), accelerated_targets(platform)
+        ).peak
+        print(f"  {platform}: measured-profile bound {peak:.2f}x vs calibrated {calibrated:.2f}x")
+        assert peak / calibrated < 1.6
+        assert calibrated / peak < 1.6

@@ -1,0 +1,30 @@
+"""Table 1: storage-to-storage ratios (RAM : SSD : HDD per platform)."""
+
+from conftest import assert_reproduced
+
+from repro.analysis import render_comparisons, table1_data
+from repro.storage.device import DeviceKind
+
+
+def test_table1_system_balance(fleet_result, benchmark):
+    table, comparisons = benchmark(table1_data, fleet_result)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Table 1 paper-vs-measured"))
+    assert_reproduced(comparisons)
+
+
+def test_table1_ssd_reads_exceed_hdd_reads(fleet_result, benchmark):
+    """Section 3: 'platforms read from SSDs more frequently than from HDDs'."""
+
+    def measure():
+        rows = {}
+        for platform in fleet_result.telemetry.platforms():
+            reads = fleet_result.telemetry.reads_by_tier(platform)
+            rows[platform] = (reads[DeviceKind.SSD], reads[DeviceKind.HDD])
+        return rows
+
+    rows = benchmark(measure)
+    print()
+    for platform, (ssd_reads, hdd_reads) in rows.items():
+        print(f"  {platform}: SSD reads {ssd_reads}, HDD reads {hdd_reads}")
+        assert ssd_reads > hdd_reads

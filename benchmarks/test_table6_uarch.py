@@ -1,0 +1,32 @@
+"""Table 6: platform IPC and MPKI statistics."""
+
+from conftest import assert_reproduced
+
+from repro.analysis import render_comparisons, table6_data
+
+
+def test_table6_uarch(fleet_result, benchmark):
+    table, comparisons = benchmark(table6_data, fleet_result)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Table 6 paper-vs-measured"))
+    assert_reproduced(comparisons)
+
+
+def test_table6_headline_claims(fleet_result, benchmark):
+    """Section 5.6: databases run at lower IPC with ~2x the frontend misses
+    of the analytics engine."""
+
+    def measure():
+        return {name: fleet_result.uarch_table(name) for name in fleet_result.e2e}
+
+    rows = benchmark(measure)
+    print()
+    for name, row in rows.items():
+        print(f"  {name}: IPC {row['ipc']:.2f}, L1I {row['l1i']:.1f} MPKI")
+    assert rows["BigQuery"]["ipc"] > rows["Spanner"]["ipc"]
+    assert rows["BigQuery"]["ipc"] > rows["BigTable"]["ipc"]
+    for event in ("br", "l1i", "l2i"):
+        assert rows["Spanner"][event] > 1.3 * rows["BigQuery"][event]
+        assert rows["BigTable"][event] > 1.3 * rows["BigQuery"][event]
+    # DTLB loads: databases stall more on the backend too.
+    assert rows["Spanner"]["dtlb_ld"] > rows["BigQuery"]["dtlb_ld"]

@@ -1,0 +1,35 @@
+"""Table 7: IPC and MPKI by core-compute / datacenter-tax / system-tax."""
+
+from conftest import assert_reproduced
+
+from repro import taxonomy
+from repro.analysis import render_comparisons, table7_data
+
+
+def test_table7_uarch_categories(fleet_result, benchmark):
+    table, comparisons = benchmark(table7_data, fleet_result)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Table 7 paper-vs-measured"))
+    assert_reproduced(comparisons)
+
+
+def test_table7_bigquery_core_compute_is_simplest(fleet_result, benchmark):
+    """Section 5.6: BigQuery's core compute runs at markedly higher IPC than
+    its tax code -- 'code paths in core compute operations are shorter and
+    less complex than the ones seen in tax operations'."""
+
+    def measure():
+        return fleet_result.uarch_category_table("BigQuery")
+
+    rows = benchmark(measure)
+    core = rows[taxonomy.BroadCategory.CORE_COMPUTE]
+    dctax = rows[taxonomy.BroadCategory.DATACENTER_TAX]
+    systax = rows[taxonomy.BroadCategory.SYSTEM_TAX]
+    print(
+        f"\n  BigQuery IPC: CC {core['ipc']:.2f}, DCT {dctax['ipc']:.2f}, "
+        f"ST {systax['ipc']:.2f}"
+    )
+    assert core["ipc"] > dctax["ipc"]
+    assert core["ipc"] > systax["ipc"]
+    assert core["l1i"] < dctax["l1i"]
+    assert core["dtlb_ld"] < dctax["dtlb_ld"]

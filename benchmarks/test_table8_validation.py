@@ -1,0 +1,29 @@
+"""Table 8: chained-model validation on the simulated RISC-V SoC."""
+
+from conftest import assert_reproduced
+
+from repro.analysis import render_comparisons, table8_data
+
+
+def test_table8_validation(table8_result, benchmark):
+    table, comparisons = benchmark(table8_data, table8_result)
+    print("\n" + table.render())
+    print(render_comparisons(comparisons, title="Table 8 paper-vs-measured"))
+    assert_reproduced(comparisons)
+
+
+def test_table8_end_to_end_experiment(benchmark):
+    """Benchmark the full three-run experiment (the artifact's full-ae.sh)."""
+    from repro.soc import ValidationExperiment
+
+    def run():
+        return ValidationExperiment(batch_messages=40, seed=3).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.digests_match
+    assert result.modeled_chained > result.measured_chained
+    print(
+        f"\n  40-message batch: measured {result.measured_chained * 1e6:.1f}us, "
+        f"modeled {result.modeled_chained * 1e6:.1f}us, "
+        f"diff {result.percent_difference:.1f}%"
+    )

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Design-space exploration with the sea-of-accelerators model (Section 6).
+
+Answers, for each platform, the questions an architect would ask before
+committing silicon:
+
+1. How far can acceleration go with and without remote-work/IO co-design?
+   (Figure 9)
+2. Which accelerators should be built first?  (Figure 13's incremental adds)
+3. How sensitive is the design to accelerator setup time?  (Figure 14)
+4. What do already-published accelerators buy, and where does chaining
+   bottleneck?  (Figure 15)
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core.catalog import prior_accelerator_study
+from repro.core.limits import (
+    incremental_feature_study,
+    setup_time_sweep,
+    speedup_sweep,
+)
+from repro.workloads.calibration import (
+    PLATFORMS,
+    accelerated_targets,
+    build_profile,
+    feature_study_order,
+)
+
+
+def headroom_study() -> None:
+    print("=== 1. Acceleration headroom (sync on-chip, 1x..64x) ===")
+    for platform in PLATFORMS:
+        profile = build_profile(platform)
+        targets = accelerated_targets(platform)
+        with_deps = speedup_sweep(profile, targets).peak
+        no_deps = speedup_sweep(profile, targets, remove_dependencies=True).peak
+        print(
+            f"  {platform:<9} hardware-only bound {with_deps:6.2f}x | "
+            f"with remote/IO co-design {no_deps:8.1f}x"
+        )
+    print(
+        "  -> hardware-only acceleration is capped by distributed overheads;\n"
+        "     software-hardware co-design unlocks the next order of magnitude.\n"
+    )
+
+
+def build_order_study() -> None:
+    print("=== 2. What to build first (chained on-chip, 8x per accelerator) ===")
+    for platform in PLATFORMS:
+        profile = build_profile(platform)
+        order = feature_study_order(platform)
+        study = incremental_feature_study(profile, order)
+        series = study["Chained + On-Chip"].speedups
+        print(f"  {platform}:")
+        previous = 1.0
+        for target, value in zip(order, series):
+            gain = value / previous - 1.0
+            print(f"    +{target:<28} -> {value:6.3f}x  (+{gain * 100:4.1f}%)")
+            previous = value
+    print()
+
+
+def setup_sensitivity_study() -> None:
+    print("=== 3. Setup-time sensitivity (8x per accelerator) ===")
+    for platform in PLATFORMS:
+        profile = build_profile(platform)
+        study = setup_time_sweep(
+            profile, accelerated_targets(platform), setup_times=(0.0, 1e-5, 1e-4)
+        )
+        sync = study["Sync + On-Chip"].speedups
+        chained = study["Chained + On-Chip"].speedups
+        print(
+            f"  {platform:<9} sync: {sync[0]:.2f}x -> {sync[-1]:.2f}x | "
+            f"chained: {chained[0]:.2f}x -> {chained[-1]:.2f}x (0 -> 100us setup)"
+        )
+    print("  -> chaining amortizes the setup penalty; sync pays it per call.\n")
+
+
+def published_accelerators_study() -> None:
+    print("=== 4. Published accelerators (Fig. 15 catalog) ===")
+    for platform in PLATFORMS:
+        study = prior_accelerator_study(build_profile(platform))
+        sync = study.series["Sync + On-Chip"]
+        print(f"  {platform}:")
+        for label, value in zip(study.labels, sync.speedups):
+            print(f"    {label:<26} {value:6.3f}x")
+    print(
+        "  -> no single published accelerator moves the needle alone;\n"
+        "     combined they reach ~1.5x, and the 2x malloc accelerator\n"
+        "     gates the chained pipeline."
+    )
+
+
+if __name__ == "__main__":
+    headroom_study()
+    build_order_study()
+    setup_sensitivity_study()
+    published_accelerators_study()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Profile a simulated fleet: the paper's Sections 3-5 end to end.
+
+Runs the three platform simulators (Spanner, BigTable, BigQuery) under the
+Dapper-style tracer and the GWP-style sampling profiler, then prints the
+measurement tables and figures: Table 1 (system balance), Figure 2
+(end-to-end breakdown), Figure 3 (cycle categories), Figure 5 (datacenter
+taxes), and Table 6 (microarchitecture).
+
+Run:  python examples/profile_fleet.py [queries_per_database]
+"""
+
+import sys
+
+from repro.analysis import (
+    figure2_data,
+    figure3_data,
+    figure5_data,
+    render_comparisons,
+    table1_data,
+    table6_data,
+)
+from repro.workloads.calibration import BIGQUERY, BIGTABLE, SPANNER
+from repro.workloads.fleet import FleetSimulation
+
+
+def main() -> None:
+    database_queries = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    queries = {
+        SPANNER: database_queries,
+        BIGTABLE: database_queries,
+        BIGQUERY: max(10, database_queries // 6),
+    }
+    print(f"Simulating one fleet day: {queries} queries ...\n")
+    result = FleetSimulation(queries=queries, seed=2024).run()
+
+    for regenerate in (table1_data, figure2_data, figure3_data, figure5_data, table6_data):
+        table, comparisons = regenerate(result)
+        print(table.render())
+        print()
+        print(render_comparisons(comparisons, title="paper vs measured"))
+        print("\n" + "=" * 72 + "\n")
+
+    print("Hottest leaf functions (GWP view):")
+    for platform in (SPANNER, BIGTABLE, BIGQUERY):
+        top = result.profiler.top_functions(platform, count=5)
+        print(f"  {platform}:")
+        for function, cycles in top:
+            print(f"    {function:<45} {cycles / 1e6:10.1f} Mcycles")
+
+
+if __name__ == "__main__":
+    main()

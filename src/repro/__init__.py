@@ -1,0 +1,22 @@
+"""repro: reproduction of "Profiling Hyperscale Big Data Processing" (ISCA'23).
+
+The package is organized as the paper is:
+
+* :mod:`repro.sim` / :mod:`repro.cluster` / :mod:`repro.storage` -- the
+  datacenter substrate: a discrete-event kernel, server nodes and an RPC
+  fabric, and a tiered distributed storage system.
+* :mod:`repro.platforms` -- simulators for the three production platforms:
+  Spanner (distributed SQL), BigTable (NoSQL KV), BigQuery (analytics).
+* :mod:`repro.profiling` -- the measurement pipeline: Dapper-style RPC
+  tracing, GWP-style fleet CPU sampling, the Tables 2-5 taxonomy, and a
+  perf-counter model (Sections 3-5).
+* :mod:`repro.core` -- the paper's contribution: the sea-of-accelerators
+  analytical model (Equations 1-12) and its limit studies (Section 6).
+* :mod:`repro.protowire` / :mod:`repro.crypto` / :mod:`repro.soc` -- the
+  Table 8 validation substrate: a protobuf wire-format implementation, a
+  pure-Python SHA3, and a RISC-V-SoC-style accelerator simulator.
+* :mod:`repro.workloads` / :mod:`repro.analysis` -- calibrated workload
+  generators and the table/figure regeneration layer.
+"""
+
+__version__ = "1.0.0"

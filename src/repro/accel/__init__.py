@@ -1,0 +1,29 @@
+"""The sea-of-accelerators complex, as an executable system (Section 5.5).
+
+The paper *proposes* a shared complex of small accelerators -- core-compute
+operators plus "glue accelerators" for datacenter/system taxes -- invoked
+synchronously, asynchronously, or chained, and models it analytically in
+Section 6.  This package implements the complex itself on the simulation
+kernel, so the analytical model's predictions can be cross-checked against
+discrete-event execution with real queueing:
+
+* :mod:`repro.accel.units` -- accelerator units: a category coverage set, a
+  speedup, a setup time, and single-occupancy service with FIFO queueing.
+* :mod:`repro.accel.complex` -- the shared complex: unit pools, dispatch,
+  and the three invocation runtimes (sync / async / chained pipelines).
+* :mod:`repro.accel.offload` -- offloading a platform's categorized CPU
+  chunk list through the complex and measuring the achieved speedup.
+"""
+
+from repro.accel.complex import AcceleratorComplex, InvocationModel
+from repro.accel.offload import OffloadOutcome, OffloadRuntime
+from repro.accel.units import AcceleratorUnit, UnitStats
+
+__all__ = [
+    "AcceleratorUnit",
+    "UnitStats",
+    "AcceleratorComplex",
+    "InvocationModel",
+    "OffloadRuntime",
+    "OffloadOutcome",
+]

@@ -1,0 +1,184 @@
+"""The shared accelerator complex: dispatch plus invocation runtimes.
+
+Implements the Section 5.5 proposal: a centralized accelerator-as-a-service
+pool that data processing platforms (and other tenants) offload categorized
+work to.  Three invocation runtimes mirror the Section 6.3 design points:
+
+* **sync** -- the core blocks on each invocation in order (``g_sub = 1``);
+* **async** -- all invocations dispatched concurrently (``g_sub = 0``);
+* **chained** -- work items flow through a FIFO pipeline of units; each
+  element moves to the next stage without returning to the core, and each
+  stage pays its setup once per chain.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Iterable, Sequence
+
+from repro.accel.units import AcceleratorUnit
+from repro.sim import Environment, Store, all_of
+
+__all__ = ["InvocationModel", "AcceleratorComplex"]
+
+#: One offloaded work item: (category key, software seconds).
+WorkItem = tuple[str, float]
+
+
+class InvocationModel(enum.Enum):
+    SYNC = "sync"
+    ASYNC = "async"
+    CHAINED = "chained"
+
+
+class AcceleratorComplex:
+    """A pool of accelerator units shared by any number of tenants."""
+
+    def __init__(self, env: Environment, units: Iterable[AcceleratorUnit]):
+        self.env = env
+        self.units = list(units)
+        if not self.units:
+            raise ValueError("the complex needs at least one unit")
+        names = [unit.name for unit in self.units]
+        if len(set(names)) != len(names):
+            raise ValueError("unit names must be unique")
+
+    @classmethod
+    def build(
+        cls,
+        env: Environment,
+        catalog: Sequence[tuple[str, Sequence[str], float, float]],
+        *,
+        instances: int = 1,
+    ) -> "AcceleratorComplex":
+        """Build a complex from ``(kind, covered_keys, speedup, t_setup)``
+        rows, with ``instances`` engines per kind."""
+        units = []
+        for kind, covered, speedup, t_setup in catalog:
+            for i in range(instances):
+                units.append(
+                    AcceleratorUnit(
+                        env=env,
+                        name=f"{kind}#{i}",
+                        covers=frozenset(covered),
+                        speedup=speedup,
+                        t_setup=t_setup,
+                    )
+                )
+        return cls(env, units)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def coverage(self) -> frozenset[str]:
+        keys: set[str] = set()
+        for unit in self.units:
+            keys |= unit.covers
+        return frozenset(keys)
+
+    def can_accelerate(self, category_key: str) -> bool:
+        return any(unit.covers_category(category_key) for unit in self.units)
+
+    def dispatch(self, category_key: str) -> AcceleratorUnit:
+        """Least-backlogged unit covering the category."""
+        candidates = [u for u in self.units if u.covers_category(category_key)]
+        if not candidates:
+            raise LookupError(f"no unit covers {category_key!r}")
+        return min(candidates, key=lambda unit: unit.backlog)
+
+    # -- invocation runtimes -------------------------------------------------------
+
+    def run_sync(self, items: Sequence[WorkItem]) -> Generator:
+        """The core invokes each accelerator in order, blocking on each."""
+        for category_key, t_software in items:
+            unit = self.dispatch(category_key).reserve()
+            yield from unit.invoke(t_software, reserved=True)
+
+    def run_async(self, items: Sequence[WorkItem]) -> Generator:
+        """All invocations issued concurrently; waits for the last."""
+        jobs = []
+        for category_key, t_software in items:
+            unit = self.dispatch(category_key).reserve()
+            jobs.append(
+                self.env.process(
+                    unit.invoke(t_software, reserved=True),
+                    name=f"async:{unit.name}",
+                )
+            )
+        if jobs:
+            yield all_of(self.env, jobs)
+
+    def run_chained(
+        self, items: Sequence[WorkItem], *, elements: int = 8
+    ) -> Generator:
+        """Pipeline the work through its category sequence.
+
+        ``items`` defines the chain's stages in order; each stage's software
+        time is split into ``elements`` equal elements that stream through
+        FIFOs between stages.  Stage setup is paid once (during pipeline
+        fill), matching Equations 9-12.
+        """
+        if elements < 1:
+            raise ValueError("elements must be >= 1")
+        stages = [
+            (self.dispatch(key).reserve(), t_software) for key, t_software in items
+        ]
+        if not stages:
+            return
+        fifos = [Store(self.env) for _ in range(len(stages))]
+
+        def source() -> Generator:
+            for element in range(elements):
+                yield fifos[0].put(element)
+
+        def make_stage(index: int, unit: AcceleratorUnit, t_software: float):
+            per_element = t_software / elements
+
+            def worker() -> Generator:
+                if unit.t_setup > 0:
+                    yield self.env.timeout(unit.t_setup)
+                first = True
+                for _ in range(elements):
+                    element = yield fifos[index].get()
+                    yield from unit.invoke(
+                        per_element, include_setup=False, reserved=first
+                    )
+                    first = False
+                    if index + 1 < len(stages):
+                        yield fifos[index + 1].put(element)
+
+            return worker
+
+        jobs = [self.env.process(source(), name="chain:source")]
+        for index, (unit, t_software) in enumerate(stages):
+            jobs.append(
+                self.env.process(
+                    make_stage(index, unit, t_software)(),
+                    name=f"chain:{unit.name}",
+                )
+            )
+        yield all_of(self.env, jobs)
+
+    def run(
+        self,
+        items: Sequence[WorkItem],
+        model: InvocationModel,
+        *,
+        elements: int = 8,
+    ) -> Generator:
+        if model is InvocationModel.SYNC:
+            yield from self.run_sync(items)
+        elif model is InvocationModel.ASYNC:
+            yield from self.run_async(items)
+        else:
+            yield from self.run_chained(items, elements=elements)
+
+    # -- telemetry --------------------------------------------------------------------
+
+    def utilization_report(self) -> dict[str, float]:
+        elapsed = self.env.now
+        return {
+            unit.name: unit.stats.utilization(elapsed) for unit in self.units
+        }
+
+    def total_invocations(self) -> int:
+        return sum(unit.stats.invocations for unit in self.units)

@@ -1,0 +1,51 @@
+"""Regenerates every table and figure of the paper's evaluation.
+
+* :mod:`repro.analysis.report` -- plain-text table rendering plus
+  paper-vs-measured comparison records (the EXPERIMENTS.md machinery).
+* :mod:`repro.analysis.tables` -- Tables 1, 6, 7, 8 from measurements.
+* :mod:`repro.analysis.figures` -- Figures 2-6 (measurement figures) and
+  Figures 9, 10, 13, 14, 15 (model figures) as data series.
+"""
+
+from repro.analysis.figures import (
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    figure9_data,
+    figure10_data,
+    figure13_data,
+    figure14_data,
+    figure15_data,
+)
+from repro.analysis.markdown import (
+    comparisons_to_markdown,
+    table_to_markdown,
+    write_report,
+)
+from repro.analysis.report import Comparison, TextTable, render_comparisons
+from repro.analysis.tables import table1_data, table6_data, table7_data, table8_data
+
+__all__ = [
+    "TextTable",
+    "Comparison",
+    "render_comparisons",
+    "table1_data",
+    "table6_data",
+    "table7_data",
+    "table8_data",
+    "figure2_data",
+    "figure3_data",
+    "figure4_data",
+    "figure5_data",
+    "figure6_data",
+    "figure9_data",
+    "figure10_data",
+    "figure13_data",
+    "figure14_data",
+    "figure15_data",
+    "table_to_markdown",
+    "comparisons_to_markdown",
+    "write_report",
+]

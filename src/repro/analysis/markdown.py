@@ -1,0 +1,113 @@
+"""Markdown report generation: one document with every regenerated result.
+
+``write_report`` runs the full analysis layer over a fleet result and a
+Table 8 result and writes a self-contained markdown report -- the
+machine-generated counterpart of EXPERIMENTS.md, regenerable from any run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.figures import (
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    figure9_data,
+    figure10_data,
+    figure13_data,
+    figure14_data,
+    figure15_data,
+)
+from repro.analysis.report import Comparison, TextTable
+from repro.analysis.tables import table1_data, table6_data, table7_data, table8_data
+
+__all__ = ["table_to_markdown", "comparisons_to_markdown", "write_report"]
+
+
+def table_to_markdown(table: TextTable) -> str:
+    """Render a TextTable as a GitHub-flavored markdown table."""
+    lines = []
+    if table.title:
+        lines.append(f"### {table.title}")
+        lines.append("")
+    lines.append("| " + " | ".join(table.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in table.headers) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def comparisons_to_markdown(comparisons: Iterable[Comparison]) -> str:
+    comparisons = list(comparisons)
+    if not comparisons:
+        return "_no comparisons recorded_"
+    lines = [
+        "| experiment | metric | paper | measured | rel err | verdict |",
+        "|---|---|---|---|---|---|",
+    ]
+    for c in comparisons:
+        lines.append(
+            f"| {c.experiment} | {c.metric} | {c.paper:g} | {c.measured:.4g} "
+            f"| {c.rel_error * 100:.1f}% | {c.verdict} |"
+        )
+    return "\n".join(lines)
+
+
+def write_report(
+    fleet_result,
+    table8_result,
+    path: str | Path,
+    *,
+    title: str = "Reproduction report: Profiling Hyperscale Big Data Processing",
+) -> Path:
+    """Write the full markdown report; returns the path written.
+
+    Sections: the measurement tables/figures from ``fleet_result``, the
+    model figures from the calibrated profiles, and Table 8 from
+    ``table8_result``, each followed by its paper-vs-measured comparison.
+    """
+    sections: list[tuple[str, TextTable, list[Comparison]]] = []
+    for heading, builder, argument in (
+        ("Table 1 — system balance", table1_data, fleet_result),
+        ("Figure 2 — end-to-end breakdown", figure2_data, fleet_result),
+        ("Figure 3 — cycle categories", figure3_data, fleet_result),
+        ("Figure 4 — core compute", figure4_data, fleet_result),
+        ("Figure 5 — datacenter taxes", figure5_data, fleet_result),
+        ("Figure 6 — system taxes", figure6_data, fleet_result),
+        ("Table 6 — platform microarchitecture", table6_data, fleet_result),
+        ("Table 7 — per-category microarchitecture", table7_data, fleet_result),
+        ("Figure 9 — synchronous on-chip bounds", figure9_data, None),
+        ("Figure 10 — grouped bounds", figure10_data, None),
+        ("Figure 13 — feature bounds", figure13_data, None),
+        ("Figure 14 — setup-time sweep", figure14_data, None),
+        ("Figure 15 — prior accelerators", figure15_data, None),
+        ("Table 8 — model validation", table8_data, table8_result),
+    ):
+        table, comparisons = builder(argument) if argument is not None else builder()
+        sections.append((heading, table, comparisons))
+
+    total = sum(len(comps) for _, _, comps in sections)
+    diverging = sum(
+        1 for _, _, comps in sections for c in comps if not c.within_tolerance
+    )
+    parts = [
+        f"# {title}",
+        "",
+        f"Comparisons: **{total}**, within tolerance: **{total - diverging}**, "
+        f"diverging: **{diverging}**.",
+        "",
+    ]
+    for heading, table, comparisons in sections:
+        parts.append(f"## {heading}")
+        parts.append("")
+        parts.append(table_to_markdown(table))
+        parts.append("")
+        parts.append(comparisons_to_markdown(comparisons))
+        parts.append("")
+    path = Path(path)
+    path.write_text("\n".join(parts))
+    return path

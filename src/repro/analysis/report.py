@@ -1,0 +1,96 @@
+"""Plain-text rendering and paper-vs-measured comparison records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable", "Comparison", "render_comparisons"]
+
+
+class TextTable:
+    """A minimal fixed-width table renderer for benchmark output."""
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> "TextTable":
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_format_cell(cell) for cell in cells])
+        return self
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """One paper-vs-measured data point for EXPERIMENTS.md."""
+
+    experiment: str
+    metric: str
+    paper: float
+    measured: float
+    rel_tolerance: float = 0.25
+
+    @property
+    def rel_error(self) -> float:
+        if self.paper == 0:
+            return abs(self.measured)
+        return abs(self.measured - self.paper) / abs(self.paper)
+
+    @property
+    def within_tolerance(self) -> bool:
+        return self.rel_error <= self.rel_tolerance
+
+    @property
+    def verdict(self) -> str:
+        return "ok" if self.within_tolerance else "DIVERGES"
+
+
+def render_comparisons(comparisons: Iterable[Comparison], title: str = "") -> str:
+    table = TextTable(
+        ["experiment", "metric", "paper", "measured", "rel err", "verdict"],
+        title=title,
+    )
+    for comparison in comparisons:
+        table.add_row(
+            comparison.experiment,
+            comparison.metric,
+            comparison.paper,
+            comparison.measured,
+            f"{comparison.rel_error * 100:.1f}%",
+            comparison.verdict,
+        )
+    return table.render()

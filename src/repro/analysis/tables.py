@@ -1,0 +1,118 @@
+"""Tables 1, 6, 7, and 8 regenerated from measurements."""
+
+from __future__ import annotations
+
+from repro import taxonomy
+from repro.analysis.report import Comparison, TextTable
+from repro.soc.benchmarks import Table8Result
+from repro.workloads import calibration
+from repro.workloads.fleet import FleetResult
+
+__all__ = ["table1_data", "table6_data", "table7_data", "table8_data"]
+
+_EVENT_LABELS = {
+    "br": "BR",
+    "l1i": "L1I",
+    "l2i": "L2I",
+    "llc": "LLC",
+    "itlb": "ITLB",
+    "dtlb_ld": "DTLB LD",
+}
+
+
+def table1_data(result: FleetResult) -> tuple[TextTable, list[Comparison]]:
+    """Table 1: storage-to-storage ratios measured from provisioning."""
+    table = TextTable(
+        ["platform", "RAM", "SSD", "HDD"],
+        title="Table 1: Storage-to-Storage Ratios (RAM PiB : SSD PiB : HDD PiB)",
+    )
+    comparisons = []
+    for platform, (ram, ssd, hdd) in result.table1_rows().items():
+        table.add_row(platform, ram, ssd, hdd)
+        paper = calibration.STORAGE_RATIOS[platform]
+        comparisons.append(
+            Comparison(f"table1/{platform}", "ssd_ratio", paper.ssd, ssd, 0.05)
+        )
+        comparisons.append(
+            Comparison(f"table1/{platform}", "hdd_ratio", paper.hdd, hdd, 0.05)
+        )
+    return table, comparisons
+
+
+def table6_data(result: FleetResult) -> tuple[TextTable, list[Comparison]]:
+    """Table 6: platform IPC and MPKI from sampled counters."""
+    table = TextTable(
+        ["statistic"] + list(calibration.PLATFORMS),
+        title="Table 6: Platform IPC and MPKI Statistics",
+    )
+    comparisons = []
+    rows = {name: result.uarch_table(name) for name in calibration.PLATFORMS}
+    table.add_row("IPC", *(rows[p]["ipc"] for p in calibration.PLATFORMS))
+    for event, label in _EVENT_LABELS.items():
+        table.add_row(label, *(rows[p][event] for p in calibration.PLATFORMS))
+    for platform in calibration.PLATFORMS:
+        paper = calibration.PLATFORM_UARCH[platform]
+        comparisons.append(
+            Comparison(f"table6/{platform}", "IPC", paper.ipc, rows[platform]["ipc"], 0.20)
+        )
+        comparisons.append(
+            Comparison(
+                f"table6/{platform}", "BR MPKI", paper.br_mpki, rows[platform]["br"], 0.25
+            )
+        )
+    return table, comparisons
+
+
+def table7_data(result: FleetResult) -> tuple[TextTable, list[Comparison]]:
+    """Table 7: IPC and MPKI by broad category from sampled counters."""
+    headers = ["platform", "category", "IPC"] + list(_EVENT_LABELS.values())
+    table = TextTable(headers, title="Table 7: IPC and MPKI by CC/DCT/ST")
+    comparisons = []
+    for platform in calibration.PLATFORMS:
+        measured = result.uarch_category_table(platform)
+        for broad in taxonomy.BroadCategory:
+            row = measured[broad]
+            table.add_row(
+                platform,
+                broad.display_name,
+                row["ipc"],
+                *(row[event] for event in _EVENT_LABELS),
+            )
+            paper = calibration.CATEGORY_UARCH[platform][broad]
+            comparisons.append(
+                Comparison(
+                    f"table7/{platform}/{broad.value}",
+                    "IPC",
+                    paper.ipc,
+                    row["ipc"],
+                    0.15,
+                )
+            )
+    return table, comparisons
+
+
+def table8_data(result: Table8Result) -> tuple[TextTable, list[Comparison]]:
+    """Table 8: model validation results."""
+    us = 1e6
+    table = TextTable(
+        ["row", "measured", "paper"], title="Table 8: Model Validation Results"
+    )
+    paper_rows = {
+        "Proto. Ser. t_sub (us)": (result.proto_t_sub * us, 518.3),
+        "Proto. Ser. s_sub (x)": (result.proto_speedup, 31.0),
+        "Proto. Ser. t_setup (us)": (result.proto_setup * us, 1488.9),
+        "SHA3 t_sub (us)": (result.sha3_t_sub * us, 1112.5),
+        "SHA3 s_sub (x)": (result.sha3_speedup, 51.3),
+        "SHA3 t_setup (us)": (result.sha3_setup * us, 4.1),
+        "Non-Accel. CPU t_sub (us)": (result.t_nacc * us, 4948.7),
+        "Measured chained t'_cpu (us)": (result.measured_chained * us, 6075.7),
+        "Modeled chained t'_cpu (us)": (result.modeled_chained * us, 6459.3),
+        "Model difference (%)": (result.percent_difference, 6.1),
+    }
+    comparisons = []
+    for row_name, (measured, paper) in paper_rows.items():
+        table.add_row(row_name, measured, paper)
+        comparisons.append(
+            Comparison("table8", row_name, paper, measured, 0.10)
+        )
+    return table, comparisons

@@ -1,0 +1,186 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    repro fleet [--queries N] [--seed S]        # Tables 1, 6, 7 + Figures 2-6
+    repro validate [--batch N]                  # Table 8 on the simulated SoC
+    repro model [--figure 9|10|13|14|15]        # the Section 6 model figures
+    repro sweep --platform Spanner [--speedup 8]  # one platform's design points
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import (
+    figure2_data,
+    figure3_data,
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    figure9_data,
+    figure10_data,
+    figure13_data,
+    figure14_data,
+    figure15_data,
+    render_comparisons,
+    table1_data,
+    table6_data,
+    table7_data,
+    table8_data,
+)
+
+__all__ = ["main", "build_parser"]
+
+_MODEL_FIGURES = {
+    "9": figure9_data,
+    "10": figure10_data,
+    "13": figure13_data,
+    "14": figure14_data,
+    "15": figure15_data,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Profiling Hyperscale Big Data Processing' (ISCA'23)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fleet = sub.add_parser(
+        "fleet", help="run the fleet simulation and print the measurement tables"
+    )
+    fleet.add_argument("--queries", type=int, default=150, help="queries per database")
+    fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument(
+        "--compare", action="store_true", help="also print paper-vs-measured rows"
+    )
+
+    validate = sub.add_parser("validate", help="reproduce Table 8 on the SoC model")
+    validate.add_argument("--batch", type=int, default=100, help="messages per batch")
+    validate.add_argument("--seed", type=int, default=0)
+
+    model = sub.add_parser("model", help="print a Section 6 model figure")
+    model.add_argument(
+        "--figure", choices=sorted(_MODEL_FIGURES), default="9", help="figure number"
+    )
+    model.add_argument(
+        "--compare", action="store_true", help="also print paper-vs-measured rows"
+    )
+
+    sweep = sub.add_parser("sweep", help="design points for one platform")
+    sweep.add_argument(
+        "--platform", choices=("Spanner", "BigTable", "BigQuery"), default="Spanner"
+    )
+    sweep.add_argument("--speedup", type=float, default=8.0)
+
+    report = sub.add_parser(
+        "report", help="run everything and write a markdown reproduction report"
+    )
+    report.add_argument("--out", default="reproduction_report.md")
+    report.add_argument("--queries", type=int, default=150)
+    report.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _print(table, comparisons, compare: bool) -> None:
+    print(table.render())
+    if compare:
+        print()
+        print(render_comparisons(comparisons, title="paper vs measured"))
+    print()
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.workloads.fleet import FleetSimulation
+
+    queries = {
+        "Spanner": args.queries,
+        "BigTable": args.queries,
+        "BigQuery": max(10, args.queries // 6),
+    }
+    print(f"simulating fleet: {queries} queries, seed {args.seed} ...\n")
+    result = FleetSimulation(queries=queries, seed=args.seed).run()
+    for regenerate in (
+        table1_data,
+        figure2_data,
+        figure3_data,
+        figure4_data,
+        figure5_data,
+        figure6_data,
+        table6_data,
+        table7_data,
+    ):
+        table, comparisons = regenerate(result)
+        _print(table, comparisons, args.compare)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.soc import ValidationExperiment
+
+    result = ValidationExperiment(batch_messages=args.batch, seed=args.seed).run()
+    table, comparisons = table8_data(result)
+    _print(table, comparisons, args.batch == 100)
+    print(f"digests match: {result.digests_match}")
+    print(f"model difference: {result.percent_difference:.2f}% (paper: 6.1%)")
+    return 0 if result.digests_match else 1
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    table, comparisons = _MODEL_FIGURES[args.figure]()
+    _print(table, comparisons, args.compare)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.scenario import FEATURE_CONFIGS, platform_speedup
+    from repro.workloads.calibration import accelerated_targets, build_profile
+
+    profile = build_profile(args.platform)
+    targets = accelerated_targets(args.platform)
+    print(f"{args.platform}: accelerating {len(targets)} components at {args.speedup:g}x")
+    for config in FEATURE_CONFIGS:
+        value = platform_speedup(profile, targets, config.with_speedup(args.speedup))
+        print(f"  {config.label:<18} {value:6.3f}x")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.markdown import write_report
+    from repro.soc import ValidationExperiment
+    from repro.workloads.fleet import FleetSimulation
+
+    queries = {
+        "Spanner": args.queries,
+        "BigTable": args.queries,
+        "BigQuery": max(10, args.queries // 6),
+    }
+    print(f"simulating fleet ({queries}) and the Table 8 experiment ...")
+    fleet = FleetSimulation(queries=queries, seed=args.seed).run()
+    table8 = ValidationExperiment(seed=0).run()
+    path = write_report(fleet, table8, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "fleet": _cmd_fleet,
+        "validate": _cmd_validate,
+        "model": _cmd_model,
+        "sweep": _cmd_sweep,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

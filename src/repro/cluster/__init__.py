@@ -1,0 +1,36 @@
+"""Datacenter substrate: nodes, network fabric, RPC, and cluster management.
+
+The hyperscale deployment of Section 2.1 in miniature: homogeneous server
+nodes with a fixed number of cores, separated by a Clos-like network with
+locality-dependent latency, running services that communicate exclusively
+through an RPC layer.  Every CPU instant executed on a node is reported to
+the fleet profiler with its leaf function name, and every RPC/IO interval is
+recorded as a Dapper span -- this is what makes the Sections 4-5
+measurements fall out of simulation rather than being asserted.
+"""
+
+from repro.cluster.network import Locality, NetworkFabric, Topology
+from repro.cluster.node import ServerNode, WorkContext
+from repro.cluster.rpc import (
+    RpcError,
+    RpcServer,
+    RpcService,
+    rpc_call,
+    rpc_call_with_retries,
+)
+from repro.cluster.manager import Cluster, ClusterManager
+
+__all__ = [
+    "Locality",
+    "NetworkFabric",
+    "Topology",
+    "ServerNode",
+    "WorkContext",
+    "RpcError",
+    "RpcServer",
+    "RpcService",
+    "rpc_call",
+    "rpc_call_with_retries",
+    "Cluster",
+    "ClusterManager",
+]

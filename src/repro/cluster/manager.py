@@ -1,0 +1,90 @@
+"""Cluster construction and worker scheduling (Borg-style, Section 2.1)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.cluster.network import NetworkFabric, Topology
+from repro.cluster.node import ServerNode
+from repro.sim import Environment
+
+__all__ = ["Cluster", "ClusterManager"]
+
+
+class Cluster:
+    """A set of homogeneous server nodes plus the fabric between them."""
+
+    def __init__(
+        self,
+        env: Environment,
+        *,
+        regions: Sequence[str] = ("us-central",),
+        clusters_per_region: int = 1,
+        racks_per_cluster: int = 2,
+        nodes_per_rack: int = 4,
+        cores_per_node: int = 8,
+        fabric: NetworkFabric | None = None,
+        name_prefix: str = "node",
+    ):
+        if not regions:
+            raise ValueError("need at least one region")
+        self.env = env
+        self.fabric = fabric or NetworkFabric()
+        self.nodes: list[ServerNode] = []
+        index = itertools.count()
+        for region in regions:
+            for c in range(clusters_per_region):
+                for r in range(racks_per_cluster):
+                    for _ in range(nodes_per_rack):
+                        topology = Topology(
+                            region=region, cluster=f"{region}-c{c}", rack=f"r{r}"
+                        )
+                        self.nodes.append(
+                            ServerNode(
+                                env=env,
+                                name=f"{name_prefix}-{next(index)}",
+                                topology=topology,
+                                cores=cores_per_node,
+                            )
+                        )
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def nodes_in_region(self, region: str) -> list[ServerNode]:
+        return [node for node in self.nodes if node.topology.region == region]
+
+    @property
+    def regions(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for node in self.nodes:
+            seen.setdefault(node.topology.region, None)
+        return list(seen)
+
+
+class ClusterManager:
+    """Assigns work to nodes (round-robin or least-loaded)."""
+
+    def __init__(self, nodes: Iterable[ServerNode]):
+        self._nodes = list(nodes)
+        if not self._nodes:
+            raise ValueError("cluster manager needs at least one node")
+        self._cursor = itertools.cycle(range(len(self._nodes)))
+
+    @property
+    def nodes(self) -> tuple[ServerNode, ...]:
+        return tuple(self._nodes)
+
+    def round_robin(self) -> ServerNode:
+        return self._nodes[next(self._cursor)]
+
+    def least_loaded(self) -> ServerNode:
+        return min(self._nodes, key=lambda node: node.runnable_backlog)
+
+    def pick(self, strategy: str = "round_robin") -> ServerNode:
+        if strategy == "round_robin":
+            return self.round_robin()
+        if strategy == "least_loaded":
+            return self.least_loaded()
+        raise ValueError(f"unknown scheduling strategy {strategy!r}")

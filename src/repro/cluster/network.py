@@ -1,0 +1,108 @@
+"""Network fabric model: locality-dependent latency plus bandwidth.
+
+Google's datacenter network is a Clos topology with centralized control
+(Jupiter, Section 2.1's "proprietary high-speed custom network").  For the
+purposes of this reproduction, what matters is the latency/bandwidth *shape*
+between endpoints at different localities: same rack, same cluster, same
+region, or cross-region (Spanner replicates across regions).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Locality", "Topology", "NetworkFabric"]
+
+
+class Locality(enum.Enum):
+    """How far apart two endpoints are."""
+
+    SAME_NODE = 0
+    SAME_RACK = 1
+    SAME_CLUSTER = 2
+    SAME_REGION = 3
+    CROSS_REGION = 4
+
+
+@dataclass(frozen=True, slots=True)
+class Topology:
+    """Coordinates of a node in the fleet."""
+
+    region: str
+    cluster: str
+    rack: str
+
+    def locality_to(self, other: "Topology") -> Locality:
+        if self.region != other.region:
+            return Locality.CROSS_REGION
+        if self.cluster != other.cluster:
+            return Locality.SAME_REGION
+        if self.rack != other.rack:
+            return Locality.SAME_CLUSTER
+        return Locality.SAME_RACK
+
+
+#: One-way latency (seconds) per locality, loosely modeled on production
+#: numbers: ~5us in-rack, ~50us in-cluster, ~500us in-region metro links,
+#: ~30ms cross-region WAN.
+DEFAULT_LATENCY: dict[Locality, float] = {
+    Locality.SAME_NODE: 0.0,
+    Locality.SAME_RACK: 5e-6,
+    Locality.SAME_CLUSTER: 50e-6,
+    Locality.SAME_REGION: 500e-6,
+    Locality.CROSS_REGION: 30e-3,
+}
+
+#: Effective per-flow bandwidth (bytes/s) per locality.
+DEFAULT_BANDWIDTH: dict[Locality, float] = {
+    Locality.SAME_NODE: float("inf"),
+    Locality.SAME_RACK: 12.5e9,  # 100 Gb/s
+    Locality.SAME_CLUSTER: 5.0e9,  # 40 Gb/s
+    Locality.SAME_REGION: 1.25e9,  # 10 Gb/s
+    Locality.CROSS_REGION: 0.125e9,  # 1 Gb/s WAN share
+}
+
+
+class NetworkFabric:
+    """Latency + bandwidth cost model between topological coordinates."""
+
+    def __init__(
+        self,
+        latency: dict[Locality, float] | None = None,
+        bandwidth: dict[Locality, float] | None = None,
+    ):
+        self.latency = dict(DEFAULT_LATENCY)
+        if latency:
+            self.latency.update(latency)
+        self.bandwidth = dict(DEFAULT_BANDWIDTH)
+        if bandwidth:
+            self.bandwidth.update(bandwidth)
+        for locality in Locality:
+            if self.latency[locality] < 0:
+                raise ValueError(f"negative latency for {locality}")
+            if self.bandwidth[locality] <= 0:
+                raise ValueError(f"non-positive bandwidth for {locality}")
+        self.bytes_transferred = 0.0
+        self.messages_sent = 0
+
+    def one_way_latency(self, src: Topology, dst: Topology) -> float:
+        return self.latency[src.locality_to(dst)]
+
+    def transfer_time(self, src: Topology, dst: Topology, nbytes: float) -> float:
+        """One-way message time: propagation plus serialization delay."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        locality = src.locality_to(dst)
+        self.bytes_transferred += nbytes
+        self.messages_sent += 1
+        bandwidth = self.bandwidth[locality]
+        transmission = 0.0 if bandwidth == float("inf") else nbytes / bandwidth
+        return self.latency[locality] + transmission
+
+    def round_trip_time(
+        self, src: Topology, dst: Topology, request_bytes: float, response_bytes: float
+    ) -> float:
+        return self.transfer_time(src, dst, request_bytes) + self.transfer_time(
+            dst, src, response_bytes
+        )

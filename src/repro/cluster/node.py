@@ -1,0 +1,111 @@
+"""Server nodes: cores, instrumented CPU execution, and work contexts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.cluster.network import Topology
+from repro.profiling.dapper import Span, SpanKind, Trace
+from repro.profiling.gwp import FleetProfiler
+from repro.sim import Environment, Resource
+
+__all__ = ["WorkContext", "ServerNode"]
+
+
+@dataclass
+class WorkContext:
+    """Per-query instrumentation context threaded through platform code.
+
+    Carries the query's Dapper trace (``None`` when the query was sampled
+    out) and the fleet profiler.  Platform code never records measurements
+    directly -- it executes work through :meth:`ServerNode.compute` and the
+    IO/RPC layers, which report here.
+    """
+
+    platform: str
+    trace: Optional[Trace] = None
+    profiler: Optional[FleetProfiler] = None
+    parent_span: Optional[Span] = None
+
+    def child(self, parent_span: Optional[Span]) -> "WorkContext":
+        return WorkContext(
+            platform=self.platform,
+            trace=self.trace,
+            profiler=self.profiler,
+            parent_span=parent_span,
+        )
+
+    def record_span(
+        self, name: str, kind: SpanKind, start: float, end: float, **annotations
+    ) -> Optional[Span]:
+        if self.trace is None:
+            return None
+        return self.trace.record(
+            name, kind, start, end, parent=self.parent_span, **annotations
+        )
+
+    def record_cpu(self, function: str, duration: float, when: float) -> None:
+        if self.profiler is not None:
+            self.profiler.record_work(self.platform, function, duration, when)
+
+
+@dataclass
+class ServerNode:
+    """One homogeneous server: named cores behind a counted resource.
+
+    All CPU execution flows through :meth:`compute`, which contends for a
+    core, burns virtual time, reports the work to the fleet profiler under
+    its leaf-function name, and records a CPU span on the query's trace.
+    """
+
+    env: Environment
+    name: str
+    topology: Topology
+    cores: int = 8
+    _core_pool: Resource = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("a node needs at least one core")
+        self._core_pool = Resource(self.env, capacity=self.cores)
+
+    @property
+    def core_utilization(self) -> float:
+        return self._core_pool.utilization()
+
+    @property
+    def runnable_backlog(self) -> int:
+        return self._core_pool.queue_length
+
+    def compute(
+        self, ctx: WorkContext, function: str, duration: float
+    ) -> Generator:
+        """Execute ``duration`` seconds of CPU work for leaf ``function``.
+
+        A simulation process: acquires a core (queueing behind other work on
+        this node), burns the time, then releases.  The *service* time is
+        reported to the profiler; the span covers queueing plus service so
+        end-to-end attribution sees contention.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = self.env.now
+        grant = self._core_pool.request()
+        yield grant
+        service_start = self.env.now
+        try:
+            if duration > 0:
+                yield self.env.timeout(duration)
+        finally:
+            self._core_pool.release(grant)
+        end = self.env.now
+        ctx.record_cpu(function, end - service_start, service_start)
+        ctx.record_span(function, SpanKind.CPU, start, end, node=self.name)
+
+    def compute_many(
+        self, ctx: WorkContext, chunks: list[tuple[str, float]]
+    ) -> Generator:
+        """Execute a sequence of (function, duration) chunks back to back."""
+        for function, duration in chunks:
+            yield from self.compute(ctx, function, duration)

@@ -1,0 +1,158 @@
+"""The paper's primary contribution: the sea-of-accelerators analytical model.
+
+Public API layers, bottom to top:
+
+* :mod:`repro.core.parameters` -- the Figure 7 time/overlap/miscellaneous
+  parameters as dataclasses (``WorkloadTimes``, ``AcceleratedSubcomponent``,
+  ``CpuDecomposition``).
+* :mod:`repro.core.base_model` -- Equations 1-8 (synchronous/asynchronous,
+  on-chip/off-chip acceleration).
+* :mod:`repro.core.chaining` -- Equations 9-12 (the chained accelerator
+  execution model).
+* :mod:`repro.core.profile` -- platform/query-group profiles that feed the
+  model from measurements or from calibrated paper aggregates.
+* :mod:`repro.core.scenario` -- placement x invocation design points
+  (Sync/Async/Chained x On/Off-Chip) evaluated over profiles.
+* :mod:`repro.core.limits` -- the Section 6.2/6.3 limit-study sweeps.
+* :mod:`repro.core.catalog` -- the prior published accelerators of Fig. 15.
+* :mod:`repro.core.validation` -- measured-vs-modeled comparison (Table 8).
+"""
+
+from repro.core.base_model import (
+    AccelerationResult,
+    accelerated_cpu_time,
+    accelerated_time,
+    end_to_end_time,
+    evaluate,
+    largest_accelerated_time,
+)
+from repro.core.catalog import (
+    PRIOR_ACCELERATORS,
+    PriorAccelerator,
+    PriorStudyResult,
+    prior_accelerator_study,
+)
+from repro.core.chaining import (
+    chained_cpu_time,
+    chained_time,
+    evaluate_chained,
+    largest_penalty,
+    largest_stage_time,
+)
+from repro.core.limits import (
+    DEFAULT_SETUP_TIMES,
+    DEFAULT_SPEEDUP_SWEEP,
+    SweepSeries,
+    grouped_speedup_sweep,
+    incremental_feature_study,
+    setup_time_sweep,
+    speedup_sweep,
+    synchronization_sweep,
+)
+from repro.core.trace_model import (
+    SpeedupDistribution,
+    evaluate_query,
+    evaluate_trace_population,
+    query_workload_times,
+)
+from repro.core.parameters import (
+    PCIE_GEN5_X1_BYTES_PER_S,
+    AcceleratedSubcomponent,
+    CpuDecomposition,
+    Subcomponent,
+    WorkloadTimes,
+    make_decomposition,
+)
+from repro.core.profile import (
+    CPU_HEAVY,
+    IO_HEAVY,
+    OTHERS,
+    QUERY_GROUPS,
+    REMOTE_HEAVY,
+    PlatformProfile,
+    QueryGroupProfile,
+)
+from repro.core.scenario import (
+    ASYNC_ON_CHIP,
+    CHAINED_ON_CHIP,
+    FEATURE_CONFIGS,
+    SYNC_OFF_CHIP,
+    SYNC_ON_CHIP,
+    AcceleratorSystem,
+    Invocation,
+    Placement,
+    evaluate_group,
+    platform_speedup,
+)
+from repro.core.validation import (
+    ChainStageMeasurement,
+    ValidationReport,
+    estimate_chained_cpu_time,
+    validate_chained_model,
+)
+
+__all__ = [
+    # parameters
+    "WorkloadTimes",
+    "Subcomponent",
+    "AcceleratedSubcomponent",
+    "CpuDecomposition",
+    "make_decomposition",
+    "PCIE_GEN5_X1_BYTES_PER_S",
+    # base model
+    "end_to_end_time",
+    "accelerated_time",
+    "largest_accelerated_time",
+    "accelerated_cpu_time",
+    "AccelerationResult",
+    "evaluate",
+    # chaining
+    "largest_penalty",
+    "largest_stage_time",
+    "chained_time",
+    "chained_cpu_time",
+    "evaluate_chained",
+    # profiles
+    "QueryGroupProfile",
+    "PlatformProfile",
+    "QUERY_GROUPS",
+    "CPU_HEAVY",
+    "IO_HEAVY",
+    "REMOTE_HEAVY",
+    "OTHERS",
+    # scenarios
+    "Placement",
+    "Invocation",
+    "AcceleratorSystem",
+    "SYNC_OFF_CHIP",
+    "SYNC_ON_CHIP",
+    "ASYNC_ON_CHIP",
+    "CHAINED_ON_CHIP",
+    "FEATURE_CONFIGS",
+    "evaluate_group",
+    "platform_speedup",
+    # limits
+    "SweepSeries",
+    "speedup_sweep",
+    "grouped_speedup_sweep",
+    "incremental_feature_study",
+    "synchronization_sweep",
+    "setup_time_sweep",
+    "DEFAULT_SPEEDUP_SWEEP",
+    "DEFAULT_SETUP_TIMES",
+    # trace-driven model
+    "query_workload_times",
+    "evaluate_query",
+    "evaluate_trace_population",
+    "SpeedupDistribution",
+    # catalog
+    "PriorAccelerator",
+    "PriorStudyResult",
+    "PRIOR_ACCELERATORS",
+    "prior_accelerator_study",
+    # validation
+    "ChainStageMeasurement",
+    "ValidationReport",
+    "estimate_chained_cpu_time",
+    "validate_chained_model",
+]

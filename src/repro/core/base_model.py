@@ -1,0 +1,150 @@
+"""Base analytical model: Equations 1-8 of the paper (Section 6.1).
+
+The base model estimates the upper-bound benefit of a *sea of accelerators*
+for a workload described by a :class:`~repro.core.parameters.WorkloadTimes`
+(CPU time, non-CPU dependency time, and their overlap) and a
+:class:`~repro.core.parameters.CpuDecomposition` (which CPU subcomponents
+are accelerated, by how much, and with what invocation penalties).
+
+The equations implemented here, numbered as in the paper:
+
+1. ``t_e2e  = t_cpu  + t_dep - (1 - f) * min(t_cpu,  t_dep)``
+2. ``t'_e2e = t'_cpu + t_dep - (1 - f) * min(t'_cpu, t_dep)``
+3. ``t'_cpu = t_acc + t_nacc``
+4. ``t_nacc = sum_i t_sub_i``                         (N unaccelerated)
+5. ``t_acc  = max(sum_i g_sub_i * t'_sub_i, t_lsub)`` (U accelerated)
+6. ``t_lsub = max_i t'_sub_i``
+7. ``t'_sub_i = t_sub_i / s_sub_i + t_pen_i``
+8. ``t_pen_i = t_setup_i + 2 * B_i / BW_i``
+
+Equations 6-8 live on :class:`AcceleratedSubcomponent` as properties; this
+module provides the aggregate equations and a result object that carries
+every intermediate value for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.parameters import (
+    AcceleratedSubcomponent,
+    CpuDecomposition,
+    WorkloadTimes,
+    total_time,
+)
+
+__all__ = [
+    "end_to_end_time",
+    "accelerated_time",
+    "largest_accelerated_time",
+    "accelerated_cpu_time",
+    "AccelerationResult",
+    "evaluate",
+]
+
+
+def end_to_end_time(t_cpu: float, t_dep: float, f: float = 1.0) -> float:
+    """End-to-end time per Equation 1 (and Equation 2 with ``t'_cpu``)."""
+    return WorkloadTimes(t_cpu=t_cpu, t_dep=t_dep, f=f).t_e2e
+
+
+def largest_accelerated_time(
+    components: Iterable[AcceleratedSubcomponent],
+) -> float:
+    """``t_lsub``: the largest accelerated subcomponent time (Equation 6)."""
+    times = [component.t_sub_accelerated for component in components]
+    return max(times) if times else 0.0
+
+
+def accelerated_time(components: Iterable[AcceleratedSubcomponent]) -> float:
+    """``t_acc``: total accelerated CPU time (Equation 5).
+
+    With fully synchronous components (``g_sub = 1``) the accelerated times
+    simply add up.  With fully asynchronous components (``g_sub = 0``) all
+    invocations are parallelized and only the largest accelerated
+    subcomponent ``t_lsub`` remains on the critical path.  Intermediate
+    ``g_sub`` values interpolate, but ``t_acc`` can never fall below
+    ``t_lsub`` -- a component cannot overlap with itself.
+    """
+    components = tuple(components)
+    weighted_sum = sum(c.g_sub * c.t_sub_accelerated for c in components)
+    return max(weighted_sum, largest_accelerated_time(components))
+
+
+def accelerated_cpu_time(decomposition: CpuDecomposition) -> float:
+    """``t'_cpu``: new CPU time after acceleration (Equations 3-4).
+
+    Chained components are not handled here; see
+    :mod:`repro.core.chaining` for the Equation 9 extension.
+    """
+    if decomposition.chained:
+        raise ValueError(
+            "decomposition has chained components; use repro.core.chaining.evaluate_chained"
+        )
+    t_acc = accelerated_time(decomposition.accelerated)
+    t_nacc = total_time(decomposition.unaccelerated)
+    return t_acc + t_nacc
+
+
+@dataclass(frozen=True, slots=True)
+class AccelerationResult:
+    """All intermediate quantities of one model evaluation."""
+
+    workload: WorkloadTimes
+    t_acc: float
+    t_chnd: float
+    t_nacc: float
+    t_cpu_accelerated: float
+    t_e2e_original: float
+    t_e2e_accelerated: float
+
+    @property
+    def speedup(self) -> float:
+        """End-to-end speedup ``t_e2e / t'_e2e``."""
+        if self.t_e2e_accelerated == 0.0:
+            return float("inf")
+        return self.t_e2e_original / self.t_e2e_accelerated
+
+
+def evaluate(
+    workload: WorkloadTimes,
+    decomposition: CpuDecomposition,
+    *,
+    remove_dependencies: bool = False,
+) -> AccelerationResult:
+    """Evaluate the base model for one workload and decomposition.
+
+    Args:
+        workload: the original ``t_cpu`` / ``t_dep`` / ``f`` triple.  The
+            decomposition's implied original CPU time must match
+            ``workload.t_cpu`` to within 1e-6 relative tolerance.
+        decomposition: the accelerated/unaccelerated CPU split.
+        remove_dependencies: when True, models the co-designed system of
+            Section 6.2 in which remote work and IO time is eliminated
+            (``t_dep = 0``) from the *accelerated* system.  The original
+            end-to-end time keeps its dependencies so the reported speedup
+            reflects both optimizations, exactly as in Figure 9 (left).
+
+    Returns:
+        An :class:`AccelerationResult` carrying every intermediate value.
+    """
+    implied = decomposition.t_cpu_original
+    if abs(implied - workload.t_cpu) > 1e-6 * max(1.0, workload.t_cpu):
+        raise ValueError(
+            "decomposition CPU time "
+            f"{implied!r} does not match workload t_cpu {workload.t_cpu!r}"
+        )
+    t_cpu_accelerated = accelerated_cpu_time(decomposition)
+    accelerated_workload = workload.with_cpu_time(t_cpu_accelerated)
+    if remove_dependencies:
+        accelerated_workload = accelerated_workload.without_dependencies()
+    return AccelerationResult(
+        workload=workload,
+        t_acc=accelerated_time(decomposition.accelerated),
+        t_chnd=0.0,
+        t_nacc=total_time(decomposition.unaccelerated),
+        t_cpu_accelerated=t_cpu_accelerated,
+        t_e2e_original=workload.t_e2e,
+        t_e2e_accelerated=accelerated_workload.t_e2e,
+    )

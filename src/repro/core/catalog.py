@@ -1,0 +1,168 @@
+"""Catalog of prior published accelerators used in the Figure 15 study.
+
+Section 6.3.4 evaluates the sea-of-accelerators model with the largest
+*published* speedups for each operation class, setup time zeroed because it
+was not universally reported.  The speedups below are the values we adopt
+(documented in DESIGN.md section 5); citation keys refer to the paper's
+bibliography.
+
+The mapping from an accelerator to the taxonomy categories it covers is
+platform independent; which categories actually exist with non-zero cycles
+differs per platform (databases have read/write/consensus core ops, the
+analytics engine has relational operators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro import taxonomy
+from repro.core.limits import SweepSeries
+from repro.core.profile import PlatformProfile
+from repro.core.scenario import (
+    CHAINED_ON_CHIP,
+    SYNC_ON_CHIP,
+    AcceleratorSystem,
+    platform_speedup,
+)
+
+__all__ = [
+    "PriorAccelerator",
+    "PriorStudyResult",
+    "PRIOR_ACCELERATORS",
+    "applicable_targets",
+    "combined_speedup_map",
+    "prior_accelerator_study",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PriorAccelerator:
+    """One published accelerator: what it covers and how much it helps."""
+
+    name: str
+    citation: str
+    speedup: float
+    covers_broad: taxonomy.BroadCategory | None = None
+    covers_fine: tuple[str, ...] = ()
+
+    def categories_for(self, profile: PlatformProfile) -> tuple[str, ...]:
+        """The component keys of ``profile`` this accelerator applies to."""
+        keys = []
+        for key in profile.cpu_component_fractions:
+            if self.covers_broad is not None:
+                if taxonomy.broad_of(key) is self.covers_broad:
+                    keys.append(key)
+            elif key in self.covers_fine:
+                keys.append(key)
+        return tuple(keys)
+
+
+#: The five prior accelerators of Section 6.3.4, in presentation order.
+PRIOR_ACCELERATORS: tuple[PriorAccelerator, ...] = (
+    PriorAccelerator(
+        name="Q100 (core ops)",
+        citation="[64] Wu et al., Q100 database processing unit",
+        speedup=70.0,
+        covers_broad=taxonomy.BroadCategory.CORE_COMPUTE,
+    ),
+    PriorAccelerator(
+        name="Mallacc (malloc)",
+        citation="[29] Kanev et al., Mallacc memory allocation accelerator",
+        speedup=2.0,
+        covers_fine=(taxonomy.MEMORY_ALLOCATION.key,),
+    ),
+    PriorAccelerator(
+        name="ProtoAcc (protobuf)",
+        citation="[30] Karandikar et al., protocol buffers accelerator",
+        speedup=15.0,
+        covers_fine=(taxonomy.PROTOBUF.key,),
+    ),
+    PriorAccelerator(
+        name="Cerebros (RPC)",
+        citation="[43] Pourhabibi et al., Cerebros RPC processor",
+        speedup=37.0,
+        covers_fine=(taxonomy.RPC.key,),
+    ),
+    PriorAccelerator(
+        name="IBM zEDC (compression)",
+        citation="[6] Abali et al., POWER9/z15 compression accelerator",
+        speedup=40.0,
+        covers_fine=(taxonomy.COMPRESSION.key,),
+    ),
+)
+
+
+def applicable_targets(
+    profile: PlatformProfile,
+    accelerators: Sequence[PriorAccelerator] = PRIOR_ACCELERATORS,
+) -> dict[str, tuple[str, ...]]:
+    """Per-accelerator component keys present in ``profile``."""
+    return {
+        accelerator.name: accelerator.categories_for(profile)
+        for accelerator in accelerators
+    }
+
+
+def combined_speedup_map(
+    profile: PlatformProfile,
+    accelerators: Sequence[PriorAccelerator] = PRIOR_ACCELERATORS,
+) -> dict[str, float]:
+    """Component key -> published speedup for the combined configuration."""
+    speedups: dict[str, float] = {}
+    for accelerator in accelerators:
+        for key in accelerator.categories_for(profile):
+            speedups[key] = accelerator.speedup
+    return speedups
+
+
+@dataclass(frozen=True, slots=True)
+class PriorStudyResult:
+    """Figure 15 data: X-axis labels plus one series per configuration."""
+
+    labels: tuple[str, ...]
+    series: Mapping[str, SweepSeries]
+
+    def value(self, config_label: str, accelerator_label: str) -> float:
+        index = self.labels.index(accelerator_label)
+        return self.series[config_label].speedups[index]
+
+
+def prior_accelerator_study(
+    profile: PlatformProfile,
+    accelerators: Sequence[PriorAccelerator] = PRIOR_ACCELERATORS,
+    *,
+    configs: Sequence[AcceleratorSystem] = (SYNC_ON_CHIP, CHAINED_ON_CHIP),
+) -> PriorStudyResult:
+    """Figure 15: each accelerator alone, then all of them combined.
+
+    Setup time is zero throughout (Section 6.3.4).  Returns one series per
+    configuration; the final X position of each series is the combined
+    deployment of every accelerator at its own published speedup.
+    """
+    labels = tuple(accelerator.name for accelerator in accelerators) + ("Combined",)
+    xs = tuple(float(i) for i in range(len(labels)))
+    series: dict[str, SweepSeries] = {}
+    for config in configs:
+        values = []
+        for accelerator in accelerators:
+            targets = accelerator.categories_for(profile)
+            if not targets:
+                values.append(1.0)
+                continue
+            values.append(
+                platform_speedup(
+                    profile, targets, config.with_speedup(accelerator.speedup)
+                )
+            )
+        speedup_map = combined_speedup_map(profile, accelerators)
+        values.append(
+            platform_speedup(
+                profile, tuple(speedup_map), config.with_speedup(speedup_map)
+            )
+        )
+        series[config.label] = SweepSeries(
+            label=config.label, x=xs, speedups=tuple(values)
+        )
+    return PriorStudyResult(labels=labels, series=series)

@@ -1,0 +1,99 @@
+"""Chained accelerator execution model: Equations 9-12 (Section 6.3.1).
+
+In the chained model, a subset of accelerated components is organized as a
+pipeline: each accelerator forwards its output directly to the next (e.g.
+through pipeline FIFOs) instead of returning to the core between stages.
+While the chain preserves the strict data dependency between components, the
+stages overlap across elements, so the chain's steady-state time is set by
+its *slowest* stage, and only the *largest* invocation penalty is paid once
+to fill the pipeline:
+
+9.  ``t'_cpu   = t_chnd + t_acc + t_nacc``
+10. ``t_chnd   = t_lpen + t_lsubnp``
+11. ``t_lpen   = max_i t_pen_i``            over the C chained components
+12. ``t_lsubnp = max_i t_sub_i / s_sub_i``  over the C chained components
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.base_model import AccelerationResult, accelerated_time
+from repro.core.parameters import (
+    AcceleratedSubcomponent,
+    CpuDecomposition,
+    WorkloadTimes,
+    total_time,
+)
+
+__all__ = [
+    "largest_penalty",
+    "largest_stage_time",
+    "chained_time",
+    "chained_cpu_time",
+    "evaluate_chained",
+]
+
+
+def largest_penalty(components: Iterable[AcceleratedSubcomponent]) -> float:
+    """``t_lpen``: the largest accelerator penalty in the chain (Equation 11)."""
+    penalties = [component.t_pen for component in components]
+    return max(penalties) if penalties else 0.0
+
+
+def largest_stage_time(components: Iterable[AcceleratedSubcomponent]) -> float:
+    """``t_lsubnp``: the slowest chained stage, penalty excluded (Equation 12)."""
+    times = [component.t_sub_no_penalty for component in components]
+    return max(times) if times else 0.0
+
+
+def chained_time(components: Iterable[AcceleratedSubcomponent]) -> float:
+    """``t_chnd``: time of the accelerator chain (Equation 10)."""
+    components = tuple(components)
+    if not components:
+        return 0.0
+    return largest_penalty(components) + largest_stage_time(components)
+
+
+def chained_cpu_time(decomposition: CpuDecomposition) -> float:
+    """``t'_cpu`` under the chained model (Equation 9)."""
+    return (
+        chained_time(decomposition.chained)
+        + accelerated_time(decomposition.accelerated)
+        + total_time(decomposition.unaccelerated)
+    )
+
+
+def evaluate_chained(
+    workload: WorkloadTimes,
+    decomposition: CpuDecomposition,
+    *,
+    remove_dependencies: bool = False,
+) -> AccelerationResult:
+    """Evaluate the chained model for one workload and decomposition.
+
+    Mirrors :func:`repro.core.base_model.evaluate` but routes the
+    ``decomposition.chained`` components through Equations 9-12.
+    """
+    implied = decomposition.t_cpu_original
+    if abs(implied - workload.t_cpu) > 1e-6 * max(1.0, workload.t_cpu):
+        raise ValueError(
+            "decomposition CPU time "
+            f"{implied!r} does not match workload t_cpu {workload.t_cpu!r}"
+        )
+    t_chnd = chained_time(decomposition.chained)
+    t_acc = accelerated_time(decomposition.accelerated)
+    t_nacc = total_time(decomposition.unaccelerated)
+    t_cpu_accelerated = t_chnd + t_acc + t_nacc
+    accelerated_workload = workload.with_cpu_time(t_cpu_accelerated)
+    if remove_dependencies:
+        accelerated_workload = accelerated_workload.without_dependencies()
+    return AccelerationResult(
+        workload=workload,
+        t_acc=t_acc,
+        t_chnd=t_chnd,
+        t_nacc=t_nacc,
+        t_cpu_accelerated=t_cpu_accelerated,
+        t_e2e_original=workload.t_e2e,
+        t_e2e_accelerated=accelerated_workload.t_e2e,
+    )

@@ -1,0 +1,205 @@
+"""Limit-study sweep drivers (Sections 6.2-6.3).
+
+Each function here regenerates the data series behind one of the paper's
+model figures:
+
+* :func:`speedup_sweep` / :func:`grouped_speedup_sweep` -- Figures 9 and 10:
+  synchronous on-chip acceleration with per-accelerator speedup swept from
+  1x to 64x, with and without non-CPU dependencies.
+* :func:`incremental_feature_study` -- Figure 13: the four placement /
+  invocation configurations with accelerators added one at a time.
+* :func:`setup_time_sweep` -- Figure 14: end-to-end speedup as accelerator
+  setup time grows, at a fixed 8x per-accelerator speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.profile import PlatformProfile
+from repro.core.scenario import (
+    FEATURE_CONFIGS,
+    SYNC_ON_CHIP,
+    AcceleratorSystem,
+    platform_speedup,
+)
+
+__all__ = [
+    "DEFAULT_SPEEDUP_SWEEP",
+    "DEFAULT_SETUP_TIMES",
+    "SweepSeries",
+    "speedup_sweep",
+    "grouped_speedup_sweep",
+    "incremental_feature_study",
+    "synchronization_sweep",
+    "setup_time_sweep",
+]
+
+#: Per-accelerator speedups used in the Section 6.2 studies (1x..64x).
+DEFAULT_SPEEDUP_SWEEP: tuple[float, ...] = (1, 2, 4, 8, 16, 24, 32, 48, 64)
+
+#: Setup times (seconds) swept in Figure 14.
+DEFAULT_SETUP_TIMES: tuple[float, ...] = (
+    0.0,
+    1e-8,
+    1e-7,
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepSeries:
+    """One line of a sweep figure: x values and the resulting speedups."""
+
+    label: str
+    x: tuple[float, ...]
+    speedups: tuple[float, ...]
+
+    @property
+    def peak(self) -> float:
+        return max(self.speedups)
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        return list(zip(self.x, self.speedups))
+
+
+def speedup_sweep(
+    profile: PlatformProfile,
+    targets: Sequence[str],
+    *,
+    speedups: Iterable[float] = DEFAULT_SPEEDUP_SWEEP,
+    system: AcceleratorSystem = SYNC_ON_CHIP,
+    remove_dependencies: bool = False,
+    groups: Iterable[str] | None = None,
+) -> SweepSeries:
+    """Platform speedup as all target accelerators are swept in lockstep.
+
+    Reproduces one line of Figure 9: every accelerated component gets the
+    same ``s_sub``, placement is on-chip (no offload bytes), setup time is
+    zero and invocation is synchronous, per the Section 6.2 assumptions.
+    """
+    xs = tuple(float(s) for s in speedups)
+    values = tuple(
+        platform_speedup(
+            profile,
+            targets,
+            system.with_speedup(s),
+            groups=groups,
+            remove_dependencies=remove_dependencies,
+        )
+        for s in xs
+    )
+    suffix = "no deps" if remove_dependencies else "with deps"
+    return SweepSeries(label=f"{profile.platform} ({suffix})", x=xs, speedups=values)
+
+
+def grouped_speedup_sweep(
+    profile: PlatformProfile,
+    targets: Sequence[str],
+    *,
+    speedups: Iterable[float] = DEFAULT_SPEEDUP_SWEEP,
+    system: AcceleratorSystem = SYNC_ON_CHIP,
+    remove_dependencies: bool = True,
+) -> dict[str, SweepSeries]:
+    """Figure 10: the Figure 9 sweep broken out per query group.
+
+    Remote work and IO are removed by default, matching the figure.
+    """
+    series: dict[str, SweepSeries] = {}
+    for group in profile.groups:
+        sweep = speedup_sweep(
+            profile,
+            targets,
+            speedups=speedups,
+            system=system,
+            remove_dependencies=remove_dependencies,
+            groups=[group.name],
+        )
+        series[group.name] = SweepSeries(
+            label=group.name, x=sweep.x, speedups=sweep.speedups
+        )
+    return series
+
+
+def incremental_feature_study(
+    profile: PlatformProfile,
+    target_order: Sequence[str],
+    *,
+    speedup: float | Mapping[str, float] = 8.0,
+    configs: Sequence[AcceleratorSystem] = FEATURE_CONFIGS,
+) -> dict[str, SweepSeries]:
+    """Figure 13: incrementally add accelerators under each configuration.
+
+    ``target_order`` lists the accelerated components in the order they are
+    added along the X axis (datacenter taxes, then system taxes, then core
+    compute, per Section 6.3.2).  Point ``k`` of each series accelerates the
+    first ``k + 1`` targets.  Remote work and IO are kept.
+    """
+    results: dict[str, SweepSeries] = {}
+    xs = tuple(float(k + 1) for k in range(len(target_order)))
+    for config in configs:
+        config = config.with_speedup(speedup)
+        values = tuple(
+            platform_speedup(profile, target_order[: k + 1], config)
+            for k in range(len(target_order))
+        )
+        results[config.label] = SweepSeries(label=config.label, x=xs, speedups=values)
+    return results
+
+
+def synchronization_sweep(
+    profile: PlatformProfile,
+    targets: Sequence[str],
+    *,
+    g_values: Iterable[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    speedup: float = 8.0,
+    t_setup: float = 0.0,
+) -> SweepSeries:
+    """Section 6.4 extension: sweep the inter-accelerator sync factor.
+
+    ``g_sub = 1`` is the synchronous model, ``g_sub = 0`` the fully
+    asynchronous ideal; the paper's limit studies only evaluate the two
+    endpoints and note the continuum as future work.  On-chip placement.
+    """
+    g_values = tuple(g_values)
+    base = SYNC_ON_CHIP.with_speedup(speedup).with_setup_time(t_setup)
+    values = tuple(
+        platform_speedup(profile, targets, base.with_g_sub(g)) for g in g_values
+    )
+    return SweepSeries(
+        label=f"{profile.platform} g_sub sweep", x=g_values, speedups=values
+    )
+
+
+def setup_time_sweep(
+    profile: PlatformProfile,
+    targets: Sequence[str],
+    *,
+    setup_times: Iterable[float] = DEFAULT_SETUP_TIMES,
+    speedup: float = 8.0,
+    configs: Sequence[AcceleratorSystem] = FEATURE_CONFIGS,
+) -> dict[str, SweepSeries]:
+    """Figure 14: end-to-end speedup as accelerator setup time increases.
+
+    Every accelerator gets the same setup time and an 8x speedup.  In the
+    synchronous configurations each invocation pays the setup penalty, so
+    large setup times produce end-to-end *slowdowns*; asynchronous execution
+    parallelizes the penalties and chaining pays only the largest one.
+    """
+    setup_times = tuple(setup_times)
+    results: dict[str, SweepSeries] = {}
+    for config in configs:
+        config = config.with_speedup(speedup)
+        values = tuple(
+            platform_speedup(profile, targets, config.with_setup_time(t_setup))
+            for t_setup in setup_times
+        )
+        results[config.label] = SweepSeries(
+            label=config.label, x=setup_times, speedups=values
+        )
+    return results

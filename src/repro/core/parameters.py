@@ -1,0 +1,252 @@
+"""Parameters of the sea-of-accelerators analytical model (paper Figure 7).
+
+The model describes one query's (or one workload aggregate's) end-to-end
+execution time as CPU time plus non-CPU dependency time (remote work and
+distributed storage IO), with a sync factor ``f`` controlling how much of
+the two may overlap.  CPU time decomposes into *subcomponents* -- the
+fine-grained categories of Section 5 -- some of which are offloaded to
+accelerators.
+
+All times are in seconds, bandwidths in bytes/second, and sync factors in
+``[0, 1]`` where 1 means strictly serial execution and 0 means perfect
+overlap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def _check_non_negative(name: str, value: float) -> None:
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0.0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadTimes:
+    """The end-to-end decomposition of Equation 1.
+
+    Attributes:
+        t_cpu: total CPU time ``t_cpu`` (s).
+        t_dep: non-CPU dependency time ``t_dep`` (s) -- remote work + IO.
+        f: sync factor between ``t_dep`` and ``t_cpu``; ``f = 1`` means CPU
+            and non-CPU time are strictly serialized, ``f = 0`` means they
+            overlap completely so the shorter of the two is hidden.
+    """
+
+    t_cpu: float
+    t_dep: float
+    f: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_non_negative("t_cpu", self.t_cpu)
+        _check_non_negative("t_dep", self.t_dep)
+        _check_fraction("f", self.f)
+
+    @property
+    def overlap(self) -> float:
+        """Time hidden by CPU / non-CPU overlap: ``(1 - f) * min(t_cpu, t_dep)``."""
+        return (1.0 - self.f) * min(self.t_cpu, self.t_dep)
+
+    @property
+    def t_e2e(self) -> float:
+        """End-to-end time per Equation 1."""
+        return self.t_cpu + self.t_dep - self.overlap
+
+    def with_cpu_time(self, t_cpu: float) -> "WorkloadTimes":
+        """A copy with a new (e.g. accelerated) CPU time, as in Equation 2."""
+        return replace(self, t_cpu=t_cpu)
+
+    def without_dependencies(self) -> "WorkloadTimes":
+        """A copy with remote work and IO removed (``t_dep = 0``)."""
+        return replace(self, t_dep=0.0)
+
+
+@dataclass(frozen=True, slots=True)
+class Subcomponent:
+    """An unaccelerated CPU subcomponent ``t_sub_i`` (one term of Eq. 4)."""
+
+    name: str
+    t_sub: float
+
+    def __post_init__(self) -> None:
+        _check_non_negative(f"t_sub[{self.name}]", self.t_sub)
+
+
+@dataclass(frozen=True, slots=True)
+class AcceleratedSubcomponent:
+    """An accelerated CPU subcomponent (Equations 5-8).
+
+    Attributes:
+        name: category name for reporting.
+        t_sub: original CPU time of the subcomponent (s).
+        speedup: acceleration factor ``s_sub_i`` (> 0).
+        g_sub: sync factor ``g_sub_i`` between this accelerated component and
+            all other accelerated components; 1 = fully synchronous (its time
+            adds to the total), 0 = fully asynchronous (only the largest
+            component matters).
+        t_setup: accelerator setup time ``t_setup_i`` (s) per invocation.
+        offload_bytes: ``B_i`` bytes transferred to the accelerator; zero for
+            an on-chip shared-memory-coherent accelerator.
+        link_bandwidth: ``BW_i`` bytes/s of the CPU <-> accelerator link.
+    """
+
+    name: str
+    t_sub: float
+    speedup: float = 1.0
+    g_sub: float = 1.0
+    t_setup: float = 0.0
+    offload_bytes: float = 0.0
+    link_bandwidth: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_non_negative(f"t_sub[{self.name}]", self.t_sub)
+        _check_positive(f"speedup[{self.name}]", self.speedup)
+        _check_fraction(f"g_sub[{self.name}]", self.g_sub)
+        _check_non_negative(f"t_setup[{self.name}]", self.t_setup)
+        _check_non_negative(f"offload_bytes[{self.name}]", self.offload_bytes)
+        _check_positive(f"link_bandwidth[{self.name}]", self.link_bandwidth)
+
+    @property
+    def t_pen(self) -> float:
+        """Accelerator penalty time per Equation 8.
+
+        ``t_pen_i = t_setup_i + 2 * B_i / BW_i`` -- setup plus a round trip of
+        the offloaded bytes over the CPU <-> accelerator link.  ``B_i`` is zero
+        for on-chip accelerators, so the penalty reduces to setup time.
+        """
+        if self.offload_bytes == 0.0:
+            return self.t_setup
+        return self.t_setup + 2.0 * self.offload_bytes / self.link_bandwidth
+
+    @property
+    def t_sub_accelerated(self) -> float:
+        """Accelerated subcomponent time ``t'_sub_i`` per Equation 7."""
+        return self.t_sub / self.speedup + self.t_pen
+
+    @property
+    def t_sub_no_penalty(self) -> float:
+        """Sped-up compute time without the invocation penalty (Eq. 12 term)."""
+        return self.t_sub / self.speedup
+
+
+def total_time(components: Iterable[Subcomponent]) -> float:
+    """Sum of unaccelerated subcomponent times (Equation 4)."""
+    return sum(component.t_sub for component in components)
+
+
+@dataclass(frozen=True, slots=True)
+class CpuDecomposition:
+    """A full decomposition of CPU time into model inputs.
+
+    ``accelerated`` holds the ``U`` accelerated subcomponents, ``chained``
+    the ``C`` chained subcomponents (empty outside the chained model), and
+    ``unaccelerated`` the ``N`` remaining subcomponents.  The original CPU
+    time is the sum of every component's ``t_sub``.
+    """
+
+    accelerated: tuple[AcceleratedSubcomponent, ...] = ()
+    chained: tuple[AcceleratedSubcomponent, ...] = ()
+    unaccelerated: tuple[Subcomponent, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.accelerated]
+        names += [c.name for c in self.chained]
+        names += [c.name for c in self.unaccelerated]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(
+                f"subcomponents appear more than once: {sorted(duplicates)}"
+            )
+
+    @property
+    def t_cpu_original(self) -> float:
+        """The unaccelerated CPU time implied by the decomposition."""
+        original = sum(c.t_sub for c in self.accelerated)
+        original += sum(c.t_sub for c in self.chained)
+        original += total_time(self.unaccelerated)
+        return original
+
+    field_order = ("accelerated", "chained", "unaccelerated")
+
+
+PCIE_GEN5_X1_BYTES_PER_S: float = 4.0e9
+"""PCIe Gen5 per-lane bandwidth used for the off-chip studies (Section 6.3.2)."""
+
+
+def make_decomposition(
+    component_times: dict[str, float],
+    *,
+    accelerated: Iterable[str] = (),
+    chained: Iterable[str] = (),
+    speedup: float | dict[str, float] = 1.0,
+    g_sub: float = 1.0,
+    t_setup: float | dict[str, float] = 0.0,
+    offload_bytes: float = 0.0,
+    link_bandwidth: float = PCIE_GEN5_X1_BYTES_PER_S,
+) -> CpuDecomposition:
+    """Convenience constructor for a :class:`CpuDecomposition`.
+
+    Args:
+        component_times: mapping of subcomponent name to its original CPU
+            time ``t_sub_i`` in seconds.
+        accelerated: names offloaded to (unchained) accelerators.
+        chained: names offloaded to a chain of accelerators.
+        speedup: acceleration factor, either uniform or per-component.
+        g_sub: sync factor applied to every unchained accelerated component.
+        t_setup: setup time, either uniform or per-component.
+        offload_bytes: ``B_i`` applied to every accelerated component
+            (0 models on-chip placement).
+        link_bandwidth: ``BW_i`` of the off-chip link.
+
+    Raises:
+        KeyError: when an accelerated/chained name is not in
+            ``component_times``.
+        ValueError: when a name is both accelerated and chained.
+    """
+    accelerated = tuple(accelerated)
+    chained = tuple(chained)
+    overlap_names = set(accelerated) & set(chained)
+    if overlap_names:
+        raise ValueError(
+            f"components cannot be both accelerated and chained: {sorted(overlap_names)}"
+        )
+
+    def _lookup(table: float | dict[str, float], name: str, default: float) -> float:
+        if isinstance(table, dict):
+            return table.get(name, default)
+        return table
+
+    def _make(name: str) -> AcceleratedSubcomponent:
+        return AcceleratedSubcomponent(
+            name=name,
+            t_sub=component_times[name],
+            speedup=_lookup(speedup, name, 1.0),
+            g_sub=g_sub,
+            t_setup=_lookup(t_setup, name, 0.0),
+            offload_bytes=offload_bytes,
+            link_bandwidth=link_bandwidth,
+        )
+
+    offloaded = set(accelerated) | set(chained)
+    return CpuDecomposition(
+        accelerated=tuple(_make(name) for name in accelerated),
+        chained=tuple(_make(name) for name in chained),
+        unaccelerated=tuple(
+            Subcomponent(name, t_sub)
+            for name, t_sub in component_times.items()
+            if name not in offloaded
+        ),
+    )

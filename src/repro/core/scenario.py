@@ -1,0 +1,225 @@
+"""High-level acceleration scenarios: placement x invocation design points.
+
+Section 6.3 of the paper evaluates four accelerator system configurations:
+
+* **Sync + Off-Chip** -- traditional accelerators behind a PCIe link, each
+  invoked serially from the core with the query's bytes copied both ways.
+* **Sync + On-Chip**  -- shared-memory-coherent accelerators, no data copy.
+* **Async + On-Chip** -- all accelerator invocations perfectly parallelized.
+* **Chained + On-Chip** -- accelerators forward results to one another
+  through a pipeline, paying only the largest penalty once.
+
+This module turns a :class:`~repro.core.profile.QueryGroupProfile` plus an
+:class:`AcceleratorSystem` description into the Equation 1-12 inputs and
+evaluates them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.core import base_model, chaining
+from repro.core.base_model import AccelerationResult
+from repro.core.parameters import (
+    PCIE_GEN5_X1_BYTES_PER_S,
+    make_decomposition,
+)
+from repro.core.profile import PlatformProfile, QueryGroupProfile
+
+__all__ = [
+    "Placement",
+    "Invocation",
+    "AcceleratorSystem",
+    "SYNC_OFF_CHIP",
+    "SYNC_ON_CHIP",
+    "ASYNC_ON_CHIP",
+    "CHAINED_ON_CHIP",
+    "FEATURE_CONFIGS",
+    "evaluate_group",
+    "platform_speedup",
+]
+
+
+class Placement(enum.Enum):
+    """Where the accelerators live relative to the core (Section 6.1)."""
+
+    ON_CHIP = "on-chip"
+    OFF_CHIP = "off-chip"
+
+
+class Invocation(enum.Enum):
+    """How accelerators are invoked relative to one another (Section 6.3)."""
+
+    SYNCHRONOUS = "sync"
+    ASYNCHRONOUS = "async"
+    CHAINED = "chained"
+
+
+@dataclass(frozen=True, slots=True)
+class AcceleratorSystem:
+    """One sea-of-accelerators design point.
+
+    Attributes:
+        placement: on-chip (``B_i = 0``) or off-chip (``B_i`` = average bytes
+            per query, per Section 6.3.2).
+        invocation: synchronous (``g_sub = 1``), asynchronous (``g_sub = 0``)
+            or chained (components routed through Equations 9-12).
+        speedup: per-accelerator speedup ``s_sub``, uniform or per-component.
+        t_setup: accelerator setup time, uniform or per-component.
+        link_bandwidth: off-chip link bandwidth ``BW_i`` in bytes/s.
+        g_sub: optional override for the inter-accelerator sync factor; the
+            Section 6.4 extension to "various amounts of synchronization"
+            between fully synchronous (1) and fully asynchronous (0).
+            ``None`` derives it from ``invocation``.
+    """
+
+    placement: Placement
+    invocation: Invocation
+    speedup: float | Mapping[str, float] = 8.0
+    t_setup: float | Mapping[str, float] = 0.0
+    link_bandwidth: float = PCIE_GEN5_X1_BYTES_PER_S
+    g_sub: float | None = None
+
+    @property
+    def label(self) -> str:
+        names = {
+            Invocation.SYNCHRONOUS: "Sync",
+            Invocation.ASYNCHRONOUS: "Async",
+            Invocation.CHAINED: "Chained",
+        }
+        place = "On-Chip" if self.placement is Placement.ON_CHIP else "Off-Chip"
+        return f"{names[self.invocation]} + {place}"
+
+    def with_speedup(self, speedup: float | Mapping[str, float]) -> "AcceleratorSystem":
+        return replace(self, speedup=speedup)
+
+    def with_setup_time(self, t_setup: float | Mapping[str, float]) -> "AcceleratorSystem":
+        return replace(self, t_setup=t_setup)
+
+    def with_g_sub(self, g_sub: float | None) -> "AcceleratorSystem":
+        return replace(self, g_sub=g_sub)
+
+
+SYNC_OFF_CHIP = AcceleratorSystem(Placement.OFF_CHIP, Invocation.SYNCHRONOUS)
+SYNC_ON_CHIP = AcceleratorSystem(Placement.ON_CHIP, Invocation.SYNCHRONOUS)
+ASYNC_ON_CHIP = AcceleratorSystem(Placement.ON_CHIP, Invocation.ASYNCHRONOUS)
+CHAINED_ON_CHIP = AcceleratorSystem(Placement.ON_CHIP, Invocation.CHAINED)
+
+#: The four configurations of Figure 13, in presentation order.
+FEATURE_CONFIGS: tuple[AcceleratorSystem, ...] = (
+    SYNC_OFF_CHIP,
+    SYNC_ON_CHIP,
+    ASYNC_ON_CHIP,
+    CHAINED_ON_CHIP,
+)
+
+
+def _as_plain_dict(value: float | Mapping[str, float]) -> float | dict[str, float]:
+    if isinstance(value, Mapping):
+        return dict(value)
+    return value
+
+
+def evaluate_group(
+    group: QueryGroupProfile,
+    component_times: Mapping[str, float],
+    targets: Sequence[str],
+    system: AcceleratorSystem,
+    *,
+    bytes_per_query: float = 0.0,
+    remove_dependencies: bool = False,
+) -> AccelerationResult:
+    """Evaluate one design point for one query group.
+
+    Args:
+        group: the query group's end-to-end profile.
+        component_times: CPU seconds per fine-grained category for an average
+            query of the group; must sum to ``group.t_cpu`` (any shortfall is
+            treated as an extra unaccelerated remainder component).
+        targets: category names offloaded to accelerators.
+        system: the accelerator design point.
+        bytes_per_query: average bytes per query, used as ``B_i`` when the
+            system is off-chip.
+        remove_dependencies: eliminate remote work and IO from the
+            accelerated system (the co-design of Section 6.2).
+    """
+    times = dict(component_times)
+    covered = sum(times.values())
+    remainder = group.t_cpu - covered
+    if remainder < -1e-9 * max(1.0, group.t_cpu):
+        raise ValueError(
+            f"component times ({covered!r}s) exceed the group CPU time ({group.t_cpu!r}s)"
+        )
+    if remainder > 1e-12:
+        times["__remainder__"] = remainder
+
+    missing = [name for name in targets if name not in times]
+    if missing:
+        raise KeyError(f"accelerated targets not present in component times: {missing}")
+
+    offload_bytes = (
+        bytes_per_query if system.placement is Placement.OFF_CHIP else 0.0
+    )
+    chained = system.invocation is Invocation.CHAINED
+    if system.g_sub is not None:
+        g_sub = system.g_sub
+    else:
+        g_sub = 0.0 if system.invocation is Invocation.ASYNCHRONOUS else 1.0
+    decomposition = make_decomposition(
+        times,
+        accelerated=() if chained else tuple(targets),
+        chained=tuple(targets) if chained else (),
+        speedup=_as_plain_dict(system.speedup),
+        g_sub=g_sub,
+        t_setup=_as_plain_dict(system.t_setup),
+        offload_bytes=offload_bytes,
+        link_bandwidth=system.link_bandwidth,
+    )
+    workload = group.workload_times()
+    if chained:
+        return chaining.evaluate_chained(
+            workload, decomposition, remove_dependencies=remove_dependencies
+        )
+    return base_model.evaluate(
+        workload, decomposition, remove_dependencies=remove_dependencies
+    )
+
+
+def platform_speedup(
+    profile: PlatformProfile,
+    targets: Sequence[str],
+    system: AcceleratorSystem,
+    *,
+    groups: Iterable[str] | None = None,
+    remove_dependencies: bool = False,
+) -> float:
+    """Query-weighted end-to-end platform speedup for one design point.
+
+    The speedup is the ratio of total time before and after acceleration,
+    with each query group contributing proportionally to its share of
+    queries: ``sum_g w_g t_e2e_g / sum_g w_g t'_e2e_g``.
+    """
+    selected = list(profile.groups)
+    if groups is not None:
+        wanted = set(groups)
+        selected = [group for group in selected if group.name in wanted]
+        if not selected:
+            raise ValueError(f"no groups selected from {sorted(wanted)}")
+    original = 0.0
+    accelerated = 0.0
+    for group in selected:
+        result = evaluate_group(
+            group,
+            profile.component_times(group),
+            targets,
+            system,
+            bytes_per_query=profile.bytes_per_query,
+            remove_dependencies=remove_dependencies,
+        )
+        original += group.query_fraction * result.t_e2e_original
+        accelerated += group.query_fraction * result.t_e2e_accelerated
+    if accelerated == 0.0:
+        return float("inf")
+    return original / accelerated

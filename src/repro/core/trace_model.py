@@ -1,0 +1,173 @@
+"""Trace-driven model application (Section 6.4's closing point).
+
+The paper argues the validated model "allows us to do complete design space
+explorations of different acceleration strategies using detailed production
+traces".  This module does exactly that: it applies Equations 1-12 to every
+*individual traced query* (a :class:`~repro.profiling.breakdown.QueryBreakdown`
+from the Dapper pipeline) instead of group aggregates, yielding a speedup
+*distribution* -- mean, median, tail -- per design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core import base_model, chaining
+from repro.core.parameters import WorkloadTimes, make_decomposition
+from repro.core.scenario import AcceleratorSystem, Invocation, Placement
+from repro.profiling.breakdown import QueryBreakdown
+
+__all__ = [
+    "query_workload_times",
+    "evaluate_query",
+    "SpeedupDistribution",
+    "evaluate_trace_population",
+]
+
+
+def query_workload_times(query: QueryBreakdown) -> WorkloadTimes:
+    """Equation 1 inputs recovered from one traced query.
+
+    The true CPU time is the attributed CPU plus the overlap the Section 4.1
+    policy hid; the sync factor follows from how much was hidden.
+    """
+    t_cpu = query.t_cpu + query.overlap_hidden
+    t_dep = query.t_remote + query.t_io
+    floor = min(t_cpu, t_dep)
+    f = 1.0 if floor <= 0 else max(0.0, 1.0 - query.overlap_hidden / floor)
+    return WorkloadTimes(t_cpu=t_cpu, t_dep=t_dep, f=f)
+
+
+def evaluate_query(
+    query: QueryBreakdown,
+    component_fractions: Mapping[str, float],
+    targets: Sequence[str],
+    system: AcceleratorSystem,
+    *,
+    bytes_per_query: float = 0.0,
+    remove_dependencies: bool = False,
+) -> base_model.AccelerationResult:
+    """Apply one design point to one traced query.
+
+    Per-query CPU decompositions are not observable from a trace, so the
+    platform-level cycle fractions (Figures 3-6) are applied to the query's
+    CPU time -- the same approximation the paper's limit studies make.
+    """
+    workload = query_workload_times(query)
+    total_fraction = sum(component_fractions.values())
+    times = {
+        key: fraction / total_fraction * workload.t_cpu
+        for key, fraction in component_fractions.items()
+    }
+    offload_bytes = (
+        bytes_per_query if system.placement is Placement.OFF_CHIP else 0.0
+    )
+    chained = system.invocation is Invocation.CHAINED
+    decomposition = make_decomposition(
+        times,
+        accelerated=() if chained else tuple(targets),
+        chained=tuple(targets) if chained else (),
+        speedup=system.speedup if not isinstance(system.speedup, Mapping) else dict(system.speedup),
+        g_sub=0.0 if system.invocation is Invocation.ASYNCHRONOUS else 1.0,
+        t_setup=system.t_setup if not isinstance(system.t_setup, Mapping) else dict(system.t_setup),
+        offload_bytes=offload_bytes,
+        link_bandwidth=system.link_bandwidth,
+    )
+    if chained:
+        return chaining.evaluate_chained(
+            workload, decomposition, remove_dependencies=remove_dependencies
+        )
+    return base_model.evaluate(
+        workload, decomposition, remove_dependencies=remove_dependencies
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupDistribution:
+    """The per-query speedup distribution of one design point."""
+
+    speedups: tuple[float, ...]
+    total_time_before: float
+    total_time_after: float
+
+    @property
+    def count(self) -> int:
+        return len(self.speedups)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.speedups))
+
+    @property
+    def aggregate(self) -> float:
+        """Fleet-level speedup: total time before / after (time-weighted)."""
+        if self.total_time_after == 0:
+            return float("inf")
+        return self.total_time_before / self.total_time_after
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.speedups, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def minimum(self) -> float:
+        return float(np.min(self.speedups))
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.speedups))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "aggregate": self.aggregate,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def evaluate_trace_population(
+    queries: Sequence[QueryBreakdown],
+    component_fractions: Mapping[str, float],
+    targets: Sequence[str],
+    system: AcceleratorSystem,
+    *,
+    bytes_per_query: float = 0.0,
+    remove_dependencies: bool = False,
+) -> SpeedupDistribution:
+    """Apply one design point to every traced query of a platform."""
+    if not queries:
+        raise ValueError("need at least one traced query")
+    speedups = []
+    before = 0.0
+    after = 0.0
+    for query in queries:
+        result = evaluate_query(
+            query,
+            component_fractions,
+            targets,
+            system,
+            bytes_per_query=bytes_per_query,
+            remove_dependencies=remove_dependencies,
+        )
+        speedups.append(result.speedup)
+        before += result.t_e2e_original
+        after += result.t_e2e_accelerated
+    return SpeedupDistribution(
+        speedups=tuple(speedups),
+        total_time_before=before,
+        total_time_after=after,
+    )

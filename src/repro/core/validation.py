@@ -1,0 +1,118 @@
+"""Model-validation helpers for the Table 8 experiment (Section 6.4).
+
+The paper validates the chained model against a measured RISC-V SoC running
+a synthetic benchmark: fleet-representative protobuf messages are serialized
+by a protobuf accelerator and the output is hashed by a SHA3 accelerator,
+with the two accelerators chained.  Our reproduction measures the same
+benchmark on the :mod:`repro.soc` simulator, estimates the chained execution
+time with Equations 9-12, and reports the percent difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.chaining import chained_time
+from repro.core.parameters import AcceleratedSubcomponent
+
+__all__ = [
+    "ChainStageMeasurement",
+    "ValidationReport",
+    "estimate_chained_cpu_time",
+    "validate_chained_model",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ChainStageMeasurement:
+    """Measured parameters of one chained accelerator stage.
+
+    Attributes:
+        name: stage label, e.g. ``"Proto. Ser."`` or ``"SHA3"``.
+        t_sub: measured *unaccelerated* CPU time for the stage (s).
+        speedup: measured accelerator speedup ``s_sub``.
+        t_setup: measured accelerator setup time (s).
+        offload_bytes: ``B_i``; zero when data fits on chip, as in Table 8.
+        link_bandwidth: ``BW_i``; irrelevant when ``offload_bytes`` is zero.
+    """
+
+    name: str
+    t_sub: float
+    speedup: float
+    t_setup: float = 0.0
+    offload_bytes: float = 0.0
+    link_bandwidth: float = float("inf")
+
+    def as_subcomponent(self) -> AcceleratedSubcomponent:
+        return AcceleratedSubcomponent(
+            name=self.name,
+            t_sub=self.t_sub,
+            speedup=self.speedup,
+            t_setup=self.t_setup,
+            offload_bytes=self.offload_bytes,
+            link_bandwidth=self.link_bandwidth,
+        )
+
+
+def estimate_chained_cpu_time(
+    stages: Sequence[ChainStageMeasurement],
+    t_nacc: float,
+) -> float:
+    """Model-estimated chained execution time (Equations 9-10).
+
+    ``t'_cpu = t_chnd + t_nacc`` with no unchained accelerated components,
+    exactly how Table 8's "Model Estimated Results" row is computed.
+    """
+    if t_nacc < 0:
+        raise ValueError(f"t_nacc must be non-negative, got {t_nacc!r}")
+    return chained_time(stage.as_subcomponent() for stage in stages) + t_nacc
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationReport:
+    """The bottom rows of Table 8: measured vs. model-estimated time."""
+
+    stages: tuple[ChainStageMeasurement, ...]
+    t_nacc: float
+    measured_chained: float
+    modeled_chained: float
+
+    @property
+    def percent_difference(self) -> float:
+        """``|modeled - measured| / measured`` as a percentage."""
+        if self.measured_chained == 0:
+            raise ZeroDivisionError("measured chained time is zero")
+        return (
+            abs(self.modeled_chained - self.measured_chained)
+            / self.measured_chained
+            * 100.0
+        )
+
+
+def validate_chained_model(
+    stages: Sequence[ChainStageMeasurement],
+    t_nacc: float,
+    measured_chained: float,
+) -> ValidationReport:
+    """Build a :class:`ValidationReport` from measured SoC parameters."""
+    modeled = estimate_chained_cpu_time(stages, t_nacc)
+    return ValidationReport(
+        stages=tuple(stages),
+        t_nacc=t_nacc,
+        measured_chained=measured_chained,
+        modeled_chained=modeled,
+    )
+
+
+#: Table 8's published measurements, kept as a reference point for tests and
+#: for EXPERIMENTS.md paper-vs-measured comparisons.  Times in seconds.
+PAPER_TABLE8_STAGES: tuple[ChainStageMeasurement, ...] = (
+    ChainStageMeasurement(
+        name="Proto. Ser.", t_sub=518.3e-6, speedup=31.0, t_setup=1488.9e-6
+    ),
+    ChainStageMeasurement(name="SHA3", t_sub=1112.5e-6, speedup=51.3, t_setup=4.1e-6),
+)
+PAPER_TABLE8_T_NACC: float = 4948.7e-6
+PAPER_TABLE8_MEASURED_CHAINED: float = 6075.7e-6
+PAPER_TABLE8_MODELED_CHAINED: float = 6459.3e-6

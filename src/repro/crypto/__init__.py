@@ -1,0 +1,11 @@
+"""Cryptographic substrate: a from-scratch SHA3 (FIPS 202) implementation.
+
+The Table 8 validation benchmark hashes serialized protobuf messages with
+SHA3; :mod:`repro.crypto.sha3` provides the real Keccak permutation and
+sponge so the accelerated work is genuine computation (verified against
+``hashlib`` in the tests).
+"""
+
+from repro.crypto.sha3 import Sha3_256, keccak_f1600, sha3_256
+
+__all__ = ["sha3_256", "Sha3_256", "keccak_f1600"]

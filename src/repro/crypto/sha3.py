@@ -1,0 +1,132 @@
+"""SHA3-256 from scratch: the Keccak-f[1600] permutation and sponge.
+
+Implements FIPS 202 for the fixed-output SHA3-256 parameters: rate 1088
+bits (136 bytes), capacity 512 bits, domain-separation suffix ``0x06``.
+The 5x5x64 state is kept as a flat list of 25 unsigned 64-bit lanes in
+column-major order (``state[x + 5 * y]``), matching the specification.
+"""
+
+from __future__ import annotations
+
+__all__ = ["keccak_f1600", "Sha3_256", "sha3_256"]
+
+_MASK64 = (1 << 64) - 1
+
+#: Round constants for the iota step (24 rounds).
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+#: Rotation offsets for the rho step, indexed state[x + 5*y].
+_RHO_OFFSETS = (
+    0, 1, 62, 28, 27,
+    36, 44, 6, 55, 20,
+    3, 10, 43, 25, 39,
+    41, 45, 15, 21, 8,
+    18, 2, 61, 56, 14,
+)
+
+
+def _rotl(value: int, shift: int) -> int:
+    shift %= 64
+    if shift == 0:
+        return value
+    return ((value << shift) | (value >> (64 - shift))) & _MASK64
+
+
+def keccak_f1600(state: list[int]) -> list[int]:
+    """One Keccak-f[1600] permutation over 25 64-bit lanes."""
+    if len(state) != 25:
+        raise ValueError(f"state must have 25 lanes, got {len(state)}")
+    lanes = list(state)
+    for round_constant in _ROUND_CONSTANTS:
+        # theta
+        parity = [
+            lanes[x] ^ lanes[x + 5] ^ lanes[x + 10] ^ lanes[x + 15] ^ lanes[x + 20]
+            for x in range(5)
+        ]
+        theta = [
+            parity[(x - 1) % 5] ^ _rotl(parity[(x + 1) % 5], 1) for x in range(5)
+        ]
+        for x in range(5):
+            for y in range(5):
+                lanes[x + 5 * y] ^= theta[x]
+        # rho + pi
+        moved = [0] * 25
+        for x in range(5):
+            for y in range(5):
+                # pi: B[y, 2x + 3y] = rot(A[x, y], rho[x, y])
+                new_x = y
+                new_y = (2 * x + 3 * y) % 5
+                moved[new_x + 5 * new_y] = _rotl(
+                    lanes[x + 5 * y], _RHO_OFFSETS[x + 5 * y]
+                )
+        # chi
+        for y in range(5):
+            row = moved[5 * y : 5 * y + 5]
+            for x in range(5):
+                lanes[x + 5 * y] = row[x] ^ ((~row[(x + 1) % 5]) & row[(x + 2) % 5])
+                lanes[x + 5 * y] &= _MASK64
+        # iota
+        lanes[0] ^= round_constant
+    return lanes
+
+
+class Sha3_256:
+    """Incremental SHA3-256 (rate 136 bytes, suffix 0x06)."""
+
+    RATE_BYTES = 136
+    DIGEST_BYTES = 32
+
+    def __init__(self, data: bytes = b""):
+        self._state = [0] * 25
+        self._buffer = bytearray()
+        self._finalized: bytes | None = None
+        self.permutations = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Sha3_256":
+        if self._finalized is not None:
+            raise ValueError("cannot update a finalized hash")
+        self._buffer.extend(data)
+        while len(self._buffer) >= self.RATE_BYTES:
+            block = bytes(self._buffer[: self.RATE_BYTES])
+            del self._buffer[: self.RATE_BYTES]
+            self._absorb(block)
+        return self
+
+    def _absorb(self, block: bytes) -> None:
+        for i in range(self.RATE_BYTES // 8):
+            lane = int.from_bytes(block[8 * i : 8 * i + 8], "little")
+            self._state[i] ^= lane
+        self._state = keccak_f1600(self._state)
+        self.permutations += 1
+
+    def digest(self) -> bytes:
+        if self._finalized is None:
+            padded = bytearray(self._buffer)
+            padded.append(0x06)
+            padded.extend(b"\x00" * (self.RATE_BYTES - len(padded)))
+            padded[-1] |= 0x80
+            self._absorb(bytes(padded))
+            squeezed = b"".join(
+                self._state[i].to_bytes(8, "little") for i in range(4)
+            )
+            self._finalized = squeezed[: self.DIGEST_BYTES]
+        return self._finalized
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def sha3_256(data: bytes) -> bytes:
+    """One-shot SHA3-256 digest."""
+    return Sha3_256(data).digest()

@@ -1,0 +1,21 @@
+"""Simulators for the three Google big-data platforms (Figure 1).
+
+* :mod:`repro.platforms.spanner` -- a globally-replicated SQL database:
+  Paxos consensus groups, two-phase-locking transactions with commit wait,
+  and a small SQL engine (Figure 1a).
+* :mod:`repro.platforms.bigtable` -- a cluster-level NoSQL key-value store:
+  tablet servers over an LSM tree (memtable + SSTables in the DFS) with
+  remote compaction (Figure 1b).
+* :mod:`repro.platforms.bigquery` -- a distributed analytics query engine:
+  columnar storage, relational operator stages, and a distributed shuffle
+  between stages (Figure 1c).
+
+All three share :class:`repro.platforms.common.PlatformBase`: workload
+generators draw calibrated per-query budgets, and each platform realizes its
+budget through its own distributed machinery (see the module docstring of
+:mod:`repro.platforms.common` for how calibration meets mechanics).
+"""
+
+from repro.platforms.common import CpuChunker, PlatformBase, QueryPlan, QueryRecord
+
+__all__ = ["PlatformBase", "QueryPlan", "QueryRecord", "CpuChunker"]

@@ -1,0 +1,20 @@
+"""BigQuery analog: a distributed analytics query engine (Figure 1c).
+
+* :mod:`repro.platforms.bigquery.columnar` -- columnar in-memory tables
+  (one numpy array per column, dotted names for nested fields).
+* :mod:`repro.platforms.bigquery.operators` -- the Table 5 relational
+  operators, vectorized over columns: filter, project, aggregate, join,
+  sort, compute, destructure, materialize.
+* :mod:`repro.platforms.bigquery.shuffle` -- the distributed shuffle engine
+  that repartitions rows between stages via shuffle servers (the "distributed
+  shuffles for BigQuery" remote work of Section 4.1).
+* :mod:`repro.platforms.bigquery.stages` -- stage DAGs of operator pipelines.
+* :mod:`repro.platforms.bigquery.engine` -- the platform simulator.
+"""
+
+from repro.platforms.bigquery.columnar import ColumnarTable
+from repro.platforms.bigquery.engine import BigQueryEngine
+from repro.platforms.bigquery.shuffle import ShuffleEngine
+from repro.platforms.bigquery.stages import QueryDag, Stage
+
+__all__ = ["ColumnarTable", "ShuffleEngine", "Stage", "QueryDag", "BigQueryEngine"]

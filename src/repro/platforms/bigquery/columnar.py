@@ -1,0 +1,89 @@
+"""Columnar in-memory tables (Capacitor/Parquet-style, simplified).
+
+A table is a set of equal-length named columns, each a numpy array.  Nested
+record fields use dotted names (``"user.country"``); the Table 5
+*destructure* operator extracts them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ColumnarTable"]
+
+
+class ColumnarTable:
+    """Equal-length named numpy columns."""
+
+    def __init__(self, columns: Mapping[str, np.ndarray]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        arrays = {name: np.asarray(values) for name, values in columns.items()}
+        lengths = {array.shape[0] for array in arrays.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self._columns = arrays
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping]) -> "ColumnarTable":
+        if not rows:
+            raise ValueError("need at least one row")
+        names = list(rows[0])
+        return cls({name: np.array([row[name] for row in rows]) for name in names})
+
+    @property
+    def num_rows(self) -> int:
+        return next(iter(self._columns.values())).shape[0]
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    @property
+    def size_bytes(self) -> float:
+        return float(sum(array.nbytes for array in self._columns.values()))
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; have {sorted(self._columns)}"
+            ) from None
+
+    def with_column(self, name: str, values: np.ndarray) -> "ColumnarTable":
+        values = np.asarray(values)
+        if values.shape[0] != self.num_rows:
+            raise ValueError("new column length mismatch")
+        merged = dict(self._columns)
+        merged[name] = values
+        return ColumnarTable(merged)
+
+    def select_columns(self, names: Iterable[str]) -> "ColumnarTable":
+        names = list(names)
+        return ColumnarTable({name: self.column(name) for name in names})
+
+    def take(self, indices: np.ndarray) -> "ColumnarTable":
+        return ColumnarTable(
+            {name: array[indices] for name, array in self._columns.items()}
+        )
+
+    def mask(self, keep: np.ndarray) -> "ColumnarTable":
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape[0] != self.num_rows:
+            raise ValueError("mask length mismatch")
+        return ColumnarTable(
+            {name: array[keep] for name, array in self._columns.items()}
+        )
+
+    def to_rows(self) -> list[dict]:
+        names = list(self._columns)
+        return [
+            {name: self._columns[name][i].item() for name in names}
+            for i in range(self.num_rows)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ColumnarTable {self.num_rows} rows x {len(self._columns)} cols>"

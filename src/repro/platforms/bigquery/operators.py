@@ -1,0 +1,163 @@
+"""The Table 5 relational operators, vectorized over columnar tables.
+
+Each operator is a pure function ``ColumnarTable -> ColumnarTable`` (joins
+take two inputs).  The platform simulator composes them into stage
+pipelines; their *CPU time* is charged by the calibrated cost model under
+the matching Table 5 leaf-function names, while the operators themselves do
+real vectorized work so results are checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.platforms.bigquery.columnar import ColumnarTable
+
+__all__ = [
+    "filter_rows",
+    "project",
+    "destructure",
+    "compute",
+    "aggregate",
+    "hash_join",
+    "sort_rows",
+    "materialize",
+]
+
+_COMPARATORS: dict[str, Callable[[np.ndarray, object], np.ndarray]] = {
+    "=": lambda col, v: col == v,
+    "!=": lambda col, v: col != v,
+    "<": lambda col, v: col < v,
+    "<=": lambda col, v: col <= v,
+    ">": lambda col, v: col > v,
+    ">=": lambda col, v: col >= v,
+}
+
+_AGGREGATORS: dict[str, Callable[[np.ndarray], float]] = {
+    "sum": lambda values: float(np.sum(values)),
+    "min": lambda values: float(np.min(values)),
+    "max": lambda values: float(np.max(values)),
+    "mean": lambda values: float(np.mean(values)),
+    "count": lambda values: float(values.shape[0]),
+}
+
+
+def filter_rows(table: ColumnarTable, column: str, op: str, value) -> ColumnarTable:
+    """Selection: keep rows where ``column <op> value``."""
+    try:
+        comparator = _COMPARATORS[op]
+    except KeyError:
+        raise ValueError(f"unknown comparison operator {op!r}") from None
+    return table.mask(comparator(table.column(column), value))
+
+
+def project(table: ColumnarTable, columns: Sequence[str]) -> ColumnarTable:
+    """Projection: retrieval of individual table columns."""
+    return table.select_columns(columns)
+
+
+def destructure(table: ColumnarTable, struct_column: str) -> ColumnarTable:
+    """Structured element field access: pull ``struct.field`` columns up.
+
+    Columns named ``"{struct_column}.{field}"`` become top-level ``field``
+    columns (joined with the remaining columns).
+    """
+    prefix = struct_column + "."
+    extracted = {}
+    rest = {}
+    for name in table.column_names:
+        if name.startswith(prefix):
+            extracted[name[len(prefix):]] = table.column(name)
+        else:
+            rest[name] = table.column(name)
+    if not extracted:
+        raise KeyError(f"no nested fields under {struct_column!r}")
+    merged = {**rest, **extracted}
+    return ColumnarTable(merged)
+
+
+def compute(
+    table: ColumnarTable, output: str, expression: Callable[[ColumnarTable], np.ndarray]
+) -> ColumnarTable:
+    """Column-wise compute: append ``output = expression(table)``."""
+    return table.with_column(output, expression(table))
+
+
+def aggregate(
+    table: ColumnarTable,
+    group_by: str,
+    aggregations: Mapping[str, tuple[str, str]],
+) -> ColumnarTable:
+    """Hash aggregation: ``aggregations[out] = (function, column)``.
+
+    Example: ``aggregate(t, "country", {"total": ("sum", "revenue")})``.
+    """
+    keys = table.column(group_by)
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    out_columns: dict[str, np.ndarray] = {group_by: unique_keys}
+    for out_name, (fn_name, column) in aggregations.items():
+        try:
+            fn = _AGGREGATORS[fn_name]
+        except KeyError:
+            raise ValueError(f"unknown aggregate function {fn_name!r}") from None
+        values = table.column(column)
+        out_columns[out_name] = np.array(
+            [fn(values[inverse == g]) for g in range(unique_keys.shape[0])]
+        )
+    return ColumnarTable(out_columns)
+
+
+def hash_join(
+    left: ColumnarTable, right: ColumnarTable, on: str, *, suffix: str = "_r"
+) -> ColumnarTable:
+    """Inner hash join on ``on`` (build on the smaller input)."""
+    build, probe, swapped = (
+        (left, right, False) if left.num_rows <= right.num_rows else (right, left, True)
+    )
+    build_index: dict[object, list[int]] = {}
+    for i, key in enumerate(build.column(on)):
+        build_index.setdefault(key.item() if hasattr(key, "item") else key, []).append(i)
+    probe_rows: list[int] = []
+    build_rows: list[int] = []
+    for j, key in enumerate(probe.column(on)):
+        key = key.item() if hasattr(key, "item") else key
+        for i in build_index.get(key, ()):
+            probe_rows.append(j)
+            build_rows.append(i)
+    probe_idx = np.array(probe_rows, dtype=np.intp)
+    build_idx = np.array(build_rows, dtype=np.intp)
+    left_idx, right_idx = (build_idx, probe_idx) if not swapped else (probe_idx, build_idx)
+    columns: dict[str, np.ndarray] = {}
+    for name in left.column_names:
+        columns[name] = left.column(name)[left_idx]
+    for name in right.column_names:
+        if name == on:
+            continue
+        out_name = name if name not in columns else name + suffix
+        columns[out_name] = right.column(name)[right_idx]
+    if not columns or left_idx.shape[0] == 0:
+        # Preserve schema with zero rows.
+        columns = {name: left.column(name)[:0] for name in left.column_names}
+        for name in right.column_names:
+            if name == on:
+                continue
+            out_name = name if name not in columns else name + suffix
+            columns[out_name] = right.column(name)[:0]
+    return ColumnarTable(columns)
+
+
+def sort_rows(
+    table: ColumnarTable, by: str, *, descending: bool = False
+) -> ColumnarTable:
+    """Stable sort by one column."""
+    order = np.argsort(table.column(by), kind="stable")
+    if descending:
+        order = order[::-1]
+    return table.take(order)
+
+
+def materialize(rows: Sequence[Mapping]) -> ColumnarTable:
+    """Construction of an in-memory table from row dicts."""
+    return ColumnarTable.from_rows(rows)

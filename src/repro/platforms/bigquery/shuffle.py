@@ -1,0 +1,120 @@
+"""The distributed shuffle engine between query stages.
+
+BigQuery sends intermediate results through a dedicated shuffle tier
+(Section 2.2.3): producers partition rows by hash and push partitions to
+shuffle servers; the next stage's workers pull their partitions.  The
+producing stage's wait on the shuffle tier is REMOTE work.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+import numpy as np
+
+from repro.cluster.network import NetworkFabric
+from repro.cluster.node import ServerNode, WorkContext
+from repro.platforms.bigquery.columnar import ColumnarTable
+from repro.profiling.dapper import SpanKind
+from repro.sim import Environment, all_of
+
+__all__ = ["ShuffleEngine"]
+
+
+def _hash_partition(keys: np.ndarray, partitions: int) -> np.ndarray:
+    """Stable hash partition assignment per row."""
+    # FNV-style mix over the key bytes, vectorized via python hash fallback.
+    return np.array([hash(k.item() if hasattr(k, "item") else k) % partitions for k in keys])
+
+
+class ShuffleEngine:
+    """Hash-partitions tables across shuffle servers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        servers: Sequence[ServerNode],
+    ):
+        if not servers:
+            raise ValueError("need at least one shuffle server")
+        self.env = env
+        self.fabric = fabric
+        self.servers = list(servers)
+        self.shuffles_run = 0
+        self.bytes_shuffled = 0.0
+
+    def partition(
+        self, table: ColumnarTable, key: str, partitions: int
+    ) -> list[ColumnarTable | None]:
+        """Pure data-plane partitioning (no simulated time)."""
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        assignment = _hash_partition(table.column(key), partitions)
+        out: list[ColumnarTable | None] = []
+        for p in range(partitions):
+            keep = assignment == p
+            out.append(table.mask(keep) if keep.any() else None)
+        return out
+
+    def estimate_time(
+        self, producer: ServerNode, nbytes: float, partitions: int
+    ) -> float:
+        """Rough wall-clock of one shuffle write for budget pacing."""
+        per_server = nbytes / max(1, partitions)
+        server = self.servers[0]
+        locality = producer.topology.locality_to(server.topology)
+        bandwidth = self.fabric.bandwidth[locality]
+        return self.fabric.latency[locality] * 2 + per_server / bandwidth * partitions
+
+    def shuffle_write(
+        self,
+        ctx: WorkContext,
+        producer: ServerNode,
+        table: ColumnarTable | None,
+        key: str | None,
+        partitions: int,
+        *,
+        nbytes: float,
+    ) -> Generator:
+        """Simulation process: push one table's partitions to the shuffle tier.
+
+        ``table``/``key`` may be None for pacing-only shuffles (the data
+        plane is skipped but the bytes still move).  Partition pushes fan
+        out in parallel; the producer waits for all sinks to ack -- that
+        wait is the REMOTE span.
+        """
+        partitioned: list[ColumnarTable | None]
+        if table is not None and key is not None:
+            partitioned = self.partition(table, key, partitions)
+        else:
+            partitioned = [None] * partitions
+        wait_start = self.env.now
+        per_partition = nbytes / max(1, partitions)
+
+        def push(server: ServerNode) -> Generator:
+            flight = self.fabric.transfer_time(
+                producer.topology, server.topology, per_partition
+            )
+            if flight > 0:
+                yield self.env.timeout(flight)
+            ack = self.fabric.transfer_time(server.topology, producer.topology, 64.0)
+            if ack > 0:
+                yield self.env.timeout(ack)
+
+        pushes = [
+            self.env.process(push(self.servers[p % len(self.servers)]))
+            for p in range(partitions)
+        ]
+        yield all_of(self.env, pushes)
+        ctx.record_span(
+            "shuffle:write",
+            SpanKind.REMOTE,
+            wait_start,
+            self.env.now,
+            bytes=nbytes,
+            partitions=partitions,
+        )
+        self.shuffles_run += 1
+        self.bytes_shuffled += nbytes
+        return partitioned

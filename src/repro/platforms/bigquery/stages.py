@@ -1,0 +1,120 @@
+"""Query stage DAGs: operator pipelines connected by shuffles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.platforms.bigquery.columnar import ColumnarTable
+
+__all__ = ["Stage", "QueryDag"]
+
+StageFn = Callable[[Sequence[ColumnarTable]], ColumnarTable]
+
+
+@dataclass
+class Stage:
+    """One stage: a function over its input tables, fed by upstream stages.
+
+    ``shuffle_key`` names the column the stage's output is repartitioned on
+    before the downstream stage consumes it (None for the final stage).
+    """
+
+    name: str
+    fn: StageFn
+    inputs: tuple[str, ...] = ()
+    shuffle_key: str | None = None
+
+
+@dataclass
+class QueryDag:
+    """A DAG of stages, executed in topological order."""
+
+    stages: dict[str, Stage] = field(default_factory=dict)
+
+    def add(self, stage: Stage) -> Stage:
+        if stage.name in self.stages:
+            raise ValueError(f"stage {stage.name!r} already exists")
+        for upstream in stage.inputs:
+            if upstream not in self.stages:
+                raise ValueError(
+                    f"stage {stage.name!r} depends on unknown stage {upstream!r}"
+                )
+        self.stages[stage.name] = stage
+        return stage
+
+    def topological_order(self) -> list[Stage]:
+        order: list[Stage] = []
+        visited: dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(name: str) -> None:
+            state = visited.get(name)
+            if state == 1:
+                return
+            if state == 0:
+                raise ValueError(f"cycle through stage {name!r}")
+            visited[name] = 0
+            for upstream in self.stages[name].inputs:
+                visit(upstream)
+            visited[name] = 1
+            order.append(self.stages[name])
+
+        for name in self.stages:
+            visit(name)
+        return order
+
+    def consumers_of(self, name: str) -> list[Stage]:
+        return [stage for stage in self.stages.values() if name in stage.inputs]
+
+    def fuse(self, upstream_name: str, downstream_name: str) -> "QueryDag":
+        """A new DAG with ``downstream`` fused into its sole input stage.
+
+        The optimizer primitive behind filter pushdown: fusing a filter into
+        the scan that feeds it means the intermediate table is never
+        materialized (and never shuffled).  Requires ``downstream`` to read
+        exactly ``upstream`` and ``upstream`` to feed only ``downstream``.
+        """
+        upstream = self.stages.get(upstream_name)
+        downstream = self.stages.get(downstream_name)
+        if upstream is None or downstream is None:
+            raise KeyError(f"unknown stage in fuse({upstream_name!r}, {downstream_name!r})")
+        if downstream.inputs != (upstream_name,):
+            raise ValueError(
+                f"{downstream_name!r} must consume exactly {upstream_name!r}"
+            )
+        if [stage.name for stage in self.consumers_of(upstream_name)] != [
+            downstream_name
+        ]:
+            raise ValueError(f"{upstream_name!r} feeds stages besides {downstream_name!r}")
+
+        def fused_fn(inputs, _up=upstream.fn, _down=downstream.fn):
+            return _down([_up(inputs)])
+
+        fused = QueryDag()
+        for stage in self.topological_order():
+            if stage.name == upstream_name:
+                continue
+            if stage.name == downstream_name:
+                fused.add(
+                    Stage(
+                        name=downstream_name,
+                        fn=fused_fn,
+                        inputs=upstream.inputs,
+                        shuffle_key=downstream.shuffle_key,
+                    )
+                )
+            else:
+                fused.add(stage)
+        return fused
+
+    def sinks(self) -> list[Stage]:
+        consumed = {up for stage in self.stages.values() for up in stage.inputs}
+        return [stage for name, stage in self.stages.items() if name not in consumed]
+
+    def execute(self) -> dict[str, ColumnarTable]:
+        """Run the data plane (no simulated time): stage name -> output."""
+        outputs: dict[str, ColumnarTable] = {}
+        for stage in self.topological_order():
+            inputs = [outputs[name] for name in stage.inputs]
+            outputs[stage.name] = stage.fn(inputs)
+        return outputs

@@ -1,0 +1,25 @@
+"""BigTable analog: a cluster-level NoSQL key-value store (Figure 1b).
+
+An LSM-tree storage engine: writes append to a write-ahead log and land in
+a sorted :mod:`memtable <repro.platforms.bigtable.memtable>`; flushes
+produce immutable :mod:`SSTables <repro.platforms.bigtable.sstable>` (with
+bloom filters) in the distributed file system; background
+:mod:`compaction <repro.platforms.bigtable.compaction>` merges runs on
+*remote* workers -- the "compaction in remote storage for BigTable" remote
+work of Section 4.1.
+"""
+
+from repro.platforms.bigtable.compaction import CompactionManager
+from repro.platforms.bigtable.memtable import Memtable
+from repro.platforms.bigtable.sstable import BloomFilter, SSTable
+from repro.platforms.bigtable.store import BigTableStore
+from repro.platforms.bigtable.tablet import Tablet
+
+__all__ = [
+    "Memtable",
+    "BloomFilter",
+    "SSTable",
+    "Tablet",
+    "CompactionManager",
+    "BigTableStore",
+]

@@ -1,0 +1,61 @@
+"""The in-memory sorted write buffer of the LSM tree."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+__all__ = ["Memtable"]
+
+
+class Memtable:
+    """A sorted key-value buffer with byte-size accounting.
+
+    Keys keep sorted order through a parallel bisect-maintained key list, so
+    range scans and flushes produce sorted runs without a re-sort.
+    """
+
+    def __init__(self, value_bytes: float = 100.0):
+        self._keys: list[str] = []
+        self._values: dict[str, Any] = {}
+        self._value_bytes = value_bytes
+        self._approximate_bytes = 0.0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    @property
+    def approximate_bytes(self) -> float:
+        return self._approximate_bytes
+
+    def put(self, key: str, value: Any) -> None:
+        if key not in self._values:
+            bisect.insort(self._keys, key)
+            self._approximate_bytes += len(key) + self._value_bytes
+        self._values[key] = value
+
+    def get(self, key: str) -> Any:
+        return self._values.get(key)
+
+    def delete(self, key: str) -> None:
+        """Write a tombstone (LSM deletes are writes)."""
+        self.put(key, None)
+
+    def scan(self, start: str, end: str) -> Iterator[tuple[str, Any]]:
+        """Sorted (key, value) pairs with start <= key < end."""
+        lo = bisect.bisect_left(self._keys, start)
+        hi = bisect.bisect_left(self._keys, end)
+        for key in self._keys[lo:hi]:
+            yield key, self._values[key]
+
+    def items(self) -> list[tuple[str, Any]]:
+        """All entries in key order (flush input)."""
+        return [(key, self._values[key]) for key in self._keys]
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self._values.clear()
+        self._approximate_bytes = 0.0

@@ -1,0 +1,137 @@
+"""Tablet servers: the LSM read/write paths over the DFS."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator
+
+from repro.cluster.node import ServerNode, WorkContext
+from repro.platforms.bigtable.memtable import Memtable
+from repro.platforms.bigtable.sstable import SSTable
+from repro.storage.dfs import DistributedFileSystem
+
+__all__ = ["Tablet"]
+
+#: Tablet-server CPU costs for the hot paths (charged under Table 4 names).
+READ_CPU = 4e-6
+WRITE_CPU = 3e-6
+FLUSH_CPU_PER_ENTRY = 0.3e-6
+
+
+class Tablet:
+    """One tablet: a key range served by one node, stored in the DFS.
+
+    Writes append to the WAL (a DFS file) and land in the memtable; when the
+    memtable exceeds ``flush_threshold_bytes`` it is flushed to a new L0
+    SSTable file.  Reads consult the memtable, then SSTables newest-first,
+    skipping runs whose bloom filter excludes the key; each consulted run
+    charges a DFS block read.
+    """
+
+    _wal_ids = itertools.count()
+
+    def __init__(
+        self,
+        name: str,
+        node: ServerNode,
+        dfs: DistributedFileSystem,
+        *,
+        flush_threshold_bytes: float = 64 * 1024.0,
+        block_bytes: float = 8 * 1024.0,
+        use_bloom_filters: bool = True,
+    ):
+        self.name = name
+        self.node = node
+        self.dfs = dfs
+        self.flush_threshold_bytes = flush_threshold_bytes
+        self.block_bytes = block_bytes
+        self.use_bloom_filters = use_bloom_filters
+        self.sstable_probes = 0
+        self.memtable = Memtable()
+        self.sstables: list[SSTable] = []  # newest first
+        self._sstable_seq = itertools.count()
+        self.wal_path = f"/bigtable/{name}/wal{next(Tablet._wal_ids)}"
+        self.flushes = 0
+        self.reads_served = 0
+        self.writes_served = 0
+
+    # -- write path ------------------------------------------------------------
+
+    def put(self, ctx: WorkContext, key: str, value: Any) -> Generator:
+        """Simulation process: WAL append + memtable insert (+ maybe flush)."""
+        yield from self.node.compute(ctx, "Wal::LogAppend", WRITE_CPU)
+        yield from self.dfs.write(
+            ctx, self.node.topology, self.wal_path, len(key) + 100.0
+        )
+        self.memtable.put(key, value)
+        self.writes_served += 1
+        if self.memtable.approximate_bytes >= self.flush_threshold_bytes:
+            yield from self.flush(ctx)
+
+    def flush(self, ctx: WorkContext) -> Generator:
+        """Flush the memtable into a new L0 SSTable in the DFS."""
+        entries = self.memtable.items()
+        if not entries:
+            return None
+        yield from self.node.compute(
+            ctx, "Txn::WriteBatch", FLUSH_CPU_PER_ENTRY * len(entries)
+        )
+        path = f"/bigtable/{self.name}/sst{next(self._sstable_seq)}"
+        sstable = SSTable(entries, path=path, level=0)
+        yield from self.dfs.write(ctx, self.node.topology, path, sstable.size_bytes)
+        self.sstables.insert(0, sstable)
+        self.memtable.clear()
+        self.flushes += 1
+        return sstable
+
+    # -- read path ---------------------------------------------------------------
+
+    def get(self, ctx: WorkContext, key: str) -> Generator:
+        """Simulation process: memtable, then bloom-guarded SSTable probes."""
+        yield from self.node.compute(ctx, "Tablet::TabletRead", READ_CPU)
+        self.reads_served += 1
+        if key in self.memtable:
+            return self.memtable.get(key)
+        for sstable in self.sstables:
+            if self.use_bloom_filters and not sstable.might_contain(key):
+                continue
+            self.sstable_probes += 1
+            yield from self.dfs.read(
+                ctx,
+                self.node.topology,
+                sstable.path,
+                offset=0.0,
+                size=min(self.block_bytes, sstable.size_bytes),
+            )
+            found, value = sstable.get(key)
+            if found:
+                return value
+        return None
+
+    def scan(self, ctx: WorkContext, start: str, end: str) -> Generator:
+        """Simulation process: merged range scan across memtable + SSTables."""
+        yield from self.node.compute(ctx, "Tablet::ScanRange", READ_CPU)
+        merged: dict[str, Any] = {}
+        for sstable in reversed(self.sstables):  # oldest first, newer wins
+            touched = False
+            for key, value in sstable.scan(start, end):
+                merged[key] = value
+                touched = True
+            if touched:
+                yield from self.dfs.read(
+                    ctx,
+                    self.node.topology,
+                    sstable.path,
+                    offset=0.0,
+                    size=min(4 * self.block_bytes, sstable.size_bytes),
+                )
+        for key, value in self.memtable.scan(start, end):
+            merged[key] = value
+        self.reads_served += 1
+        return sorted(
+            (item for item in merged.items() if item[1] is not None)
+        )
+
+    @property
+    def sstable_count(self) -> int:
+        return len(self.sstables)

@@ -1,0 +1,380 @@
+"""Shared platform machinery: query plans, CPU chunking, and the base class.
+
+How calibration meets mechanics
+-------------------------------
+
+Each platform's workload generator draws a per-query *budget* -- CPU,
+remote-work and IO seconds plus an overlap factor, sampled around the
+calibrated query-group aggregates (:mod:`repro.workloads.calibration`).
+The platform simulator then *realizes* the budget through its own real
+distributed machinery:
+
+* CPU seconds are burned on server cores, split across the fine-grained
+  taxonomy categories in the calibrated proportions and charged under
+  representative leaf-function names (so GWP sampling + categorization
+  recovers Figures 3-6);
+* remote-work seconds are realized by repeating the platform's actual
+  remote operations (Paxos rounds, compaction hand-offs, shuffles) until
+  the budget is consumed;
+* IO seconds are realized by DFS reads against the tiered stores.
+
+Overlap between CPU and non-CPU time (Equation 1's ``f``) is realized by
+running a slice of the CPU work concurrently with the dependency phase.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.node import ServerNode, WorkContext
+from repro.core.profile import PlatformProfile, QueryGroupProfile
+from repro.platforms.functions import functions_for
+from repro.profiling.dapper import SpanKind, Tracer
+from repro.profiling.gwp import FleetProfiler
+from repro.sim import Environment, all_of
+
+__all__ = ["QueryPlan", "CpuChunker", "PlatformBase", "QueryRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """One query's sampled budget."""
+
+    kind: str
+    group: str
+    t_cpu: float
+    t_remote: float
+    t_io: float
+    f: float
+
+    @property
+    def t_dep(self) -> float:
+        return self.t_remote + self.t_io
+
+    @property
+    def overlap_budget(self) -> float:
+        """CPU seconds to run concurrently with the dependency phase."""
+        return (1.0 - self.f) * min(self.t_cpu, self.t_dep)
+
+
+class CpuChunker:
+    """Splits a CPU budget into categorized (function, duration) chunks."""
+
+    def __init__(
+        self,
+        component_fractions: Mapping[str, float],
+        *,
+        chunk_seconds: float = 100e-6,
+        rng: np.random.Generator | None = None,
+    ):
+        if not component_fractions:
+            raise ValueError("component_fractions must not be empty")
+        total = sum(component_fractions.values())
+        if total <= 0:
+            raise ValueError("component fractions must sum to a positive value")
+        if chunk_seconds <= 0:
+            raise ValueError("chunk_seconds must be positive")
+        self._fractions = {
+            key: value / total for key, value in component_fractions.items()
+        }
+        self._chunk_seconds = chunk_seconds
+        self._rng = rng or np.random.default_rng(0)
+        self._pool_cursor: dict[str, itertools.cycle] = {
+            key: itertools.cycle(functions_for(key)) for key in self._fractions
+        }
+
+    def chunks(self, t_cpu: float) -> list[tuple[str, float]]:
+        """Interleaved chunks covering ``t_cpu`` seconds in calibrated shares.
+
+        Category budgets are exact (each category gets precisely its share);
+        chunks are emitted in a deterministic round-robin interleave so a
+        sampling profiler sees categories mixed, not batched.
+        """
+        if t_cpu < 0:
+            raise ValueError("t_cpu must be non-negative")
+        if t_cpu == 0:
+            return []
+        pieces: list[tuple[str, float]] = []
+        for key, fraction in self._fractions.items():
+            budget = fraction * t_cpu
+            while budget > 0:
+                step = min(self._chunk_seconds, budget)
+                pieces.append((next(self._pool_cursor[key]), step))
+                budget -= step
+        self._rng.shuffle(pieces)
+        return pieces
+
+    def split(
+        self, chunks: Sequence[tuple[str, float]], first_budget: float
+    ) -> tuple[list[tuple[str, float]], list[tuple[str, float]]]:
+        """Split a chunk list so the first part totals ~``first_budget``."""
+        first: list[tuple[str, float]] = []
+        rest: list[tuple[str, float]] = []
+        acc = 0.0
+        for function, duration in chunks:
+            if acc < first_budget:
+                first.append((function, duration))
+                acc += duration
+            else:
+                rest.append((function, duration))
+        return first, rest
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRecord:
+    """The platform's own log line for one served query."""
+
+    kind: str
+    group: str
+    started: float
+    finished: float
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.started
+
+
+class PlatformBase:
+    """Common wiring for the three platform simulators.
+
+    Subclasses implement :meth:`_execute` -- a simulation process realizing
+    one :class:`QueryPlan` with the platform's machinery -- and
+    :meth:`plan_query` if they need custom query-kind selection.
+    """
+
+    #: Subclasses set the platform name used in profiles and telemetry.
+    platform_name: str = "AbstractPlatform"
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: PlatformProfile,
+        *,
+        tracer: Tracer | None = None,
+        profiler: FleetProfiler | None = None,
+        seed: int = 0,
+        jitter: float = 0.08,
+        offload=None,
+        offload_model=None,
+    ):
+        self.env = env
+        self.profile = profile
+        self.tracer = tracer or Tracer()
+        self.profiler = profiler
+        self.rng = np.random.default_rng(seed)
+        self.jitter = jitter
+        #: Optional accelerator offload: an
+        #: :class:`repro.accel.offload.OffloadRuntime` plus an
+        #: :class:`repro.accel.complex.InvocationModel`.  When set, CPU
+        #: chunks whose category the complex covers execute on accelerators
+        #: instead of cores -- the simulated counterpart of the Section 6
+        #: acceleration studies.
+        self.offload = offload
+        self.offload_model = offload_model
+        self.chunker = CpuChunker(
+            profile.cpu_component_fractions, rng=np.random.default_rng(seed + 1)
+        )
+        self.records: list[QueryRecord] = []
+        self._group_choices = [group.name for group in profile.groups]
+        self._group_weights = np.array(
+            [group.query_fraction for group in profile.groups]
+        )
+        self._group_weights = self._group_weights / self._group_weights.sum()
+
+    # -- budget sampling -----------------------------------------------------
+
+    def _jittered(self, value: float) -> float:
+        if value <= 0 or self.jitter <= 0:
+            return max(0.0, value)
+        return float(value * self.rng.lognormal(mean=0.0, sigma=self.jitter))
+
+    def _pick_group(self) -> QueryGroupProfile:
+        name = self.rng.choice(self._group_choices, p=self._group_weights)
+        return self.profile.group(str(name))
+
+    def plan_query(self) -> QueryPlan:
+        """Sample a query budget around the calibrated group aggregates."""
+        group = self._pick_group()
+        return QueryPlan(
+            kind=self.default_kind_for(group),
+            group=group.name,
+            t_cpu=self._jittered(group.t_cpu),
+            t_remote=self._jittered(group.t_remote),
+            t_io=self._jittered(group.t_io),
+            f=group.f,
+        )
+
+    def default_kind_for(self, group: QueryGroupProfile) -> str:
+        return "query"
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(self, ctx: WorkContext, plan: QueryPlan) -> Generator:
+        raise NotImplementedError
+
+    def run_query(self, plan: QueryPlan | None = None) -> Generator:
+        """Simulation process: serve one query end to end."""
+        plan = plan or self.plan_query()
+        started = self.env.now
+        trace = self.tracer.start_trace(f"{self.platform_name}:{plan.kind}", started)
+        ctx = WorkContext(
+            platform=self.platform_name, trace=trace, profiler=self.profiler
+        )
+        result = yield from self._execute(ctx, plan)
+        finished = self.env.now
+        if trace is not None:
+            trace.finish(finished)
+            trace.annotations["group"] = plan.group
+            trace.annotations["kind"] = plan.kind
+        self.records.append(
+            QueryRecord(
+                kind=plan.kind, group=plan.group, started=started, finished=finished
+            )
+        )
+        return result
+
+    def serve(self, query_count: int, *, interarrival: float = 0.0) -> Generator:
+        """Simulation process: serve a stream of queries.
+
+        ``interarrival`` of 0 runs queries back to back (closed loop); a
+        positive value opens the loop with exponential arrivals.
+        """
+        if query_count < 0:
+            raise ValueError("query_count must be non-negative")
+        if interarrival < 0:
+            raise ValueError("interarrival must be non-negative")
+        if interarrival == 0:
+            for _ in range(query_count):
+                yield from self.run_query()
+            return
+        in_flight = []
+        for _ in range(query_count):
+            in_flight.append(self.env.process(self.run_query()))
+            gap = float(self.rng.exponential(interarrival))
+            yield self.env.timeout(gap)
+        if in_flight:
+            yield all_of(self.env, in_flight)
+
+    # -- budget realization helpers -------------------------------------------
+
+    def burn_cpu(
+        self,
+        ctx: WorkContext,
+        node: ServerNode,
+        chunks: Iterable[tuple[str, float]],
+    ) -> Generator:
+        """Execute categorized CPU chunks on a node.
+
+        With accelerator offload configured, chunks whose category the
+        complex covers run on accelerator units under the configured
+        invocation model; the rest stay on the node's cores.
+        """
+        chunks = list(chunks)
+        if self.offload is None:
+            for function, duration in chunks:
+                yield from node.compute(ctx, function, duration)
+            return
+        from repro.profiling.categories import default_categorizer
+
+        categorizer = default_categorizer()
+        offloadable: list[tuple[str, float]] = []
+        residual: list[tuple[str, float]] = []
+        for function, duration in chunks:
+            key = categorizer.categorize(function)
+            if self.offload.complex.can_accelerate(key):
+                offloadable.append((key, duration))
+            else:
+                residual.append((function, duration))
+        if offloadable:
+            start = self.env.now
+            yield from self.offload.complex.run(
+                offloadable, self.offload_model, elements=16
+            )
+            ctx.record_span(
+                "accel:offload",
+                SpanKind.CPU,
+                start,
+                self.env.now,
+                accelerated=True,
+                items=len(offloadable),
+            )
+        for function, duration in residual:
+            yield from node.compute(ctx, function, duration)
+
+    def overlap_phase(
+        self,
+        ctx: WorkContext,
+        node: ServerNode,
+        dep_process: Generator,
+        overlap_chunks: list[tuple[str, float]],
+        name: str,
+    ) -> Generator:
+        """Run the dependency phase with a CPU slice overlapped onto it."""
+        dep = self.env.process(dep_process, name=f"{name}:dep")
+        if overlap_chunks:
+            cpu = self.env.process(
+                self.burn_cpu(ctx, node, overlap_chunks), name=f"{name}:overlap-cpu"
+            )
+            yield all_of(self.env, [dep, cpu])
+        else:
+            yield dep
+
+    def realize_budget(
+        self,
+        ctx: WorkContext,
+        budget: float,
+        op_factory,
+        *,
+        tail_name: str,
+        tail_kind,
+    ) -> Generator:
+        """Spend a wall-clock budget on real operations plus a tail wait.
+
+        ``op_factory(remaining)`` returns a simulation generator for the next
+        real operation, or ``None`` when no operation fits the remaining
+        budget.  Whatever budget real operations cannot granularly cover is
+        realized as one final wait span (the long tail of smaller events a
+        coarse-grained simulator cannot individually represent), annotated
+        ``tail=True`` so analyses can quantify it.
+        """
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        start = self.env.now
+        while True:
+            remaining = budget - (self.env.now - start)
+            if remaining <= 0:
+                return
+            op = op_factory(remaining)
+            if op is None:
+                tail_start = self.env.now
+                yield self.env.timeout(remaining)
+                ctx.record_span(tail_name, tail_kind, tail_start, self.env.now, tail=True)
+                return
+            before = self.env.now
+            yield from op
+            if self.env.now <= before:
+                # The operation made no simulated progress (e.g. a no-op
+                # compaction); fall back to the tail wait to avoid spinning.
+                tail_start = self.env.now
+                remaining = budget - (self.env.now - start)
+                if remaining > 0:
+                    yield self.env.timeout(remaining)
+                    ctx.record_span(
+                        tail_name, tail_kind, tail_start, self.env.now, tail=True
+                    )
+                return
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def queries_served(self) -> int:
+        return len(self.records)
+
+    def mean_latency(self) -> float:
+        if not self.records:
+            raise ValueError("no queries served")
+        return sum(record.latency for record in self.records) / len(self.records)

@@ -1,0 +1,66 @@
+"""Leaf-function vocabulary emitted by the platform simulators.
+
+Each taxonomy category has a pool of representative function names.  The
+platform cost models charge CPU under these names; the GWP categorizer
+(:mod:`repro.profiling.categories`) must map every one of them back to the
+same category -- a property the test suite checks for the whole table.
+"""
+
+from __future__ import annotations
+
+from repro import taxonomy
+
+__all__ = ["FUNCTION_POOLS", "functions_for", "UNCATEGORIZED_POOL"]
+
+#: Deliberately unmatched by every categorizer rule -> core/uncategorized.
+UNCATEGORIZED_POOL: tuple[str, ...] = (
+    "platform_internal_0x3fa2",
+    "inlined_hotloop_0x91c4",
+)
+
+FUNCTION_POOLS: dict[str, tuple[str, ...]] = {
+    # datacenter taxes
+    taxonomy.COMPRESSION.key: ("snappy::RawCompress", "snappy::RawUncompress"),
+    taxonomy.CRYPTOGRAPHY.key: ("sha256_update", "openssl_hmac", "aes_gcm_encrypt"),
+    taxonomy.DATA_MOVEMENT.key: ("memcpy", "copy_user_generic"),
+    taxonomy.MEMORY_ALLOCATION.key: ("tcmalloc::allocate", "tcmalloc::deallocate"),
+    taxonomy.PROTOBUF.key: (
+        "proto2::Message::SerializeToString",
+        "proto2::Message::ParseFromString",
+    ),
+    taxonomy.RPC.key: ("stubby::RpcDispatch", "rpc::ChannelSend"),
+    # system taxes
+    taxonomy.EDAC.key: ("crc32c_extend", "edac_scrub_block"),
+    taxonomy.FILE_SYSTEMS.key: ("fsclient::ReadChunk", "colossus_client::OpenFile"),
+    taxonomy.OTHER_MEMORY_OPS.key: ("memset", "page_zero_fill"),
+    taxonomy.MULTITHREADING.key: ("absl::Mutex::Lock", "pthread_cond_wait"),
+    taxonomy.NETWORKING.key: ("tcp_sendmsg", "epoll_wait", "net_rx_action"),
+    taxonomy.OPERATING_SYSTEM.key: ("do_syscall_64", "sys_futex", "clock_gettime"),
+    taxonomy.STL.key: ("std::sort", "absl::StrCat", "std::unordered_map::find"),
+    taxonomy.MISC_SYSTEM.key: ("systax_misc::Housekeeping",),
+    # core compute: databases (Table 4)
+    taxonomy.READ.key: ("Tablet::TabletRead", "Btree::PointLookup"),
+    taxonomy.WRITE.key: ("Txn::CommitWrite", "Wal::LogAppend"),
+    taxonomy.COMPACTION.key: ("Lsm::CompactSSTables", "Lsm::MergeRevisions"),
+    taxonomy.CONSENSUS.key: ("paxos::ReplicateLog", "paxos::QuorumVote"),
+    taxonomy.QUERY.key: ("sqlexec::EvalPredicate", "sqlexec::PlanQuery"),
+    taxonomy.MISC_CORE.key: ("misc_core::LongTail",),
+    taxonomy.UNCATEGORIZED.key: UNCATEGORIZED_POOL,
+    # core compute: analytics (Table 5)
+    taxonomy.AGGREGATE.key: ("Stage::HashAggregate", "Stage::SortAggregate"),
+    taxonomy.COMPUTE.key: ("Stage::VectorizedCompute", "Stage::ColumnwiseEval"),
+    taxonomy.DESTRUCTURE.key: ("Row::FieldAccess", "Row::Destructure"),
+    taxonomy.FILTER.key: ("Stage::FilterRows", "Stage::SelectionScan"),
+    taxonomy.JOIN.key: ("Stage::HashJoin", "Stage::BuildJoinTable"),
+    taxonomy.MATERIALIZE.key: ("Stage::MaterializeTable", "Stage::BuildRowSet"),
+    taxonomy.PROJECT.key: ("Stage::ProjectColumns", "Stage::ColumnFetch"),
+    taxonomy.SORT.key: ("Stage::SortRows", "Stage::ExternalSort"),
+}
+
+
+def functions_for(category_key: str) -> tuple[str, ...]:
+    """Function-name pool for a category key."""
+    try:
+        return FUNCTION_POOLS[category_key]
+    except KeyError:
+        raise KeyError(f"no function pool for category {category_key!r}") from None

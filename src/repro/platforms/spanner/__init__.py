@@ -1,0 +1,31 @@
+"""Spanner analog: a globally-replicated, synchronously-replicated SQL DB.
+
+Pieces (Section 2.2.1 / Figure 1a):
+
+* :mod:`repro.platforms.spanner.consensus` -- Paxos groups with a leader and
+  regional replicas; writes commit after a majority of acks plus a
+  TrueTime-style commit wait.
+* :mod:`repro.platforms.spanner.transactions` -- a lock manager and
+  two-phase-locking read/write transactions over sharded key ranges.
+* :mod:`repro.platforms.spanner.sql` -- a small SQL engine (SELECT /
+  projection / predicates / ORDER BY / LIMIT) over in-memory tables.
+* :mod:`repro.platforms.spanner.database` -- the platform simulator tying
+  shards, consensus, storage, and the calibrated workload together.
+"""
+
+from repro.platforms.spanner.consensus import PaxosGroup
+from repro.platforms.spanner.database import SpannerDatabase
+from repro.platforms.spanner.sql import SqlEngine, SqlError
+from repro.platforms.spanner.transactions import LockManager, Transaction
+from repro.platforms.spanner.twophase import ShardParticipant, TwoPhaseCommit
+
+__all__ = [
+    "PaxosGroup",
+    "SpannerDatabase",
+    "SqlEngine",
+    "SqlError",
+    "LockManager",
+    "Transaction",
+    "ShardParticipant",
+    "TwoPhaseCommit",
+]

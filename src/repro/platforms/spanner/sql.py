@@ -1,0 +1,305 @@
+"""A small SQL engine for Spanner's query path.
+
+Supports the shape of query the Section 5 "Query: SQL-like compute"
+category covers::
+
+    SELECT a, b FROM t WHERE x > 5 AND (y = 'ok' OR NOT z <= 2)
+    ORDER BY a DESC LIMIT 10
+
+Implemented from scratch: tokenizer, recursive-descent parser, and an
+evaluator over in-memory row dictionaries.  This is real functionality --
+Spanner's simulated SQL queries run through it -- while the CPU *time* of
+query execution is charged through the calibrated cost model.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["SqlError", "SelectStatement", "parse_select", "SqlEngine"]
+
+
+class SqlError(ValueError):
+    """Raised on malformed SQL or execution errors."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<string>'(?:[^'\\]|\\.)*')"
+    r"|(?P<op><=|>=|!=|=|<|>)"
+    r"|(?P<punct>[(),*])"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9.]*)"
+    r")"
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "or", "not", "order", "by", "limit", "desc", "asc"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+
+
+def _tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SqlError(f"cannot tokenize near {remainder[:20]!r}")
+        position = match.end()
+        for kind in ("number", "string", "op", "punct", "word"):
+            value = match.group(kind)
+            if value is not None:
+                if kind == "word" and value.lower() in _KEYWORDS:
+                    tokens.append(Token("keyword", value.lower()))
+                else:
+                    tokens.append(Token(kind, value))
+                break
+    return tokens
+
+
+Predicate = Callable[[dict], bool]
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT."""
+
+    columns: tuple[str, ...]  # empty tuple means '*'
+    table: str
+    predicate: Predicate | None
+    order_by: str | None
+    descending: bool
+    limit: int | None
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    def _peek(self) -> Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SqlError("unexpected end of statement")
+        self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "keyword" or token.value != word:
+            raise SqlError(f"expected {word.upper()}, got {token.value!r}")
+
+    def parse(self) -> SelectStatement:
+        self._expect_keyword("select")
+        columns = self._parse_columns()
+        self._expect_keyword("from")
+        table_token = self._next()
+        if table_token.kind != "word":
+            raise SqlError(f"expected table name, got {table_token.value!r}")
+        predicate = None
+        order_by = None
+        descending = False
+        limit = None
+        token = self._peek()
+        if token and token.kind == "keyword" and token.value == "where":
+            self._next()
+            predicate = self._parse_or()
+        token = self._peek()
+        if token and token.kind == "keyword" and token.value == "order":
+            self._next()
+            self._expect_keyword("by")
+            column = self._next()
+            if column.kind != "word":
+                raise SqlError("expected column after ORDER BY")
+            order_by = column.value
+            token = self._peek()
+            if token and token.kind == "keyword" and token.value in ("asc", "desc"):
+                descending = self._next().value == "desc"
+        token = self._peek()
+        if token and token.kind == "keyword" and token.value == "limit":
+            self._next()
+            count = self._next()
+            if count.kind != "number" or "." in count.value:
+                raise SqlError("LIMIT requires an integer")
+            limit = int(count.value)
+            if limit < 0:
+                raise SqlError("LIMIT must be non-negative")
+        if self._peek() is not None:
+            raise SqlError(f"unexpected trailing token {self._peek().value!r}")
+        return SelectStatement(
+            columns=columns,
+            table=table_token.value,
+            predicate=predicate,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+        )
+
+    def _parse_columns(self) -> tuple[str, ...]:
+        token = self._peek()
+        if token and token.kind == "punct" and token.value == "*":
+            self._next()
+            return ()
+        columns = []
+        while True:
+            token = self._next()
+            if token.kind != "word":
+                raise SqlError(f"expected column name, got {token.value!r}")
+            columns.append(token.value)
+            token = self._peek()
+            if token and token.kind == "punct" and token.value == ",":
+                self._next()
+                continue
+            return tuple(columns)
+
+    # Predicate grammar: or_expr := and_expr (OR and_expr)*
+    def _parse_or(self) -> Predicate:
+        left = self._parse_and()
+        while True:
+            token = self._peek()
+            if token and token.kind == "keyword" and token.value == "or":
+                self._next()
+                right = self._parse_and()
+                left = (lambda a, b: lambda row: a(row) or b(row))(left, right)
+            else:
+                return left
+
+    def _parse_and(self) -> Predicate:
+        left = self._parse_factor()
+        while True:
+            token = self._peek()
+            if token and token.kind == "keyword" and token.value == "and":
+                self._next()
+                right = self._parse_factor()
+                left = (lambda a, b: lambda row: a(row) and b(row))(left, right)
+            else:
+                return left
+
+    def _parse_factor(self) -> Predicate:
+        token = self._peek()
+        if token and token.kind == "keyword" and token.value == "not":
+            self._next()
+            inner = self._parse_factor()
+            return lambda row: not inner(row)
+        if token and token.kind == "punct" and token.value == "(":
+            self._next()
+            inner = self._parse_or()
+            closing = self._next()
+            if closing.kind != "punct" or closing.value != ")":
+                raise SqlError("expected closing parenthesis")
+            return inner
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Predicate:
+        column_token = self._next()
+        if column_token.kind != "word":
+            raise SqlError(f"expected column in predicate, got {column_token.value!r}")
+        op_token = self._next()
+        if op_token.kind != "op":
+            raise SqlError(f"expected comparison operator, got {op_token.value!r}")
+        literal = self._parse_literal()
+        column = column_token.value
+        op = op_token.value
+
+        def compare(row: dict) -> bool:
+            if column not in row:
+                raise SqlError(f"unknown column {column!r}")
+            value = row[column]
+            try:
+                if op == "=":
+                    return value == literal
+                if op == "!=":
+                    return value != literal
+                if op == "<":
+                    return value < literal
+                if op == "<=":
+                    return value <= literal
+                if op == ">":
+                    return value > literal
+                return value >= literal
+            except TypeError as exc:
+                raise SqlError(
+                    f"cannot compare {value!r} with {literal!r} on {column!r}"
+                ) from exc
+
+        return compare
+
+    def _parse_literal(self) -> Any:
+        token = self._next()
+        if token.kind == "number":
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "string":
+            body = token.value[1:-1]
+            return body.replace("\\'", "'").replace("\\\\", "\\")
+        raise SqlError(f"expected literal, got {token.value!r}")
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse a SELECT statement."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SqlError("empty statement")
+    return _Parser(tokens).parse()
+
+
+class SqlEngine:
+    """Executes parsed SELECTs over named in-memory tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, list[dict]] = {}
+
+    def create_table(self, name: str, rows: Iterable[dict] = ()) -> None:
+        if name in self._tables:
+            raise SqlError(f"table {name!r} already exists")
+        self._tables[name] = list(rows)
+
+    def insert(self, table: str, row: dict) -> None:
+        self._rows(table).append(dict(row))
+
+    def _rows(self, table: str) -> list[dict]:
+        try:
+            return self._tables[table]
+        except KeyError:
+            raise SqlError(f"unknown table {table!r}") from None
+
+    def row_count(self, table: str) -> int:
+        return len(self._rows(table))
+
+    def execute(self, statement: str | SelectStatement) -> list[dict]:
+        if isinstance(statement, str):
+            statement = parse_select(statement)
+        rows = self._rows(statement.table)
+        if statement.predicate is not None:
+            rows = [row for row in rows if statement.predicate(row)]
+        else:
+            rows = list(rows)
+        if statement.order_by is not None:
+            key = statement.order_by
+            try:
+                rows.sort(key=lambda row: row[key], reverse=statement.descending)
+            except KeyError:
+                raise SqlError(f"unknown ORDER BY column {key!r}") from None
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        if statement.columns:
+            missing = [
+                col for col in statement.columns if rows and col not in rows[0]
+            ]
+            if missing:
+                raise SqlError(f"unknown columns {missing}")
+            rows = [{col: row[col] for col in statement.columns} for row in rows]
+        else:
+            rows = [dict(row) for row in rows]
+        return rows

@@ -1,0 +1,153 @@
+"""Cross-shard transactions: two-phase commit over Paxos groups.
+
+Spanner runs 2PC *on top of* Paxos: one participant group coordinates, each
+participant logs a prepare record through its own consensus group, and the
+coordinator logs the commit decision after all prepares land.  Locks are
+held per shard for the duration; the commit timestamp respects the
+TrueTime-style commit wait already modeled by each group's replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Mapping, Sequence
+
+from repro.cluster.node import WorkContext
+from repro.platforms.spanner.consensus import PaxosGroup
+from repro.platforms.spanner.transactions import LockManager, LockMode, TransactionError
+from repro.sim import Environment, all_of
+
+__all__ = ["ShardParticipant", "TwoPhaseCommit"]
+
+
+@dataclass
+class ShardParticipant:
+    """One shard's view of a distributed transaction."""
+
+    shard_id: int
+    locks: LockManager
+    data: dict
+    paxos: PaxosGroup
+
+
+class TwoPhaseCommit:
+    """Coordinates one read-write transaction across several shards.
+
+    Usage (inside a simulation process)::
+
+        txn = TwoPhaseCommit(env, txn_id, participants)
+        yield from txn.acquire(ctx, {0: ["a"], 1: ["b"]})   # writes per shard
+        txn.buffer_write(0, "a", 1)
+        txn.buffer_write(1, "b", 2)
+        committed = yield from txn.commit(ctx)
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        txn_id: int,
+        participants: Sequence[ShardParticipant],
+    ):
+        if not participants:
+            raise ValueError("a distributed transaction needs participants")
+        self.env = env
+        self.txn_id = txn_id
+        self.participants = {p.shard_id: p for p in participants}
+        if len(self.participants) != len(participants):
+            raise ValueError("duplicate shard ids")
+        # The first participant's group coordinates (Spanner picks one).
+        self.coordinator = participants[0]
+        self._write_buffers: dict[int, dict[Any, Any]] = {
+            p.shard_id: {} for p in participants
+        }
+        self._held: dict[int, list[Any]] = {p.shard_id: [] for p in participants}
+        self._finished = False
+
+    # -- lock acquisition ------------------------------------------------------
+
+    def acquire(
+        self, ctx: WorkContext, write_keys: Mapping[int, Sequence[Any]]
+    ) -> Generator:
+        """Acquire exclusive locks on every shard, shards in sorted order."""
+        self._check_open()
+        for shard_id in sorted(write_keys):
+            if shard_id not in self.participants:
+                raise TransactionError(f"unknown shard {shard_id}")
+            participant = self.participants[shard_id]
+            for key in sorted(write_keys[shard_id], key=repr):
+                yield participant.locks.acquire(self.txn_id, key, LockMode.EXCLUSIVE)
+                self._held[shard_id].append(key)
+
+    def read(self, shard_id: int, key: Any) -> Any:
+        self._check_open()
+        buffered = self._write_buffers[shard_id]
+        if key in buffered:
+            return buffered[key]
+        return self.participants[shard_id].data.get(key)
+
+    def buffer_write(self, shard_id: int, key: Any, value: Any) -> None:
+        self._check_open()
+        if key not in self._held[shard_id]:
+            raise TransactionError(f"write to unlocked key {key!r} on shard {shard_id}")
+        self._write_buffers[shard_id][key] = value
+
+    # -- the protocol -------------------------------------------------------------
+
+    def commit(self, ctx: WorkContext) -> Generator:
+        """Prepare on every participant, then log the commit decision.
+
+        Returns True on commit.  Prepares run in parallel (each is a Paxos
+        replication in its own group); the coordinator's commit record is a
+        second Paxos round; apply + release happen after the decision.
+        """
+        self._check_open()
+        touched = [
+            shard_id
+            for shard_id, buffer in self._write_buffers.items()
+            if buffer
+        ]
+        if not touched:
+            self._release_all()
+            self._finished = True
+            return True
+        # Phase 1: parallel prepares through each participant's Paxos group.
+        prepares = [
+            self.env.process(
+                self.participants[shard_id].paxos.replicate(
+                    ctx,
+                    {"txn": self.txn_id, "phase": "prepare", "shard": shard_id},
+                    nbytes=128.0 * max(1, len(self._write_buffers[shard_id])),
+                ),
+                name=f"2pc:prepare:{shard_id}",
+            )
+            for shard_id in touched
+        ]
+        yield all_of(self.env, prepares)
+        # Phase 2: the coordinator logs the commit decision.
+        yield from self.coordinator.paxos.replicate(
+            ctx, {"txn": self.txn_id, "phase": "commit"}, nbytes=96.0
+        )
+        # Apply and release everywhere.
+        for shard_id in touched:
+            self.participants[shard_id].data.update(self._write_buffers[shard_id])
+        self._release_all()
+        self._finished = True
+        return True
+
+    def abort(self) -> None:
+        self._check_open()
+        for buffer in self._write_buffers.values():
+            buffer.clear()
+        self._release_all()
+        self._finished = True
+
+    def _release_all(self) -> None:
+        for shard_id, keys in self._held.items():
+            locks = self.participants[shard_id].locks
+            for key in keys:
+                locks.release(self.txn_id, key)
+            keys.clear()
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise TransactionError(f"distributed txn {self.txn_id} already finished")

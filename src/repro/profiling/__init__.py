@@ -1,0 +1,49 @@
+"""The measurement pipeline: tracing, sampling, categorization, aggregation.
+
+Mirrors the paper's methodology sections:
+
+* :mod:`repro.profiling.dapper` -- an RPC trace logging system in the style
+  of Dapper (Section 4.1): spans recorded on every simulated RPC and IO,
+  assembled into per-query trace trees.
+* :mod:`repro.profiling.breakdown` -- the Section 4.1/4.2 end-to-end time
+  attribution (overlap resolved remote -> IO -> CPU) and the Figure 2 query
+  grouping, plus the Figures 3-6 CPU cycle aggregations.
+* :mod:`repro.profiling.gwp` -- a fleet-wide sampling CPU profiler in the
+  style of Google-Wide Profiling (Section 5.1): samples leaf functions with
+  attached performance counters.
+* :mod:`repro.profiling.categories` -- leaf-function -> taxonomy
+  categorization rules (Tables 2-5).
+* :mod:`repro.profiling.counters` -- the microarchitectural counter model
+  behind Tables 6-7 (per-category event rates, IPC stall model).
+"""
+
+from repro.profiling.breakdown import (
+    CpuCycleBreakdown,
+    E2EBreakdown,
+    QueryBreakdown,
+    classify_query,
+    trace_breakdown,
+)
+from repro.profiling.categories import FunctionCategorizer, default_categorizer
+from repro.profiling.counters import CounterSample, PerfCounterModel, StallModel
+from repro.profiling.dapper import Span, SpanKind, Trace, Tracer
+from repro.profiling.gwp import CpuSample, FleetProfiler
+
+__all__ = [
+    "Span",
+    "SpanKind",
+    "Trace",
+    "Tracer",
+    "trace_breakdown",
+    "classify_query",
+    "QueryBreakdown",
+    "E2EBreakdown",
+    "CpuCycleBreakdown",
+    "FunctionCategorizer",
+    "default_categorizer",
+    "CpuSample",
+    "FleetProfiler",
+    "CounterSample",
+    "PerfCounterModel",
+    "StallModel",
+]

@@ -1,0 +1,317 @@
+"""End-to-end and CPU-cycle breakdown aggregation (Sections 4.2 and 5.2).
+
+Two aggregations live here:
+
+* :func:`trace_breakdown` + :class:`E2EBreakdown` -- Figure 2.  A query's
+  trace is reduced to (cpu, remote, io) seconds with overlapped wall-clock
+  attributed in the paper's priority order (remote work, then IO, then CPU);
+  queries are then classified into the four groups of Section 4.2.
+* :class:`CpuCycleBreakdown` -- Figures 3-6.  GWP samples are aggregated
+  into cycle fractions per broad and fine category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro import taxonomy
+from repro.profiling.dapper import SpanKind, Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.profiling.gwp import CpuSample
+
+__all__ = [
+    "QueryBreakdown",
+    "trace_breakdown",
+    "classify_query",
+    "E2EBreakdown",
+    "CpuCycleBreakdown",
+]
+
+CPU_HEAVY = "CPU Heavy"
+IO_HEAVY = "IO Heavy"
+REMOTE_HEAVY = "Remote Work Heavy"
+OTHERS = "Others"
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    total += current_end - current_start
+    return total
+
+
+def _union(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start > last_end:
+            merged.append((start, end))
+        else:
+            merged[-1] = (last_start, max(last_end, end))
+    return merged
+
+
+def _subtract(
+    intervals: list[tuple[float, float]], holes: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Set difference of interval unions (both inputs already merged)."""
+    result: list[tuple[float, float]] = []
+    hole_index = 0
+    for start, end in intervals:
+        cursor = start
+        while hole_index < len(holes) and holes[hole_index][1] <= cursor:
+            hole_index += 1
+        i = hole_index
+        while i < len(holes) and holes[i][0] < end:
+            hole_start, hole_end = holes[i]
+            if hole_start > cursor:
+                result.append((cursor, min(hole_start, end)))
+            cursor = max(cursor, hole_end)
+            if cursor >= end:
+                break
+            i += 1
+        if cursor < end:
+            result.append((cursor, end))
+    return [iv for iv in result if iv[1] > iv[0]]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryBreakdown:
+    """One query's attributed end-to-end decomposition."""
+
+    name: str
+    t_e2e: float
+    t_cpu: float
+    t_remote: float
+    t_io: float
+    t_unattributed: float = 0.0
+    overlap_hidden: float = 0.0
+
+    @property
+    def cpu_fraction(self) -> float:
+        return self.t_cpu / self.t_e2e if self.t_e2e else 0.0
+
+    @property
+    def remote_fraction(self) -> float:
+        return self.t_remote / self.t_e2e if self.t_e2e else 0.0
+
+    @property
+    def io_fraction(self) -> float:
+        return self.t_io / self.t_e2e if self.t_e2e else 0.0
+
+    @property
+    def group(self) -> str:
+        return classify_query(self)
+
+
+DEFAULT_ATTRIBUTION_ORDER: tuple[SpanKind, ...] = (
+    SpanKind.REMOTE,
+    SpanKind.IO,
+    SpanKind.CPU,
+)
+
+
+def trace_breakdown(
+    trace: Trace,
+    *,
+    attribution_order: tuple[SpanKind, ...] = DEFAULT_ATTRIBUTION_ORDER,
+) -> QueryBreakdown:
+    """Attribute a trace's wall-clock per the Section 4.1 policy.
+
+    Overlapped time is categorized "first into remote work, then IO, then
+    CPU time, assuming that CPU time was blocked on remote work and IO".
+    ``overlap_hidden`` reports how much raw span time the policy discarded
+    (total span seconds minus attributed seconds) -- this is the measured
+    CPU/non-CPU overlap that feeds Equation 1's sync factor ``f``.
+
+    ``attribution_order`` exists for the ablation study: permuting it
+    changes which class absorbs overlapped intervals.
+    """
+    if sorted(k.value for k in attribution_order) != sorted(k.value for k in SpanKind):
+        raise ValueError("attribution_order must be a permutation of SpanKind")
+    if not trace.finished:
+        raise ValueError(f"trace {trace.trace_id} not finished")
+    by_kind: dict[SpanKind, list[tuple[float, float]]] = {
+        kind: [] for kind in SpanKind
+    }
+    raw_total = 0.0
+    for span in trace.spans:
+        if not span.finished:
+            raise ValueError(f"span {span.name!r} in trace {trace.trace_id} unfinished")
+        if span.duration > 0:
+            by_kind[span.kind].append((span.start, span.end))
+            raw_total += span.duration
+
+    attributed: dict[SpanKind, list[tuple[float, float]]] = {}
+    claimed: list[tuple[float, float]] = []
+    for kind in attribution_order:
+        intervals = _subtract(_union(by_kind[kind]), claimed)
+        attributed[kind] = intervals
+        claimed = _union(claimed + intervals)
+
+    t_remote = _union_length(list(attributed[SpanKind.REMOTE]))
+    t_io = _union_length(list(attributed[SpanKind.IO]))
+    t_cpu = _union_length(list(attributed[SpanKind.CPU]))
+    t_e2e = trace.duration
+    t_unattributed = max(0.0, t_e2e - (t_remote + t_io + t_cpu))
+    return QueryBreakdown(
+        name=trace.name,
+        t_e2e=t_e2e,
+        t_cpu=t_cpu,
+        t_remote=t_remote,
+        t_io=t_io,
+        t_unattributed=t_unattributed,
+        overlap_hidden=max(0.0, raw_total - (t_remote + t_io + t_cpu)),
+    )
+
+
+def classify_query(breakdown: QueryBreakdown) -> str:
+    """Section 4.2 query grouping.
+
+    CPU heavy: > 60% of time on CPU computation.  IO / remote heavy: > 30%
+    of time on distributed storage / remote work (ties broken toward the
+    larger of the two).  Everything else is "Others".
+    """
+    if breakdown.cpu_fraction > 0.60:
+        return CPU_HEAVY
+    io_hit = breakdown.io_fraction > 0.30
+    remote_hit = breakdown.remote_fraction > 0.30
+    if io_hit and remote_hit:
+        return IO_HEAVY if breakdown.io_fraction >= breakdown.remote_fraction else REMOTE_HEAVY
+    if io_hit:
+        return IO_HEAVY
+    if remote_hit:
+        return REMOTE_HEAVY
+    return OTHERS
+
+
+@dataclass
+class E2EBreakdown:
+    """Figure 2 aggregation over many queries of one platform."""
+
+    platform: str
+    queries: list[QueryBreakdown] = field(default_factory=list)
+
+    def add(self, breakdown: QueryBreakdown) -> None:
+        self.queries.append(breakdown)
+
+    def extend(self, breakdowns: Iterable[QueryBreakdown]) -> None:
+        self.queries.extend(breakdowns)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def group_query_fractions(self) -> dict[str, float]:
+        """Fraction of queries per group (Figure 2's line plot)."""
+        if not self.queries:
+            return {}
+        counts: dict[str, int] = {}
+        for query in self.queries:
+            counts[query.group] = counts.get(query.group, 0) + 1
+        return {group: count / len(self.queries) for group, count in counts.items()}
+
+    def group_time_breakdown(self, group: str | None = None) -> dict[str, float]:
+        """Time-weighted (cpu, remote, io) fractions for one group (or all).
+
+        This is one stacked bar of Figure 2: total attributed seconds in each
+        class divided by total end-to-end seconds of the group's queries.
+        """
+        selected = [
+            q for q in self.queries if group is None or q.group == group
+        ]
+        total = sum(q.t_e2e for q in selected)
+        if total == 0:
+            return {"cpu": 0.0, "remote": 0.0, "io": 0.0}
+        return {
+            "cpu": sum(q.t_cpu for q in selected) / total,
+            "remote": sum(q.t_remote for q in selected) / total,
+            "io": sum(q.t_io for q in selected) / total,
+        }
+
+    def overall_breakdown(self) -> dict[str, float]:
+        return self.group_time_breakdown(None)
+
+    def mean_overlap_factor(self) -> float:
+        """The measured Equation 1 sync factor ``f``.
+
+        ``f = 1 - hidden_overlap / min(t_cpu_true, t_dep_true)`` per query,
+        averaged weighted by end-to-end time.  The *true* CPU time is the
+        attributed CPU time plus the hidden overlap.
+        """
+        weighted = 0.0
+        total = 0.0
+        for q in self.queries:
+            t_cpu_true = q.t_cpu + q.overlap_hidden
+            t_dep = q.t_remote + q.t_io
+            floor = min(t_cpu_true, t_dep)
+            f = 1.0 if floor <= 0 else max(0.0, 1.0 - q.overlap_hidden / floor)
+            weighted += f * q.t_e2e
+            total += q.t_e2e
+        return weighted / total if total else 1.0
+
+
+@dataclass
+class CpuCycleBreakdown:
+    """Figures 3-6 aggregation over GWP samples of one platform."""
+
+    platform: str
+    cycles_by_category: dict[str, float] = field(default_factory=dict)
+
+    def add_sample(self, category_key: str, cycles: float) -> None:
+        self.cycles_by_category[category_key] = (
+            self.cycles_by_category.get(category_key, 0.0) + cycles
+        )
+
+    def add_samples(self, samples: Iterable["CpuSample"]) -> None:
+        for sample in samples:
+            self.add_sample(sample.category_key, sample.cycles)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.cycles_by_category.values())
+
+    def broad_fractions(self) -> dict[taxonomy.BroadCategory, float]:
+        """Figure 3: fraction of cycles per broad category."""
+        total = self.total_cycles
+        result = {broad: 0.0 for broad in taxonomy.BroadCategory}
+        if total == 0:
+            return result
+        for key, cycles in self.cycles_by_category.items():
+            result[taxonomy.broad_of(key)] += cycles / total
+        return result
+
+    def fine_fractions(self, broad: taxonomy.BroadCategory) -> dict[str, float]:
+        """Figures 4-6: within-broad-category fraction per fine category."""
+        in_broad = {
+            key: cycles
+            for key, cycles in self.cycles_by_category.items()
+            if taxonomy.broad_of(key) is broad
+        }
+        total = sum(in_broad.values())
+        if total == 0:
+            return {}
+        return {key: cycles / total for key, cycles in in_broad.items()}
+
+    def cpu_fractions(self) -> dict[str, float]:
+        """Fraction of all CPU cycles per fine category (model input)."""
+        total = self.total_cycles
+        if total == 0:
+            return {}
+        return {
+            key: cycles / total for key, cycles in self.cycles_by_category.items()
+        }

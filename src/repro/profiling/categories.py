@@ -1,0 +1,117 @@
+"""Leaf-function -> taxonomy categorization (Section 5.1 methodology).
+
+The fleet profiler attributes samples to the *leaf function* of the call
+stack; a rule table then maps function names onto the Tables 2-5 taxonomy,
+mirroring the paper's "manually categorize, prioritize, and aggregate
+returned samples by their leaf functions".
+
+Rules are ordered: the first match wins (so e.g. ``proto2::io::Copy*``
+lands in protobuf, not data movement).  Unmatched functions fall into
+``core/uncategorized``, exactly as the paper's Figure 4 has an explicit
+Uncategorized bucket.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro import taxonomy
+
+__all__ = ["CategorizationRule", "FunctionCategorizer", "default_categorizer"]
+
+
+@dataclass(frozen=True, slots=True)
+class CategorizationRule:
+    """One pattern -> category mapping."""
+
+    pattern: str
+    category: taxonomy.Category
+
+    def matches(self, function_name: str) -> bool:
+        return re.search(self.pattern, function_name) is not None
+
+
+class FunctionCategorizer:
+    """Ordered-rule classifier from leaf function names to categories."""
+
+    def __init__(self, rules: Sequence[CategorizationRule]):
+        self._rules = list(rules)
+        self._compiled = [
+            (re.compile(rule.pattern), rule.category) for rule in self._rules
+        ]
+        self._cache: dict[str, str] = {}
+
+    @property
+    def rules(self) -> tuple[CategorizationRule, ...]:
+        return tuple(self._rules)
+
+    def categorize(self, function_name: str) -> str:
+        """Category key for a leaf function (first matching rule wins)."""
+        cached = self._cache.get(function_name)
+        if cached is not None:
+            return cached
+        for pattern, category in self._compiled:
+            if pattern.search(function_name):
+                self._cache[function_name] = category.key
+                return category.key
+        self._cache[function_name] = taxonomy.UNCATEGORIZED.key
+        return taxonomy.UNCATEGORIZED.key
+
+    def with_rules(self, extra: Iterable[CategorizationRule]) -> "FunctionCategorizer":
+        """A new categorizer with ``extra`` rules taking precedence."""
+        return FunctionCategorizer(list(extra) + self._rules)
+
+
+# ---------------------------------------------------------------------------
+# The default fleet rule table.  Function names below are the ones the
+# platform simulators emit; the vocabulary intentionally mimics the real
+# fleet's (snappy, proto2, absl, tcmalloc, ...).
+# ---------------------------------------------------------------------------
+_DEFAULT_RULES: tuple[CategorizationRule, ...] = (
+    # --- datacenter taxes (Table 2) ---
+    CategorizationRule(r"^snappy::|^zlib_|::Compress|::Uncompress", taxonomy.COMPRESSION),
+    CategorizationRule(r"^openssl_|^sha|^aes_|::Hash(?!Join|Aggregate)|^hmac_", taxonomy.CRYPTOGRAPHY),
+    CategorizationRule(r"^proto2::|::SerializeToString|::ParseFromString|^pb_", taxonomy.PROTOBUF),
+    CategorizationRule(r"^memcpy$|^memmove$|^copy_user|::CopyBytes", taxonomy.DATA_MOVEMENT),
+    CategorizationRule(r"^tcmalloc::|^malloc$|^free$|^operator new|^operator delete", taxonomy.MEMORY_ALLOCATION),
+    CategorizationRule(r"^rpc::|^stubby::|^grpc_|::RpcDispatch", taxonomy.RPC),
+    # --- system taxes (Table 3) ---
+    CategorizationRule(r"^crc32|^edac_|::Checksum|::VerifyChecksum", taxonomy.EDAC),
+    CategorizationRule(r"^fsclient::|^colossus_client::|^vfs_", taxonomy.FILE_SYSTEMS),
+    CategorizationRule(r"^memset$|^page_zero|::PrefetchRange", taxonomy.OTHER_MEMORY_OPS),
+    CategorizationRule(r"^pthread_|^absl::Mutex|^threadpool::|::SpinLock", taxonomy.MULTITHREADING),
+    CategorizationRule(r"^tcp_|^net_rx_|^epoll_|^sk_buff_", taxonomy.NETWORKING),
+    CategorizationRule(r"^sys_|^kernel::|^do_syscall|^clock_gettime|^schedule$", taxonomy.OPERATING_SYSTEM),
+    CategorizationRule(r"^std::|^absl::(?!Mutex)|^__gnu_cxx::", taxonomy.STL),
+    CategorizationRule(r"^systax_misc::", taxonomy.MISC_SYSTEM),
+    # --- core compute, databases (Table 4) ---
+    CategorizationRule(r"::TabletRead|::RowRead|::PointLookup|::ScanRange", taxonomy.READ),
+    CategorizationRule(r"::ApplyMutation|::CommitWrite|::LogAppend|::WriteBatch", taxonomy.WRITE),
+    CategorizationRule(r"::CompactSSTables|::MergeRevisions|::GarbageCollect", taxonomy.COMPACTION),
+    CategorizationRule(r"^paxos::|::ReplicateLog|::QuorumVote|^raft::", taxonomy.CONSENSUS),
+    CategorizationRule(r"^sqlexec::|::EvalPredicate|::PlanQuery", taxonomy.QUERY),
+    # --- core compute, analytics (Table 5) ---
+    CategorizationRule(r"::HashAggregate|::SortAggregate|::GroupBy", taxonomy.AGGREGATE),
+    CategorizationRule(r"::ColumnwiseEval|::VectorizedCompute", taxonomy.COMPUTE),
+    CategorizationRule(r"::FieldAccess|::Destructure", taxonomy.DESTRUCTURE),
+    CategorizationRule(r"::FilterRows|::SelectionScan", taxonomy.FILTER),
+    CategorizationRule(r"::HashJoin|::SortMergeJoin|::BuildJoinTable", taxonomy.JOIN),
+    CategorizationRule(r"::MaterializeTable|::BuildRowSet", taxonomy.MATERIALIZE),
+    CategorizationRule(r"::ProjectColumns|::ColumnFetch", taxonomy.PROJECT),
+    CategorizationRule(r"::SortRows|::ExternalSort", taxonomy.SORT),
+    # --- labeled long-tail core compute ---
+    CategorizationRule(r"^misc_core::", taxonomy.MISC_CORE),
+)
+
+
+_DEFAULT: FunctionCategorizer | None = None
+
+
+def default_categorizer() -> FunctionCategorizer:
+    """The shared default rule table (cached singleton)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = FunctionCategorizer(_DEFAULT_RULES)
+    return _DEFAULT

@@ -1,0 +1,177 @@
+"""Dapper-style RPC trace logging (Section 4.1 methodology).
+
+Every query executed by a platform simulator opens a :class:`Trace`; the
+simulator (and the RPC / storage layers underneath it) records :class:`Span`
+intervals tagged with what the server was doing: local CPU work, distributed
+storage IO, or waiting on remote workers.  Spans may overlap freely -- the
+attribution policy that resolves overlaps lives in
+:mod:`repro.profiling.breakdown`, matching the paper's "remote first, then
+IO, then CPU" rule.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["SpanKind", "Span", "Trace", "Tracer"]
+
+
+class SpanKind(enum.Enum):
+    """What a span's wall-clock interval was spent on."""
+
+    CPU = "cpu"
+    IO = "io"
+    REMOTE = "remote"
+
+    @property
+    def attribution_priority(self) -> int:
+        """Lower wins when intervals overlap (Section 4.1: remote, IO, CPU)."""
+        return {SpanKind.REMOTE: 0, SpanKind.IO: 1, SpanKind.CPU: 2}[self]
+
+
+@dataclass
+class Span:
+    """One timed interval within a trace."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    kind: SpanKind
+    start: float
+    end: float | None = None
+    annotations: dict = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} not finished")
+        return self.end - self.start
+
+    def finish(self, when: float) -> "Span":
+        if self.end is not None:
+            raise ValueError(f"span {self.name!r} already finished")
+        if when < self.start:
+            raise ValueError(
+                f"span {self.name!r} cannot end at {when} before start {self.start}"
+            )
+        self.end = when
+        return self
+
+
+class Trace:
+    """The spans of one query, forming a tree via parent ids."""
+
+    def __init__(self, trace_id: int, name: str, start: float):
+        self.trace_id = trace_id
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self._spans: list[Span] = []
+        self._span_ids = itertools.count()
+        self.annotations: dict = {}
+
+    def start_span(
+        self,
+        name: str,
+        kind: SpanKind,
+        when: float,
+        parent: Span | None = None,
+    ) -> Span:
+        span = Span(
+            span_id=next(self._span_ids),
+            parent_id=parent.span_id if parent else None,
+            name=name,
+            kind=kind,
+            start=when,
+        )
+        self._spans.append(span)
+        return span
+
+    def record(
+        self,
+        name: str,
+        kind: SpanKind,
+        start: float,
+        end: float,
+        parent: Span | None = None,
+        **annotations,
+    ) -> Span:
+        """Record an already-finished interval in one call."""
+        span = self.start_span(name, kind, start, parent)
+        span.finish(end)
+        span.annotations.update(annotations)
+        return span
+
+    def finish(self, when: float) -> "Trace":
+        if self.end is not None:
+            raise ValueError(f"trace {self.trace_id} already finished")
+        self.end = when
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError("trace not finished")
+        return self.end - self.start
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        return tuple(self._spans)
+
+    def spans_of_kind(self, kind: SpanKind) -> Iterator[Span]:
+        return (span for span in self._spans if span.kind is kind)
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+
+class Tracer:
+    """Collects traces across the fleet, with optional 1-in-N sampling.
+
+    The paper samples one-thousandth of all queries for Spanner and BigTable
+    (Section 4.1); ``sample_rate=1000`` reproduces that: only every 1000th
+    query gets a trace, the rest return ``None`` and run untraced.
+    """
+
+    def __init__(self, sample_rate: int = 1):
+        if sample_rate < 1:
+            raise ValueError(f"sample_rate must be >= 1, got {sample_rate}")
+        self.sample_rate = sample_rate
+        self._trace_ids = itertools.count()
+        self._seen = 0
+        self._traces: list[Trace] = []
+
+    def start_trace(self, name: str, when: float) -> Trace | None:
+        """Begin a trace for a new query, or ``None`` if sampled out."""
+        self._seen += 1
+        if (self._seen - 1) % self.sample_rate != 0:
+            return None
+        trace = Trace(next(self._trace_ids), name, when)
+        self._traces.append(trace)
+        return trace
+
+    @property
+    def queries_seen(self) -> int:
+        return self._seen
+
+    @property
+    def traces(self) -> tuple[Trace, ...]:
+        return tuple(self._traces)
+
+    def finished_traces(self) -> list[Trace]:
+        return [trace for trace in self._traces if trace.finished]
+
+    def extend(self, traces: Iterable[Trace]) -> None:
+        """Merge traces collected by another tracer shard."""
+        self._traces.extend(traces)

@@ -1,0 +1,158 @@
+"""Fleet-wide sampling CPU profiler in the style of GWP (Section 5.1).
+
+Platform simulators report every chunk of CPU work they execute as
+``(platform, leaf_function, duration)``.  The profiler converts those chunks
+into periodic timer samples -- one sample per elapsed sampling period of CPU
+time, with fractional periods carried across chunks, exactly like a
+cycle-budget timer interrupt -- categorizes each sample's leaf function via
+the rule table, and attaches modeled performance counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro import taxonomy
+from repro.profiling.breakdown import CpuCycleBreakdown
+from repro.profiling.categories import FunctionCategorizer, default_categorizer
+from repro.profiling.counters import (
+    CounterAggregate,
+    CounterSample,
+    PerfCounterModel,
+)
+
+__all__ = ["CpuSample", "FleetProfiler"]
+
+
+@dataclass(frozen=True, slots=True)
+class CpuSample:
+    """One profiler sample: a leaf function caught by the sampling timer."""
+
+    platform: str
+    function: str
+    category_key: str
+    cycles: float
+    timestamp: float
+    counters: CounterSample | None = None
+
+
+class FleetProfiler:
+    """Collects CPU samples across every platform in the simulated fleet.
+
+    Args:
+        sample_period: seconds of *CPU time* between samples (the paper
+            samples over a representative day; scale this to the simulated
+            horizon).
+        cpu_hz: clock rate used to convert sampled seconds into cycles.
+        categorizer: leaf-function rule table (defaults to the fleet table).
+        counter_models: per-platform :class:`PerfCounterModel`; platforms
+            without a model get samples without counters.
+        seed: RNG seed for counter jitter.
+    """
+
+    def __init__(
+        self,
+        sample_period: float = 1e-3,
+        cpu_hz: float = 2.0e9,
+        categorizer: FunctionCategorizer | None = None,
+        counter_models: Mapping[str, PerfCounterModel] | None = None,
+        seed: int = 0,
+    ):
+        if sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        if cpu_hz <= 0:
+            raise ValueError("cpu_hz must be positive")
+        self.sample_period = sample_period
+        self.cpu_hz = cpu_hz
+        self.categorizer = categorizer or default_categorizer()
+        self.counter_models = dict(counter_models or {})
+        self._rng = np.random.default_rng(seed)
+        self._samples: list[CpuSample] = []
+        self._credit: dict[str, float] = {}
+        self._cpu_seconds: dict[str, float] = {}
+
+    @property
+    def samples(self) -> tuple[CpuSample, ...]:
+        return tuple(self._samples)
+
+    def cpu_seconds(self, platform: str) -> float:
+        """Total CPU seconds reported by a platform (sampled or not)."""
+        return self._cpu_seconds.get(platform, 0.0)
+
+    def record_work(
+        self, platform: str, function: str, duration: float, when: float = 0.0
+    ) -> int:
+        """Report an executed CPU chunk; returns the number of samples taken.
+
+        A sample fires each time the platform's accumulated CPU time crosses
+        a multiple of the sampling period; all samples crossed during this
+        chunk attribute one period of cycles to this chunk's leaf function.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self._cpu_seconds[platform] = self._cpu_seconds.get(platform, 0.0) + duration
+        credit = self._credit.get(platform, 0.0) + duration
+        taken = 0
+        category_key = self.categorizer.categorize(function)
+        broad_key = taxonomy.broad_of(category_key).value
+        model = self.counter_models.get(platform)
+        while credit >= self.sample_period:
+            credit -= self.sample_period
+            cycles = self.sample_period * self.cpu_hz
+            counters = (
+                model.sample(broad_key, cycles, rng=self._rng) if model else None
+            )
+            self._samples.append(
+                CpuSample(
+                    platform=platform,
+                    function=function,
+                    category_key=category_key,
+                    cycles=cycles,
+                    timestamp=when,
+                    counters=counters,
+                )
+            )
+            taken += 1
+        self._credit[platform] = credit
+        return taken
+
+    # -- aggregations --------------------------------------------------------
+
+    def platform_samples(self, platform: str) -> list[CpuSample]:
+        return [s for s in self._samples if s.platform == platform]
+
+    def cycle_breakdown(self, platform: str) -> CpuCycleBreakdown:
+        """Figures 3-6 input: cycles per category for one platform."""
+        breakdown = CpuCycleBreakdown(platform=platform)
+        breakdown.add_samples(self.platform_samples(platform))
+        return breakdown
+
+    def counter_aggregate(
+        self,
+        platform: str,
+        broad: taxonomy.BroadCategory | None = None,
+    ) -> CounterAggregate:
+        """Tables 6-7 input: counter totals, optionally per broad category."""
+        aggregate = CounterAggregate()
+        for sample in self.platform_samples(platform):
+            if sample.counters is None:
+                continue
+            if broad is not None and taxonomy.broad_of(sample.category_key) is not broad:
+                continue
+            aggregate.add(sample.counters)
+        return aggregate
+
+    def top_functions(self, platform: str, count: int = 10) -> list[tuple[str, float]]:
+        """Hottest leaf functions by sampled cycles (profiler report view)."""
+        cycles: dict[str, float] = {}
+        for sample in self.platform_samples(platform):
+            cycles[sample.function] = cycles.get(sample.function, 0.0) + sample.cycles
+        ranked = sorted(cycles.items(), key=lambda item: item[1], reverse=True)
+        return ranked[:count]
+
+    def extend(self, samples: Iterable[CpuSample]) -> None:
+        """Merge samples collected by another profiler shard."""
+        self._samples.extend(samples)

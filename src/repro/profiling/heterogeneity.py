@@ -1,0 +1,133 @@
+"""Core heterogeneity study (Section 5.6's design takeaway).
+
+Section 5.6 concludes: "More complex cores with better branch predictors,
+larger instruction caches, better prefetchers, and larger TLB hierarchies
+are more suited to database workloads, while relatively simpler cores are
+more suited to running data analytics workloads."
+
+This module makes that quantitative.  A :class:`CoreDesign` is a stall
+model (base CPI + per-miss penalties) plus frequency and relative
+area/power; structures that a big core invests in (branch predictor, big
+L1I/L2I, TLBs) show up as *smaller penalties* because more misses are
+hidden or avoided.  Given a workload's Table 7-style event rates, each
+design yields throughput (instructions/second) and efficiency
+(throughput per unit area), and :func:`placement_study` recommends a core
+type per platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.profiling.counters import CounterRates, StallModel
+
+__all__ = ["CoreDesign", "BIG_CORE", "LITTLE_CORE", "placement_study", "PlacementRow"]
+
+
+@dataclass(frozen=True)
+class CoreDesign:
+    """One core microarchitecture as an effective stall model."""
+
+    name: str
+    stall_model: StallModel
+    frequency_hz: float
+    relative_area: float  # normalized area/power cost per core
+
+    def ipc(self, rates: CounterRates) -> float:
+        return self.stall_model.predict_ipc(rates)
+
+    def throughput(self, rates: CounterRates) -> float:
+        """Instructions per second on this design for a given event mix."""
+        return self.ipc(rates) * self.frequency_hz
+
+    def efficiency(self, rates: CounterRates) -> float:
+        """Throughput per unit area -- the heterogeneity decision metric."""
+        return self.throughput(rates) / self.relative_area
+
+
+#: A wide out-of-order server core: hides most frontend misses (aggressive
+#: prefetch, big structures), low per-miss penalties, 3x the area.
+BIG_CORE = CoreDesign(
+    name="big (wide OoO)",
+    stall_model=StallModel(
+        base_cpi=0.30,
+        penalties={
+            "br": 10.0,
+            "l1i": 6.0,
+            "l2i": 14.0,
+            "llc": 60.0,
+            "itlb": 20.0,
+            "dtlb_ld": 18.0,
+        },
+    ),
+    frequency_hz=3.0e9,
+    relative_area=3.0,
+)
+
+#: A modest in-order core: every miss hurts more, but it costs 1 unit.
+LITTLE_CORE = CoreDesign(
+    name="little (narrow in-order)",
+    stall_model=StallModel(
+        base_cpi=0.55,
+        penalties={
+            "br": 16.0,
+            "l1i": 12.0,
+            "l2i": 28.0,
+            "llc": 110.0,
+            "itlb": 35.0,
+            "dtlb_ld": 30.0,
+        },
+    ),
+    frequency_hz=2.2e9,
+    relative_area=1.0,
+)
+
+
+@dataclass(frozen=True)
+class PlacementRow:
+    """One platform's heterogeneity verdict."""
+
+    platform: str
+    big_throughput: float
+    little_throughput: float
+    big_efficiency: float
+    little_efficiency: float
+
+    @property
+    def throughput_retention_on_little(self) -> float:
+        """How much of the big core's throughput the little core keeps.
+
+        High retention (analytics-style low miss rates) argues for little
+        cores; low retention (database-style frontend pressure) argues for
+        big cores -- the Section 5.6 split.
+        """
+        return self.little_throughput / self.big_throughput
+
+    @property
+    def recommended(self) -> str:
+        return (
+            "little"
+            if self.little_efficiency >= self.big_efficiency
+            else "big"
+        )
+
+
+def placement_study(
+    platform_rates: Mapping[str, CounterRates],
+    designs: Sequence[CoreDesign] = (BIG_CORE, LITTLE_CORE),
+) -> dict[str, PlacementRow]:
+    """Evaluate big vs little placement for each platform's event mix."""
+    if len(designs) != 2:
+        raise ValueError("placement_study compares exactly two designs")
+    big, little = designs
+    rows = {}
+    for platform, rates in platform_rates.items():
+        rows[platform] = PlacementRow(
+            platform=platform,
+            big_throughput=big.throughput(rates),
+            little_throughput=little.throughput(rates),
+            big_efficiency=big.efficiency(rates),
+            little_efficiency=little.efficiency(rates),
+        )
+    return rows

@@ -1,0 +1,44 @@
+"""Protocol-buffers wire format, from scratch.
+
+The Table 8 validation serializes "fleet-wide representative protobuf
+messages" (HyperProtoBench).  This package implements the real wire format
+-- varints, zigzag, tags, length-delimited fields, nested messages -- plus a
+descriptor/runtime layer and a message corpus whose five families span the
+size and nesting spectrum HyperProtoBench documents.
+
+* :mod:`repro.protowire.wire` -- low-level encode/decode primitives.
+* :mod:`repro.protowire.descriptor` -- message schemas and the dynamic
+  :class:`~repro.protowire.descriptor.Message` runtime with serialize/parse.
+* :mod:`repro.protowire.messages` -- the benchmark corpus generator.
+"""
+
+from repro.protowire.descriptor import (
+    FieldDescriptor,
+    FieldType,
+    Message,
+    MessageDescriptor,
+)
+from repro.protowire.messages import BENCH_FAMILIES, MessageCorpus
+from repro.protowire.wire import (
+    WireDecodeError,
+    WireType,
+    decode_varint,
+    encode_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "zigzag_encode",
+    "zigzag_decode",
+    "WireType",
+    "WireDecodeError",
+    "FieldType",
+    "FieldDescriptor",
+    "MessageDescriptor",
+    "Message",
+    "MessageCorpus",
+    "BENCH_FAMILIES",
+]

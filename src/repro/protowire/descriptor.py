@@ -1,0 +1,293 @@
+"""Message descriptors and the dynamic message runtime."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.protowire import wire
+from repro.protowire.wire import WireDecodeError, WireType
+
+__all__ = ["FieldType", "FieldDescriptor", "MessageDescriptor", "Message"]
+
+
+class FieldType(enum.Enum):
+    INT64 = "int64"
+    SINT64 = "sint64"
+    BOOL = "bool"
+    DOUBLE = "double"
+    FLOAT = "float"
+    STRING = "string"
+    BYTES = "bytes"
+    MESSAGE = "message"
+
+    @property
+    def wire_type(self) -> WireType:
+        return _WIRE_TYPES[self]
+
+
+_WIRE_TYPES = {
+    FieldType.INT64: WireType.VARINT,
+    FieldType.SINT64: WireType.VARINT,
+    FieldType.BOOL: WireType.VARINT,
+    FieldType.DOUBLE: WireType.I64,
+    FieldType.FLOAT: WireType.I32,
+    FieldType.STRING: WireType.LEN,
+    FieldType.BYTES: WireType.LEN,
+    FieldType.MESSAGE: WireType.LEN,
+}
+
+
+#: Scalar types eligible for packed repeated encoding (proto3 default).
+_PACKABLE = {
+    FieldType.INT64,
+    FieldType.SINT64,
+    FieldType.BOOL,
+    FieldType.DOUBLE,
+    FieldType.FLOAT,
+}
+
+
+@dataclass(frozen=True)
+class FieldDescriptor:
+    """One field of a message schema.
+
+    ``packed`` applies proto3-style packed encoding to repeated scalars:
+    all elements in one length-delimited blob instead of one tag per
+    element.  Parsers accept both encodings either way, like protobuf.
+    """
+
+    name: str
+    number: int
+    type: FieldType
+    repeated: bool = False
+    message_type: Optional["MessageDescriptor"] = None
+    packed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.number < 1:
+            raise ValueError(f"field {self.name!r}: numbers start at 1")
+        if self.type is FieldType.MESSAGE and self.message_type is None:
+            raise ValueError(f"field {self.name!r}: message fields need a schema")
+        if self.packed:
+            if not self.repeated:
+                raise ValueError(f"field {self.name!r}: packed requires repeated")
+            if self.type not in _PACKABLE:
+                raise ValueError(
+                    f"field {self.name!r}: {self.type.value} cannot be packed"
+                )
+
+
+@dataclass(frozen=True)
+class MessageDescriptor:
+    """A message schema: an ordered set of field descriptors."""
+
+    name: str
+    fields: tuple[FieldDescriptor, ...]
+    _by_number: dict = field(init=False, repr=False, compare=False, default=None)
+    _by_name: dict = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        numbers = [f.number for f in self.fields]
+        if len(set(numbers)) != len(numbers):
+            raise ValueError(f"{self.name}: duplicate field numbers")
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate field names")
+        object.__setattr__(self, "_by_number", {f.number: f for f in self.fields})
+        object.__setattr__(self, "_by_name", {f.name: f for f in self.fields})
+
+    def field_by_name(self, name: str) -> FieldDescriptor:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"{self.name} has no field {name!r}") from None
+
+    def field_by_number(self, number: int) -> FieldDescriptor | None:
+        return self._by_number.get(number)
+
+    def new(self) -> "Message":
+        return Message(self)
+
+
+class Message:
+    """A dynamic message instance bound to a descriptor.
+
+    Values: scalars for singular fields, lists for repeated fields, nested
+    :class:`Message` instances for message fields.
+    """
+
+    def __init__(self, descriptor: MessageDescriptor):
+        self.descriptor = descriptor
+        self._values: dict[str, Any] = {}
+
+    def set(self, name: str, value: Any) -> "Message":
+        descriptor = self.descriptor.field_by_name(name)
+        if descriptor.repeated and not isinstance(value, list):
+            raise TypeError(f"{name!r} is repeated; assign a list")
+        self._values[name] = value
+        return self
+
+    def get(self, name: str, default: Any = None) -> Any:
+        self.descriptor.field_by_name(name)  # validate
+        return self._values.get(name, default)
+
+    def has(self, name: str) -> bool:
+        return name in self._values
+
+    def add(self, name: str, value: Any) -> "Message":
+        descriptor = self.descriptor.field_by_name(name)
+        if not descriptor.repeated:
+            raise TypeError(f"{name!r} is not repeated")
+        self._values.setdefault(name, []).append(value)
+        return self
+
+    # -- serialization -----------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        for descriptor in self.descriptor.fields:
+            if descriptor.name not in self._values:
+                continue
+            value = self._values[descriptor.name]
+            if descriptor.packed:
+                items = value
+                if not items:
+                    continue
+                payload = b"".join(
+                    self._encode_value(descriptor, item) for item in items
+                )
+                out += wire.encode_tag(descriptor.number, wire.WireType.LEN)
+                out += wire.encode_length_delimited(payload)
+                continue
+            items = value if descriptor.repeated else [value]
+            for item in items:
+                out += wire.encode_tag(descriptor.number, descriptor.type.wire_type)
+                out += self._encode_value(descriptor, item)
+        return bytes(out)
+
+    @staticmethod
+    def _encode_value(descriptor: FieldDescriptor, value: Any) -> bytes:
+        kind = descriptor.type
+        if kind is FieldType.INT64:
+            return wire.encode_varint(int(value))
+        if kind is FieldType.SINT64:
+            return wire.encode_varint(wire.zigzag_encode(int(value)))
+        if kind is FieldType.BOOL:
+            return wire.encode_varint(1 if value else 0)
+        if kind is FieldType.DOUBLE:
+            return wire.encode_fixed64(value, as_double=True)
+        if kind is FieldType.FLOAT:
+            return wire.encode_fixed32(value, as_float=True)
+        if kind is FieldType.STRING:
+            return wire.encode_length_delimited(str(value).encode("utf-8"))
+        if kind is FieldType.BYTES:
+            return wire.encode_length_delimited(bytes(value))
+        if kind is FieldType.MESSAGE:
+            if not isinstance(value, Message):
+                raise TypeError(f"{descriptor.name!r} expects a Message")
+            return wire.encode_length_delimited(value.serialize())
+        raise AssertionError(f"unhandled field type {kind}")
+
+    @classmethod
+    def parse(cls, descriptor: MessageDescriptor, data: bytes) -> "Message":
+        message = cls(descriptor)
+        offset = 0
+        while offset < len(data):
+            number, wire_type, offset = wire.decode_tag(data, offset)
+            field_descriptor = descriptor.field_by_number(number)
+            if field_descriptor is None:
+                offset = cls._skip(data, offset, wire_type)  # unknown field
+                continue
+            if field_descriptor.type.wire_type is not wire_type:
+                if (
+                    wire_type is WireType.LEN
+                    and field_descriptor.repeated
+                    and field_descriptor.type in _PACKABLE
+                ):
+                    # Packed repeated scalars: one blob of back-to-back values.
+                    payload, offset = wire.decode_length_delimited(data, offset)
+                    cursor = 0
+                    while cursor < len(payload):
+                        value, cursor = cls._decode_value(
+                            field_descriptor, payload, cursor
+                        )
+                        message.add(field_descriptor.name, value)
+                    continue
+                raise WireDecodeError(
+                    f"{descriptor.name}.{field_descriptor.name}: wire type "
+                    f"{wire_type} does not match {field_descriptor.type}"
+                )
+            value, offset = cls._decode_value(field_descriptor, data, offset)
+            if field_descriptor.repeated:
+                message.add(field_descriptor.name, value)
+            else:
+                message.set(field_descriptor.name, value)
+        return message
+
+    @staticmethod
+    def _skip(data: bytes, offset: int, wire_type: WireType) -> int:
+        if wire_type is WireType.VARINT:
+            _, offset = wire.decode_varint(data, offset)
+        elif wire_type is WireType.I64:
+            _, offset = wire.decode_fixed64(data, offset)
+        elif wire_type is WireType.I32:
+            _, offset = wire.decode_fixed32(data, offset)
+        else:
+            _, offset = wire.decode_length_delimited(data, offset)
+        return offset
+
+    @classmethod
+    def _decode_value(
+        cls, descriptor: FieldDescriptor, data: bytes, offset: int
+    ) -> tuple[Any, int]:
+        kind = descriptor.type
+        if kind is FieldType.INT64:
+            raw, offset = wire.decode_varint(data, offset)
+            if raw >= 1 << 63:
+                raw -= 1 << 64  # two's-complement negatives
+            return raw, offset
+        if kind is FieldType.SINT64:
+            raw, offset = wire.decode_varint(data, offset)
+            return wire.zigzag_decode(raw), offset
+        if kind is FieldType.BOOL:
+            raw, offset = wire.decode_varint(data, offset)
+            return bool(raw), offset
+        if kind is FieldType.DOUBLE:
+            return wire.decode_fixed64(data, offset, as_double=True)
+        if kind is FieldType.FLOAT:
+            return wire.decode_fixed32(data, offset, as_float=True)
+        if kind is FieldType.STRING:
+            payload, offset = wire.decode_length_delimited(data, offset)
+            return payload.decode("utf-8"), offset
+        if kind is FieldType.BYTES:
+            payload, offset = wire.decode_length_delimited(data, offset)
+            return payload, offset
+        if kind is FieldType.MESSAGE:
+            payload, offset = wire.decode_length_delimited(data, offset)
+            return cls.parse(descriptor.message_type, payload), offset
+        raise AssertionError(f"unhandled field type {kind}")
+
+    # -- comparisons -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        def convert(value: Any) -> Any:
+            if isinstance(value, Message):
+                return value.to_dict()
+            if isinstance(value, list):
+                return [convert(v) for v in value]
+            return value
+
+        return {name: convert(value) for name, value in sorted(self._values.items())}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.descriptor.name == other.descriptor.name
+            and self.to_dict() == other.to_dict()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Message {self.descriptor.name} {self.to_dict()!r}>"

@@ -1,0 +1,145 @@
+"""Low-level protobuf wire-format primitives.
+
+The wire format is a sequence of (tag, value) pairs: the tag is a varint
+``(field_number << 3) | wire_type``; the value encoding depends on the wire
+type.  Implemented here: base-128 varints, zigzag for signed ints, 32/64-bit
+fixed-width fields, and length-delimited payloads.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+__all__ = [
+    "WireType",
+    "WireDecodeError",
+    "encode_varint",
+    "decode_varint",
+    "zigzag_encode",
+    "zigzag_decode",
+    "encode_tag",
+    "decode_tag",
+    "encode_fixed64",
+    "decode_fixed64",
+    "encode_fixed32",
+    "decode_fixed32",
+    "encode_length_delimited",
+    "decode_length_delimited",
+]
+
+_MAX_VARINT_BYTES = 10  # 64 bits / 7 bits per byte, rounded up
+
+
+class WireType(enum.IntEnum):
+    VARINT = 0
+    I64 = 1
+    LEN = 2
+    I32 = 5
+
+
+class WireDecodeError(ValueError):
+    """Raised on malformed wire data."""
+
+
+def encode_varint(value: int) -> bytes:
+    """Base-128 varint encoding of an unsigned 64-bit integer."""
+    if value < 0:
+        # Negative int32/int64 values are encoded as their 64-bit two's
+        # complement, like protobuf does.
+        value &= (1 << 64) - 1
+    if value >= (1 << 64):
+        raise ValueError(f"varint out of 64-bit range: {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint; returns (value, new_offset)."""
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise WireDecodeError("truncated varint")
+        if position - offset >= _MAX_VARINT_BYTES:
+            raise WireDecodeError("varint longer than 10 bytes")
+        byte = data[position]
+        result |= (byte & 0x7F) << shift
+        position += 1
+        if not byte & 0x80:
+            return result & ((1 << 64) - 1), position
+        shift += 7
+
+
+def zigzag_encode(value: int) -> int:
+    """Map signed to unsigned: 0, -1, 1, -2 -> 0, 1, 2, 3."""
+    if not -(1 << 63) <= value < (1 << 63):
+        raise ValueError(f"sint64 out of range: {value}")
+    return (value << 1) ^ (value >> 63)
+
+
+def zigzag_decode(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_tag(field_number: int, wire_type: WireType) -> bytes:
+    if field_number < 1:
+        raise ValueError(f"field numbers start at 1, got {field_number}")
+    return encode_varint((field_number << 3) | int(wire_type))
+
+
+def decode_tag(data: bytes, offset: int = 0) -> tuple[int, WireType, int]:
+    key, position = decode_varint(data, offset)
+    wire_value = key & 0x7
+    try:
+        wire_type = WireType(wire_value)
+    except ValueError:
+        raise WireDecodeError(f"unknown wire type {wire_value}") from None
+    return key >> 3, wire_type, position
+
+
+def encode_fixed64(value: float | int, *, as_double: bool = True) -> bytes:
+    if as_double:
+        return struct.pack("<d", float(value))
+    return struct.pack("<q", int(value))
+
+
+def decode_fixed64(data: bytes, offset: int, *, as_double: bool = True):
+    if offset + 8 > len(data):
+        raise WireDecodeError("truncated fixed64")
+    raw = data[offset : offset + 8]
+    value = struct.unpack("<d" if as_double else "<q", raw)[0]
+    return value, offset + 8
+
+
+def encode_fixed32(value: float | int, *, as_float: bool = True) -> bytes:
+    if as_float:
+        return struct.pack("<f", float(value))
+    return struct.pack("<i", int(value))
+
+
+def decode_fixed32(data: bytes, offset: int, *, as_float: bool = True):
+    if offset + 4 > len(data):
+        raise WireDecodeError("truncated fixed32")
+    raw = data[offset : offset + 4]
+    value = struct.unpack("<f" if as_float else "<i", raw)[0]
+    return value, offset + 4
+
+
+def encode_length_delimited(payload: bytes) -> bytes:
+    return encode_varint(len(payload)) + payload
+
+
+def decode_length_delimited(data: bytes, offset: int) -> tuple[bytes, int]:
+    length, position = decode_varint(data, offset)
+    if position + length > len(data):
+        raise WireDecodeError("truncated length-delimited field")
+    return data[position : position + length], position + length

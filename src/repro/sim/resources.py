@@ -1,0 +1,141 @@
+"""Counted resources and FIFO stores for the simulation kernel."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO queueing (e.g. a node's CPU cores).
+
+    Usage from a process::
+
+        request = resource.request()
+        yield request
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(request)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Occupancy accounting for utilization telemetry.
+        self._busy_time = 0.0
+        self._last_change = env.now
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        self._busy_time += self._in_use * (self.env.now - self._last_change)
+        self._last_change = self.env.now
+
+    def busy_time(self) -> float:
+        """Integrated unit-busy time (unit-seconds) up to now."""
+        self._account()
+        return self._busy_time
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity in use since the simulation started."""
+        elapsed = self.env.now
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time() / (elapsed * self.capacity)
+
+    def request(self) -> Event:
+        """An event that succeeds once a unit is granted to the caller."""
+        grant = Event(self.env)
+        self._account()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self, grant: Event) -> None:
+        """Return a granted unit; hands it to the next waiter if any."""
+        if not grant.triggered:
+            # The request never got a unit; cancel it from the wait queue.
+            try:
+                self._waiters.remove(grant)
+            except ValueError:
+                raise SimulationError("releasing a request that was never made")
+            grant.fail(SimulationError("request cancelled"))
+            return
+        self._account()
+        if self._waiters:
+            successor = self._waiters.popleft()
+            successor.succeed()
+        else:
+            if self._in_use <= 0:
+                raise SimulationError("release without matching request")
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded-or-bounded FIFO of items (mailboxes, pipeline FIFOs)."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """An event that succeeds once the item is accepted."""
+        done = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            done.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            done.succeed()
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def get(self) -> Event:
+        """An event that succeeds with the oldest item."""
+        receipt = Event(self.env)
+        if self._items:
+            receipt.succeed(self._items.popleft())
+            if self._putters:
+                done, item = self._putters.popleft()
+                self._items.append(item)
+                done.succeed()
+        elif self._putters:
+            # Zero-buffered rendezvous: hand over directly.
+            done, item = self._putters.popleft()
+            done.succeed()
+            receipt.succeed(item)
+        else:
+            self._getters.append(receipt)
+        return receipt

@@ -1,0 +1,26 @@
+"""RISC-V SoC validation substrate (Section 6.4 / Table 8).
+
+The paper validates the chained model on a Chipyard SoC simulated in
+FireSim: three Rocket cores, a protobuf-serialization accelerator
+(ProtoAcc) and a SHA3 accelerator on RoCC ports, running three Linux
+benchmarks over fleet-representative protobuf messages.
+
+Here the SoC is a discrete-event model (:mod:`repro.soc.machine`) whose
+accelerators do the *real* work -- serialization through
+:mod:`repro.protowire` and hashing through :mod:`repro.crypto.sha3` -- while
+their *timing* follows calibrated cost models (:mod:`repro.soc.params`).
+:mod:`repro.soc.benchmarks` implements the paper's three benchmarks
+(unaccelerated, accelerated, chained) and assembles the Table 8 comparison.
+"""
+
+from repro.soc.benchmarks import Table8Result, ValidationExperiment
+from repro.soc.machine import AcceleratorSoC, CpuCore, ProtoAccelerator, Sha3Accelerator
+
+__all__ = [
+    "CpuCore",
+    "ProtoAccelerator",
+    "Sha3Accelerator",
+    "AcceleratorSoC",
+    "ValidationExperiment",
+    "Table8Result",
+]

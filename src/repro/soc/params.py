@@ -1,0 +1,55 @@
+"""Cost-model parameters for the SoC validation substrate.
+
+Calibrated so the *measured* benchmark values land near Table 8's published
+numbers for a 100-message batch of fleet-representative protobufs:
+
+* software serialization ~518 us, software SHA3 ~1,113 us;
+* accelerated speedups ~31x (ProtoAcc) and ~51.3x (SHA3);
+* accelerator setup ~1,488.9 us (ProtoAcc allocates an output arena) and
+  ~4.1 us (SHA3);
+* non-accelerated CPU time ~4,949 us (message initialization, Linux
+  threading/multiprocessing, measurement overheads), part of which runs on
+  its own core and can overlap the accelerator chain in the chained
+  benchmark -- the effect that makes the measured chained time land below
+  the model's estimate (the paper's 6.1% difference).
+"""
+
+from __future__ import annotations
+
+US = 1e-6
+NS = 1e-9
+
+#: Rocket-style in-order core clock.
+CPU_CLOCK_HZ = 3.2e9
+
+#: Number of messages in one validation batch.
+BATCH_MESSAGES = 100
+
+# -- software (CPU) costs ----------------------------------------------------
+#: CPU protobuf serialization: per-byte walk plus per-message dispatch.
+SER_CPU_PER_BYTE = 13.7 * NS
+SER_CPU_PER_MESSAGE = 1.2 * US
+
+#: CPU SHA3: dominated by Keccak permutations (one per 136-byte block).
+SHA3_CPU_PER_PERMUTATION = 4.1 * US
+SHA3_CPU_PER_MESSAGE = 0.5 * US
+
+# -- accelerator costs ---------------------------------------------------------
+#: ProtoAcc: ~31x over software serialization.
+PROTOACC_PER_BYTE = SER_CPU_PER_BYTE / 31.0
+PROTOACC_PER_MESSAGE = SER_CPU_PER_MESSAGE / 31.0
+PROTOACC_SETUP = 1488.9 * US  # output-arena allocation dominates
+
+#: SHA3 accelerator: ~51.3x over software hashing.
+SHA3ACC_PER_PERMUTATION = SHA3_CPU_PER_PERMUTATION / 51.3
+SHA3ACC_PER_MESSAGE = SHA3_CPU_PER_MESSAGE / 51.3
+SHA3ACC_SETUP = 4.1 * US
+
+# -- non-accelerated benchmark overheads ----------------------------------------
+#: Fixed per-run overhead: process setup, page faults, measurement scaffolding.
+NACC_FIXED = 1250.0 * US
+#: Per-message management: building the message object, queueing, bookkeeping.
+NACC_PER_MESSAGE = 37.0 * US
+#: Fraction of the per-message management that runs on the spare core and can
+#: overlap the accelerator chain in the chained benchmark.
+NACC_OVERLAPPABLE_FRACTION = 0.105

@@ -1,0 +1,26 @@
+"""Distributed storage substrate: devices, tiered caching, and a DFS.
+
+Models the storage stack of Section 2.1/3: working sets live on HDD behind
+a distributed file system; SSD caches absorb most device reads; RAM holds
+read caches and write buffers.  Capacity provisioning per platform follows
+the Table 1 ratios, and :mod:`repro.storage.telemetry` recovers those ratios
+the way the paper's internal logging does.
+"""
+
+from repro.storage.device import DeviceKind, StorageDevice
+from repro.storage.tier import LruCache, TieredStore, TierStats
+from repro.storage.dfs import Chunk, DistributedFileSystem, FileMeta, StorageServer
+from repro.storage.telemetry import CapacityTelemetry
+
+__all__ = [
+    "DeviceKind",
+    "StorageDevice",
+    "LruCache",
+    "TieredStore",
+    "TierStats",
+    "Chunk",
+    "FileMeta",
+    "StorageServer",
+    "DistributedFileSystem",
+    "CapacityTelemetry",
+]

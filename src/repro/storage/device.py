@@ -1,0 +1,67 @@
+"""Storage device models: RAM, SSD, and HDD."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["DeviceKind", "StorageDevice", "DEVICE_DEFAULTS"]
+
+
+class DeviceKind(enum.Enum):
+    RAM = "ram"
+    SSD = "ssd"
+    HDD = "hdd"
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceParams:
+    """Latency/bandwidth envelope for a device class."""
+
+    read_latency: float
+    write_latency: float
+    read_bandwidth: float
+    write_bandwidth: float
+
+
+#: Representative device envelopes: DRAM ~100ns/20GBps, NVMe SSD ~80us/2GBps,
+#: 7200rpm HDD ~8ms seek/180MBps streaming.
+DEVICE_DEFAULTS: dict[DeviceKind, DeviceParams] = {
+    DeviceKind.RAM: DeviceParams(100e-9, 100e-9, 20e9, 20e9),
+    DeviceKind.SSD: DeviceParams(80e-6, 20e-6, 2e9, 1e9),
+    DeviceKind.HDD: DeviceParams(8e-3, 8e-3, 180e6, 160e6),
+}
+
+
+@dataclass
+class StorageDevice:
+    """One device: a capacity plus an access-time model and counters."""
+
+    kind: DeviceKind
+    capacity_bytes: float
+    params: DeviceParams | None = None
+    bytes_read: float = field(default=0.0, init=False)
+    bytes_written: float = field(default=0.0, init=False)
+    reads: int = field(default=0, init=False)
+    writes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if self.params is None:
+            self.params = DEVICE_DEFAULTS[self.kind]
+
+    def read_time(self, nbytes: float) -> float:
+        """Seconds to read ``nbytes`` (latency + transfer); counts traffic."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.bytes_read += nbytes
+        self.reads += 1
+        return self.params.read_latency + nbytes / self.params.read_bandwidth
+
+    def write_time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.bytes_written += nbytes
+        self.writes += 1
+        return self.params.write_latency + nbytes / self.params.write_bandwidth

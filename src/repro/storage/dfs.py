@@ -1,0 +1,258 @@
+"""A Colossus-like distributed file system.
+
+Files are split into fixed-size chunks, each replicated across several
+storage servers.  Reads pick the closest live replica (by network locality)
+and are served through the server's tiered store; the caller's wall-clock
+wait is recorded as an IO span on the query trace.  This is the
+"distributed file system and caching layer, which partitions, replicates,
+and stores the data" of Section 2.1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Sequence
+
+from repro.cluster.network import NetworkFabric, Topology
+from repro.cluster.node import WorkContext
+from repro.profiling.dapper import SpanKind
+from repro.sim import Environment
+from repro.storage.device import DeviceKind
+from repro.storage.tier import TieredStore
+
+__all__ = ["Chunk", "FileMeta", "StorageServer", "DistributedFileSystem"]
+
+DEFAULT_CHUNK_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class Chunk:
+    """One replicated chunk of a file."""
+
+    chunk_id: str
+    size: float
+    replicas: tuple[int, ...]  # storage-server indices
+
+
+@dataclass
+class FileMeta:
+    """Metadata for one DFS file."""
+
+    path: str
+    size: float
+    chunks: list[Chunk] = field(default_factory=list)
+
+
+@dataclass
+class StorageServer:
+    """One storage server: a topology location plus a tiered store."""
+
+    index: int
+    topology: Topology
+    store: TieredStore
+
+
+class DistributedFileSystem:
+    """Chunked, replicated files over a set of storage servers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        servers: Sequence[StorageServer],
+        *,
+        replication: int = 3,
+        chunk_bytes: float = DEFAULT_CHUNK_BYTES,
+    ):
+        if not servers:
+            raise ValueError("need at least one storage server")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        if replication > len(servers):
+            raise ValueError(
+                f"replication {replication} exceeds server count {len(servers)}"
+            )
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        self.env = env
+        self.fabric = fabric
+        self.servers = list(servers)
+        self.replication = replication
+        self.chunk_bytes = chunk_bytes
+        self._files: dict[str, FileMeta] = {}
+        self._placement = itertools.count()
+        self._down: set[int] = set()
+
+    # -- failure injection -----------------------------------------------------
+
+    def fail_server(self, index: int) -> None:
+        """Mark a storage server down; reads fail over to live replicas."""
+        if not 0 <= index < len(self.servers):
+            raise IndexError(f"no storage server {index}")
+        self._down.add(index)
+
+    def restore_server(self, index: int) -> None:
+        self._down.discard(index)
+
+    def is_down(self, index: int) -> bool:
+        return index in self._down
+
+    # -- namespace -----------------------------------------------------------
+
+    def create(self, path: str, size: float) -> FileMeta:
+        """Create a file and place its chunks round-robin with replication."""
+        if path in self._files:
+            raise FileExistsError(path)
+        if size <= 0:
+            raise ValueError("file size must be positive")
+        meta = FileMeta(path=path, size=size)
+        remaining = size
+        index = 0
+        while remaining > 0:
+            chunk_size = min(self.chunk_bytes, remaining)
+            base = next(self._placement)
+            replicas = tuple(
+                (base + offset) % len(self.servers) for offset in range(self.replication)
+            )
+            meta.chunks.append(
+                Chunk(chunk_id=f"{path}#{index}", size=chunk_size, replicas=replicas)
+            )
+            remaining -= chunk_size
+            index += 1
+        self._files[path] = meta
+        return meta
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def meta(self, path: str) -> FileMeta:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def delete(self, path: str) -> None:
+        meta = self._files.pop(path, None)
+        if meta is None:
+            raise FileNotFoundError(path)
+        for chunk in meta.chunks:
+            for replica in chunk.replicas:
+                self.servers[replica].store.invalidate(chunk.chunk_id)
+
+    # -- data path ------------------------------------------------------------
+
+    def _closest_replica(self, chunk: Chunk, reader: Topology) -> StorageServer:
+        live = [self.servers[i] for i in chunk.replicas if i not in self._down]
+        if not live:
+            raise IOError(
+                f"all {len(chunk.replicas)} replicas of {chunk.chunk_id} are down"
+            )
+        return min(
+            live, key=lambda server: reader.locality_to(server.topology).value
+        )
+
+    def _chunks_for_range(self, meta: FileMeta, offset: float, size: float):
+        end = offset + size
+        position = 0.0
+        for chunk in meta.chunks:
+            chunk_end = position + chunk.size
+            if chunk_end > offset and position < end:
+                overlap = min(chunk_end, end) - max(position, offset)
+                yield chunk, overlap
+            position = chunk_end
+
+    def read(
+        self,
+        ctx: WorkContext,
+        reader: Topology,
+        path: str,
+        *,
+        offset: float = 0.0,
+        size: float | None = None,
+    ) -> Generator:
+        """Simulation process: read a byte range; returns bytes served.
+
+        Wall-clock = per-chunk (closest-replica network round trip + device
+        time), recorded as one IO span.  Chunks are fetched sequentially,
+        modeling a streaming read.
+        """
+        meta = self.meta(path)
+        if size is None:
+            size = meta.size - offset
+        if offset < 0 or size < 0 or offset + size > meta.size + 1e-9:
+            raise ValueError(
+                f"range [{offset}, {offset + size}) outside file of {meta.size} bytes"
+            )
+        start = self.env.now
+        served = 0.0
+        tiers_hit: dict[str, int] = {}
+        for chunk, nbytes in self._chunks_for_range(meta, offset, size):
+            server = self._closest_replica(chunk, reader)
+            device_time, tier = server.store.read(chunk.chunk_id, nbytes)
+            network_time = self.fabric.round_trip_time(
+                reader, server.topology, 256.0, nbytes
+            )
+            yield self.env.timeout(device_time + network_time)
+            served += nbytes
+            tiers_hit[tier.value] = tiers_hit.get(tier.value, 0) + 1
+        ctx.record_span(
+            f"dfs:read:{path}", SpanKind.IO, start, self.env.now,
+            bytes=served, tiers=tiers_hit,
+        )
+        return served
+
+    def write(
+        self,
+        ctx: WorkContext,
+        writer: Topology,
+        path: str,
+        size: float,
+        *,
+        create: bool = True,
+    ) -> Generator:
+        """Simulation process: write (append) ``size`` bytes with replication.
+
+        Each chunk is written to every replica; replicas are written in
+        parallel and the slowest bounds the chunk (chain replication would
+        serialize -- we model fan-out replication).
+        """
+        if create and not self.exists(path):
+            self.create(path, size)
+        meta = self.meta(path)
+        start = self.env.now
+        for chunk, nbytes in self._chunks_for_range(meta, 0.0, min(size, meta.size)):
+            live_replicas = [r for r in chunk.replicas if r not in self._down]
+            if not live_replicas:
+                raise IOError(
+                    f"all {len(chunk.replicas)} replicas of {chunk.chunk_id} are down"
+                )
+            slowest = 0.0
+            for replica in live_replicas:
+                server = self.servers[replica]
+                device_time = server.store.write(chunk.chunk_id, nbytes)
+                network_time = self.fabric.round_trip_time(
+                    writer, server.topology, nbytes, 128.0
+                )
+                slowest = max(slowest, device_time + network_time)
+            yield self.env.timeout(slowest)
+        ctx.record_span(
+            f"dfs:write:{path}", SpanKind.IO, start, self.env.now, bytes=size
+        )
+        return size
+
+    # -- telemetry -------------------------------------------------------------
+
+    def device_traffic(self, kind: DeviceKind) -> tuple[float, float]:
+        """(bytes_read, bytes_written) across all servers for one tier."""
+        read = 0.0
+        written = 0.0
+        for server in self.servers:
+            device = {
+                DeviceKind.RAM: server.store.ram,
+                DeviceKind.SSD: server.store.ssd,
+                DeviceKind.HDD: server.store.hdd,
+            }[kind]
+            read += device.bytes_read
+            written += device.bytes_written
+        return read, written

@@ -1,0 +1,147 @@
+"""Disaggregated memory: peak-of-sum vs sum-of-peaks provisioning (Section 3).
+
+Section 3 observes that the platforms' large RAM caches make them expensive
+and points at disaggregated memory [Lim et al.] as a remedy: a shared pool
+is provisioned for the *peak of the sum* of tenant demands instead of every
+tenant provisioning its own *peak* (sum of peaks).  This module makes that
+argument executable:
+
+* :func:`diurnal_demand` -- synthetic per-platform memory demand series with
+  staggered diurnal peaks (the staggering is exactly why pooling wins);
+* :class:`ProvisioningStudy` -- computes both provisioning rules and the
+  resulting savings;
+* :class:`DisaggregatedMemoryPool` -- a shared pool with allocate/release
+  accounting and rejection tracking, for simulation use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["diurnal_demand", "ProvisioningStudy", "DisaggregatedMemoryPool"]
+
+
+def diurnal_demand(
+    *,
+    base_bytes: float,
+    peak_bytes: float,
+    samples: int = 288,
+    peak_position: float = 0.5,
+    noise: float = 0.02,
+    seed: int = 0,
+) -> np.ndarray:
+    """One day of memory demand: a diurnal hump plus noise.
+
+    ``peak_position`` in [0, 1) places the daily peak; different platforms
+    (or regions) peak at different times, which is what the pooled
+    provisioning exploits.
+    """
+    if peak_bytes < base_bytes:
+        raise ValueError("peak must be >= base")
+    if not 0 <= peak_position < 1:
+        raise ValueError("peak_position must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    phase = np.linspace(0, 2 * math.pi, samples, endpoint=False)
+    hump = 0.5 * (1 + np.cos(phase - 2 * math.pi * peak_position))
+    series = base_bytes + (peak_bytes - base_bytes) * hump
+    if noise > 0:
+        series = series * (1 + rng.normal(0, noise, samples))
+    return np.maximum(series, 0.0)
+
+
+@dataclass(frozen=True)
+class ProvisioningStudy:
+    """Compare per-tenant peak provisioning with a shared pool."""
+
+    demands: Mapping[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        lengths = {len(series) for series in self.demands.values()}
+        if len(lengths) != 1:
+            raise ValueError("demand series must be equally sampled")
+        if not self.demands:
+            raise ValueError("need at least one tenant")
+
+    @property
+    def sum_of_peaks(self) -> float:
+        """Dedicated provisioning: every tenant buys its own peak."""
+        return float(sum(series.max() for series in self.demands.values()))
+
+    @property
+    def peak_of_sum(self) -> float:
+        """Pooled provisioning: the pool buys the peak of aggregate demand."""
+        total = np.sum(list(self.demands.values()), axis=0)
+        return float(total.max())
+
+    @property
+    def savings_fraction(self) -> float:
+        """Capacity saved by pooling, as a fraction of dedicated capacity."""
+        dedicated = self.sum_of_peaks
+        if dedicated == 0:
+            return 0.0
+        return 1.0 - self.peak_of_sum / dedicated
+
+    def report(self) -> dict[str, float]:
+        return {
+            "sum_of_peaks": self.sum_of_peaks,
+            "peak_of_sum": self.peak_of_sum,
+            "savings_fraction": self.savings_fraction,
+        }
+
+
+@dataclass
+class DisaggregatedMemoryPool:
+    """A shared memory pool with per-tenant accounting."""
+
+    capacity_bytes: float
+    _allocated: dict[str, float] = field(default_factory=dict)
+    peak_used: float = field(default=0.0, init=False)
+    rejections: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def used_bytes(self) -> float:
+        return sum(self._allocated.values())
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    def usage(self, tenant: str) -> float:
+        return self._allocated.get(tenant, 0.0)
+
+    def allocate(self, tenant: str, nbytes: float) -> bool:
+        """Grow a tenant's allocation; False (and counted) if it can't fit."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes > self.free_bytes:
+            self.rejections += 1
+            return False
+        self._allocated[tenant] = self._allocated.get(tenant, 0.0) + nbytes
+        self.peak_used = max(self.peak_used, self.used_bytes)
+        return True
+
+    def release(self, tenant: str, nbytes: float) -> None:
+        held = self._allocated.get(tenant, 0.0)
+        if nbytes > held + 1e-9:
+            raise ValueError(f"{tenant} releasing {nbytes} > held {held}")
+        remaining = held - nbytes
+        if remaining <= 1e-9:
+            self._allocated.pop(tenant, None)
+        else:
+            self._allocated[tenant] = remaining
+
+    def resize_to(self, tenant: str, nbytes: float) -> bool:
+        """Set a tenant's allocation to an absolute size (grow or shrink)."""
+        current = self.usage(tenant)
+        if nbytes >= current:
+            return self.allocate(tenant, nbytes - current)
+        self.release(tenant, current - nbytes)
+        return True

@@ -1,0 +1,119 @@
+"""Tier-placement policies for the SSD cache (Section 3's ML-tiering hook).
+
+Section 3 points at "using machine learning to place data between the
+storage tiers" [DeepCache, Herodotou et al.] as a promising optimization.
+This module provides pluggable SSD *admission* policies for
+:class:`~repro.storage.tier.TieredStore`:
+
+* :class:`AdmitAll` -- the LRU baseline (everything read gets cached);
+* :class:`SecondChanceAdmission` -- TinyLFU-flavored: admit on the second
+  access within a recency window (filters single-scan pollution);
+* :class:`LearnedAdmission` -- a lightweight learned stand-in: an
+  exponentially-weighted reuse-probability estimate per key group, admit
+  when the predicted reuse probability clears a threshold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Protocol
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmitAll",
+    "SecondChanceAdmission",
+    "LearnedAdmission",
+]
+
+
+class AdmissionPolicy(Protocol):
+    """Decides whether a missed item should be admitted to the SSD tier."""
+
+    def should_admit(self, key: str, nbytes: float) -> bool:
+        """Called on a cache miss before insertion."""
+        ...  # pragma: no cover
+
+    def on_access(self, key: str, hit: bool) -> None:
+        """Called on every access so the policy can learn."""
+        ...  # pragma: no cover
+
+
+class AdmitAll:
+    """The baseline: cache every miss (classic LRU fill)."""
+
+    def should_admit(self, key: str, nbytes: float) -> bool:
+        return True
+
+    def on_access(self, key: str, hit: bool) -> None:
+        pass
+
+
+class SecondChanceAdmission:
+    """Admit a key only on its second access within a recency window.
+
+    A bounded recency ghost-list of recently-missed keys; one-touch scans
+    never enter the cache, repeat accesses do.
+    """
+
+    def __init__(self, window: int = 4096):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._window = window
+        self._seen: OrderedDict[str, None] = OrderedDict()
+
+    def should_admit(self, key: str, nbytes: float) -> bool:
+        if key in self._seen:
+            del self._seen[key]
+            return True
+        self._seen[key] = None
+        while len(self._seen) > self._window:
+            self._seen.popitem(last=False)
+        return False
+
+    def on_access(self, key: str, hit: bool) -> None:
+        pass
+
+
+class LearnedAdmission:
+    """EWMA reuse-probability predictor over key groups.
+
+    Keys are grouped by a prefix (e.g. the file they belong to, since DFS
+    chunk ids are ``path#index``); each group carries an exponentially
+    weighted estimate of its hit probability.  A miss from a group whose
+    predicted reuse clears ``threshold`` is admitted.  New groups start at
+    ``prior`` so cold groups get a chance to prove themselves.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: float = 0.25,
+        alpha: float = 0.05,
+        prior: float = 0.5,
+    ):
+        if not 0 <= threshold <= 1:
+            raise ValueError("threshold must be in [0, 1]")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0 <= prior <= 1:
+            raise ValueError("prior must be in [0, 1]")
+        self.threshold = threshold
+        self.alpha = alpha
+        self.prior = prior
+        self._reuse: dict[str, float] = {}
+
+    @staticmethod
+    def group_of(key: str) -> str:
+        return key.rsplit("#", 1)[0]
+
+    def predicted_reuse(self, key: str) -> float:
+        return self._reuse.get(self.group_of(key), self.prior)
+
+    def should_admit(self, key: str, nbytes: float) -> bool:
+        return self.predicted_reuse(key) >= self.threshold
+
+    def on_access(self, key: str, hit: bool) -> None:
+        group = self.group_of(key)
+        current = self._reuse.get(group, self.prior)
+        observation = 1.0 if hit else 0.0
+        self._reuse[group] = (1 - self.alpha) * current + self.alpha * observation

@@ -1,0 +1,64 @@
+"""Capacity telemetry: the internal-logging view behind Table 1.
+
+The paper's Table 1 reports petabytes of RAM : SSD : HDD *owned per
+platform* "given by internal logging resources over a full week".  Here,
+platforms register the tiered stores they provision; the telemetry
+aggregates capacities (and access traffic) per platform and emits the same
+normalized ratio rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.storage.device import DeviceKind
+from repro.storage.tier import TieredStore
+
+__all__ = ["CapacityTelemetry"]
+
+PIB = float(2**50)
+
+
+@dataclass
+class CapacityTelemetry:
+    """Aggregates provisioned capacity and traffic per platform."""
+
+    _stores: dict[str, list[TieredStore]] = field(default_factory=dict)
+
+    def register(self, platform: str, store: TieredStore) -> TieredStore:
+        self._stores.setdefault(platform, []).append(store)
+        return store
+
+    def register_all(self, platform: str, stores: Iterable[TieredStore]) -> None:
+        for store in stores:
+            self.register(platform, store)
+
+    def platforms(self) -> tuple[str, ...]:
+        return tuple(self._stores)
+
+    def capacity_bytes(self, platform: str, kind: DeviceKind) -> float:
+        stores = self._stores.get(platform, [])
+        return sum(store.capacity(kind) for store in stores)
+
+    def storage_ratios(self, platform: str) -> tuple[float, float, float]:
+        """RAM : SSD : HDD capacity normalized to RAM = 1 (a Table 1 row)."""
+        ram = self.capacity_bytes(platform, DeviceKind.RAM)
+        if ram <= 0:
+            raise ValueError(f"{platform}: no RAM capacity registered")
+        ssd = self.capacity_bytes(platform, DeviceKind.SSD)
+        hdd = self.capacity_bytes(platform, DeviceKind.HDD)
+        return (1.0, ssd / ram, hdd / ram)
+
+    def reads_by_tier(self, platform: str) -> Mapping[DeviceKind, int]:
+        """Read operations served per tier (Section 3: SSD reads should
+        dominate HDD reads when caching works)."""
+        totals = {kind: 0 for kind in DeviceKind}
+        for store in self._stores.get(platform, []):
+            for kind in DeviceKind:
+                totals[kind] += store.stats.hits[kind]
+        return totals
+
+    def table1_rows(self) -> dict[str, tuple[float, float, float]]:
+        """All platforms' ratio rows, ready for printing."""
+        return {platform: self.storage_ratios(platform) for platform in self._stores}

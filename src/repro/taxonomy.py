@@ -1,0 +1,186 @@
+"""Cycle-accounting taxonomy from the paper (Tables 2-5).
+
+Every CPU sample collected by the fleet profiler is attributed to exactly one
+*fine-grained* category, which belongs to exactly one of three *broad*
+categories (Section 5.2 of the paper):
+
+* **core compute** -- the essential business logic of the data processing
+  platform (reads, writes, consensus, relational operators, ...),
+* **datacenter taxes** -- the key cross-cutting functions required to run
+  hyperscale workloads (Table 2),
+* **system taxes** -- overheads shared across production binaries that are
+  not traditional datacenter taxes (Table 3).
+
+Fine-grained categories are represented as strings of the form
+``"<broad>/<fine>"`` (e.g. ``"dctax/protobuf"``) so they can be used directly
+as dictionary keys throughout the profiling and modeling code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BroadCategory(enum.Enum):
+    """The three top-level cycle categories of Figure 3."""
+
+    CORE_COMPUTE = "core"
+    DATACENTER_TAX = "dctax"
+    SYSTEM_TAX = "systax"
+
+    @property
+    def display_name(self) -> str:
+        return _BROAD_DISPLAY[self]
+
+
+_BROAD_DISPLAY = {
+    BroadCategory.CORE_COMPUTE: "Core Compute",
+    BroadCategory.DATACENTER_TAX: "Datacenter Taxes",
+    BroadCategory.SYSTEM_TAX: "System Taxes",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Category:
+    """A fine-grained cycle category (one bar of Figures 4-6)."""
+
+    broad: BroadCategory
+    fine: str
+    description: str
+
+    @property
+    def key(self) -> str:
+        """Stable string key, e.g. ``"dctax/protobuf"``."""
+        return f"{self.broad.value}/{self.fine}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.key
+
+
+def _dctax(fine: str, description: str) -> Category:
+    return Category(BroadCategory.DATACENTER_TAX, fine, description)
+
+
+def _systax(fine: str, description: str) -> Category:
+    return Category(BroadCategory.SYSTEM_TAX, fine, description)
+
+
+def _core(fine: str, description: str) -> Category:
+    return Category(BroadCategory.CORE_COMPUTE, fine, description)
+
+
+# --------------------------------------------------------------------------
+# Table 2: Datacenter Tax Category Descriptions
+# --------------------------------------------------------------------------
+COMPRESSION = _dctax("compression", "(De)compression ops.")
+CRYPTOGRAPHY = _dctax("cryptography", "Hashing, security tools/infra., etc.")
+DATA_MOVEMENT = _dctax("data_movement", "mem{cpy,move}, copy_user ops.")
+MEMORY_ALLOCATION = _dctax("memory_allocation", "Mem. reservation ops. (malloc, etc.)")
+PROTOBUF = _dctax("protobuf", "(De)serialization setup and ops.")
+RPC = _dctax("rpc", "Remote procedure calls")
+
+DATACENTER_TAXES: tuple[Category, ...] = (
+    COMPRESSION,
+    CRYPTOGRAPHY,
+    DATA_MOVEMENT,
+    MEMORY_ALLOCATION,
+    PROTOBUF,
+    RPC,
+)
+
+# --------------------------------------------------------------------------
+# Table 3: System Tax Category Descriptions
+# --------------------------------------------------------------------------
+EDAC = _systax("edac", "Error handling (checksums, etc.)")
+FILE_SYSTEMS = _systax("file_systems", "IO backend client compute")
+OTHER_MEMORY_OPS = _systax("other_memory_ops", "Non-data-movement mem. ops.")
+MULTITHREADING = _systax("multithreading", "Thread management overheads")
+NETWORKING = _systax("networking", "Packet, web, server processing")
+OPERATING_SYSTEM = _systax("operating_system", "Kernel, syscalls, time ops.")
+STL = _systax("stl", "Standard fleet-wide libraries")
+MISC_SYSTEM = _systax("misc_system", "Uncategorized ops.")
+
+SYSTEM_TAXES: tuple[Category, ...] = (
+    EDAC,
+    FILE_SYSTEMS,
+    OTHER_MEMORY_OPS,
+    MULTITHREADING,
+    NETWORKING,
+    OPERATING_SYSTEM,
+    STL,
+    MISC_SYSTEM,
+)
+
+# --------------------------------------------------------------------------
+# Table 4: Spanner and BigTable Core Compute Descriptions
+# --------------------------------------------------------------------------
+READ = _core("read", "Read operations")
+WRITE = _core("write", "Write/commit operations")
+COMPACTION = _core("compaction", "Revision control/cleanup")
+CONSENSUS = _core("consensus", "Replication and consensus protocols")
+QUERY = _core("query", "SQL-like compute")
+MISC_CORE = _core("misc_core", "Long-tail of labeled misc. compute")
+UNCATEGORIZED = _core("uncategorized", "Unlabeled compute")
+
+DATABASE_CORE_OPS: tuple[Category, ...] = (
+    READ,
+    WRITE,
+    COMPACTION,
+    CONSENSUS,
+    QUERY,
+    MISC_CORE,
+    UNCATEGORIZED,
+)
+
+# --------------------------------------------------------------------------
+# Table 5: BigQuery Core Compute Descriptions
+# --------------------------------------------------------------------------
+AGGREGATE = _core("aggregate", "Compute/data-mov. for hash/sort aggs.")
+COMPUTE = _core("compute", "Col.-wise ops on pre-grouped aggs.")
+DESTRUCTURE = _core("destructure", "Structured element field access")
+FILTER = _core("filter", "Scan/selection of rows")
+JOIN = _core("join", "Compute/data-mov. of hash/sort joins")
+MATERIALIZE = _core("materialize", "Construction of in-memory tables")
+PROJECT = _core("project", "Retrieval of individual table columns")
+SORT = _core("sort", "Non agg./join sort operations")
+
+ANALYTICS_CORE_OPS: tuple[Category, ...] = (
+    AGGREGATE,
+    COMPUTE,
+    DESTRUCTURE,
+    FILTER,
+    JOIN,
+    MATERIALIZE,
+    PROJECT,
+    SORT,
+    MISC_CORE,
+    UNCATEGORIZED,
+)
+
+ALL_CATEGORIES: tuple[Category, ...] = tuple(
+    dict.fromkeys(
+        DATACENTER_TAXES + SYSTEM_TAXES + DATABASE_CORE_OPS + ANALYTICS_CORE_OPS
+    )
+)
+
+_BY_KEY = {category.key: category for category in ALL_CATEGORIES}
+
+
+def category_from_key(key: str) -> Category:
+    """Look up a :class:`Category` from its ``"broad/fine"`` string key."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise KeyError(f"unknown category key: {key!r}") from None
+
+
+def broad_of(key: str) -> BroadCategory:
+    """Return the broad category that a ``"broad/fine"`` key belongs to."""
+    prefix, _, _ = key.partition("/")
+    return BroadCategory(prefix)
+
+
+def is_tax(key: str) -> bool:
+    """True when the category is a datacenter or system tax."""
+    return broad_of(key) is not BroadCategory.CORE_COMPUTE

@@ -1,0 +1,33 @@
+"""Workload generation: calibrated query mixes for the three platforms.
+
+* :mod:`repro.workloads.calibration` -- the paper's published aggregates
+  (Sections 2-6) encoded as the single source of truth, plus
+  :func:`~repro.workloads.calibration.build_profile` to turn them into
+  model-ready :class:`~repro.core.profile.PlatformProfile` objects.
+* :mod:`repro.workloads.fleet` -- the "one day of fleet traffic" driver that
+  runs all three platforms under the profiling pipeline.
+
+(The per-query budget generators themselves live on
+:class:`repro.platforms.common.PlatformBase`, parameterized from the
+calibration.)
+"""
+
+from repro.workloads.calibration import (
+    BIGQUERY,
+    BIGTABLE,
+    PLATFORMS,
+    SPANNER,
+    PaperCalibration,
+    build_profile,
+    paper_calibration,
+)
+
+__all__ = [
+    "SPANNER",
+    "BIGTABLE",
+    "BIGQUERY",
+    "PLATFORMS",
+    "PaperCalibration",
+    "paper_calibration",
+    "build_profile",
+]

@@ -1,0 +1,235 @@
+"""The fleet driver: one simulated "day" of traffic on all three platforms.
+
+Builds the three platform simulators, serves a calibrated query mix on each,
+runs the whole measurement pipeline (Dapper traces -> Figure 2 breakdowns,
+GWP samples -> Figures 3-6 + Tables 6-7, storage telemetry -> Table 1), and
+exposes *measured* :class:`~repro.core.profile.PlatformProfile` objects that
+feed the Section 6 model studies -- the measurement-to-model hand-off the
+paper performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro import taxonomy
+from repro.core.profile import PlatformProfile, QueryGroupProfile, QUERY_GROUPS
+from repro.platforms.bigquery import BigQueryEngine
+from repro.platforms.bigtable import BigTableStore
+from repro.platforms.common import PlatformBase
+from repro.platforms.spanner import SpannerDatabase
+from repro.profiling.breakdown import CpuCycleBreakdown, E2EBreakdown, trace_breakdown
+from repro.profiling.counters import CounterRates, PerfCounterModel
+from repro.profiling.gwp import FleetProfiler
+from repro.sim import Environment
+from repro.storage.telemetry import CapacityTelemetry
+from repro.workloads import calibration
+from repro.workloads.calibration import BIGQUERY, BIGTABLE, PLATFORMS, SPANNER
+
+__all__ = ["FleetResult", "FleetSimulation", "counter_model_for"]
+
+
+def counter_model_for(platform: str, jitter: float = 0.02) -> PerfCounterModel:
+    """Per-platform counter model with the Table 7 per-category rates."""
+    rates = {}
+    for broad, stats in calibration.CATEGORY_UARCH[platform].items():
+        rates[broad.value] = CounterRates(
+            ipc=stats.ipc,
+            br=stats.br_mpki,
+            l1i=stats.l1i_mpki,
+            l2i=stats.l2i_mpki,
+            llc=stats.llc_mpki,
+            itlb=stats.itlb_mpki,
+            dtlb_ld=stats.dtlb_ld_mpki,
+        )
+    return PerfCounterModel(rates, jitter=jitter)
+
+
+@dataclass
+class FleetResult:
+    """Everything measured during one fleet run."""
+
+    platforms: dict[str, PlatformBase]
+    profiler: FleetProfiler
+    telemetry: CapacityTelemetry
+    e2e: dict[str, E2EBreakdown]
+    cycles: dict[str, CpuCycleBreakdown] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cycles = {
+            name: self.profiler.cycle_breakdown(name) for name in self.platforms
+        }
+
+    def measured_profile(self, platform: str) -> PlatformProfile:
+        """A model-ready profile built purely from measurements."""
+        breakdown = self.e2e[platform]
+        groups = []
+        total_queries = len(breakdown.queries)
+        if total_queries == 0:
+            raise ValueError(f"no traced queries for {platform}")
+        for group_name in QUERY_GROUPS:
+            members = [q for q in breakdown.queries if q.group == group_name]
+            if not members:
+                continue
+            t_cpu_true = sum(q.t_cpu + q.overlap_hidden for q in members) / len(members)
+            t_remote = sum(q.t_remote for q in members) / len(members)
+            t_io = sum(q.t_io for q in members) / len(members)
+            t_serial = t_cpu_true + t_remote + t_io
+            f_values = []
+            for q in members:
+                floor = min(q.t_cpu + q.overlap_hidden, q.t_remote + q.t_io)
+                f_values.append(
+                    1.0 if floor <= 0 else max(0.0, 1.0 - q.overlap_hidden / floor)
+                )
+            groups.append(
+                QueryGroupProfile(
+                    name=group_name,
+                    query_fraction=len(members) / total_queries,
+                    t_serial=t_serial,
+                    cpu_fraction=t_cpu_true / t_serial,
+                    remote_fraction=t_remote / t_serial,
+                    io_fraction=t_io / t_serial,
+                    f=min(1.0, sum(f_values) / len(f_values)),
+                )
+            )
+        # Normalize query fractions (some groups may be missing).
+        scale = sum(g.query_fraction for g in groups)
+        groups = [
+            QueryGroupProfile(
+                name=g.name,
+                query_fraction=g.query_fraction / scale,
+                t_serial=g.t_serial,
+                cpu_fraction=g.cpu_fraction,
+                remote_fraction=g.remote_fraction,
+                io_fraction=g.io_fraction,
+                f=g.f,
+            )
+            for g in groups
+        ]
+        return PlatformProfile(
+            platform=platform,
+            groups=tuple(groups),
+            cpu_component_fractions=self.cycles[platform].cpu_fractions(),
+            bytes_per_query=calibration.BYTES_PER_QUERY[platform],
+        )
+
+    def table1_rows(self) -> dict[str, tuple[float, float, float]]:
+        return self.telemetry.table1_rows()
+
+    def uarch_table(self, platform: str) -> Mapping[str, float]:
+        """Table 6 row measured from sampled counters."""
+        aggregate = self.profiler.counter_aggregate(platform)
+        row = {"ipc": aggregate.ipc}
+        for event in ("br", "l1i", "l2i", "llc", "itlb", "dtlb_ld"):
+            row[event] = aggregate.mpki(event)
+        return row
+
+    def uarch_category_table(
+        self, platform: str
+    ) -> dict[taxonomy.BroadCategory, Mapping[str, float]]:
+        """Table 7 rows measured from sampled counters."""
+        result = {}
+        for broad in taxonomy.BroadCategory:
+            aggregate = self.profiler.counter_aggregate(platform, broad)
+            row = {"ipc": aggregate.ipc}
+            for event in ("br", "l1i", "l2i", "llc", "itlb", "dtlb_ld"):
+                row[event] = aggregate.mpki(event)
+            result[broad] = row
+        return result
+
+
+class FleetSimulation:
+    """Runs the three platforms and collects the full measurement set.
+
+    Each platform gets its own :class:`Environment` (their time scales differ
+    by three orders of magnitude) but they share one fleet profiler and one
+    capacity-telemetry sink, like the production fleet shares GWP.
+    """
+
+    def __init__(
+        self,
+        *,
+        queries: Mapping[str, int] | int = 200,
+        seed: int = 0,
+        trace_sample_rate: int = 1,
+        counter_jitter: float = 0.02,
+        bigquery_dataset_rows: int = 4000,
+    ):
+        if isinstance(queries, int):
+            queries = {name: queries for name in PLATFORMS}
+        self.queries = dict(queries)
+        self.seed = seed
+        self.trace_sample_rate = trace_sample_rate
+        self.counter_jitter = counter_jitter
+        self.bigquery_dataset_rows = bigquery_dataset_rows
+
+    def run(self) -> FleetResult:
+        telemetry = CapacityTelemetry()
+        profiler = FleetProfiler(
+            sample_period=5e-5,
+            counter_models={
+                name: counter_model_for(name, self.counter_jitter)
+                for name in PLATFORMS
+            },
+            seed=self.seed,
+        )
+        # BigQuery's queries run for seconds; sample it more coarsely so one
+        # fleet run stays tractable while still yielding ~1e5 samples.
+        bigquery_profiler = FleetProfiler(
+            sample_period=20e-3,
+            counter_models={BIGQUERY: counter_model_for(BIGQUERY, self.counter_jitter)},
+            seed=self.seed + 1,
+        )
+
+        from repro.profiling.dapper import Tracer
+
+        platforms: dict[str, PlatformBase] = {}
+        e2e: dict[str, E2EBreakdown] = {}
+
+        spanner_env = Environment()
+        platforms[SPANNER] = SpannerDatabase(
+            spanner_env,
+            calibration.build_profile(SPANNER),
+            profiler=profiler,
+            telemetry=telemetry,
+            tracer=Tracer(self.trace_sample_rate),
+            seed=self.seed + 10,
+        )
+        bigtable_env = Environment()
+        platforms[BIGTABLE] = BigTableStore(
+            bigtable_env,
+            calibration.build_profile(BIGTABLE),
+            profiler=profiler,
+            telemetry=telemetry,
+            tracer=Tracer(self.trace_sample_rate),
+            seed=self.seed + 20,
+        )
+        bigquery_env = Environment()
+        platforms[BIGQUERY] = BigQueryEngine(
+            bigquery_env,
+            calibration.build_profile(BIGQUERY),
+            profiler=bigquery_profiler,
+            telemetry=telemetry,
+            tracer=Tracer(self.trace_sample_rate),
+            seed=self.seed + 30,
+            dataset_rows=self.bigquery_dataset_rows,
+        )
+
+        for name, env in (
+            (SPANNER, spanner_env),
+            (BIGTABLE, bigtable_env),
+            (BIGQUERY, bigquery_env),
+        ):
+            platform = platforms[name]
+            env.run(until=env.process(platform.serve(self.queries[name])))
+            breakdown = E2EBreakdown(name)
+            for trace in platform.tracer.finished_traces():
+                breakdown.add(trace_breakdown(trace))
+            e2e[name] = breakdown
+
+        # Merge the BigQuery profiler shard into the fleet profiler.
+        profiler.extend(bigquery_profiler.samples)
+        return FleetResult(
+            platforms=platforms, profiler=profiler, telemetry=telemetry, e2e=e2e
+        )

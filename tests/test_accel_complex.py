@@ -1,0 +1,227 @@
+"""Tests for the executable sea-of-accelerators complex."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorComplex,
+    AcceleratorUnit,
+    InvocationModel,
+    OffloadRuntime,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_complex(env, instances=1, setup=0.0):
+    catalog = [
+        ("compression", ["dctax/compression"], 10.0, setup),
+        ("protobuf", ["dctax/protobuf"], 10.0, setup),
+        ("coreops", ["core/read", "core/write"], 10.0, setup),
+    ]
+    return AcceleratorComplex.build(env, catalog, instances=instances)
+
+
+class TestAcceleratorUnit:
+    def test_service_time(self, env):
+        unit = AcceleratorUnit(env, "u", frozenset({"x"}), speedup=8.0, t_setup=0.5)
+        assert unit.service_time(8.0) == pytest.approx(1.5)
+        assert unit.service_time(8.0, include_setup=False) == pytest.approx(1.0)
+
+    def test_invoke_accumulates_stats(self, env):
+        unit = AcceleratorUnit(env, "u", frozenset({"x"}), speedup=2.0)
+
+        def run():
+            yield from unit.invoke(4.0)
+            yield from unit.invoke(2.0)
+
+        env.run(until=env.process(run()))
+        assert unit.stats.invocations == 2
+        assert unit.stats.busy_seconds == pytest.approx(3.0)
+
+    def test_queueing_delay_tracked(self, env):
+        unit = AcceleratorUnit(env, "u", frozenset({"x"}), speedup=1.0)
+
+        def job():
+            yield from unit.invoke(1.0)
+
+        env.process(job())
+        env.process(job())
+        env.run()
+        assert env.now == pytest.approx(2.0)
+        assert unit.stats.queued_seconds == pytest.approx(1.0)
+
+    def test_invalid_construction(self, env):
+        with pytest.raises(ValueError):
+            AcceleratorUnit(env, "u", frozenset({"x"}), speedup=0.0)
+        with pytest.raises(ValueError):
+            AcceleratorUnit(env, "u", frozenset(), speedup=1.0)
+
+
+class TestDispatch:
+    def test_coverage(self, env):
+        complex_ = make_complex(env)
+        assert complex_.can_accelerate("dctax/compression")
+        assert not complex_.can_accelerate("systax/stl")
+        assert "core/read" in complex_.coverage()
+
+    def test_dispatch_picks_least_backlogged(self, env):
+        complex_ = make_complex(env, instances=2)
+
+        def hog():
+            unit = complex_.units[0]  # compression#0
+            yield from unit.invoke(100.0)
+
+        env.process(hog())
+        env.run(until=1.0)
+        chosen = complex_.dispatch("dctax/compression")
+        assert chosen.name == "compression#1"
+
+    def test_dispatch_unknown_category(self, env):
+        with pytest.raises(LookupError):
+            make_complex(env).dispatch("core/join")
+
+
+class TestInvocationModels:
+    ITEMS = [("dctax/compression", 10.0), ("dctax/protobuf", 10.0)]
+
+    def test_sync_serializes(self, env):
+        complex_ = make_complex(env)
+        env.run(until=env.process(complex_.run_sync(self.ITEMS)))
+        assert env.now == pytest.approx(2.0)  # 2 x 10/10
+
+    def test_async_overlaps(self, env):
+        complex_ = make_complex(env)
+        env.run(until=env.process(complex_.run_async(self.ITEMS)))
+        assert env.now == pytest.approx(1.0)
+
+    def test_async_on_same_unit_still_queues(self, env):
+        complex_ = make_complex(env)
+        items = [("dctax/compression", 10.0), ("dctax/compression", 10.0)]
+        env.run(until=env.process(complex_.run_async(items)))
+        assert env.now == pytest.approx(2.0)  # one engine, two invocations
+
+    def test_chained_pipelines(self, env):
+        complex_ = make_complex(env)
+        env.run(
+            until=env.process(complex_.run_chained(self.ITEMS, elements=10))
+        )
+        # Stage time 1.0 each; pipeline: fill (0.1) + bottleneck stream (1.0).
+        assert env.now == pytest.approx(1.1, rel=0.01)
+
+    def test_chained_pays_setup_once(self, env):
+        complex_ = make_complex(env, setup=0.5)
+        env.run(until=env.process(complex_.run_chained(self.ITEMS, elements=10)))
+        chained_time = env.now
+
+        env2 = Environment()
+        complex2 = make_complex(env2, setup=0.5)
+        env2.run(until=env2.process(complex2.run_sync(self.ITEMS)))
+        sync_time = env2.now
+
+        assert sync_time == pytest.approx(3.0)  # 2 x (0.5 + 1.0)
+        assert chained_time < sync_time
+        # Equations 9-12 shape: ~max setup + bottleneck stage (+ fill).
+        assert chained_time == pytest.approx(0.5 + 1.0 + 0.1, rel=0.05)
+
+    def test_run_dispatches_on_model(self, env):
+        complex_ = make_complex(env)
+        env.run(until=env.process(complex_.run(self.ITEMS, InvocationModel.ASYNC)))
+        assert env.now == pytest.approx(1.0)
+
+    def test_empty_chain(self, env):
+        complex_ = make_complex(env)
+        env.run(until=env.process(complex_.run_chained([], elements=4)))
+        assert env.now == 0.0
+
+    def test_utilization_report(self, env):
+        complex_ = make_complex(env)
+        env.run(until=env.process(complex_.run_sync(self.ITEMS)))
+        report = complex_.utilization_report()
+        assert report["compression#0"] == pytest.approx(0.5)
+        assert complex_.total_invocations() == 2
+
+
+class TestOffloadRuntime:
+    BUDGET = {
+        "dctax/compression": 4.0,
+        "dctax/protobuf": 4.0,
+        "systax/stl": 2.0,  # not covered -> residual CPU
+    }
+
+    def test_partition(self, env):
+        runtime = OffloadRuntime(env, make_complex(env))
+        offloadable, residual = runtime.partition(self.BUDGET)
+        assert {k for k, _ in offloadable} == {"dctax/compression", "dctax/protobuf"}
+        assert residual == [("systax/stl", 2.0)]
+
+    def test_sync_outcome(self, env):
+        runtime = OffloadRuntime(env, make_complex(env))
+
+        def run():
+            return (yield from runtime.execute(self.BUDGET, InvocationModel.SYNC))
+
+        outcome = env.run(until=env.process(run()))
+        # 0.4 + 0.4 accelerated + 2.0 residual = 2.8 vs 10.0 software.
+        assert outcome.t_cpu_accelerated == pytest.approx(2.8)
+        assert outcome.cpu_speedup == pytest.approx(10.0 / 2.8)
+        assert outcome.offload_coverage == pytest.approx(0.8)
+
+    def test_async_with_overlapped_residual(self, env):
+        runtime = OffloadRuntime(env, make_complex(env))
+
+        def run():
+            return (
+                yield from runtime.execute(
+                    self.BUDGET, InvocationModel.ASYNC, overlap_residual=True
+                )
+            )
+
+        outcome = env.run(until=env.process(run()))
+        # Accelerated work (0.4 in parallel) hides under the 2.0 residual.
+        assert outcome.t_cpu_accelerated == pytest.approx(2.0)
+
+    def test_contention_under_load(self, env):
+        """Many concurrent queries share one engine per kind: the achieved
+        speedup degrades below the contention-free value -- the effect the
+        analytical model cannot capture."""
+        runtime = OffloadRuntime(env, make_complex(env))
+        budgets = [dict(self.BUDGET) for _ in range(8)]
+
+        def run():
+            return (
+                yield from runtime.execute_many(
+                    budgets, InvocationModel.ASYNC, interarrival=0.0
+                )
+            )
+
+        outcomes = env.run(until=env.process(run()))
+        assert len(outcomes) == 8
+        solo_env = Environment()
+        solo_runtime = OffloadRuntime(solo_env, make_complex(solo_env))
+
+        def solo():
+            return (yield from solo_runtime.execute(self.BUDGET, InvocationModel.ASYNC))
+
+        solo_outcome = solo_env.run(until=solo_env.process(solo()))
+        mean_loaded = sum(o.cpu_speedup for o in outcomes) / len(outcomes)
+        assert mean_loaded < solo_outcome.cpu_speedup
+
+    def test_more_instances_relieve_contention(self):
+        def mean_speedup(instances):
+            env = Environment()
+            runtime = OffloadRuntime(env, make_complex(env, instances=instances))
+            budgets = [dict(self.BUDGET) for _ in range(8)]
+
+            def run():
+                return (
+                    yield from runtime.execute_many(budgets, InvocationModel.ASYNC)
+                )
+
+            outcomes = env.run(until=env.process(run()))
+            return sum(o.cpu_speedup for o in outcomes) / len(outcomes)
+
+        assert mean_speedup(4) > mean_speedup(1)

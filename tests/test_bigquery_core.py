@@ -1,0 +1,267 @@
+"""Tests for BigQuery's columnar engine, operators, shuffle, and platform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platforms.bigquery import (
+    BigQueryEngine,
+    ColumnarTable,
+    QueryDag,
+    ShuffleEngine,
+    Stage,
+)
+from repro.platforms.bigquery import operators as ops
+from repro.sim import Environment
+from repro.workloads import BIGQUERY, build_profile
+
+
+@pytest.fixture
+def table():
+    return ColumnarTable(
+        {
+            "id": np.array([1, 2, 3, 4, 5]),
+            "country": np.array(["us", "uk", "us", "de", "uk"]),
+            "revenue": np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+            "meta.version": np.array([1, 1, 2, 2, 3]),
+        }
+    )
+
+
+class TestColumnarTable:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            ColumnarTable({"a": np.array([1, 2]), "b": np.array([1])})
+
+    def test_from_rows_roundtrip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        assert ColumnarTable.from_rows(rows).to_rows() == rows
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_mask_and_take(self, table):
+        masked = table.mask(table.column("revenue") > 25)
+        assert masked.num_rows == 3
+        taken = table.take(np.array([4, 0]))
+        assert list(taken.column("id")) == [5, 1]
+
+    def test_with_column_immutably_appends(self, table):
+        extended = table.with_column("double", table.column("revenue") * 2)
+        assert "double" in extended.column_names
+        assert "double" not in table.column_names
+
+
+class TestOperators:
+    def test_filter_rows(self, table):
+        out = ops.filter_rows(table, "country", "=", "us")
+        assert list(out.column("id")) == [1, 3]
+
+    def test_filter_unknown_op(self, table):
+        with pytest.raises(ValueError):
+            ops.filter_rows(table, "country", "~", "us")
+
+    def test_project(self, table):
+        out = ops.project(table, ["id", "revenue"])
+        assert out.column_names == ("id", "revenue")
+
+    def test_destructure(self, table):
+        out = ops.destructure(table, "meta")
+        assert "version" in out.column_names
+        assert "meta.version" not in out.column_names
+
+    def test_destructure_missing_struct(self, table):
+        with pytest.raises(KeyError):
+            ops.destructure(table, "ghost")
+
+    def test_compute(self, table):
+        out = ops.compute(table, "eur", lambda t: t.column("revenue") * 0.9)
+        assert out.column("eur")[0] == pytest.approx(9.0)
+
+    def test_aggregate_sum_and_count(self, table):
+        out = ops.aggregate(
+            table, "country", {"total": ("sum", "revenue"), "n": ("count", "revenue")}
+        )
+        rows = {row["country"]: row for row in out.to_rows()}
+        assert rows["us"]["total"] == pytest.approx(40.0)
+        assert rows["uk"]["n"] == pytest.approx(2)
+
+    def test_aggregate_unknown_function(self, table):
+        with pytest.raises(ValueError):
+            ops.aggregate(table, "country", {"x": ("median", "revenue")})
+
+    def test_hash_join(self):
+        left = ColumnarTable({"k": np.array([1, 2, 3]), "lv": np.array([10, 20, 30])})
+        right = ColumnarTable({"k": np.array([2, 3, 3, 4]), "rv": np.array([1, 2, 3, 4])})
+        joined = ops.hash_join(left, right, on="k")
+        rows = sorted(joined.to_rows(), key=lambda r: (r["k"], r["rv"]))
+        assert rows == [
+            {"k": 2, "lv": 20, "rv": 1},
+            {"k": 3, "lv": 30, "rv": 2},
+            {"k": 3, "lv": 30, "rv": 3},
+        ]
+
+    def test_hash_join_empty_result_keeps_schema(self):
+        left = ColumnarTable({"k": np.array([1]), "lv": np.array([10])})
+        right = ColumnarTable({"k": np.array([99]), "rv": np.array([1])})
+        joined = ops.hash_join(left, right, on="k")
+        assert joined.num_rows == 0
+        assert set(joined.column_names) == {"k", "lv", "rv"}
+
+    def test_sort_rows(self, table):
+        out = ops.sort_rows(table, "revenue", descending=True)
+        assert list(out.column("id")) == [5, 4, 3, 2, 1]
+
+    def test_materialize(self):
+        out = ops.materialize([{"a": 1}, {"a": 2}])
+        assert out.num_rows == 2
+
+    @given(
+        values=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=50)
+    )
+    @settings(max_examples=30)
+    def test_sort_is_actually_sorted(self, values):
+        table = ColumnarTable({"v": np.array(values)})
+        out = ops.sort_rows(table, "v")
+        assert list(out.column("v")) == sorted(values)
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60)
+    )
+    @settings(max_examples=30)
+    def test_aggregate_count_conservation(self, values):
+        table = ColumnarTable({"g": np.array(values), "x": np.ones(len(values))})
+        out = ops.aggregate(table, "g", {"n": ("count", "x")})
+        assert float(np.sum(out.column("n"))) == len(values)
+
+
+class TestQueryDag:
+    def test_topological_execution(self, table):
+        dag = QueryDag()
+        dag.add(Stage("scan", lambda _: table))
+        dag.add(
+            Stage(
+                "filter",
+                lambda inputs: ops.filter_rows(inputs[0], "revenue", ">", 25.0),
+                inputs=("scan",),
+            )
+        )
+        outputs = dag.execute()
+        assert outputs["filter"].num_rows == 3
+
+    def test_unknown_dependency_rejected(self):
+        dag = QueryDag()
+        with pytest.raises(ValueError, match="unknown stage"):
+            dag.add(Stage("b", lambda i: None, inputs=("a",)))
+
+    def test_duplicate_stage_rejected(self, table):
+        dag = QueryDag()
+        dag.add(Stage("scan", lambda _: table))
+        with pytest.raises(ValueError, match="already exists"):
+            dag.add(Stage("scan", lambda _: table))
+
+    def test_sinks(self, table):
+        dag = QueryDag()
+        dag.add(Stage("scan", lambda _: table))
+        dag.add(Stage("out", lambda i: i[0], inputs=("scan",)))
+        assert [s.name for s in dag.sinks()] == ["out"]
+
+
+class TestShuffleEngine:
+    def _engine(self, env):
+        from repro.cluster.manager import Cluster
+
+        cluster = Cluster(env, racks_per_cluster=2, nodes_per_rack=2)
+        return (
+            ShuffleEngine(env, cluster.fabric, cluster.nodes[2:4]),
+            cluster.nodes[0],
+        )
+
+    def test_partition_is_complete_and_disjoint(self, table):
+        env = Environment()
+        engine, _ = self._engine(env)
+        parts = engine.partition(table, "country", 3)
+        total = sum(p.num_rows for p in parts if p is not None)
+        assert total == table.num_rows
+
+    def test_partition_routes_same_key_together(self, table):
+        env = Environment()
+        engine, _ = self._engine(env)
+        parts = engine.partition(table, "country", 4)
+        for part in parts:
+            if part is None:
+                continue
+            # all rows of one country land in exactly one partition
+        countries_seen: dict[str, int] = {}
+        for index, part in enumerate(parts):
+            if part is None:
+                continue
+            for country in part.column("country"):
+                existing = countries_seen.setdefault(str(country), index)
+                assert existing == index
+
+    def test_shuffle_write_takes_time_and_records_span(self, table):
+        from repro.cluster.node import WorkContext
+        from repro.profiling.dapper import SpanKind, Trace
+
+        env = Environment()
+        engine, producer = self._engine(env)
+        trace = Trace(0, "q", 0.0)
+        ctx = WorkContext(platform="BigQuery", trace=trace)
+
+        def run():
+            yield from engine.shuffle_write(
+                ctx, producer, table, "country", 2, nbytes=64 * 1024**2
+            )
+
+        env.run(until=env.process(run()))
+        assert env.now > 0.005  # 64MB over the fabric is not instant
+        remote = [s for s in trace.spans if s.kind is SpanKind.REMOTE]
+        assert remote and remote[0].annotations["bytes"] == 64 * 1024**2
+        assert engine.bytes_shuffled == 64 * 1024**2
+
+
+class TestBigQueryPlatform:
+    def test_serves_and_calibrates(self):
+        from repro import taxonomy
+        from repro.profiling.breakdown import E2EBreakdown, trace_breakdown
+        from repro.profiling.gwp import FleetProfiler
+
+        env = Environment()
+        profiler = FleetProfiler(sample_period=20e-3)
+        engine = BigQueryEngine(
+            env, build_profile(BIGQUERY), profiler=profiler, seed=3, dataset_rows=3000
+        )
+        env.run(until=env.process(engine.serve(40)))
+        assert engine.queries_served == 40
+
+        e2e = E2EBreakdown("BigQuery")
+        for trace in engine.tracer.finished_traces():
+            e2e.add(trace_breakdown(trace))
+        groups = e2e.group_query_fractions()
+        # Section 4.2: only ~10% of BigQuery queries are CPU heavy.
+        assert groups.get("CPU Heavy", 0.0) < 0.30
+        overall = e2e.overall_breakdown()
+        assert overall["io"] + overall["remote"] > overall["cpu"]
+
+        broad = profiler.cycle_breakdown("BigQuery").broad_fractions()
+        # Figure 3: BigQuery has the smallest core-compute share.
+        assert broad[taxonomy.BroadCategory.CORE_COMPUTE] < 0.30
+
+    def test_query_results_are_real(self):
+        env = Environment()
+        engine = BigQueryEngine(
+            env, build_profile(BIGQUERY), seed=9, dataset_rows=2000
+        )
+        env.run(until=env.process(engine.serve(5)))
+        assert len(engine.results) == 5
+        for result in engine.results:
+            assert result.num_rows > 0
+
+    def test_shuffles_happen(self):
+        env = Environment()
+        engine = BigQueryEngine(env, build_profile(BIGQUERY), seed=1, dataset_rows=2000)
+        env.run(until=env.process(engine.serve(10)))
+        assert engine.shuffle.shuffles_run > 0

@@ -1,0 +1,158 @@
+"""Tests for the calibration bundle's internal consistency vs the paper."""
+
+import math
+
+import pytest
+
+from repro import taxonomy
+from repro.workloads import calibration
+from repro.workloads.calibration import (
+    BIGQUERY,
+    BIGTABLE,
+    PLATFORMS,
+    SPANNER,
+    accelerated_targets,
+    build_profile,
+    cpu_component_fractions,
+    paper_calibration,
+)
+
+
+class TestStorageRatios:
+    def test_prose_consistent_values(self):
+        # "For every 90, 164, or 777 bytes in HDD, a byte is allocated in
+        # RAM across Spanner, BigTable, and BigQuery."
+        assert calibration.STORAGE_RATIOS[SPANNER].hdd == 90
+        assert calibration.STORAGE_RATIOS[BIGTABLE].hdd == 164
+        assert calibration.STORAGE_RATIOS[BIGQUERY].hdd == 777
+
+    def test_ssd_to_hdd_in_paper_range(self):
+        # "The SSD to HDD ratio is quite high (approx. 10x to 110x)."
+        for ratios in calibration.STORAGE_RATIOS.values():
+            assert 9.0 <= ratios.ssd_to_hdd <= 115.0
+
+
+class TestQueryGroups:
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_query_fractions_sum_to_one(self, platform):
+        total = sum(row[0] for row in calibration.QUERY_GROUP_TABLE[platform].values())
+        assert math.isclose(total, 1.0)
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_breakdowns_sum_to_one(self, platform):
+        for row in calibration.QUERY_GROUP_TABLE[platform].values():
+            assert math.isclose(row[1] + row[2] + row[3], 1.0)
+
+    def test_databases_mostly_cpu_heavy_queries(self):
+        # Section 4.2: > 60% CPU-heavy for the databases, ~10% for BigQuery.
+        assert calibration.QUERY_GROUP_TABLE[SPANNER]["CPU Heavy"][0] > 0.60
+        assert calibration.QUERY_GROUP_TABLE[BIGTABLE]["CPU Heavy"][0] > 0.60
+        assert calibration.QUERY_GROUP_TABLE[BIGQUERY]["CPU Heavy"][0] <= 0.15
+
+    def test_global_average_near_paper(self):
+        # Section 4.2: 48% CPU / 22% remote / 30% IO across all platforms.
+        totals = {"cpu": 0.0, "remote": 0.0, "io": 0.0}
+        for platform in PLATFORMS:
+            overall = build_profile(platform).overall_breakdown
+            for key in totals:
+                totals[key] += overall[key] / len(PLATFORMS)
+        assert totals["cpu"] == pytest.approx(0.48, abs=0.08)
+        assert totals["remote"] == pytest.approx(0.22, abs=0.06)
+        assert totals["io"] == pytest.approx(0.30, abs=0.08)
+
+
+class TestCycleFractions:
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_broad_fractions_sum_to_one(self, platform):
+        assert math.isclose(sum(calibration.BROAD_FRACTIONS[platform].values()), 1.0)
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_fine_shares_sum_to_100(self, platform):
+        for shares in (
+            calibration.DATACENTER_TAX_SHARES[platform],
+            calibration.SYSTEM_TAX_SHARES[platform],
+            calibration.CORE_COMPUTE_SHARES[platform],
+        ):
+            assert math.isclose(sum(shares.values()), 100.0)
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_component_fractions_sum_to_one(self, platform):
+        assert math.isclose(
+            sum(cpu_component_fractions(platform).values()), 1.0, rel_tol=1e-9
+        )
+
+    def test_paper_quoted_anchors(self):
+        # RPC 23 / 37 / 11% (Section 5.4).
+        assert calibration.DATACENTER_TAX_SHARES[SPANNER][taxonomy.RPC.key] == 23.0
+        assert calibration.DATACENTER_TAX_SHARES[BIGTABLE][taxonomy.RPC.key] == 37.0
+        assert calibration.DATACENTER_TAX_SHARES[BIGQUERY][taxonomy.RPC.key] == 11.0
+        # Compression > 30% of DC tax for BigTable and BigQuery.
+        assert calibration.DATACENTER_TAX_SHARES[BIGTABLE][taxonomy.COMPRESSION.key] >= 30
+        assert calibration.DATACENTER_TAX_SHARES[BIGQUERY][taxonomy.COMPRESSION.key] >= 30
+        # Protobuf 20-25%, databases below BigQuery.
+        for platform in PLATFORMS:
+            assert 20 <= calibration.DATACENTER_TAX_SHARES[platform][taxonomy.PROTOBUF.key] <= 25
+        # OS 18-28% of system tax; STL up to 53%.
+        for platform in PLATFORMS:
+            os_share = calibration.SYSTEM_TAX_SHARES[platform][taxonomy.OPERATING_SYSTEM.key]
+            assert 18 <= os_share <= 28
+        assert calibration.SYSTEM_TAX_SHARES[BIGQUERY][taxonomy.STL.key] == 53.0
+
+    def test_taxes_average_over_72_percent(self):
+        shares = [
+            1.0 - calibration.BROAD_FRACTIONS[p][taxonomy.BroadCategory.CORE_COMPUTE]
+            for p in PLATFORMS
+        ]
+        assert sum(shares) / len(shares) > 0.72
+
+
+class TestUarchTables:
+    def test_table6_verbatim(self):
+        assert calibration.PLATFORM_UARCH[SPANNER].ipc == 0.7
+        assert calibration.PLATFORM_UARCH[BIGQUERY].ipc == 1.2
+        assert calibration.PLATFORM_UARCH[BIGTABLE].l2i_mpki == 11.5
+
+    def test_table7_mixture_consistency(self):
+        """Cycle-weighted Table 7 IPCs reproduce Table 6 within rounding."""
+        for platform in PLATFORMS:
+            mixed = sum(
+                weight * calibration.CATEGORY_UARCH[platform][broad].ipc
+                for broad, weight in calibration.BROAD_FRACTIONS[platform].items()
+            )
+            assert mixed == pytest.approx(
+                calibration.PLATFORM_UARCH[platform].ipc, abs=0.15
+            )
+
+
+class TestProfilesAndTargets:
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_build_profile_valid(self, platform):
+        profile = build_profile(platform)
+        assert profile.platform == platform
+        assert len(profile.groups) == 4
+        assert profile.bytes_per_query > 0
+
+    @pytest.mark.parametrize("platform", PLATFORMS)
+    def test_targets_exist_in_profile(self, platform):
+        profile = build_profile(platform)
+        for target in accelerated_targets(platform):
+            assert target in profile.cpu_component_fractions
+
+    def test_targets_start_with_taxes(self):
+        # Section 6.3.2: datacenter taxes first, then system tax, then core.
+        order = accelerated_targets(SPANNER)
+        assert order[0] == taxonomy.COMPRESSION.key
+        assert taxonomy.broad_of(order[0]) is taxonomy.BroadCategory.DATACENTER_TAX
+        assert taxonomy.broad_of(order[-1]) is taxonomy.BroadCategory.CORE_COMPUTE
+
+    def test_bigquery_moves_more_bytes(self):
+        # Section 6.3.2: analytics queries carry orders of magnitude more data.
+        assert (
+            calibration.BYTES_PER_QUERY[BIGQUERY]
+            > 1000 * calibration.BYTES_PER_QUERY[SPANNER]
+        )
+
+    def test_bundle(self):
+        bundle = paper_calibration()
+        assert bundle.profile(SPANNER).platform == SPANNER
+        assert bundle.storage_ratios[BIGQUERY].hdd == 777

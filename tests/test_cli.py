@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.queries == 150
+        assert not args.compare
+
+    def test_model_figure_choices(self):
+        args = build_parser().parse_args(["model", "--figure", "13"])
+        assert args.figure == "13"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["model", "--figure", "7"])
+
+    def test_sweep_platform_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--platform", "Oracle"])
+
+
+class TestCommands:
+    def test_model_command(self, capsys):
+        assert main(["model", "--figure", "9", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "paper vs measured" in out
+
+    def test_model_figure_15(self, capsys):
+        assert main(["model", "--figure", "15"]) == 0
+        assert "Prior Accelerator" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--platform", "BigTable", "--speedup", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Chained + On-Chip" in out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", "--batch", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 8" in out
+        assert "digests match: True" in out
+
+    def test_fleet_command_small(self, capsys):
+        assert main(["fleet", "--queries", "60", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 2" in out
+        assert "Table 7" in out

@@ -1,0 +1,278 @@
+"""Tests for the datacenter substrate: network, nodes, RPC, manager."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterManager,
+    Locality,
+    NetworkFabric,
+    RpcServer,
+    RpcService,
+    ServerNode,
+    Topology,
+    WorkContext,
+    rpc_call,
+)
+from repro.profiling.dapper import SpanKind, Trace
+from repro.profiling.gwp import FleetProfiler
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_node(env, name="n0", region="us", cluster="us-c0", rack="r0", cores=4):
+    return ServerNode(
+        env=env,
+        name=name,
+        topology=Topology(region=region, cluster=cluster, rack=rack),
+        cores=cores,
+    )
+
+
+class TestTopology:
+    def test_locality_ladder(self):
+        a = Topology("us", "us-c0", "r0")
+        assert a.locality_to(Topology("us", "us-c0", "r0")) is Locality.SAME_RACK
+        assert a.locality_to(Topology("us", "us-c0", "r1")) is Locality.SAME_CLUSTER
+        assert a.locality_to(Topology("us", "us-c1", "r0")) is Locality.SAME_REGION
+        assert a.locality_to(Topology("eu", "eu-c0", "r0")) is Locality.CROSS_REGION
+
+
+class TestNetworkFabric:
+    def test_latency_ordering(self):
+        fabric = NetworkFabric()
+        a = Topology("us", "us-c0", "r0")
+        rack = fabric.transfer_time(a, Topology("us", "us-c0", "r0"), 0)
+        cluster = fabric.transfer_time(a, Topology("us", "us-c0", "r1"), 0)
+        region = fabric.transfer_time(a, Topology("us", "us-c1", "r0"), 0)
+        wan = fabric.transfer_time(a, Topology("eu", "eu-c0", "r0"), 0)
+        assert rack < cluster < region < wan
+
+    def test_transfer_includes_transmission(self):
+        fabric = NetworkFabric()
+        a = Topology("us", "us-c0", "r0")
+        b = Topology("us", "us-c0", "r1")
+        small = fabric.transfer_time(a, b, 1)
+        large = fabric.transfer_time(a, b, 5e9)
+        assert large > small + 0.9  # ~1s at 5 GB/s
+
+    def test_traffic_accounting(self):
+        fabric = NetworkFabric()
+        a = Topology("us", "us-c0", "r0")
+        b = Topology("us", "us-c0", "r1")
+        fabric.round_trip_time(a, b, 1000, 2000)
+        assert fabric.bytes_transferred == 3000
+        assert fabric.messages_sent == 2
+
+    def test_negative_bytes_rejected(self):
+        fabric = NetworkFabric()
+        a = Topology("us", "us-c0", "r0")
+        with pytest.raises(ValueError):
+            fabric.transfer_time(a, a, -1)
+
+
+class TestServerNode:
+    def test_compute_records_profile_and_span(self, env):
+        node = make_node(env)
+        profiler = FleetProfiler(sample_period=1e-4)
+        trace = Trace(0, "q", 0.0)
+        ctx = WorkContext(platform="Spanner", trace=trace, profiler=profiler)
+        env.run(until=env.process(node.compute(ctx, "memcpy", 1e-3)))
+        assert env.now == pytest.approx(1e-3)
+        # 10 periods of CPU time; float residue may hold back the last one.
+        assert len(profiler.samples) in (9, 10)
+        assert trace.spans[0].kind is SpanKind.CPU
+        assert trace.spans[0].name == "memcpy"
+
+    def test_core_contention_queues_work(self, env):
+        node = make_node(env, cores=1)
+        ctx = WorkContext(platform="Spanner")
+
+        def job():
+            yield from node.compute(ctx, "fn", 1.0)
+            return env.now
+
+        jobs = [env.process(job()) for _ in range(3)]
+        env.run()
+        assert [j.value for j in jobs] == [1.0, 2.0, 3.0]
+
+    def test_span_covers_queueing(self, env):
+        node = make_node(env, cores=1)
+        trace = Trace(0, "q", 0.0)
+        ctx = WorkContext(platform="Spanner", trace=trace)
+        env.process(node.compute(WorkContext(platform="Spanner"), "hog", 2.0))
+        env.process(node.compute(ctx, "victim", 1.0))
+        env.run()
+        victim = trace.spans[0]
+        assert victim.start == 0.0
+        assert victim.end == pytest.approx(3.0)
+
+    def test_untraced_context_is_fine(self, env):
+        node = make_node(env)
+        ctx = WorkContext(platform="Spanner", trace=None, profiler=None)
+        env.run(until=env.process(node.compute(ctx, "fn", 1e-3)))
+
+    def test_invalid_cores(self, env):
+        with pytest.raises(ValueError):
+            make_node(env, cores=0)
+
+
+class TestRpc:
+    def _setup(self, env, server_region="us"):
+        client = make_node(env, "client", rack="r0")
+        server_node = make_node(env, "server", region=server_region,
+                                cluster=f"{server_region}-c0", rack="r1")
+        fabric = NetworkFabric()
+        service = RpcService(server_node, "kv")
+
+        @service.method("get")
+        def get(ctx, request):
+            yield from server_node.compute(ctx, "Tablet::TabletRead", 1e-3)
+            return {"value": request["key"] * 2}
+
+        return client, server_node, fabric, service
+
+    def test_round_trip(self, env):
+        client, _, fabric, service = self._setup(env)
+        ctx = WorkContext(platform="BigTable")
+
+        def caller():
+            response = yield from rpc_call(
+                env, fabric, ctx, client, service, "get", {"key": 21}
+            )
+            return response
+
+        assert env.run(until=env.process(caller()))["value"] == 42
+        assert service.calls_served == 1
+
+    def test_wait_span_recorded_with_kind(self, env):
+        client, _, fabric, service = self._setup(env)
+        trace = Trace(0, "q", 0.0)
+        ctx = WorkContext(platform="BigTable", trace=trace)
+
+        def caller():
+            yield from rpc_call(
+                env, fabric, ctx, client, service, "get", {"key": 1},
+                wait_kind=SpanKind.IO,
+            )
+
+        env.run(until=env.process(caller()))
+        rpc_spans = [s for s in trace.spans if s.name.startswith("rpc:")]
+        assert len(rpc_spans) == 1
+        assert rpc_spans[0].kind is SpanKind.IO
+        assert rpc_spans[0].duration > 1e-3  # handler time + network
+
+    def test_client_chunks_charged(self, env):
+        client, _, fabric, service = self._setup(env)
+        profiler = FleetProfiler(sample_period=1e-5)
+        ctx = WorkContext(platform="BigTable", profiler=profiler)
+
+        def caller():
+            yield from rpc_call(
+                env, fabric, ctx, client, service, "get", {"key": 1},
+                client_send_chunks=[("proto2::SerializeToString", 1e-4)],
+                client_recv_chunks=[("proto2::ParseFromString", 1e-4)],
+            )
+
+        env.run(until=env.process(caller()))
+        categories = {s.category_key for s in profiler.samples}
+        assert "dctax/protobuf" in categories
+        assert "core/read" in categories  # server handler work
+
+    def test_cross_region_call_is_slower(self, env):
+        client_a, _, fabric_a, service_a = self._setup(env, server_region="us")
+
+        def timed_call(service, fabric, client):
+            start = env.now
+            yield from rpc_call(
+                env, fabric, WorkContext(platform="x"), client, service, "get", {"key": 1}
+            )
+            return env.now - start
+
+        local = env.run(until=env.process(timed_call(service_a, fabric_a, client_a)))
+
+        env2 = Environment()
+        client_b = make_node(env2, "client", region="us")
+        remote_node = make_node(env2, "server", region="eu", cluster="eu-c0")
+        service_b = RpcService(remote_node, "kv")
+
+        @service_b.method("get")
+        def get(ctx, request):
+            yield from remote_node.compute(ctx, "Tablet::TabletRead", 1e-3)
+            return {}
+
+        def far_call():
+            start = env2.now
+            yield from rpc_call(
+                env2, NetworkFabric(), WorkContext(platform="x"),
+                client_b, service_b, "get", {"key": 1},
+            )
+            return env2.now - start
+
+        far = env2.run(until=env2.process(far_call()))
+        assert far > local + 0.05  # two 30ms WAN crossings
+
+    def test_unknown_method_rejected(self, env):
+        client, _, fabric, service = self._setup(env)
+        with pytest.raises(KeyError):
+            service.handler("nope")
+
+    def test_duplicate_method_rejected(self, env):
+        _, node, _, service = self._setup(env)
+        with pytest.raises(ValueError):
+            service.register("get", lambda ctx, req: iter(()))
+
+    def test_rpc_server_registry(self, env):
+        node = make_node(env)
+        server = RpcServer()
+        service = server.add(RpcService(node, "meta"))
+        assert server.lookup("meta") is service
+        assert "meta" in server
+        with pytest.raises(ValueError):
+            server.add(RpcService(node, "meta"))
+        with pytest.raises(KeyError):
+            server.lookup("ghost")
+
+
+class TestClusterAndManager:
+    def test_cluster_builds_topology(self, env):
+        cluster = Cluster(
+            env,
+            regions=("us", "eu"),
+            clusters_per_region=2,
+            racks_per_cluster=2,
+            nodes_per_rack=3,
+        )
+        assert len(cluster) == 2 * 2 * 2 * 3
+        assert set(cluster.regions) == {"us", "eu"}
+        assert len(cluster.nodes_in_region("us")) == 12
+
+    def test_round_robin_cycles(self, env):
+        cluster = Cluster(env, nodes_per_rack=2, racks_per_cluster=1)
+        manager = ClusterManager(cluster.nodes)
+        picks = [manager.pick().name for _ in range(4)]
+        assert picks[0] != picks[1]
+        assert picks[:2] == picks[2:]
+
+    def test_least_loaded_avoids_backlog(self, env):
+        cluster = Cluster(env, nodes_per_rack=2, racks_per_cluster=1, cores_per_node=1)
+        manager = ClusterManager(cluster.nodes)
+        busy = cluster.nodes[0]
+        ctx = WorkContext(platform="x")
+        for _ in range(3):
+            env.process(busy.compute(ctx, "fn", 10.0))
+        env.run(until=1.0)
+        assert manager.least_loaded() is cluster.nodes[1]
+
+    def test_empty_manager_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterManager([])
+
+    def test_unknown_strategy_rejected(self, env):
+        manager = ClusterManager(Cluster(env).nodes)
+        with pytest.raises(ValueError):
+            manager.pick("random-guess")

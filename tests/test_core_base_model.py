@@ -1,0 +1,176 @@
+"""Tests for the base analytical model (Equations 1-8, Section 6.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import base_model
+from repro.core.parameters import (
+    AcceleratedSubcomponent,
+    CpuDecomposition,
+    Subcomponent,
+    WorkloadTimes,
+    make_decomposition,
+)
+
+positive_times = st.floats(min_value=1e-6, max_value=1e3, allow_nan=False)
+speedups = st.floats(min_value=1.0, max_value=1e3, allow_nan=False)
+
+
+def _acc(name, t_sub, speedup=1.0, g_sub=1.0, t_setup=0.0):
+    return AcceleratedSubcomponent(
+        name, t_sub=t_sub, speedup=speedup, g_sub=g_sub, t_setup=t_setup
+    )
+
+
+class TestAcceleratedTime:
+    def test_equation5_synchronous_sums(self):
+        comps = [_acc("a", 4.0, speedup=2.0), _acc("b", 6.0, speedup=3.0)]
+        # g = 1 for all: t_acc = 2 + 2 = 4.
+        assert base_model.accelerated_time(comps) == pytest.approx(4.0)
+
+    def test_equation5_asynchronous_takes_max(self):
+        comps = [
+            _acc("a", 4.0, speedup=2.0, g_sub=0.0),
+            _acc("b", 6.0, speedup=2.0, g_sub=0.0),
+        ]
+        # g = 0: everything overlaps; only the largest 3.0 remains.
+        assert base_model.accelerated_time(comps) == pytest.approx(3.0)
+
+    def test_equation6_largest(self):
+        comps = [_acc("a", 4.0, speedup=2.0), _acc("b", 6.0, speedup=3.0)]
+        assert base_model.largest_accelerated_time(comps) == pytest.approx(2.0)
+
+    def test_empty_components(self):
+        assert base_model.accelerated_time([]) == 0.0
+        assert base_model.largest_accelerated_time([]) == 0.0
+
+    def test_t_acc_never_below_largest_component(self):
+        # Even with tiny g, a component cannot overlap with itself.
+        comps = [_acc("a", 10.0, speedup=1.0, g_sub=0.0), _acc("b", 1.0, g_sub=0.0)]
+        assert base_model.accelerated_time(comps) == pytest.approx(10.0)
+
+    @given(
+        t_subs=st.lists(positive_times, min_size=1, max_size=6),
+        speedup=speedups,
+        g=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_async_never_slower_than_sync(self, t_subs, speedup, g):
+        sync = [
+            _acc(f"c{i}", t, speedup=speedup, g_sub=1.0) for i, t in enumerate(t_subs)
+        ]
+        partial = [
+            _acc(f"c{i}", t, speedup=speedup, g_sub=g) for i, t in enumerate(t_subs)
+        ]
+        assert base_model.accelerated_time(partial) <= base_model.accelerated_time(
+            sync
+        ) + 1e-9
+
+
+class TestAcceleratedCpuTime:
+    def test_equation3(self):
+        d = CpuDecomposition(
+            accelerated=(_acc("a", 8.0, speedup=4.0),),
+            unaccelerated=(Subcomponent("u", 1.5),),
+        )
+        assert base_model.accelerated_cpu_time(d) == pytest.approx(2.0 + 1.5)
+
+    def test_rejects_chained_components(self):
+        d = CpuDecomposition(chained=(_acc("c", 1.0, speedup=2.0),))
+        with pytest.raises(ValueError, match="chained"):
+            base_model.accelerated_cpu_time(d)
+
+
+class TestEvaluate:
+    def test_amdahl_shape(self):
+        # 80% of CPU accelerated infinitely fast => 5x CPU speedup limit.
+        w = WorkloadTimes(t_cpu=10.0, t_dep=0.0, f=1.0)
+        d = make_decomposition(
+            {"hot": 8.0, "cold": 2.0}, accelerated=["hot"], speedup=1e12
+        )
+        result = base_model.evaluate(w, d)
+        assert result.speedup == pytest.approx(5.0, rel=1e-6)
+
+    def test_dependencies_cap_speedup(self):
+        w = WorkloadTimes(t_cpu=5.0, t_dep=5.0, f=1.0)
+        d = make_decomposition({"hot": 5.0}, accelerated=["hot"], speedup=1e12)
+        result = base_model.evaluate(w, d)
+        # e2e 10 -> 5: the dependency floor.
+        assert result.speedup == pytest.approx(2.0, rel=1e-6)
+
+    def test_remove_dependencies(self):
+        w = WorkloadTimes(t_cpu=5.0, t_dep=5.0, f=1.0)
+        d = make_decomposition({"hot": 5.0}, accelerated=["hot"], speedup=10.0)
+        result = base_model.evaluate(w, d, remove_dependencies=True)
+        # Original keeps its dependencies (10s), accelerated loses them (0.5s).
+        assert result.t_e2e_original == pytest.approx(10.0)
+        assert result.t_e2e_accelerated == pytest.approx(0.5)
+        assert result.speedup == pytest.approx(20.0)
+
+    def test_mismatched_cpu_time_rejected(self):
+        w = WorkloadTimes(t_cpu=99.0, t_dep=0.0)
+        d = make_decomposition({"hot": 5.0}, accelerated=["hot"], speedup=2.0)
+        with pytest.raises(ValueError, match="does not match"):
+            base_model.evaluate(w, d)
+
+    def test_no_acceleration_is_identity(self):
+        w = WorkloadTimes(t_cpu=4.0, t_dep=6.0, f=0.7)
+        d = make_decomposition({"a": 1.0, "b": 3.0})
+        result = base_model.evaluate(w, d)
+        assert result.speedup == pytest.approx(1.0)
+        assert result.t_cpu_accelerated == pytest.approx(4.0)
+
+    def test_penalty_can_cause_slowdown(self):
+        # Off-chip transfer penalty exceeding the compute saved.
+        w = WorkloadTimes(t_cpu=1.0, t_dep=0.0)
+        d = make_decomposition(
+            {"hot": 1.0},
+            accelerated=["hot"],
+            speedup=8.0,
+            offload_bytes=4e9,
+            link_bandwidth=4e9,
+        )
+        result = base_model.evaluate(w, d)
+        assert result.speedup < 1.0
+
+    @given(
+        t_cpu_parts=st.lists(positive_times, min_size=2, max_size=5),
+        t_dep=st.floats(min_value=0.0, max_value=1e3),
+        f=st.floats(min_value=0.0, max_value=1.0),
+        speedup=speedups,
+    )
+    def test_speedup_at_least_one_without_penalties(
+        self, t_cpu_parts, t_dep, f, speedup
+    ):
+        names = {f"c{i}": t for i, t in enumerate(t_cpu_parts)}
+        w = WorkloadTimes(t_cpu=sum(t_cpu_parts), t_dep=t_dep, f=f)
+        d = make_decomposition(names, accelerated=list(names)[:2], speedup=speedup)
+        result = base_model.evaluate(w, d)
+        assert result.speedup >= 1.0 - 1e-9
+
+    @given(
+        t_hot=positive_times,
+        t_cold=positive_times,
+        s1=speedups,
+        s2=speedups,
+    )
+    def test_speedup_monotonic_in_accel_factor(self, t_hot, t_cold, s1, s2):
+        lo, hi = sorted((s1, s2))
+        w = WorkloadTimes(t_cpu=t_hot + t_cold, t_dep=0.0)
+        d_lo = make_decomposition(
+            {"hot": t_hot, "cold": t_cold}, accelerated=["hot"], speedup=lo
+        )
+        d_hi = make_decomposition(
+            {"hot": t_hot, "cold": t_cold}, accelerated=["hot"], speedup=hi
+        )
+        assert (
+            base_model.evaluate(w, d_hi).speedup
+            >= base_model.evaluate(w, d_lo).speedup - 1e-9
+        )
+
+
+class TestEndToEndTime:
+    def test_matches_workload_times(self):
+        assert base_model.end_to_end_time(2.0, 3.0, 0.5) == pytest.approx(
+            WorkloadTimes(2.0, 3.0, 0.5).t_e2e
+        )

@@ -1,0 +1,141 @@
+"""Tests for the chained accelerator model (Equations 9-12, Section 6.3.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import chaining
+from repro.core.parameters import (
+    AcceleratedSubcomponent,
+    WorkloadTimes,
+    make_decomposition,
+)
+
+positive_times = st.floats(min_value=1e-6, max_value=1e3, allow_nan=False)
+speedups = st.floats(min_value=1.0, max_value=1e3, allow_nan=False)
+
+
+def _acc(name, t_sub, speedup=1.0, t_setup=0.0):
+    return AcceleratedSubcomponent(name, t_sub=t_sub, speedup=speedup, t_setup=t_setup)
+
+
+class TestChainEquations:
+    def test_equation11_largest_penalty(self):
+        comps = [_acc("a", 1.0, t_setup=0.3), _acc("b", 1.0, t_setup=0.7)]
+        assert chaining.largest_penalty(comps) == pytest.approx(0.7)
+
+    def test_equation12_largest_stage(self):
+        comps = [_acc("a", 8.0, speedup=4.0), _acc("b", 9.0, speedup=3.0)]
+        assert chaining.largest_stage_time(comps) == pytest.approx(3.0)
+
+    def test_equation10_chained_time(self):
+        comps = [
+            _acc("a", 8.0, speedup=4.0, t_setup=0.5),
+            _acc("b", 9.0, speedup=3.0, t_setup=0.1),
+        ]
+        # t_lpen = 0.5 (a's setup), t_lsubnp = 3.0 (b's stage).
+        assert chaining.chained_time(comps) == pytest.approx(3.5)
+
+    def test_empty_chain_is_free(self):
+        assert chaining.chained_time([]) == 0.0
+        assert chaining.largest_penalty([]) == 0.0
+        assert chaining.largest_stage_time([]) == 0.0
+
+    def test_chain_pays_only_one_penalty(self):
+        # Two stages with equal setup; a synchronous pair would pay both.
+        comps = [
+            _acc("a", 4.0, speedup=4.0, t_setup=1.0),
+            _acc("b", 4.0, speedup=4.0, t_setup=1.0),
+        ]
+        assert chaining.chained_time(comps) == pytest.approx(1.0 + 1.0)
+
+    def test_table8_arithmetic(self):
+        """The exact Table 8 computation: 6,459.3us estimated."""
+        proto = _acc("proto", 518.3e-6, speedup=31.0, t_setup=1488.9e-6)
+        sha3 = _acc("sha3", 1112.5e-6, speedup=51.3, t_setup=4.1e-6)
+        t_chnd = chaining.chained_time([proto, sha3])
+        t_cpu = t_chnd + 4948.7e-6
+        assert t_cpu * 1e6 == pytest.approx(6459.3, abs=0.5)
+
+
+class TestEvaluateChained:
+    def test_equation9(self):
+        w = WorkloadTimes(t_cpu=10.0, t_dep=0.0)
+        d = make_decomposition(
+            {"p": 4.0, "q": 4.0, "u": 2.0},
+            chained=["p", "q"],
+            speedup=4.0,
+        )
+        result = chaining.evaluate_chained(w, d)
+        # t_chnd = 0 (no setup) + max(1, 1) = 1; t_nacc = 2.
+        assert result.t_chnd == pytest.approx(1.0)
+        assert result.t_cpu_accelerated == pytest.approx(3.0)
+
+    def test_chained_beats_synchronous(self):
+        from repro.core import base_model
+
+        components = {"p": 4.0, "q": 4.0, "u": 2.0}
+        w = WorkloadTimes(t_cpu=10.0, t_dep=0.0)
+        sync = make_decomposition(
+            components, accelerated=["p", "q"], speedup=4.0, t_setup=0.5
+        )
+        chain = make_decomposition(
+            components, chained=["p", "q"], speedup=4.0, t_setup=0.5
+        )
+        assert (
+            chaining.evaluate_chained(w, chain).speedup
+            > base_model.evaluate(w, sync).speedup
+        )
+
+    def test_chained_within_async_and_sync(self):
+        """Chained time sits between fully async and fully sync acceleration.
+
+        With zero penalties the chain equals the async bound exactly (the
+        <1% difference observation of Section 6.3.2 comes from penalties).
+        """
+        from repro.core import base_model
+
+        components = {"p": 6.0, "q": 3.0, "u": 1.0}
+        w = WorkloadTimes(t_cpu=10.0, t_dep=0.0)
+        chain = make_decomposition(components, chained=["p", "q"], speedup=8.0)
+        asyn = make_decomposition(
+            components, accelerated=["p", "q"], speedup=8.0, g_sub=0.0
+        )
+        assert chaining.evaluate_chained(w, chain).t_cpu_accelerated == pytest.approx(
+            base_model.evaluate(w, asyn).t_cpu_accelerated
+        )
+
+    def test_mismatched_cpu_time_rejected(self):
+        w = WorkloadTimes(t_cpu=1.0, t_dep=0.0)
+        d = make_decomposition({"p": 4.0}, chained=["p"], speedup=2.0)
+        with pytest.raises(ValueError, match="does not match"):
+            chaining.evaluate_chained(w, d)
+
+    def test_remove_dependencies(self):
+        w = WorkloadTimes(t_cpu=4.0, t_dep=6.0)
+        d = make_decomposition({"p": 4.0}, chained=["p"], speedup=4.0)
+        result = chaining.evaluate_chained(w, d, remove_dependencies=True)
+        assert result.t_e2e_accelerated == pytest.approx(1.0)
+        assert result.t_e2e_original == pytest.approx(10.0)
+
+    @given(
+        stage_times=st.lists(positive_times, min_size=1, max_size=5),
+        speedup=speedups,
+        setup=st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_chain_bounded_by_sync_sum(self, stage_times, speedup, setup):
+        comps = [
+            _acc(f"s{i}", t, speedup=speedup, t_setup=setup)
+            for i, t in enumerate(stage_times)
+        ]
+        sync_total = sum(c.t_sub_accelerated for c in comps)
+        assert chaining.chained_time(comps) <= sync_total + 1e-9
+
+    @given(
+        stage_times=st.lists(positive_times, min_size=1, max_size=5),
+        speedup=speedups,
+    )
+    def test_chain_at_least_slowest_stage(self, stage_times, speedup):
+        comps = [_acc(f"s{i}", t, speedup=speedup) for i, t in enumerate(stage_times)]
+        slowest = max(t / speedup for t in stage_times)
+        assert chaining.chained_time(comps) >= slowest - 1e-12

@@ -1,0 +1,222 @@
+"""Tests for the Section 6.2/6.3 limit-study sweeps and the Fig. 15 catalog."""
+
+import pytest
+
+from repro.core.catalog import (
+    PRIOR_ACCELERATORS,
+    applicable_targets,
+    combined_speedup_map,
+    prior_accelerator_study,
+)
+from repro.core.limits import (
+    DEFAULT_SPEEDUP_SWEEP,
+    grouped_speedup_sweep,
+    incremental_feature_study,
+    setup_time_sweep,
+    speedup_sweep,
+)
+from repro.core.scenario import FEATURE_CONFIGS
+from repro.workloads.calibration import (
+    BIGQUERY,
+    BIGTABLE,
+    PLATFORMS,
+    SPANNER,
+    accelerated_targets,
+    build_profile,
+    feature_study_order,
+)
+
+
+@pytest.fixture(params=PLATFORMS)
+def platform(request):
+    return request.param
+
+
+@pytest.fixture
+def profile(platform):
+    return build_profile(platform)
+
+
+@pytest.fixture
+def targets(platform):
+    return accelerated_targets(platform)
+
+
+class TestSpeedupSweep:
+    def test_monotonically_increasing(self, profile, targets):
+        series = speedup_sweep(profile, targets)
+        for prev, cur in zip(series.speedups, series.speedups[1:]):
+            assert cur >= prev - 1e-9
+
+    def test_starts_at_unity(self, profile, targets):
+        series = speedup_sweep(profile, targets)
+        assert series.x[0] == 1.0
+        assert series.speedups[0] == pytest.approx(1.0)
+
+    def test_removing_dependencies_always_helps(self, profile, targets):
+        kept = speedup_sweep(profile, targets)
+        removed = speedup_sweep(profile, targets, remove_dependencies=True)
+        for with_dep, without_dep in zip(kept.speedups, removed.speedups):
+            assert without_dep >= with_dep
+
+    def test_no_dep_peak_is_much_larger(self, profile, targets):
+        """Figure 9's headline: removal of non-CPU time changes the bound by
+        a large factor (orders of magnitude at the query-group level)."""
+        kept = speedup_sweep(profile, targets).peak
+        removed = speedup_sweep(profile, targets, remove_dependencies=True).peak
+        assert removed / kept > 2.0
+
+    def test_as_rows(self, profile, targets):
+        series = speedup_sweep(profile, targets)
+        rows = series.as_rows()
+        assert len(rows) == len(DEFAULT_SPEEDUP_SWEEP)
+        assert rows[0] == (series.x[0], series.speedups[0])
+
+
+class TestPaperShapeClaims:
+    """Quantitative shape assertions from Section 6.2 (with tolerances
+    documented in EXPERIMENTS.md)."""
+
+    def test_with_dependency_bounds_are_modest(self):
+        # Paper: 2.0x / 2.2x / 1.4x theoretical bounds when deps remain.
+        expectations = {SPANNER: (1.6, 2.4), BIGTABLE: (1.6, 2.6), BIGQUERY: (1.1, 1.6)}
+        for name, (lo, hi) in expectations.items():
+            peak = speedup_sweep(build_profile(name), accelerated_targets(name)).peak
+            assert lo <= peak <= hi, f"{name}: {peak}"
+
+    def test_database_bounds_exceed_bigquery(self):
+        peaks = {
+            name: speedup_sweep(build_profile(name), accelerated_targets(name)).peak
+            for name in PLATFORMS
+        }
+        assert peaks[SPANNER] > peaks[BIGQUERY]
+        assert peaks[BIGTABLE] > peaks[BIGQUERY]
+
+    def test_bigtable_io_group_has_extreme_no_dep_bound(self):
+        # Paper Fig. 9/10: BigTable's bound without deps reaches thousands;
+        # the driver is its IO-dominated queries with near-zero CPU.
+        groups = grouped_speedup_sweep(
+            build_profile(BIGTABLE), accelerated_targets(BIGTABLE)
+        )
+        assert groups["IO Heavy"].peak > 100.0
+        assert groups["IO Heavy"].peak > groups["CPU Heavy"].peak * 10
+
+
+class TestGroupedSweep:
+    def test_one_series_per_group(self, profile, targets):
+        groups = grouped_speedup_sweep(profile, targets)
+        assert set(groups) == {g.name for g in profile.groups}
+
+    def test_io_and_remote_groups_benefit_most(self, profile, targets):
+        """Figure 10: with deps removed, IO/remote heavy groups speed up
+        the most since their removed time dominates."""
+        groups = grouped_speedup_sweep(profile, targets)
+        assert groups["IO Heavy"].peak > groups["CPU Heavy"].peak
+        assert groups["Remote Work Heavy"].peak > groups["CPU Heavy"].peak
+
+
+class TestIncrementalFeatureStudy:
+    def test_all_configs_present(self, profile, platform):
+        study = incremental_feature_study(profile, feature_study_order(platform))
+        assert set(study) == {cfg.label for cfg in FEATURE_CONFIGS}
+
+    def test_adding_accelerators_helps_on_chip(self, profile, platform):
+        study = incremental_feature_study(profile, feature_study_order(platform))
+        for label in ("Sync + On-Chip", "Async + On-Chip", "Chained + On-Chip"):
+            series = study[label].speedups
+            for prev, cur in zip(series, series[1:]):
+                assert cur >= prev - 1e-9
+
+    def test_async_bounds_all_others(self, profile, platform):
+        study = incremental_feature_study(profile, feature_study_order(platform))
+        for k in range(len(feature_study_order(platform))):
+            best = study["Async + On-Chip"].speedups[k]
+            for label, series in study.items():
+                assert series.speedups[k] <= best + 1e-9
+
+    def test_chained_close_to_async(self, profile, platform):
+        """Section 6.3.2: chaining achieves <1% difference vs. full async."""
+        study = incremental_feature_study(profile, feature_study_order(platform))
+        final_async = study["Async + On-Chip"].speedups[-1]
+        final_chained = study["Chained + On-Chip"].speedups[-1]
+        assert abs(final_async - final_chained) / final_async < 0.01
+
+    def test_bigquery_off_chip_slowdown(self):
+        """Section 6.3.2: BigQuery's large payloads make off-chip
+        acceleration a net slowdown."""
+        profile = build_profile(BIGQUERY)
+        study = incremental_feature_study(profile, feature_study_order(BIGQUERY))
+        assert study["Sync + Off-Chip"].speedups[-1] < 1.0
+
+    def test_databases_onchip_uplift_is_small(self):
+        """Section 6.3.2: moving on-chip buys only ~4% for the databases
+        because their queries move little data."""
+        for name in (SPANNER, BIGTABLE):
+            profile = build_profile(name)
+            study = incremental_feature_study(profile, feature_study_order(name))
+            ratio = study["Sync + On-Chip"].speedups[-1] / study["Sync + Off-Chip"].speedups[-1]
+            assert 1.0 < ratio < 1.15
+
+
+class TestSetupTimeSweep:
+    def test_speedup_decreases_with_setup_time(self, profile, targets):
+        study = setup_time_sweep(profile, targets)
+        for label, series in study.items():
+            for prev, cur in zip(series.speedups, series.speedups[1:]):
+                assert cur <= prev + 1e-9, label
+
+    def test_sync_hurts_more_than_chained(self, profile, targets):
+        """Figure 14: synchronous configs pay setup per accelerator, the
+        chain pays only the largest setup once."""
+        study = setup_time_sweep(profile, targets)
+        worst_sync = study["Sync + On-Chip"].speedups[-1]
+        worst_chained = study["Chained + On-Chip"].speedups[-1]
+        assert worst_chained >= worst_sync
+
+    def test_large_setup_time_causes_slowdown(self, profile, targets):
+        study = setup_time_sweep(profile, targets, setup_times=(0.0, 10.0))
+        assert study["Sync + On-Chip"].speedups[-1] < 1.0
+
+
+class TestPriorAcceleratorCatalog:
+    def test_five_accelerators(self):
+        assert len(PRIOR_ACCELERATORS) == 5
+
+    def test_q100_covers_core_compute(self, profile):
+        targets_map = applicable_targets(profile)
+        q100 = targets_map["Q100 (core ops)"]
+        assert all(key.startswith("core/") for key in q100)
+        assert q100  # non-empty on every platform
+
+    def test_combined_map_uses_each_published_speedup(self, profile):
+        speedup_map = combined_speedup_map(profile)
+        assert speedup_map["dctax/memory_allocation"] == 2.0
+        assert speedup_map["dctax/rpc"] == 37.0
+        assert speedup_map["dctax/compression"] == 40.0
+
+    def test_study_shape(self, profile):
+        study = prior_accelerator_study(profile)
+        assert study.labels[-1] == "Combined"
+        for series in study.series.values():
+            assert len(series.speedups) == len(study.labels)
+
+    def test_combined_beats_individuals(self, profile):
+        study = prior_accelerator_study(profile)
+        sync = study.series["Sync + On-Chip"].speedups
+        assert sync[-1] >= max(sync[:-1]) - 1e-9
+
+    def test_databases_reach_roughly_1_5x(self):
+        """Section 6.3.4: holistic sync acceleration yields ~1.5x-1.7x."""
+        for name in (SPANNER, BIGTABLE):
+            study = prior_accelerator_study(build_profile(name))
+            combined = study.value("Sync + On-Chip", "Combined")
+            assert 1.35 <= combined <= 1.85, f"{name}: {combined}"
+
+    def test_chained_gain_limited_by_malloc(self, profile):
+        """Section 6.3.4: under chaining the 2x-accelerated memory allocation
+        stage bottlenecks the pipeline, so chaining adds little."""
+        study = prior_accelerator_study(profile)
+        sync = study.value("Sync + On-Chip", "Combined")
+        chained = study.value("Chained + On-Chip", "Combined")
+        assert chained >= sync - 1e-9
+        assert (chained - sync) / sync < 0.15

@@ -1,0 +1,194 @@
+"""Tests for the Figure 7 model parameters (Equations 1, 7, 8)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.parameters import (
+    AcceleratedSubcomponent,
+    CpuDecomposition,
+    Subcomponent,
+    WorkloadTimes,
+    make_decomposition,
+    total_time,
+)
+
+times = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+positive_times = st.floats(min_value=1e-9, max_value=1e4, allow_nan=False)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+speedups = st.floats(min_value=0.01, max_value=1e4, allow_nan=False)
+
+
+class TestWorkloadTimes:
+    def test_equation1_serial(self):
+        # f = 1: no overlap, end-to-end is the plain sum.
+        w = WorkloadTimes(t_cpu=2.0, t_dep=3.0, f=1.0)
+        assert w.t_e2e == pytest.approx(5.0)
+        assert w.overlap == 0.0
+
+    def test_equation1_full_overlap(self):
+        # f = 0: the shorter side is fully hidden.
+        w = WorkloadTimes(t_cpu=2.0, t_dep=3.0, f=0.0)
+        assert w.t_e2e == pytest.approx(3.0)
+        assert w.overlap == pytest.approx(2.0)
+
+    def test_equation1_partial_overlap(self):
+        w = WorkloadTimes(t_cpu=2.0, t_dep=3.0, f=0.5)
+        assert w.t_e2e == pytest.approx(2.0 + 3.0 - 0.5 * 2.0)
+
+    def test_with_cpu_time(self):
+        w = WorkloadTimes(t_cpu=2.0, t_dep=3.0, f=1.0)
+        w2 = w.with_cpu_time(0.5)
+        assert w2.t_cpu == 0.5
+        assert w2.t_dep == 3.0
+        assert w.t_cpu == 2.0  # original unchanged
+
+    def test_without_dependencies(self):
+        w = WorkloadTimes(t_cpu=2.0, t_dep=3.0, f=0.3)
+        assert w.without_dependencies().t_e2e == pytest.approx(2.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"t_cpu": -1.0, "t_dep": 1.0},
+            {"t_cpu": 1.0, "t_dep": -1.0},
+            {"t_cpu": 1.0, "t_dep": 1.0, "f": 1.5},
+            {"t_cpu": 1.0, "t_dep": 1.0, "f": -0.1},
+        ],
+    )
+    def test_invalid_inputs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadTimes(**kwargs)
+
+    @given(t_cpu=times, t_dep=times, f=fractions)
+    def test_e2e_bounded_by_serial_and_max(self, t_cpu, t_dep, f):
+        w = WorkloadTimes(t_cpu=t_cpu, t_dep=t_dep, f=f)
+        assert w.t_e2e <= t_cpu + t_dep + 1e-9
+        assert w.t_e2e >= max(t_cpu, t_dep) - 1e-9
+
+    @given(t_cpu=times, t_dep=times, f1=fractions, f2=fractions)
+    def test_e2e_monotonic_in_f(self, t_cpu, t_dep, f1, f2):
+        lo, hi = sorted((f1, f2))
+        w_lo = WorkloadTimes(t_cpu, t_dep, lo)
+        w_hi = WorkloadTimes(t_cpu, t_dep, hi)
+        assert w_lo.t_e2e <= w_hi.t_e2e + 1e-9
+
+
+class TestAcceleratedSubcomponent:
+    def test_equation7_and_8_on_chip(self):
+        c = AcceleratedSubcomponent("x", t_sub=8.0, speedup=4.0, t_setup=0.5)
+        assert c.t_pen == pytest.approx(0.5)  # B_i = 0 => penalty is setup only
+        assert c.t_sub_accelerated == pytest.approx(8.0 / 4.0 + 0.5)
+
+    def test_equation8_off_chip(self):
+        c = AcceleratedSubcomponent(
+            "x",
+            t_sub=8.0,
+            speedup=4.0,
+            t_setup=0.5,
+            offload_bytes=4e9,
+            link_bandwidth=4e9,
+        )
+        # Round trip: 2 * B / BW = 2 seconds.
+        assert c.t_pen == pytest.approx(0.5 + 2.0)
+
+    def test_no_penalty_time(self):
+        c = AcceleratedSubcomponent("x", t_sub=9.0, speedup=3.0, t_setup=123.0)
+        assert c.t_sub_no_penalty == pytest.approx(3.0)
+
+    def test_infinite_bandwidth_means_zero_transfer(self):
+        c = AcceleratedSubcomponent(
+            "x", t_sub=1.0, speedup=2.0, offload_bytes=1e12
+        )
+        assert c.t_pen == pytest.approx(0.0)
+
+    def test_speedup_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AcceleratedSubcomponent("x", t_sub=1.0, speedup=0.0)
+
+    @given(t_sub=times, speedup=speedups, t_setup=times)
+    def test_accelerated_time_nonnegative(self, t_sub, speedup, t_setup):
+        c = AcceleratedSubcomponent("x", t_sub=t_sub, speedup=speedup, t_setup=t_setup)
+        assert c.t_sub_accelerated >= 0.0
+
+    @given(t_sub=positive_times, s1=speedups, s2=speedups)
+    def test_accelerated_time_monotonic_in_speedup(self, t_sub, s1, s2):
+        lo, hi = sorted((s1, s2))
+        c_lo = AcceleratedSubcomponent("x", t_sub=t_sub, speedup=lo)
+        c_hi = AcceleratedSubcomponent("x", t_sub=t_sub, speedup=hi)
+        assert c_hi.t_sub_accelerated <= c_lo.t_sub_accelerated + 1e-12
+
+
+class TestCpuDecomposition:
+    def test_t_cpu_original_sums_everything(self):
+        d = CpuDecomposition(
+            accelerated=(AcceleratedSubcomponent("a", 1.0, speedup=2.0),),
+            chained=(AcceleratedSubcomponent("c", 2.0, speedup=2.0),),
+            unaccelerated=(Subcomponent("u", 3.0),),
+        )
+        assert d.t_cpu_original == pytest.approx(6.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            CpuDecomposition(
+                accelerated=(AcceleratedSubcomponent("a", 1.0),),
+                unaccelerated=(Subcomponent("a", 3.0),),
+            )
+
+    def test_total_time(self):
+        assert total_time([Subcomponent("a", 1.0), Subcomponent("b", 2.5)]) == 3.5
+        assert total_time([]) == 0.0
+
+
+class TestMakeDecomposition:
+    COMPONENTS = {"alpha": 1.0, "beta": 2.0, "gamma": 3.0}
+
+    def test_partition(self):
+        d = make_decomposition(self.COMPONENTS, accelerated=["alpha"], chained=["beta"])
+        assert [c.name for c in d.accelerated] == ["alpha"]
+        assert [c.name for c in d.chained] == ["beta"]
+        assert [c.name for c in d.unaccelerated] == ["gamma"]
+        assert d.t_cpu_original == pytest.approx(6.0)
+
+    def test_uniform_speedup(self):
+        d = make_decomposition(self.COMPONENTS, accelerated=["alpha", "beta"], speedup=8.0)
+        assert all(c.speedup == 8.0 for c in d.accelerated)
+
+    def test_per_component_speedup(self):
+        d = make_decomposition(
+            self.COMPONENTS,
+            accelerated=["alpha", "beta"],
+            speedup={"alpha": 2.0, "beta": 16.0},
+        )
+        by_name = {c.name: c.speedup for c in d.accelerated}
+        assert by_name == {"alpha": 2.0, "beta": 16.0}
+
+    def test_component_in_both_lists_rejected(self):
+        with pytest.raises(ValueError, match="both accelerated and chained"):
+            make_decomposition(self.COMPONENTS, accelerated=["alpha"], chained=["alpha"])
+
+    def test_unknown_target_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            make_decomposition(self.COMPONENTS, accelerated=["delta"])
+
+    def test_offload_bytes_applied(self):
+        d = make_decomposition(
+            self.COMPONENTS,
+            accelerated=["alpha"],
+            offload_bytes=8e9,
+            link_bandwidth=4e9,
+        )
+        assert d.accelerated[0].t_pen == pytest.approx(4.0)
+
+    @given(
+        values=st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]), positive_times, min_size=1
+        ),
+        speedup=speedups,
+    )
+    def test_original_time_preserved(self, values, speedup):
+        names = sorted(values)
+        d = make_decomposition(values, accelerated=names[: len(names) // 2], speedup=speedup)
+        assert math.isclose(d.t_cpu_original, sum(values.values()), rel_tol=1e-12)

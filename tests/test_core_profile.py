@@ -1,0 +1,128 @@
+"""Tests for PlatformProfile / QueryGroupProfile."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import PlatformProfile, QueryGroupProfile
+
+
+def make_group(name="CPU Heavy", qf=1.0, t=1.0, cpu=0.6, remote=0.2, io=0.2, f=1.0):
+    return QueryGroupProfile(
+        name=name,
+        query_fraction=qf,
+        t_serial=t,
+        cpu_fraction=cpu,
+        remote_fraction=remote,
+        io_fraction=io,
+        f=f,
+    )
+
+
+class TestQueryGroupProfile:
+    def test_times(self):
+        group = make_group(t=2.0)
+        assert group.t_cpu == pytest.approx(1.2)
+        assert group.t_remote == pytest.approx(0.4)
+        assert group.t_io == pytest.approx(0.4)
+        assert group.t_dep == pytest.approx(0.8)
+        assert group.dep_fraction == pytest.approx(0.4)
+
+    def test_e2e_with_overlap(self):
+        group = make_group(t=2.0, f=0.5)
+        # overlap = 0.5 * min(1.2, 0.8) = 0.4
+        assert group.t_e2e == pytest.approx(2.0 - 0.4)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            make_group(cpu=0.5, remote=0.2, io=0.2)
+
+    def test_positive_serial_time(self):
+        with pytest.raises(ValueError):
+            make_group(t=0.0)
+
+    @given(
+        cpu=st.floats(min_value=0.01, max_value=0.98),
+        f=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=30)
+    def test_e2e_bounded(self, cpu, f):
+        rest = 1.0 - cpu
+        group = make_group(cpu=cpu, remote=rest / 2, io=rest / 2, f=f)
+        assert group.t_e2e <= group.t_serial + 1e-9
+        assert group.t_e2e >= max(group.t_cpu, group.t_dep) - 1e-9
+
+
+class TestPlatformProfile:
+    def _profile(self):
+        return PlatformProfile(
+            platform="P",
+            groups=(
+                make_group("CPU Heavy", qf=0.7, t=1.0, cpu=0.8, remote=0.1, io=0.1),
+                make_group("IO Heavy", qf=0.3, t=3.0, cpu=0.2, remote=0.2, io=0.6),
+            ),
+            cpu_component_fractions={"a": 0.5, "b": 0.5},
+            bytes_per_query=100.0,
+        )
+
+    def test_group_lookup(self):
+        profile = self._profile()
+        assert profile.group("IO Heavy").t_serial == 3.0
+        with pytest.raises(KeyError):
+            profile.group("nope")
+
+    def test_component_times_scale_with_group(self):
+        profile = self._profile()
+        times = profile.component_times(profile.group("CPU Heavy"))
+        assert times == {"a": pytest.approx(0.4), "b": pytest.approx(0.4)}
+
+    def test_overall_breakdown_is_time_weighted(self):
+        profile = self._profile()
+        overall = profile.overall_breakdown
+        # weights: 0.7*1.0 = 0.7 and 0.3*3.0 = 0.9
+        expected_cpu = (0.7 * 0.8 + 0.9 * 0.2) / 1.6
+        assert overall["cpu"] == pytest.approx(expected_cpu)
+        assert math.isclose(sum(overall.values()), 1.0)
+
+    def test_overall_group_consistent(self):
+        profile = self._profile()
+        overall = profile.overall_group()
+        assert overall.name == "Overall Average"
+        assert overall.query_fraction == 1.0
+        assert overall.t_serial == pytest.approx(0.7 * 1.0 + 0.3 * 3.0)
+        breakdown = profile.overall_breakdown
+        assert overall.cpu_fraction == pytest.approx(breakdown["cpu"])
+
+    def test_query_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            PlatformProfile(
+                platform="P",
+                groups=(make_group(qf=0.5),),
+                cpu_component_fractions={"a": 1.0},
+                bytes_per_query=1.0,
+            )
+
+    def test_component_fractions_cannot_exceed_one(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            PlatformProfile(
+                platform="P",
+                groups=(make_group(qf=1.0),),
+                cpu_component_fractions={"a": 0.7, "b": 0.7},
+                bytes_per_query=1.0,
+            )
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformProfile(
+                platform="P",
+                groups=(make_group(qf=1.0),),
+                cpu_component_fractions={"a": 1.0},
+                bytes_per_query=-1.0,
+            )
+
+    def test_mean_t_e2e(self):
+        profile = self._profile()
+        expected = 0.7 * 1.0 + 0.3 * 3.0  # f = 1, so e2e == serial
+        assert profile.mean_t_e2e == pytest.approx(expected)

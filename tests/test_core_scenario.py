@@ -1,0 +1,139 @@
+"""Tests for placement x invocation scenarios and platform speedups."""
+
+import pytest
+
+from repro.core.profile import PlatformProfile, QueryGroupProfile
+from repro.core.scenario import (
+    ASYNC_ON_CHIP,
+    CHAINED_ON_CHIP,
+    FEATURE_CONFIGS,
+    SYNC_OFF_CHIP,
+    SYNC_ON_CHIP,
+    AcceleratorSystem,
+    Invocation,
+    Placement,
+    evaluate_group,
+    platform_speedup,
+)
+
+
+@pytest.fixture
+def group():
+    return QueryGroupProfile(
+        name="CPU Heavy",
+        query_fraction=1.0,
+        t_serial=1.0,
+        cpu_fraction=0.8,
+        remote_fraction=0.1,
+        io_fraction=0.1,
+        f=1.0,
+    )
+
+
+@pytest.fixture
+def profile(group):
+    return PlatformProfile(
+        platform="TestDB",
+        groups=(group,),
+        cpu_component_fractions={"hot": 0.5, "warm": 0.3, "cold": 0.2},
+        bytes_per_query=1e6,
+    )
+
+
+class TestEvaluateGroup:
+    def test_sync_on_chip(self, group):
+        result = evaluate_group(
+            group,
+            {"hot": 0.4, "cold": 0.4},
+            ["hot"],
+            SYNC_ON_CHIP.with_speedup(4.0),
+        )
+        # t'cpu = 0.4/4 + 0.4 = 0.5; e2e = 0.5 + 0.2 vs original 1.0.
+        assert result.t_cpu_accelerated == pytest.approx(0.5)
+        assert result.speedup == pytest.approx(1.0 / 0.7)
+
+    def test_off_chip_applies_bytes(self, group):
+        result = evaluate_group(
+            group,
+            {"hot": 0.4, "cold": 0.4},
+            ["hot"],
+            SYNC_OFF_CHIP.with_speedup(4.0),
+            bytes_per_query=2e9,  # 2 * 2e9 / 4e9 = 1s penalty
+        )
+        assert result.t_cpu_accelerated == pytest.approx(0.5 + 1.0)
+
+    def test_async_overlaps_accelerators(self, group):
+        times = {"hot": 0.4, "warm": 0.4}
+        sync = evaluate_group(group, times, ["hot", "warm"], SYNC_ON_CHIP.with_speedup(4.0))
+        asyn = evaluate_group(group, times, ["hot", "warm"], ASYNC_ON_CHIP.with_speedup(4.0))
+        assert asyn.t_cpu_accelerated == pytest.approx(0.1)
+        assert sync.t_cpu_accelerated == pytest.approx(0.2)
+
+    def test_chained_routes_to_chain_model(self, group):
+        result = evaluate_group(
+            group,
+            {"hot": 0.4, "warm": 0.4},
+            ["hot", "warm"],
+            CHAINED_ON_CHIP.with_speedup(4.0).with_setup_time(0.05),
+        )
+        assert result.t_chnd == pytest.approx(0.05 + 0.1)
+
+    def test_remainder_is_unaccelerated(self, group):
+        # Components cover 0.5 of the 0.8 CPU seconds; remainder must persist.
+        result = evaluate_group(
+            group, {"hot": 0.5}, ["hot"], SYNC_ON_CHIP.with_speedup(1e12)
+        )
+        assert result.t_nacc == pytest.approx(0.3)
+
+    def test_component_overrun_rejected(self, group):
+        with pytest.raises(ValueError, match="exceed"):
+            evaluate_group(group, {"hot": 5.0}, ["hot"], SYNC_ON_CHIP)
+
+    def test_unknown_target_rejected(self, group):
+        with pytest.raises(KeyError):
+            evaluate_group(group, {"hot": 0.4}, ["missing"], SYNC_ON_CHIP)
+
+
+class TestPlatformSpeedup:
+    def test_identity_with_unit_speedup(self, profile):
+        assert platform_speedup(
+            profile, ["hot"], SYNC_ON_CHIP.with_speedup(1.0)
+        ) == pytest.approx(1.0)
+
+    def test_group_selection(self, profile):
+        full = platform_speedup(profile, ["hot"], SYNC_ON_CHIP.with_speedup(8.0))
+        only = platform_speedup(
+            profile, ["hot"], SYNC_ON_CHIP.with_speedup(8.0), groups=["CPU Heavy"]
+        )
+        assert full == pytest.approx(only)
+
+    def test_unknown_group_rejected(self, profile):
+        with pytest.raises(ValueError, match="no groups"):
+            platform_speedup(profile, ["hot"], SYNC_ON_CHIP, groups=["nope"])
+
+    def test_feature_config_ordering(self, profile):
+        """On-chip >= off-chip; async >= sync; chained ~ async (no setup)."""
+        values = {
+            cfg.label: platform_speedup(profile, ["hot", "warm"], cfg.with_speedup(8.0))
+            for cfg in FEATURE_CONFIGS
+        }
+        assert values["Sync + On-Chip"] >= values["Sync + Off-Chip"]
+        assert values["Async + On-Chip"] >= values["Sync + On-Chip"]
+        assert values["Chained + On-Chip"] == pytest.approx(values["Async + On-Chip"])
+
+
+class TestAcceleratorSystem:
+    def test_labels(self):
+        assert SYNC_OFF_CHIP.label == "Sync + Off-Chip"
+        assert CHAINED_ON_CHIP.label == "Chained + On-Chip"
+
+    def test_with_speedup_is_pure(self):
+        base = AcceleratorSystem(Placement.ON_CHIP, Invocation.SYNCHRONOUS, speedup=2.0)
+        derived = base.with_speedup(16.0)
+        assert base.speedup == 2.0
+        assert derived.speedup == 16.0
+
+    def test_with_setup_time(self):
+        derived = SYNC_ON_CHIP.with_setup_time(1e-3)
+        assert derived.t_setup == 1e-3
+        assert SYNC_ON_CHIP.t_setup == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the from-scratch SHA3-256 (verified against hashlib)."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha3 import Sha3_256, keccak_f1600, sha3_256
+
+
+class TestKnownVectors:
+    def test_empty(self):
+        assert (
+            sha3_256(b"").hex()
+            == "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        )
+
+    def test_abc(self):
+        assert (
+            sha3_256(b"abc").hex()
+            == "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        )
+
+    @pytest.mark.parametrize("length", [1, 135, 136, 137, 271, 272, 273, 1000])
+    def test_block_boundaries_match_hashlib(self, length):
+        message = bytes(range(256)) * (length // 256 + 1)
+        message = message[:length]
+        assert sha3_256(message) == hashlib.sha3_256(message).digest()
+
+    @given(data=st.binary(max_size=600))
+    @settings(max_examples=60)
+    def test_matches_hashlib_on_random_inputs(self, data):
+        assert sha3_256(data) == hashlib.sha3_256(data).digest()
+
+
+class TestIncrementalApi:
+    def test_chunked_update_equals_oneshot(self):
+        data = b"the quick brown fox" * 50
+        hasher = Sha3_256()
+        for i in range(0, len(data), 7):
+            hasher.update(data[i : i + 7])
+        assert hasher.digest() == sha3_256(data)
+
+    def test_digest_idempotent(self):
+        hasher = Sha3_256(b"x")
+        assert hasher.digest() == hasher.digest()
+
+    def test_update_after_digest_rejected(self):
+        hasher = Sha3_256(b"x")
+        hasher.digest()
+        with pytest.raises(ValueError):
+            hasher.update(b"more")
+
+    def test_permutation_count(self):
+        # 136-byte rate: 300 bytes absorb 2 full blocks + 1 padding block.
+        hasher = Sha3_256(b"a" * 300)
+        hasher.digest()
+        assert hasher.permutations == 3
+
+    def test_hexdigest(self):
+        assert Sha3_256(b"abc").hexdigest() == hashlib.sha3_256(b"abc").hexdigest()
+
+
+class TestKeccakPermutation:
+    def test_requires_25_lanes(self):
+        with pytest.raises(ValueError):
+            keccak_f1600([0] * 24)
+
+    def test_zero_state_known_output(self):
+        # First lane of Keccak-f[1600] applied to the all-zero state.
+        out = keccak_f1600([0] * 25)
+        assert out[0] == 0xF1258F7940E1DDE7
+
+    def test_permutation_changes_state(self):
+        state = list(range(25))
+        assert keccak_f1600(state) != state
+
+    def test_input_not_mutated(self):
+        state = [7] * 25
+        keccak_f1600(state)
+        assert state == [7] * 25

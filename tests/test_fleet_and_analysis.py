@@ -1,0 +1,126 @@
+"""Integration tests: the fleet driver and the analysis layer end to end."""
+
+import math
+
+import pytest
+
+from repro import taxonomy
+from repro.analysis import (
+    Comparison,
+    TextTable,
+    figure2_data,
+    figure3_data,
+    figure9_data,
+    render_comparisons,
+    table1_data,
+    table6_data,
+    table8_data,
+)
+from repro.soc import ValidationExperiment
+from repro.workloads.calibration import BIGQUERY, BIGTABLE, PLATFORMS, SPANNER
+from repro.workloads.fleet import FleetSimulation, counter_model_for
+
+
+@pytest.fixture(scope="module")
+def fleet_result():
+    return FleetSimulation(
+        queries={SPANNER: 120, BIGTABLE: 120, BIGQUERY: 25}, seed=7
+    ).run()
+
+
+class TestFleetSimulation:
+    def test_all_platforms_served(self, fleet_result):
+        assert fleet_result.platforms[SPANNER].queries_served == 120
+        assert fleet_result.platforms[BIGQUERY].queries_served == 25
+
+    def test_e2e_breakdowns_populated(self, fleet_result):
+        for platform in PLATFORMS:
+            assert len(fleet_result.e2e[platform]) > 0
+
+    def test_table1_exact(self, fleet_result):
+        rows = fleet_result.table1_rows()
+        assert rows[SPANNER] == (1.0, pytest.approx(8.0), pytest.approx(90.0))
+        assert rows[BIGTABLE] == (1.0, pytest.approx(16.0), pytest.approx(164.0))
+        assert rows[BIGQUERY] == (1.0, pytest.approx(7.0), pytest.approx(777.0))
+
+    def test_uarch_near_paper(self, fleet_result):
+        from repro.workloads import calibration
+
+        for platform in PLATFORMS:
+            measured = fleet_result.uarch_table(platform)
+            paper = calibration.PLATFORM_UARCH[platform]
+            assert measured["ipc"] == pytest.approx(paper.ipc, rel=0.2)
+
+    def test_measured_profile_is_model_ready(self, fleet_result):
+        for platform in PLATFORMS:
+            profile = fleet_result.measured_profile(platform)
+            assert math.isclose(
+                sum(g.query_fraction for g in profile.groups), 1.0, rel_tol=1e-9
+            )
+            assert sum(profile.cpu_component_fractions.values()) <= 1.0 + 1e-9
+            for group in profile.groups:
+                assert group.t_e2e > 0
+
+    def test_counter_model_builder(self):
+        model = counter_model_for(SPANNER)
+        sample = model.sample("core", cycles=1e6)
+        assert sample.ipc == pytest.approx(0.9)
+
+    def test_int_query_count_broadcast(self):
+        sim = FleetSimulation(queries=5)
+        assert sim.queries == {SPANNER: 5, BIGTABLE: 5, BIGQUERY: 5}
+
+
+class TestAnalysisLayer:
+    def test_text_table_renders(self):
+        table = TextTable(["a", "b"], title="T")
+        table.add_row(1, 2.5)
+        rendered = table.render()
+        assert "T" in rendered and "2.5" in rendered
+
+    def test_text_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            TextTable(["a"]).add_row(1, 2)
+
+    def test_comparison_verdicts(self):
+        good = Comparison("x", "m", paper=10.0, measured=10.5, rel_tolerance=0.1)
+        bad = Comparison("x", "m", paper=10.0, measured=20.0, rel_tolerance=0.1)
+        assert good.within_tolerance
+        assert not bad.within_tolerance
+        assert "DIVERGES" in render_comparisons([bad])
+
+    def test_table1_data(self, fleet_result):
+        table, comparisons = table1_data(fleet_result)
+        assert len(table.rows) == 3
+        assert all(c.within_tolerance for c in comparisons)
+
+    def test_table6_data(self, fleet_result):
+        table, comparisons = table6_data(fleet_result)
+        assert len(table.rows) == 7  # IPC + six MPKI rows
+        assert all(c.within_tolerance for c in comparisons)
+
+    def test_figure2_data(self, fleet_result):
+        table, comparisons = figure2_data(fleet_result)
+        assert len(table.rows) == 3 * 5  # 4 groups + overall per platform
+        diverging = [c for c in comparisons if not c.within_tolerance]
+        assert len(diverging) <= 4
+
+    def test_figure3_data(self, fleet_result):
+        _, comparisons = figure3_data(fleet_result)
+        assert all(c.within_tolerance for c in comparisons)
+
+    def test_figure9_data_default_profiles(self):
+        table, comparisons = figure9_data()
+        assert all(c.within_tolerance for c in comparisons)
+        assert len(table.rows) == 6  # 3 platforms x (with/without deps)
+
+    def test_table8_data(self):
+        result = ValidationExperiment(batch_messages=30, seed=2).run()
+        table, comparisons = table8_data(result)
+        assert len(table.rows) == 10
+        # Absolute per-batch values scale with the batch; the speedups and
+        # setups are batch-independent and must match.
+        by_metric = {c.metric: c for c in comparisons}
+        assert by_metric["Proto. Ser. s_sub (x)"].within_tolerance
+        assert by_metric["SHA3 s_sub (x)"].within_tolerance
+        assert by_metric["Proto. Ser. t_setup (us)"].within_tolerance

@@ -1,0 +1,86 @@
+"""Tests for the Section 5.6 core-heterogeneity study."""
+
+import pytest
+
+from repro.profiling.counters import CounterRates
+from repro.profiling.heterogeneity import (
+    BIG_CORE,
+    LITTLE_CORE,
+    placement_study,
+)
+from repro.workloads.calibration import (
+    BIGQUERY,
+    BIGTABLE,
+    PLATFORM_UARCH,
+    PLATFORMS,
+    SPANNER,
+)
+
+
+def paper_rates(platform):
+    stats = PLATFORM_UARCH[platform]
+    return CounterRates(
+        ipc=stats.ipc,
+        br=stats.br_mpki,
+        l1i=stats.l1i_mpki,
+        l2i=stats.l2i_mpki,
+        llc=stats.llc_mpki,
+        itlb=stats.itlb_mpki,
+        dtlb_ld=stats.dtlb_ld_mpki,
+    )
+
+
+@pytest.fixture
+def rows():
+    return placement_study({p: paper_rates(p) for p in PLATFORMS})
+
+
+class TestCoreDesigns:
+    def test_big_core_faster_on_everything(self, rows):
+        for row in rows.values():
+            assert row.big_throughput > row.little_throughput
+
+    def test_clean_code_runs_near_peak_on_both(self):
+        clean = CounterRates(ipc=2.0, br=0.5, l1i=0.5, l2i=0.1, llc=0.05,
+                             itlb=0.05, dtlb_ld=0.1)
+        assert BIG_CORE.ipc(clean) > 2.0
+        assert LITTLE_CORE.ipc(clean) > 1.2
+
+    def test_miss_heavy_code_collapses_more_on_little(self):
+        dirty = paper_rates(BIGTABLE)
+        clean = paper_rates(BIGQUERY)
+        big_drop = BIG_CORE.ipc(dirty) / BIG_CORE.ipc(clean)
+        little_drop = LITTLE_CORE.ipc(dirty) / LITTLE_CORE.ipc(clean)
+        assert little_drop < big_drop  # little cores suffer more from misses
+
+
+class TestPlacementStudy:
+    def test_analytics_retains_more_throughput_on_little(self, rows):
+        """Section 5.6: analytics' predictable code keeps more of its
+        performance on a simple core than the databases do."""
+        assert (
+            rows[BIGQUERY].throughput_retention_on_little
+            > rows[SPANNER].throughput_retention_on_little
+        )
+        assert (
+            rows[BIGQUERY].throughput_retention_on_little
+            > rows[BIGTABLE].throughput_retention_on_little
+        )
+
+    def test_recommendations_split_by_platform_class(self, rows):
+        """The headline: little cores for the analytics engine, big cores
+        favored (relatively) by the databases."""
+        assert rows[BIGQUERY].recommended == "little"
+        # Databases: little's area advantage may still win on pure
+        # efficiency, but their *retention* penalty must be visible.
+        for platform in (SPANNER, BIGTABLE):
+            assert rows[platform].throughput_retention_on_little < 0.62
+
+    def test_efficiency_metric_divides_by_area(self, rows):
+        row = rows[BIGQUERY]
+        assert row.big_efficiency == pytest.approx(row.big_throughput / 3.0)
+        assert row.little_efficiency == pytest.approx(row.little_throughput / 1.0)
+
+    def test_requires_two_designs(self):
+        with pytest.raises(ValueError):
+            placement_study({"x": paper_rates(SPANNER)}, designs=(BIG_CORE,))

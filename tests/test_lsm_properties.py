@@ -1,0 +1,93 @@
+"""Property-based tests: LSM semantics against a dictionary reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platforms.bigtable.compaction import merge_sstables
+from repro.platforms.bigtable.memtable import Memtable
+from repro.platforms.bigtable.sstable import SSTable
+
+keys = st.text(alphabet="abcdef", min_size=1, max_size=4)
+values = st.one_of(st.none(), st.integers(min_value=0, max_value=999))
+run_contents = st.dictionaries(keys, values, min_size=1, max_size=12)
+
+
+def make_run(contents: dict, index: int) -> SSTable:
+    entries = sorted(contents.items())
+    return SSTable(entries, path=f"/r{index}", level=0)
+
+
+class TestMergeAgainstReferenceModel:
+    @given(runs=st.lists(run_contents, min_size=1, max_size=5))
+    @settings(max_examples=60)
+    def test_minor_merge_equals_newest_wins_fold(self, runs):
+        """Merging runs (newest first) must equal folding the dicts oldest
+        to newest, tombstones retained."""
+        sstables = [make_run(contents, i) for i, contents in enumerate(runs)]
+        merged = merge_sstables(
+            sstables, path="/m", level=1, drop_tombstones=False
+        )
+        reference: dict = {}
+        for contents in reversed(runs):  # oldest first; newer overwrite
+            reference.update(contents)
+        assert merged is not None
+        assert dict(merged.items()) == reference
+
+    @given(runs=st.lists(run_contents, min_size=1, max_size=5))
+    @settings(max_examples=60)
+    def test_major_merge_drops_exactly_the_tombstones(self, runs):
+        sstables = [make_run(contents, i) for i, contents in enumerate(runs)]
+        merged = merge_sstables(sstables, path="/m", level=2, drop_tombstones=True)
+        reference: dict = {}
+        for contents in reversed(runs):
+            reference.update(contents)
+        live = {k: v for k, v in reference.items() if v is not None}
+        if not live:
+            assert merged is None
+        else:
+            assert dict(merged.items()) == live
+
+    @given(runs=st.lists(run_contents, min_size=1, max_size=5))
+    @settings(max_examples=40)
+    def test_merge_output_sorted_and_unique(self, runs):
+        sstables = [make_run(contents, i) for i, contents in enumerate(runs)]
+        merged = merge_sstables(sstables, path="/m", level=1, drop_tombstones=False)
+        merged_keys = [k for k, _ in merged.items()]
+        assert merged_keys == sorted(set(merged_keys))
+
+
+class TestMemtableAgainstReferenceModel:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["put", "delete"]), keys, values),
+            max_size=40,
+        ),
+        probes=st.lists(keys, max_size=10),
+    )
+    @settings(max_examples=60)
+    def test_get_matches_dict(self, ops, probes):
+        table = Memtable()
+        reference: dict = {}
+        for op, key, value in ops:
+            if op == "put":
+                table.put(key, value)
+                reference[key] = value
+            else:
+                table.delete(key)
+                reference[key] = None
+        for key in probes:
+            assert table.get(key) == reference.get(key)
+        assert dict(table.items()) == reference
+
+    @given(
+        entries=st.dictionaries(keys, st.integers(), min_size=1, max_size=20),
+        bounds=st.tuples(keys, keys),
+    )
+    @settings(max_examples=40)
+    def test_scan_matches_sorted_slice(self, entries, bounds):
+        lo, hi = sorted(bounds)
+        table = Memtable()
+        for key, value in entries.items():
+            table.put(key, value)
+        expected = [(k, entries[k]) for k in sorted(entries) if lo <= k < hi]
+        assert list(table.scan(lo, hi)) == expected

@@ -1,0 +1,65 @@
+"""Tests for the markdown report writer."""
+
+import pytest
+
+from repro.analysis.markdown import (
+    comparisons_to_markdown,
+    table_to_markdown,
+    write_report,
+)
+from repro.analysis.report import Comparison, TextTable
+
+
+class TestMarkdownRendering:
+    def test_table_to_markdown(self):
+        table = TextTable(["a", "b"], title="My Table")
+        table.add_row(1, 2.5)
+        rendered = table_to_markdown(table)
+        assert "### My Table" in rendered
+        assert "| a | b |" in rendered
+        assert "| 1 | 2.5 |" in rendered
+
+    def test_comparisons_to_markdown(self):
+        rows = [
+            Comparison("e", "m", paper=1.0, measured=1.05, rel_tolerance=0.1),
+            Comparison("e", "n", paper=1.0, measured=2.0, rel_tolerance=0.1),
+        ]
+        rendered = comparisons_to_markdown(rows)
+        assert "| ok |" in rendered
+        assert "| DIVERGES |" in rendered
+
+    def test_empty_comparisons(self):
+        assert "no comparisons" in comparisons_to_markdown([])
+
+
+class TestWriteReport:
+    @pytest.fixture(scope="class")
+    def report_text(self, tmp_path_factory):
+        from repro.soc import ValidationExperiment
+        from repro.workloads.fleet import FleetSimulation
+
+        fleet = FleetSimulation(
+            queries={"Spanner": 80, "BigTable": 80, "BigQuery": 15}, seed=9
+        ).run()
+        # Table 8's absolute rows are per-batch; use the paper's batch size.
+        table8 = ValidationExperiment(batch_messages=100, seed=1).run()
+        path = tmp_path_factory.mktemp("report") / "report.md"
+        write_report(fleet, table8, path)
+        return path.read_text()
+
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "Table 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+            "Figure 6", "Table 6", "Table 7", "Figure 9", "Figure 10",
+            "Figure 13", "Figure 14", "Figure 15", "Table 8",
+        ):
+            assert heading in report_text
+
+    def test_summary_line(self, report_text):
+        assert "Comparisons:" in report_text
+        assert "within tolerance:" in report_text
+
+    def test_mostly_within_tolerance(self, report_text):
+        # The verdict column marks divergences explicitly; with a small
+        # fleet sample a few group-share rows may wobble, nothing else.
+        assert report_text.count("DIVERGES") <= 4

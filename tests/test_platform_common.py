@@ -1,0 +1,191 @@
+"""Tests for the shared platform machinery (budgets, chunking, serving)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import taxonomy
+from repro.platforms.common import CpuChunker, PlatformBase, QueryPlan
+from repro.profiling.dapper import SpanKind, Trace
+from repro.sim import Environment
+from repro.workloads.calibration import SPANNER, build_profile
+
+FRACTIONS = {
+    taxonomy.COMPRESSION.key: 0.25,
+    taxonomy.RPC.key: 0.25,
+    taxonomy.STL.key: 0.5,
+}
+
+
+class TestQueryPlan:
+    def test_dep_and_overlap(self):
+        plan = QueryPlan(kind="q", group="g", t_cpu=4.0, t_remote=1.0, t_io=2.0, f=0.5)
+        assert plan.t_dep == 3.0
+        assert plan.overlap_budget == pytest.approx(0.5 * 3.0)
+
+    def test_no_overlap_when_fully_sync(self):
+        plan = QueryPlan(kind="q", group="g", t_cpu=4.0, t_remote=1.0, t_io=2.0, f=1.0)
+        assert plan.overlap_budget == 0.0
+
+
+class TestCpuChunker:
+    def test_budget_exact_per_category(self):
+        chunker = CpuChunker(FRACTIONS, chunk_seconds=1e-4)
+        chunks = chunker.chunks(10e-3)
+        by_category: dict[str, float] = {}
+        from repro.profiling.categories import default_categorizer
+
+        for function, duration in chunks:
+            key = default_categorizer().categorize(function)
+            by_category[key] = by_category.get(key, 0.0) + duration
+        assert by_category[taxonomy.COMPRESSION.key] == pytest.approx(2.5e-3)
+        assert by_category[taxonomy.STL.key] == pytest.approx(5e-3)
+        assert sum(d for _, d in chunks) == pytest.approx(10e-3)
+
+    def test_zero_budget(self):
+        assert CpuChunker(FRACTIONS).chunks(0.0) == []
+
+    def test_deterministic_given_seed(self):
+        a = CpuChunker(FRACTIONS, rng=np.random.default_rng(1)).chunks(1e-3)
+        b = CpuChunker(FRACTIONS, rng=np.random.default_rng(1)).chunks(1e-3)
+        assert a == b
+
+    def test_split_respects_budget(self):
+        chunker = CpuChunker(FRACTIONS, chunk_seconds=1e-4)
+        chunks = chunker.chunks(10e-3)
+        first, rest = chunker.split(chunks, 3e-3)
+        first_total = sum(d for _, d in first)
+        assert first_total >= 3e-3 - 1e-9
+        assert first_total <= 3e-3 + 2e-4  # at most one chunk of overshoot
+        assert len(first) + len(rest) == len(chunks)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CpuChunker({})
+        with pytest.raises(ValueError):
+            CpuChunker(FRACTIONS, chunk_seconds=0.0)
+        with pytest.raises(ValueError):
+            CpuChunker({"dctax/rpc": 0.0})
+
+    @given(budget=st.floats(min_value=1e-5, max_value=0.1))
+    @settings(max_examples=30)
+    def test_total_always_matches_budget(self, budget):
+        chunker = CpuChunker(FRACTIONS, chunk_seconds=1e-4)
+        total = sum(d for _, d in chunker.chunks(budget))
+        assert math.isclose(total, budget, rel_tol=1e-9)
+
+
+class _StubPlatform(PlatformBase):
+    """Minimal platform: burns the whole budget as plain timeouts."""
+
+    platform_name = "Stub"
+
+    def _execute(self, ctx, plan):
+        if plan.t_dep > 0:
+            start = self.env.now
+            yield self.env.timeout(plan.t_dep)
+            ctx.record_span("stub:dep", SpanKind.IO, start, self.env.now)
+        if plan.t_cpu > 0:
+            start = self.env.now
+            yield self.env.timeout(plan.t_cpu)
+            ctx.record_span("stub:cpu", SpanKind.CPU, start, self.env.now)
+        return "done"
+
+
+def make_stub(env, seed=0, jitter=0.0):
+    return _StubPlatform(env, build_profile(SPANNER), seed=seed, jitter=jitter)
+
+
+class TestPlatformBase:
+    def test_plan_query_follows_group_mix(self):
+        env = Environment()
+        platform = make_stub(env, seed=1)
+        groups = [platform.plan_query().group for _ in range(500)]
+        cpu_share = groups.count("CPU Heavy") / len(groups)
+        assert 0.55 <= cpu_share <= 0.77  # calibrated 0.66
+
+    def test_jitter_zero_is_exact(self):
+        env = Environment()
+        platform = make_stub(env, jitter=0.0)
+        group = platform.profile.group("CPU Heavy")
+        plans = [platform.plan_query() for _ in range(50)]
+        cpu_heavy = [p for p in plans if p.group == "CPU Heavy"]
+        assert all(p.t_cpu == pytest.approx(group.t_cpu) for p in cpu_heavy)
+
+    def test_closed_loop_serving(self):
+        env = Environment()
+        platform = make_stub(env)
+        env.run(until=env.process(platform.serve(10)))
+        assert platform.queries_served == 10
+        assert platform.mean_latency() > 0
+
+    def test_open_loop_serving_overlaps_queries(self):
+        env = Environment()
+        closed = make_stub(env)
+        env.run(until=env.process(closed.serve(10)))
+        closed_makespan = env.now
+
+        env2 = Environment()
+        open_loop = make_stub(env2)
+        env2.run(until=env2.process(open_loop.serve(10, interarrival=1e-4)))
+        assert open_loop.queries_served == 10
+        assert env2.now < closed_makespan  # concurrency shortens the makespan
+
+    def test_traces_annotated(self):
+        env = Environment()
+        platform = make_stub(env)
+        env.run(until=env.process(platform.serve(5)))
+        for trace in platform.tracer.finished_traces():
+            assert trace.annotations["group"] in {
+                "CPU Heavy", "IO Heavy", "Remote Work Heavy", "Others",
+            }
+
+    def test_invalid_serve_args(self):
+        env = Environment()
+        platform = make_stub(env)
+        with pytest.raises(ValueError):
+            env.run(until=env.process(platform.serve(-1)))
+        with pytest.raises(ValueError):
+            env.run(until=env.process(platform.serve(1, interarrival=-1.0)))
+
+    def test_mean_latency_requires_queries(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            make_stub(env).mean_latency()
+
+    def test_realize_budget_tail_span(self):
+        env = Environment()
+        platform = make_stub(env)
+        trace = Trace(0, "q", 0.0)
+        from repro.cluster.node import WorkContext
+
+        ctx = WorkContext(platform="Stub", trace=trace)
+
+        def no_op_factory(remaining):
+            return None  # force the tail path immediately
+
+        def run():
+            yield from platform.realize_budget(
+                ctx, 5e-3, no_op_factory, tail_name="tail", tail_kind=SpanKind.REMOTE
+            )
+
+        env.run(until=env.process(run()))
+        assert env.now == pytest.approx(5e-3)
+        tail_spans = [s for s in trace.spans if s.name == "tail"]
+        assert len(tail_spans) == 1
+        assert tail_spans[0].annotations["tail"] is True
+
+    def test_realize_budget_rejects_negative(self):
+        env = Environment()
+        platform = make_stub(env)
+        from repro.cluster.node import WorkContext
+
+        process = platform.realize_budget(
+            WorkContext(platform="Stub"), -1.0, lambda r: None,
+            tail_name="t", tail_kind=SpanKind.IO,
+        )
+        with pytest.raises(ValueError):
+            env.run(until=env.process(process))

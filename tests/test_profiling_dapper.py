@@ -1,0 +1,188 @@
+"""Tests for Dapper-style tracing and the Section 4.1 attribution policy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.profiling.breakdown import (
+    classify_query,
+    trace_breakdown,
+    QueryBreakdown,
+)
+from repro.profiling.dapper import SpanKind, Trace, Tracer
+
+
+def make_trace(name="q", start=0.0):
+    return Trace(0, name, start)
+
+
+class TestSpansAndTraces:
+    def test_span_lifecycle(self):
+        trace = make_trace()
+        span = trace.start_span("read", SpanKind.IO, when=1.0)
+        assert not span.finished
+        span.finish(3.0)
+        assert span.duration == pytest.approx(2.0)
+
+    def test_span_cannot_finish_twice(self):
+        trace = make_trace()
+        span = trace.record("x", SpanKind.CPU, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            span.finish(2.0)
+
+    def test_span_cannot_end_before_start(self):
+        trace = make_trace()
+        span = trace.start_span("x", SpanKind.CPU, when=5.0)
+        with pytest.raises(ValueError):
+            span.finish(1.0)
+
+    def test_trace_tree(self):
+        trace = make_trace()
+        parent = trace.record("rpc", SpanKind.REMOTE, 0.0, 4.0)
+        child = trace.record("io", SpanKind.IO, 1.0, 2.0, parent=parent)
+        assert trace.children_of(parent) == [child]
+        assert child.parent_id == parent.span_id
+
+    def test_spans_of_kind(self):
+        trace = make_trace()
+        trace.record("a", SpanKind.CPU, 0, 1)
+        trace.record("b", SpanKind.IO, 1, 2)
+        trace.record("c", SpanKind.CPU, 2, 3)
+        assert len(list(trace.spans_of_kind(SpanKind.CPU))) == 2
+
+
+class TestTracerSampling:
+    def test_sample_rate_one_traces_everything(self):
+        tracer = Tracer(sample_rate=1)
+        assert all(tracer.start_trace(f"q{i}", 0.0) is not None for i in range(10))
+
+    def test_one_in_n_sampling(self):
+        tracer = Tracer(sample_rate=1000)
+        traced = sum(
+            tracer.start_trace(f"q{i}", 0.0) is not None for i in range(5000)
+        )
+        assert traced == 5
+        assert tracer.queries_seen == 5000
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=0)
+
+    def test_finished_traces_filter(self):
+        tracer = Tracer()
+        t1 = tracer.start_trace("a", 0.0)
+        tracer.start_trace("b", 0.0)
+        t1.finish(1.0)
+        assert tracer.finished_traces() == [t1]
+
+
+class TestAttributionPolicy:
+    """The Section 4.1 rule: overlap goes remote -> IO -> CPU."""
+
+    def test_disjoint_spans(self):
+        trace = make_trace()
+        trace.record("cpu", SpanKind.CPU, 0.0, 2.0)
+        trace.record("io", SpanKind.IO, 2.0, 5.0)
+        trace.record("remote", SpanKind.REMOTE, 5.0, 6.0)
+        trace.finish(6.0)
+        b = trace_breakdown(trace)
+        assert (b.t_cpu, b.t_io, b.t_remote) == (2.0, 3.0, 1.0)
+        assert b.overlap_hidden == 0.0
+
+    def test_cpu_overlapping_io_attributed_to_io(self):
+        trace = make_trace()
+        trace.record("cpu", SpanKind.CPU, 0.0, 4.0)
+        trace.record("io", SpanKind.IO, 2.0, 6.0)
+        trace.finish(6.0)
+        b = trace_breakdown(trace)
+        assert b.t_io == pytest.approx(4.0)
+        assert b.t_cpu == pytest.approx(2.0)
+        assert b.overlap_hidden == pytest.approx(2.0)
+
+    def test_remote_beats_io_beats_cpu(self):
+        trace = make_trace()
+        trace.record("cpu", SpanKind.CPU, 0.0, 10.0)
+        trace.record("io", SpanKind.IO, 0.0, 10.0)
+        trace.record("remote", SpanKind.REMOTE, 0.0, 10.0)
+        trace.finish(10.0)
+        b = trace_breakdown(trace)
+        assert b.t_remote == pytest.approx(10.0)
+        assert b.t_io == 0.0
+        assert b.t_cpu == 0.0
+
+    def test_multiple_spans_same_kind_union(self):
+        trace = make_trace()
+        trace.record("io1", SpanKind.IO, 0.0, 3.0)
+        trace.record("io2", SpanKind.IO, 2.0, 5.0)  # overlaps io1
+        trace.finish(5.0)
+        b = trace_breakdown(trace)
+        assert b.t_io == pytest.approx(5.0)
+
+    def test_unattributed_gap(self):
+        trace = make_trace()
+        trace.record("cpu", SpanKind.CPU, 0.0, 1.0)
+        trace.finish(4.0)
+        b = trace_breakdown(trace)
+        assert b.t_unattributed == pytest.approx(3.0)
+
+    def test_unfinished_trace_rejected(self):
+        trace = make_trace()
+        with pytest.raises(ValueError):
+            trace_breakdown(trace)
+
+    def test_unfinished_span_rejected(self):
+        trace = make_trace()
+        trace.start_span("dangling", SpanKind.CPU, when=0.0)
+        trace.finish(1.0)
+        with pytest.raises(ValueError, match="unfinished"):
+            trace_breakdown(trace)
+
+    @given(
+        spans=st.lists(
+            st.tuples(
+                st.sampled_from(list(SpanKind)),
+                st.floats(min_value=0, max_value=50),
+                st.floats(min_value=0, max_value=50),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_attributed_time_never_exceeds_e2e(self, spans):
+        trace = make_trace()
+        horizon = 0.0
+        for kind, a, b in spans:
+            start, end = sorted((a, b))
+            trace.record("s", kind, start, end)
+            horizon = max(horizon, end)
+        trace.finish(horizon if horizon > 0 else 1.0)
+        breakdown = trace_breakdown(trace)
+        attributed = breakdown.t_cpu + breakdown.t_io + breakdown.t_remote
+        assert attributed <= breakdown.t_e2e + 1e-9
+        assert breakdown.t_unattributed >= -1e-9
+
+
+class TestQueryClassification:
+    def _q(self, cpu, remote, io):
+        total = cpu + remote + io
+        return QueryBreakdown("q", total, cpu, remote, io)
+
+    def test_cpu_heavy(self):
+        assert classify_query(self._q(7, 2, 1)) == "CPU Heavy"
+
+    def test_io_heavy(self):
+        assert classify_query(self._q(3, 2, 5)) == "IO Heavy"
+
+    def test_remote_heavy(self):
+        assert classify_query(self._q(3, 5, 2)) == "Remote Work Heavy"
+
+    def test_others(self):
+        assert classify_query(self._q(5, 2.5, 2.5)) == "Others"
+
+    def test_cpu_beats_io(self):
+        # 61% CPU and 35% IO: CPU-heavy takes precedence.
+        assert classify_query(self._q(6.2, 0.3, 3.5)) == "CPU Heavy"
+
+    def test_tie_between_io_and_remote(self):
+        assert classify_query(self._q(2, 4, 4)) == "IO Heavy"
+        assert classify_query(self._q(2, 4.5, 3.5)) == "Remote Work Heavy"

@@ -1,0 +1,234 @@
+"""Tests for the GWP-style sampler, categorizer and counter model."""
+
+import pytest
+
+from repro import taxonomy
+from repro.profiling.categories import CategorizationRule, default_categorizer
+from repro.profiling.counters import (
+    EVENT_NAMES,
+    CounterAggregate,
+    CounterRates,
+    PerfCounterModel,
+    StallModel,
+)
+from repro.profiling.gwp import FleetProfiler
+from repro.workloads.calibration import CATEGORY_UARCH, PLATFORM_UARCH, SPANNER
+
+
+class TestCategorizer:
+    @pytest.mark.parametrize(
+        "function,expected",
+        [
+            ("snappy::RawCompress", "dctax/compression"),
+            ("proto2::Message::SerializeToString", "dctax/protobuf"),
+            ("tcmalloc::allocate", "dctax/memory_allocation"),
+            ("stubby::RpcDispatch", "dctax/rpc"),
+            ("memcpy", "dctax/data_movement"),
+            ("sha3_256_update", "dctax/cryptography"),
+            ("absl::Mutex::Lock", "systax/multithreading"),
+            ("std::sort", "systax/stl"),
+            ("absl::StrCat", "systax/stl"),
+            ("sys_read", "systax/operating_system"),
+            ("fsclient::ReadChunk", "systax/file_systems"),
+            ("crc32c_extend", "systax/edac"),
+            ("tcp_sendmsg", "systax/networking"),
+            ("Tablet::TabletRead", "core/read"),
+            ("Txn::CommitWrite", "core/write"),
+            ("paxos::QuorumVote", "core/consensus"),
+            ("Lsm::CompactSSTables", "core/compaction"),
+            ("sqlexec::EvalPredicate", "core/query"),
+            ("Stage::FilterRows", "core/filter"),
+            ("Stage::HashAggregate", "core/aggregate"),
+            ("Stage::HashJoin", "core/join"),
+            ("Stage::ProjectColumns", "core/project"),
+            ("some_unknown_fn", "core/uncategorized"),
+        ],
+    )
+    def test_rule_table(self, function, expected):
+        assert default_categorizer().categorize(function) == expected
+
+    def test_first_match_wins(self):
+        # proto2::io functions are protobuf, not STL, despite "::".
+        assert (
+            default_categorizer().categorize("proto2::io::CodedOutputStream")
+            == "dctax/protobuf"
+        )
+
+    def test_extension_rules_take_precedence(self):
+        custom = default_categorizer().with_rules(
+            [CategorizationRule(r"^std::sort$", taxonomy.SORT)]
+        )
+        assert custom.categorize("std::sort") == "core/sort"
+        assert custom.categorize("std::vector") == "systax/stl"
+
+    def test_cache_consistency(self):
+        categorizer = default_categorizer()
+        first = categorizer.categorize("snappy::RawCompress")
+        second = categorizer.categorize("snappy::RawCompress")
+        assert first == second == "dctax/compression"
+
+
+class TestFleetProfiler:
+    def test_sampling_rate(self):
+        profiler = FleetProfiler(sample_period=1e-3)
+        taken = profiler.record_work("Spanner", "memcpy", duration=10e-3)
+        assert taken == 10
+        assert len(profiler.samples) == 10
+
+    def test_fractional_credit_carries(self):
+        profiler = FleetProfiler(sample_period=1e-3)
+        assert profiler.record_work("Spanner", "memcpy", 0.4e-3) == 0
+        assert profiler.record_work("Spanner", "memcpy", 0.4e-3) == 0
+        assert profiler.record_work("Spanner", "memcpy", 0.4e-3) == 1
+
+    def test_credit_is_per_platform(self):
+        profiler = FleetProfiler(sample_period=1e-3)
+        profiler.record_work("Spanner", "memcpy", 0.9e-3)
+        assert profiler.record_work("BigTable", "memcpy", 0.5e-3) == 0
+
+    def test_cycle_breakdown_fractions(self):
+        profiler = FleetProfiler(sample_period=1e-4)
+        profiler.record_work("Spanner", "snappy::RawCompress", 30e-3)
+        profiler.record_work("Spanner", "Tablet::TabletRead", 70e-3)
+        breakdown = profiler.cycle_breakdown("Spanner")
+        fractions = breakdown.cpu_fractions()
+        assert fractions["dctax/compression"] == pytest.approx(0.3, abs=0.01)
+        assert fractions["core/read"] == pytest.approx(0.7, abs=0.01)
+
+    def test_broad_fractions(self):
+        profiler = FleetProfiler(sample_period=1e-4)
+        profiler.record_work("Spanner", "snappy::RawCompress", 50e-3)
+        profiler.record_work("Spanner", "std::sort", 50e-3)
+        broad = profiler.cycle_breakdown("Spanner").broad_fractions()
+        assert broad[taxonomy.BroadCategory.DATACENTER_TAX] == pytest.approx(0.5, abs=0.01)
+        assert broad[taxonomy.BroadCategory.SYSTEM_TAX] == pytest.approx(0.5, abs=0.01)
+
+    def test_counters_attached(self):
+        rates = {b.value: CounterRates(1.0, 5, 10, 5, 1, 0.5, 2) for b in taxonomy.BroadCategory}
+        profiler = FleetProfiler(
+            sample_period=1e-3,
+            counter_models={"Spanner": PerfCounterModel(rates)},
+        )
+        profiler.record_work("Spanner", "memcpy", 5e-3)
+        aggregate = profiler.counter_aggregate("Spanner")
+        assert aggregate.ipc == pytest.approx(1.0)
+        assert aggregate.mpki("br") == pytest.approx(5.0)
+
+    def test_top_functions(self):
+        profiler = FleetProfiler(sample_period=1e-3)
+        profiler.record_work("Spanner", "hot_fn", 20e-3)
+        profiler.record_work("Spanner", "cold_fn", 5e-3)
+        top = profiler.top_functions("Spanner", count=1)
+        assert top[0][0] == "hot_fn"
+
+    def test_cpu_seconds_tracks_unsampled_work(self):
+        profiler = FleetProfiler(sample_period=1.0)
+        profiler.record_work("Spanner", "memcpy", 0.25)
+        assert profiler.cpu_seconds("Spanner") == pytest.approx(0.25)
+        assert len(profiler.samples) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FleetProfiler(sample_period=0)
+        with pytest.raises(ValueError):
+            FleetProfiler(cpu_hz=0)
+        with pytest.raises(ValueError):
+            FleetProfiler().record_work("p", "f", -1.0)
+
+
+class TestCounterModel:
+    def test_sample_expectations(self):
+        model = PerfCounterModel({"core": CounterRates(2.0, 3, 6, 3, 1, 0.2, 1)})
+        sample = model.sample("core", cycles=1000.0)
+        assert sample.instructions == pytest.approx(2000.0)
+        assert sample.misses["br"] == pytest.approx(6.0)
+        assert sample.ipc == pytest.approx(2.0)
+
+    def test_unknown_category_rejected(self):
+        model = PerfCounterModel({"core": CounterRates(1, 1, 1, 1, 1, 1, 1)})
+        with pytest.raises(KeyError):
+            model.sample("dctax", 100.0)
+
+    def test_aggregate_mixture_reproduces_table6_from_table7(self):
+        """The cycle-weighted mixture of Table 7 category rates must land
+        near Table 6's platform-level statistics (the paper's own numbers
+        are consistent under this mixture, within rounding)."""
+        from repro.workloads.calibration import BROAD_FRACTIONS
+
+        model = PerfCounterModel(
+            {
+                broad.value: CounterRates(
+                    stats.ipc,
+                    stats.br_mpki,
+                    stats.l1i_mpki,
+                    stats.l2i_mpki,
+                    stats.llc_mpki,
+                    stats.itlb_mpki,
+                    stats.dtlb_ld_mpki,
+                )
+                for broad, stats in CATEGORY_UARCH[SPANNER].items()
+            }
+        )
+        aggregate = CounterAggregate()
+        for broad, weight in BROAD_FRACTIONS[SPANNER].items():
+            aggregate.add(model.sample(broad.value, cycles=weight * 1e6))
+        paper = PLATFORM_UARCH[SPANNER]
+        assert aggregate.ipc == pytest.approx(paper.ipc, abs=0.1)
+        assert aggregate.mpki("br") == pytest.approx(paper.br_mpki, abs=0.4)
+        # Table 6's published L1I is ~2.7 MPKI above the exact instruction-
+        # weighted mixture of Table 7 (the paper's sampling differs); allow 3.
+        assert aggregate.mpki("l1i") == pytest.approx(paper.l1i_mpki, abs=3.0)
+
+    def test_merge(self):
+        a = CounterAggregate(cycles=100, instructions=100, misses={"br": 1})
+        b = CounterAggregate(cycles=100, instructions=300, misses={"br": 3})
+        a.merge(b)
+        assert a.ipc == pytest.approx(2.0)
+        assert a.mpki("br") == pytest.approx(10.0)
+
+
+class TestStallModel:
+    def _observations(self):
+        rows = []
+        for platform_rates in CATEGORY_UARCH.values():
+            for stats in platform_rates.values():
+                rows.append(
+                    CounterRates(
+                        stats.ipc,
+                        stats.br_mpki,
+                        stats.l1i_mpki,
+                        stats.l2i_mpki,
+                        stats.llc_mpki,
+                        stats.itlb_mpki,
+                        stats.dtlb_ld_mpki,
+                    )
+                )
+        return rows
+
+    def test_fit_on_table7(self):
+        """A stall model fit on the nine Table 7 rows predicts their IPCs
+        reasonably (Section 5.6: miss rates explain the IPC differences)."""
+        observations = self._observations()
+        model = StallModel.fit(observations)
+        assert model.mean_relative_error(observations) < 0.30
+
+    def test_penalties_nonnegative(self):
+        model = StallModel.fit(self._observations())
+        assert all(p >= 0 for p in model.penalties.values())
+
+    def test_predict_monotonic_in_misses(self):
+        model = StallModel(base_cpi=0.5, penalties={"l1i": 10.0})
+        low = CounterRates(1.0, 0, 5, 0, 0, 0, 0)
+        high = CounterRates(1.0, 0, 25, 0, 0, 0, 0)
+        assert model.predict_ipc(high) < model.predict_ipc(low)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            StallModel(base_cpi=0.0, penalties={})
+        with pytest.raises(KeyError):
+            StallModel(base_cpi=1.0, penalties={"bogus": 1.0})
+        with pytest.raises(ValueError):
+            StallModel(base_cpi=1.0, penalties={"br": -1.0})
+
+    def test_event_names_cover_table_columns(self):
+        assert EVENT_NAMES == ("br", "l1i", "l2i", "llc", "itlb", "dtlb_ld")

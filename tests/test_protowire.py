@@ -1,0 +1,230 @@
+"""Tests for the protobuf wire format, descriptors, and message corpus."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protowire import (
+    BENCH_FAMILIES,
+    FieldDescriptor,
+    FieldType,
+    Message,
+    MessageCorpus,
+    MessageDescriptor,
+    WireDecodeError,
+    decode_varint,
+    encode_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.protowire import wire
+
+
+class TestVarints:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            ((1 << 64) - 1, b"\xff" * 9 + b"\x01"),
+        ],
+    )
+    def test_known_encodings(self, value, encoded):
+        assert encode_varint(value) == encoded
+        assert decode_varint(encoded) == (value, len(encoded))
+
+    def test_negative_encodes_as_twos_complement(self):
+        encoded = encode_varint(-1)
+        assert len(encoded) == 10
+        value, _ = decode_varint(encoded)
+        assert value == (1 << 64) - 1
+
+    def test_truncated_rejected(self):
+        with pytest.raises(WireDecodeError):
+            decode_varint(b"\x80")
+
+    def test_overlong_rejected(self):
+        with pytest.raises(WireDecodeError):
+            decode_varint(b"\x80" * 11)
+
+    @given(value=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip(self, value):
+        assert decode_varint(encode_varint(value))[0] == value
+
+
+class TestZigzag:
+    @pytest.mark.parametrize(
+        "signed,unsigned", [(0, 0), (-1, 1), (1, 2), (-2, 3), (2147483647, 4294967294)]
+    )
+    def test_known_mapping(self, signed, unsigned):
+        assert zigzag_encode(signed) == unsigned
+        assert zigzag_decode(unsigned) == signed
+
+    @given(value=st.integers(min_value=-(1 << 62), max_value=(1 << 62)))
+    def test_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+
+class TestTagsAndFixed:
+    def test_tag_roundtrip(self):
+        encoded = wire.encode_tag(5, wire.WireType.LEN)
+        number, wire_type, _ = wire.decode_tag(encoded)
+        assert (number, wire_type) == (5, wire.WireType.LEN)
+
+    def test_invalid_field_number(self):
+        with pytest.raises(ValueError):
+            wire.encode_tag(0, wire.WireType.VARINT)
+
+    def test_unknown_wire_type_rejected(self):
+        # wire type 3 (SGROUP) is not supported.
+        with pytest.raises(WireDecodeError):
+            wire.decode_tag(encode_varint((1 << 3) | 3))
+
+    def test_fixed64_double(self):
+        encoded = wire.encode_fixed64(1.5)
+        value, offset = wire.decode_fixed64(encoded, 0)
+        assert value == 1.5 and offset == 8
+
+    def test_fixed32_truncated(self):
+        with pytest.raises(WireDecodeError):
+            wire.decode_fixed32(b"\x00\x00", 0)
+
+    def test_length_delimited_truncated(self):
+        bad = encode_varint(10) + b"short"
+        with pytest.raises(WireDecodeError):
+            wire.decode_length_delimited(bad, 0)
+
+
+def _simple_descriptor():
+    inner = MessageDescriptor(
+        "Inner", (FieldDescriptor("x", 1, FieldType.INT64),)
+    )
+    return MessageDescriptor(
+        "Outer",
+        (
+            FieldDescriptor("id", 1, FieldType.INT64),
+            FieldDescriptor("signed", 2, FieldType.SINT64),
+            FieldDescriptor("name", 3, FieldType.STRING),
+            FieldDescriptor("blob", 4, FieldType.BYTES),
+            FieldDescriptor("score", 5, FieldType.DOUBLE),
+            FieldDescriptor("flag", 6, FieldType.BOOL),
+            FieldDescriptor("items", 7, FieldType.INT64, repeated=True),
+            FieldDescriptor("child", 8, FieldType.MESSAGE, message_type=inner),
+        ),
+    ), inner
+
+
+class TestMessageRuntime:
+    def test_roundtrip_all_types(self):
+        outer, inner = _simple_descriptor()
+        message = (
+            outer.new()
+            .set("id", 42)
+            .set("signed", -17)
+            .set("name", "héllo")
+            .set("blob", b"\x00\x01\x02")
+            .set("score", 2.75)
+            .set("flag", True)
+            .set("items", [1, 2, 3])
+            .set("child", inner.new().set("x", 9))
+        )
+        parsed = Message.parse(outer, message.serialize())
+        assert parsed == message
+
+    def test_negative_int64_roundtrip(self):
+        outer, _ = _simple_descriptor()
+        message = outer.new().set("id", -123456)
+        assert Message.parse(outer, message.serialize()).get("id") == -123456
+
+    def test_unknown_fields_skipped(self):
+        outer, _ = _simple_descriptor()
+        small = MessageDescriptor("Small", (FieldDescriptor("id", 1, FieldType.INT64),))
+        message = outer.new().set("id", 7).set("name", "x").set("score", 1.0)
+        parsed = Message.parse(small, message.serialize())
+        assert parsed.get("id") == 7
+
+    def test_repeated_requires_list(self):
+        outer, _ = _simple_descriptor()
+        with pytest.raises(TypeError):
+            outer.new().set("items", 5)
+
+    def test_add_to_singular_rejected(self):
+        outer, _ = _simple_descriptor()
+        with pytest.raises(TypeError):
+            outer.new().add("id", 1)
+
+    def test_unknown_field_name(self):
+        outer, _ = _simple_descriptor()
+        with pytest.raises(KeyError):
+            outer.new().set("ghost", 1)
+
+    def test_wire_type_mismatch_rejected(self):
+        outer, _ = _simple_descriptor()
+        # Encode field 1 (declared VARINT) as length-delimited.
+        bogus = wire.encode_tag(1, wire.WireType.LEN) + wire.encode_length_delimited(b"x")
+        with pytest.raises(WireDecodeError):
+            Message.parse(outer, bogus)
+
+    def test_duplicate_field_numbers_rejected(self):
+        with pytest.raises(ValueError):
+            MessageDescriptor(
+                "Bad",
+                (
+                    FieldDescriptor("a", 1, FieldType.INT64),
+                    FieldDescriptor("b", 1, FieldType.INT64),
+                ),
+            )
+
+    def test_message_field_requires_schema(self):
+        with pytest.raises(ValueError):
+            FieldDescriptor("m", 1, FieldType.MESSAGE)
+
+    @given(
+        ident=st.integers(min_value=-(1 << 62), max_value=1 << 62),
+        name=st.text(max_size=40),
+        items=st.lists(st.integers(min_value=0, max_value=1 << 30), max_size=10),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, ident, name, items):
+        outer, _ = _simple_descriptor()
+        message = outer.new().set("id", ident).set("name", name)
+        if items:
+            message.set("items", items)
+        assert Message.parse(outer, message.serialize()) == message
+
+
+class TestMessageCorpus:
+    def test_five_families(self):
+        assert len(BENCH_FAMILIES) == 5
+        assert [d.name for d in BENCH_FAMILIES] == ["M1", "M2", "M3", "M4", "M5"]
+
+    def test_deterministic(self):
+        a = MessageCorpus(7).mixed_batch(20)
+        b = MessageCorpus(7).mixed_batch(20)
+        assert [m.serialize() for m in a] == [m.serialize() for m in b]
+
+    def test_every_family_roundtrips(self):
+        corpus = MessageCorpus(3)
+        for family in ("M1", "M2", "M3", "M4", "M5"):
+            message = corpus.make(family)
+            parsed = Message.parse(message.descriptor, message.serialize())
+            # Floats lose precision through float32; compare wire bytes.
+            assert parsed.serialize() == message.serialize()
+
+    def test_families_span_size_spectrum(self):
+        corpus = MessageCorpus(0)
+        small = sum(len(m.serialize()) for m in corpus.batch("M1", 20)) / 20
+        large = sum(len(m.serialize()) for m in corpus.batch("M4", 20)) / 20
+        assert small < 50
+        assert large > 300
+
+    def test_nested_family_actually_nests(self):
+        message = MessageCorpus(0).make("M3")
+        assert message.get("left").get("inner").get("key")
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            MessageCorpus(0).make("M9")

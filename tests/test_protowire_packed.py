@@ -1,0 +1,93 @@
+"""Tests for packed repeated-field encoding (proto3 style)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protowire import (
+    FieldDescriptor,
+    FieldType,
+    Message,
+    MessageDescriptor,
+)
+
+
+def make_descriptor(packed: bool, field_type=FieldType.INT64):
+    return MessageDescriptor(
+        "Series",
+        (
+            FieldDescriptor("id", 1, FieldType.INT64),
+            FieldDescriptor("values", 2, field_type, repeated=True, packed=packed),
+        ),
+    )
+
+
+class TestPackedEncoding:
+    def test_packed_roundtrip(self):
+        descriptor = make_descriptor(packed=True)
+        message = descriptor.new().set("id", 7).set("values", [1, 200, 30000, 0])
+        parsed = Message.parse(descriptor, message.serialize())
+        assert parsed.get("values") == [1, 200, 30000, 0]
+
+    def test_packed_is_smaller_for_many_small_values(self):
+        values = list(range(64))
+        packed_msg = make_descriptor(True).new().set("id", 1).set("values", values)
+        plain_msg = make_descriptor(False).new().set("id", 1).set("values", values)
+        assert len(packed_msg.serialize()) < len(plain_msg.serialize())
+        # One tag + length vs one tag per element: 63 tags saved.
+        assert len(plain_msg.serialize()) - len(packed_msg.serialize()) >= 60
+
+    def test_unpacked_parser_reads_packed_wire(self):
+        """Like protobuf: parsers accept either encoding for packable fields."""
+        packed_descriptor = make_descriptor(True)
+        plain_descriptor = make_descriptor(False)
+        wire_bytes = (
+            packed_descriptor.new().set("id", 1).set("values", [9, 8, 7]).serialize()
+        )
+        parsed = Message.parse(plain_descriptor, wire_bytes)
+        assert parsed.get("values") == [9, 8, 7]
+
+    def test_packed_parser_reads_unpacked_wire(self):
+        packed_descriptor = make_descriptor(True)
+        plain_descriptor = make_descriptor(False)
+        wire_bytes = (
+            plain_descriptor.new().set("id", 1).set("values", [9, 8, 7]).serialize()
+        )
+        parsed = Message.parse(packed_descriptor, wire_bytes)
+        assert parsed.get("values") == [9, 8, 7]
+
+    def test_packed_doubles(self):
+        descriptor = make_descriptor(True, FieldType.DOUBLE)
+        message = descriptor.new().set("id", 1).set("values", [1.5, -2.25, 0.0])
+        parsed = Message.parse(descriptor, message.serialize())
+        assert parsed.get("values") == [1.5, -2.25, 0.0]
+
+    def test_packed_sint64_zigzags(self):
+        descriptor = make_descriptor(True, FieldType.SINT64)
+        message = descriptor.new().set("id", 1).set("values", [-1, 1, -2])
+        parsed = Message.parse(descriptor, message.serialize())
+        assert parsed.get("values") == [-1, 1, -2]
+
+    def test_empty_packed_field_omitted(self):
+        descriptor = make_descriptor(True)
+        message = descriptor.new().set("id", 1).set("values", [])
+        parsed = Message.parse(descriptor, message.serialize())
+        assert not parsed.has("values")
+
+    def test_packed_requires_repeated(self):
+        with pytest.raises(ValueError, match="packed requires repeated"):
+            FieldDescriptor("x", 1, FieldType.INT64, packed=True)
+
+    def test_strings_cannot_be_packed(self):
+        with pytest.raises(ValueError, match="cannot be packed"):
+            FieldDescriptor("x", 1, FieldType.STRING, repeated=True, packed=True)
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=1 << 50), max_size=40))
+    @settings(max_examples=40)
+    def test_packed_roundtrip_property(self, values):
+        descriptor = make_descriptor(True)
+        message = descriptor.new().set("id", 1)
+        if values:
+            message.set("values", values)
+        parsed = Message.parse(descriptor, message.serialize())
+        assert parsed.get("values", []) == values

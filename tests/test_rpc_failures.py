@@ -1,0 +1,208 @@
+"""Failure-injection tests for the RPC layer: outages, deadlines, retries."""
+
+import pytest
+
+from repro.cluster import (
+    NetworkFabric,
+    RpcError,
+    RpcService,
+    ServerNode,
+    Topology,
+    WorkContext,
+    rpc_call,
+    rpc_call_with_retries,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def setup(env):
+    client = ServerNode(env, "client", Topology("us", "us-c0", "r0"), cores=2)
+    server = ServerNode(env, "server", Topology("us", "us-c0", "r1"), cores=2)
+    fabric = NetworkFabric()
+    service = RpcService(server, "kv")
+
+    @service.method("get")
+    def get(ctx, request):
+        yield from server.compute(ctx, "Tablet::TabletRead", request.get("work", 1e-3))
+        return {"ok": True}
+
+    return client, server, fabric, service
+
+
+class TestServiceOutage:
+    def test_unavailable_service_raises(self, env, setup):
+        client, _, fabric, service = setup
+        service.fail()
+        ctx = WorkContext(platform="x")
+
+        def caller():
+            yield from rpc_call(env, fabric, ctx, client, service, "get", {})
+
+        with pytest.raises(RpcError, match="unavailable"):
+            env.run(until=env.process(caller()))
+
+    def test_refusal_costs_a_round_trip(self, env, setup):
+        client, _, fabric, service = setup
+        service.fail()
+        ctx = WorkContext(platform="x")
+
+        def caller():
+            try:
+                yield from rpc_call(env, fabric, ctx, client, service, "get", {})
+            except RpcError:
+                return env.now
+
+        failed_at = env.run(until=env.process(caller()))
+        assert failed_at > 0  # not free
+
+    def test_restore_brings_service_back(self, env, setup):
+        client, _, fabric, service = setup
+        service.fail()
+        service.restore()
+        ctx = WorkContext(platform="x")
+
+        def caller():
+            return (yield from rpc_call(env, fabric, ctx, client, service, "get", {}))
+
+        assert env.run(until=env.process(caller())) == {"ok": True}
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_raises(self, env, setup):
+        client, _, fabric, service = setup
+        ctx = WorkContext(platform="x")
+
+        def caller():
+            yield from rpc_call(
+                env, fabric, ctx, client, service, "get",
+                {"work": 10.0}, deadline=1e-3,
+            )
+
+        with pytest.raises(RpcError, match="deadline"):
+            env.run(until=env.process(caller()))
+        # The caller gave up at its deadline, not after the 10s handler.
+        assert env.now < 0.1
+
+    def test_fast_call_beats_deadline(self, env, setup):
+        client, _, fabric, service = setup
+        ctx = WorkContext(platform="x")
+
+        def caller():
+            return (
+                yield from rpc_call(
+                    env, fabric, ctx, client, service, "get",
+                    {"work": 1e-4}, deadline=1.0,
+                )
+            )
+
+        assert env.run(until=env.process(caller())) == {"ok": True}
+
+    def test_timeout_recorded_as_span(self, env, setup):
+        from repro.profiling.dapper import Trace
+
+        client, _, fabric, service = setup
+        trace = Trace(0, "q", 0.0)
+        ctx = WorkContext(platform="x", trace=trace)
+
+        def caller():
+            try:
+                yield from rpc_call(
+                    env, fabric, ctx, client, service, "get",
+                    {"work": 10.0}, deadline=1e-3,
+                )
+            except RpcError:
+                pass
+
+        env.run(until=env.process(caller()))
+        assert any("timeout" in span.name for span in trace.spans)
+
+    def test_invalid_deadline(self, env, setup):
+        client, _, fabric, service = setup
+        ctx = WorkContext(platform="x")
+        process = rpc_call(
+            env, fabric, ctx, client, service, "get", {}, deadline=0.0
+        )
+        with pytest.raises(ValueError):
+            env.run(until=env.process(process))
+
+
+class TestRetries:
+    def test_retry_succeeds_after_restore(self, env, setup):
+        client, _, fabric, service = setup
+        service.fail()
+        ctx = WorkContext(platform="x")
+
+        def healer():
+            yield env.timeout(2e-3)
+            service.restore()
+
+        def caller():
+            return (
+                yield from rpc_call_with_retries(
+                    env, fabric, ctx, client, service, "get", {},
+                    attempts=5, backoff=1e-3,
+                )
+            )
+
+        env.process(healer())
+        assert env.run(until=env.process(caller())) == {"ok": True}
+
+    def test_retries_exhausted_raise(self, env, setup):
+        client, _, fabric, service = setup
+        service.fail()
+        ctx = WorkContext(platform="x")
+
+        def caller():
+            yield from rpc_call_with_retries(
+                env, fabric, ctx, client, service, "get", {},
+                attempts=3, backoff=1e-4,
+            )
+
+        with pytest.raises(RpcError, match="unavailable"):
+            env.run(until=env.process(caller()))
+
+    def test_exponential_backoff_spacing(self, env, setup):
+        client, _, fabric, service = setup
+        service.fail()
+        ctx = WorkContext(platform="x")
+
+        def caller():
+            try:
+                yield from rpc_call_with_retries(
+                    env, fabric, ctx, client, service, "get", {},
+                    attempts=3, backoff=1e-3, backoff_multiplier=2.0,
+                )
+            except RpcError:
+                return env.now
+
+        elapsed = env.run(until=env.process(caller()))
+        # Backoffs of 1ms + 2ms plus three refusal round trips.
+        assert elapsed >= 3e-3
+
+    def test_single_attempt_no_backoff(self, env, setup):
+        client, _, fabric, service = setup
+        ctx = WorkContext(platform="x")
+
+        def caller():
+            return (
+                yield from rpc_call_with_retries(
+                    env, fabric, ctx, client, service, "get", {}, attempts=1
+                )
+            )
+
+        assert env.run(until=env.process(caller())) == {"ok": True}
+
+    def test_invalid_attempts(self, env, setup):
+        client, _, fabric, service = setup
+        ctx = WorkContext(platform="x")
+        process = rpc_call_with_retries(
+            env, fabric, ctx, client, service, "get", {}, attempts=0
+        )
+        with pytest.raises(ValueError):
+            env.run(until=env.process(process))

@@ -1,0 +1,188 @@
+"""Tests for simulation resources and stores."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        log = []
+
+        def worker(tag, hold):
+            grant = resource.request()
+            yield grant
+            log.append((tag, "start", env.now))
+            yield env.timeout(hold)
+            resource.release(grant)
+            log.append((tag, "end", env.now))
+
+        for tag, hold in (("a", 5.0), ("b", 5.0), ("c", 5.0)):
+            env.process(worker(tag, hold))
+        env.run()
+        starts = {tag: t for tag, kind, t in log if kind == "start"}
+        assert starts == {"a": 0.0, "b": 0.0, "c": 5.0}
+
+    def test_fifo_queueing(self, env):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def worker(tag):
+            grant = resource.request()
+            yield grant
+            order.append(tag)
+            yield env.timeout(1.0)
+            resource.release(grant)
+
+        for tag in ("first", "second", "third"):
+            env.process(worker(tag))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_utilization_accounting(self, env):
+        resource = Resource(env, capacity=2)
+
+        def worker():
+            grant = resource.request()
+            yield grant
+            yield env.timeout(4.0)
+            resource.release(grant)
+
+        env.process(worker())
+        env.run(until=8.0)
+        # One of two units busy for 4 of 8 seconds => 25%.
+        assert resource.utilization() == pytest.approx(0.25)
+
+    def test_release_unrequested_rejected(self, env):
+        resource = Resource(env, capacity=1)
+        stray = env.event()
+        with pytest.raises(SimulationError):
+            resource.release(stray)
+
+    def test_queue_length(self, env):
+        resource = Resource(env, capacity=1)
+        resource.request()
+        resource.request()
+        resource.request()
+        assert resource.in_use == 1
+        assert resource.queue_length == 2
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+
+        def producer():
+            yield store.put("x")
+            yield store.put("y")
+
+        def consumer():
+            first = yield store.get()
+            second = yield store.get()
+            return [first, second]
+
+        env.process(producer())
+        assert env.run(until=env.process(consumer())) == ["x", "y"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def consumer():
+            item = yield store.get()
+            return (item, env.now)
+
+        def producer():
+            yield env.timeout(7.0)
+            yield store.put("late")
+
+        consumer_proc = env.process(consumer())
+        env.process(producer())
+        assert env.run(until=consumer_proc) == ("late", 7.0)
+
+    def test_bounded_store_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        timeline = []
+
+        def producer():
+            yield store.put(1)
+            timeline.append(("put1", env.now))
+            yield store.put(2)
+            timeline.append(("put2", env.now))
+
+        def consumer():
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert timeline == [("put1", 0.0), ("put2", 5.0)]
+
+    def test_fifo_ordering(self, env):
+        store = Store(env)
+        received = []
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+                yield env.timeout(1.0)
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_len_and_items(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+        assert store.items == ("a", "b")
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_pipeline_of_stores(self, env):
+        """Chained-accelerator-style pipeline: two stages via FIFOs."""
+        stage1_to_2 = Store(env)
+        results = Store(env)
+
+        def stage1(items):
+            for item in items:
+                yield env.timeout(1.0)  # stage-1 service time
+                yield stage1_to_2.put(item * 2)
+
+        def stage2():
+            while True:
+                item = yield stage1_to_2.get()
+                yield env.timeout(2.0)  # stage-2 service time
+                yield results.put(item + 1)
+
+        def collector(n):
+            collected = []
+            for _ in range(n):
+                collected.append((yield results.get()))
+            return (collected, env.now)
+
+        env.process(stage1([1, 2, 3]))
+        env.process(stage2())
+        collected, finish = env.run(until=env.process(collector(3)))
+        assert collected == [3, 5, 7]
+        # Pipeline: stage 2 (2s) is the bottleneck: 1 + 3 * 2 = 7.
+        assert finish == pytest.approx(7.0)

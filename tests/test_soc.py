@@ -1,0 +1,195 @@
+"""Tests for the SoC validation substrate and the Table 8 experiment."""
+
+import pytest
+
+from repro.core.validation import (
+    PAPER_TABLE8_MEASURED_CHAINED,
+    PAPER_TABLE8_MODELED_CHAINED,
+)
+from repro.protowire.messages import MessageCorpus
+from repro.sim import Environment
+from repro.soc import (
+    AcceleratorSoC,
+    CpuCore,
+    ProtoAccelerator,
+    Sha3Accelerator,
+    ValidationExperiment,
+)
+from repro.soc import params
+
+
+@pytest.fixture(scope="module")
+def table8():
+    """One full Table 8 run, shared across assertions (it is not cheap)."""
+    return ValidationExperiment(seed=0).run()
+
+
+class TestCpuCore:
+    def test_execute_serializes(self):
+        env = Environment()
+        core = CpuCore(env, "c0")
+        finish_times = []
+
+        def job():
+            yield from core.execute(1e-3)
+            finish_times.append(env.now)
+
+        env.process(job())
+        env.process(job())
+        env.run()
+        assert finish_times == [pytest.approx(1e-3), pytest.approx(2e-3)]
+
+    def test_software_serialize_returns_real_bytes(self):
+        env = Environment()
+        core = CpuCore(env, "c0")
+        message = MessageCorpus(0).make("M2")
+
+        def job():
+            wire, seconds = yield from core.serialize_software(message)
+            return wire, seconds
+
+        wire, seconds = env.run(until=env.process(job()))
+        assert wire == message.serialize()
+        assert seconds > 0
+        assert env.now == pytest.approx(seconds)
+
+    def test_software_hash_matches_reference(self):
+        import hashlib
+
+        env = Environment()
+        core = CpuCore(env, "c0")
+
+        def job():
+            digest, _ = yield from core.sha3_software(b"payload")
+            return digest
+
+        assert env.run(until=env.process(job())) == hashlib.sha3_256(b"payload").digest()
+
+
+class TestAccelerators:
+    def test_protoacc_faster_than_cpu(self):
+        message = MessageCorpus(0).make("M4")
+        env = Environment()
+        accel = ProtoAccelerator(env)
+
+        def job():
+            yield from accel.serialize(message)
+
+        env.run(until=env.process(job()))
+        accel_time = env.now
+
+        env2 = Environment()
+        core = CpuCore(env2, "c0")
+
+        def sw_job():
+            yield from core.serialize_software(message)
+
+        env2.run(until=env2.process(sw_job()))
+        assert env2.now / accel_time == pytest.approx(31.0, rel=0.01)
+
+    def test_sha3acc_speedup(self):
+        payload = b"z" * 1000
+        env = Environment()
+        accel = Sha3Accelerator(env)
+
+        def job():
+            return (yield from accel.hash(payload))
+
+        digest = env.run(until=env.process(job()))
+        import hashlib
+
+        assert digest == hashlib.sha3_256(payload).digest()
+        accel_time = env.now
+
+        env2 = Environment()
+        core = CpuCore(env2, "c0")
+
+        def sw_job():
+            yield from core.sha3_software(payload)
+
+        env2.run(until=env2.process(sw_job()))
+        assert env2.now / accel_time == pytest.approx(51.3, rel=0.01)
+
+    def test_setup_times(self):
+        env = Environment()
+        soc = AcceleratorSoC(env)
+
+        def job():
+            yield from soc.protoacc.setup()
+            proto_done = env.now
+            yield from soc.sha3acc.setup()
+            return proto_done, env.now - proto_done
+
+        proto_setup, sha3_setup = env.run(until=env.process(job()))
+        assert proto_setup == pytest.approx(params.PROTOACC_SETUP)
+        assert sha3_setup == pytest.approx(params.SHA3ACC_SETUP)
+
+    def test_invocation_counting(self):
+        env = Environment()
+        accel = Sha3Accelerator(env)
+
+        def job():
+            yield from accel.hash(b"a")
+            yield from accel.hash(b"b")
+
+        env.run(until=env.process(job()))
+        assert accel.invocations == 2
+
+
+class TestValidationExperiment:
+    """Table 8: measured vs paper values (tolerances are relative)."""
+
+    def test_software_component_times(self, table8):
+        assert table8.proto_t_sub == pytest.approx(518.3e-6, rel=0.05)
+        assert table8.sha3_t_sub == pytest.approx(1112.5e-6, rel=0.05)
+
+    def test_speedups(self, table8):
+        assert table8.proto_speedup == pytest.approx(31.0, rel=0.02)
+        assert table8.sha3_speedup == pytest.approx(51.3, rel=0.02)
+
+    def test_setup_times(self, table8):
+        assert table8.proto_setup == pytest.approx(1488.9e-6, rel=0.01)
+        assert table8.sha3_setup == pytest.approx(4.1e-6, rel=0.01)
+
+    def test_nacc(self, table8):
+        assert table8.t_nacc == pytest.approx(4948.7e-6, rel=0.05)
+
+    def test_chained_measured_and_modeled(self, table8):
+        assert table8.measured_chained == pytest.approx(
+            PAPER_TABLE8_MEASURED_CHAINED, rel=0.05
+        )
+        assert table8.modeled_chained == pytest.approx(
+            PAPER_TABLE8_MODELED_CHAINED, rel=0.05
+        )
+
+    def test_percent_difference_matches_paper(self, table8):
+        # Paper: model within a 6.1% difference of the measured chained run.
+        assert 4.0 <= table8.percent_difference <= 8.5
+
+    def test_model_overestimates_measured(self, table8):
+        """The chained model is conservative: the real pipeline overlaps
+        setup with management work the model serializes."""
+        assert table8.modeled_chained > table8.measured_chained
+
+    def test_digests_match_reference(self, table8):
+        assert table8.digests_match
+
+    def test_nacc_dominates_components(self, table8):
+        """Paper: t_nacc is over 4x larger than either component."""
+        assert table8.t_nacc > 4 * table8.proto_t_sub
+        assert table8.t_nacc > 4 * table8.sha3_t_sub
+
+    def test_report_roundtrip(self, table8):
+        report = table8.report()
+        assert report.percent_difference == pytest.approx(
+            table8.percent_difference
+        )
+
+    def test_small_batch_still_consistent(self):
+        result = ValidationExperiment(batch_messages=10, seed=1).run()
+        assert result.digests_match
+        assert result.proto_speedup == pytest.approx(31.0, rel=0.02)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            ValidationExperiment(batch_messages=0)

@@ -1,0 +1,274 @@
+"""Tests for Spanner's consensus, transactions, and the platform simulator."""
+
+import pytest
+
+from repro.cluster.manager import Cluster
+from repro.cluster.node import WorkContext
+from repro.platforms.spanner import SpannerDatabase
+from repro.platforms.spanner.consensus import COMMIT_WAIT, PaxosGroup
+from repro.platforms.spanner.transactions import (
+    LockManager,
+    LockMode,
+    Transaction,
+    TransactionError,
+)
+from repro.profiling.dapper import SpanKind, Trace
+from repro.sim import Environment
+from repro.workloads import SPANNER, build_profile
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_group(env, followers=2):
+    cluster = Cluster(env, racks_per_cluster=3, nodes_per_rack=2)
+    nodes = cluster.nodes
+    return PaxosGroup(
+        env=env,
+        fabric=cluster.fabric,
+        name="g0",
+        leader=nodes[0],
+        followers=nodes[1 : 1 + followers],
+    )
+
+
+class TestPaxosGroup:
+    def test_replicate_commits_entry(self, env):
+        group = make_group(env)
+        ctx = WorkContext(platform="Spanner")
+        entry = env.run(until=env.process(group.replicate(ctx, {"k": "v"})))
+        assert entry.index == 0
+        assert group.log[0].payload == {"k": "v"}
+        assert group.commits == 1
+
+    def test_quorum_majority(self, env):
+        group = make_group(env, followers=4)
+        assert group.group_size == 5
+        assert group.quorum == 3
+
+    def test_commit_wait_applied(self, env):
+        group = make_group(env)
+        ctx = WorkContext(platform="Spanner")
+        env.run(until=env.process(group.replicate(ctx, "x")))
+        assert env.now >= COMMIT_WAIT
+
+    def test_remote_span_recorded(self, env):
+        group = make_group(env)
+        trace = Trace(0, "q", 0.0)
+        ctx = WorkContext(platform="Spanner", trace=trace)
+        env.run(until=env.process(group.replicate(ctx, "x")))
+        remote = [s for s in trace.spans if s.kind is SpanKind.REMOTE]
+        assert len(remote) == 1
+        assert remote[0].name.startswith("paxos:g0")
+
+    def test_log_indices_monotonic(self, env):
+        group = make_group(env)
+        ctx = WorkContext(platform="Spanner")
+
+        def writes():
+            for i in range(5):
+                yield from group.replicate(ctx, i)
+
+        env.run(until=env.process(writes()))
+        assert [entry.index for entry in group.log] == [0, 1, 2, 3, 4]
+
+    def test_estimate_close_to_actual(self, env):
+        group = make_group(env)
+        ctx = WorkContext(platform="Spanner")
+        estimate = group.estimate_round_time()
+        start = env.now
+        env.run(until=env.process(group.replicate(ctx, "x")))
+        actual = env.now - start
+        assert actual == pytest.approx(estimate, rel=0.5)
+
+    def test_needs_followers(self, env):
+        cluster = Cluster(env)
+        with pytest.raises(ValueError):
+            PaxosGroup(env, cluster.fabric, "g", cluster.nodes[0], [])
+
+
+class TestLockManager:
+    def test_shared_locks_coexist(self, env):
+        locks = LockManager(env)
+        a = locks.acquire(1, "k", LockMode.SHARED)
+        b = locks.acquire(2, "k", LockMode.SHARED)
+        env.run()
+        assert a.triggered and b.triggered
+        assert locks.holders("k") == {1, 2}
+
+    def test_exclusive_blocks(self, env):
+        locks = LockManager(env)
+        locks.acquire(1, "k", LockMode.EXCLUSIVE)
+        blocked = locks.acquire(2, "k", LockMode.EXCLUSIVE)
+        env.run()
+        assert not blocked.triggered
+        locks.release(1, "k")
+        env.run()
+        assert blocked.triggered
+
+    def test_fifo_prevents_starvation(self, env):
+        locks = LockManager(env)
+        locks.acquire(1, "k", LockMode.SHARED)
+        writer = locks.acquire(2, "k", LockMode.EXCLUSIVE)
+        late_reader = locks.acquire(3, "k", LockMode.SHARED)
+        env.run()
+        assert not writer.triggered
+        assert not late_reader.triggered  # queued behind the writer
+        locks.release(1, "k")
+        env.run()
+        assert writer.triggered
+        assert not late_reader.triggered
+
+    def test_release_without_hold_rejected(self, env):
+        locks = LockManager(env)
+        with pytest.raises(TransactionError):
+            locks.release(1, "k")
+
+
+class TestTransaction:
+    def _txn(self, env, txn_id=1, data=None):
+        group = make_group(env)
+        locks = LockManager(env)
+        data = data if data is not None else {"a": 1, "b": 2}
+        return Transaction(txn_id, locks, data, group), data, locks
+
+    def test_read_write_commit(self, env):
+        txn, data, _ = self._txn(env)
+        ctx = WorkContext(platform="Spanner")
+
+        def run():
+            yield from txn.acquire(ctx, read_keys=["a"], write_keys=["b"])
+            value = txn.read("a")
+            txn.buffer_write("b", value + 10)
+            yield from txn.commit(ctx)
+
+        env.run(until=env.process(run()))
+        assert data["b"] == 11
+
+    def test_writes_invisible_until_commit(self, env):
+        txn, data, _ = self._txn(env)
+        ctx = WorkContext(platform="Spanner")
+
+        def run():
+            yield from txn.acquire(ctx, read_keys=[], write_keys=["b"])
+            txn.buffer_write("b", 99)
+            assert data["b"] == 2  # still old value
+            assert txn.read("b") == 99  # own write visible
+            yield from txn.commit(ctx)
+
+        env.run(until=env.process(run()))
+        assert data["b"] == 99
+
+    def test_abort_discards(self, env):
+        txn, data, locks = self._txn(env)
+        ctx = WorkContext(platform="Spanner")
+
+        def run():
+            yield from txn.acquire(ctx, read_keys=[], write_keys=["b"])
+            txn.buffer_write("b", 99)
+            txn.abort()
+
+        env.run(until=env.process(run()))
+        assert data["b"] == 2
+        assert locks.holders("b") == set()
+
+    def test_write_to_unlocked_key_rejected(self, env):
+        txn, _, _ = self._txn(env)
+        with pytest.raises(TransactionError):
+            txn.buffer_write("zzz", 1)
+
+    def test_reuse_after_commit_rejected(self, env):
+        txn, _, _ = self._txn(env)
+        ctx = WorkContext(platform="Spanner")
+
+        def run():
+            yield from txn.acquire(ctx, read_keys=["a"], write_keys=[])
+            yield from txn.commit(ctx)
+
+        env.run(until=env.process(run()))
+        with pytest.raises(TransactionError):
+            txn.read("a")
+
+    def test_read_only_commit_skips_paxos(self, env):
+        txn, _, _ = self._txn(env)
+        group = txn._paxos
+        ctx = WorkContext(platform="Spanner")
+
+        def run():
+            yield from txn.acquire(ctx, read_keys=["a"], write_keys=[])
+            txn.read("a")
+            yield from txn.commit(ctx)
+
+        env.run(until=env.process(run()))
+        assert group.commits == 0
+
+    def test_conflicting_transactions_serialize(self, env):
+        group = make_group(env)
+        locks = LockManager(env)
+        data = {"x": 0}
+        ctx = WorkContext(platform="Spanner")
+        order = []
+
+        def writer(txn_id):
+            txn = Transaction(txn_id, locks, data, group)
+            yield from txn.acquire(ctx, read_keys=[], write_keys=["x"])
+            current = txn.read("x")
+            yield env.timeout(1e-3)  # hold the lock across a delay
+            txn.buffer_write("x", current + 1)
+            yield from txn.commit(ctx)
+            order.append(txn_id)
+
+        env.process(writer(1))
+        env.process(writer(2))
+        env.run()
+        assert data["x"] == 2  # no lost update
+        assert order == [1, 2]
+
+
+class TestSpannerPlatform:
+    def test_serves_queries_and_calibrates(self):
+        env = Environment()
+        from repro.profiling.breakdown import E2EBreakdown, trace_breakdown
+        from repro.profiling.gwp import FleetProfiler
+
+        profiler = FleetProfiler(sample_period=5e-5)
+        db = SpannerDatabase(env, build_profile(SPANNER), profiler=profiler, seed=7)
+        env.run(until=env.process(db.serve(150)))
+        assert db.queries_served == 150
+
+        e2e = E2EBreakdown("Spanner")
+        for trace in db.tracer.finished_traces():
+            e2e.add(trace_breakdown(trace))
+        overall = e2e.overall_breakdown()
+        # Figure 2 shape: Spanner is CPU heavy overall.
+        assert overall["cpu"] > 0.45
+        groups = e2e.group_query_fractions()
+        assert groups["CPU Heavy"] > 0.60  # Section 4.2 claim
+
+        # Figure 3 shape: taxes collectively dominate core compute.
+        broad = profiler.cycle_breakdown("Spanner").broad_fractions()
+        from repro import taxonomy
+
+        core = broad[taxonomy.BroadCategory.CORE_COMPUTE]
+        assert 0.25 <= core <= 0.45
+        assert broad[taxonomy.BroadCategory.DATACENTER_TAX] > 0.2
+        assert broad[taxonomy.BroadCategory.SYSTEM_TAX] > 0.2
+
+    def test_trace_sampling_mode(self):
+        from repro.profiling.dapper import Tracer
+
+        env = Environment()
+        db = SpannerDatabase(
+            env, build_profile(SPANNER), tracer=Tracer(sample_rate=10), seed=1
+        )
+        env.run(until=env.process(db.serve(50)))
+        assert db.tracer.queries_seen == 50
+        assert len(db.tracer.finished_traces()) == 5
+
+    def test_write_transactions_replicate(self):
+        env = Environment()
+        db = SpannerDatabase(env, build_profile(SPANNER), seed=2)
+        env.run(until=env.process(db.serve(40)))
+        assert sum(group.commits for group in db.groups) > 0

@@ -1,0 +1,124 @@
+"""Tests for the Spanner SQL engine."""
+
+import pytest
+
+from repro.platforms.spanner.sql import SqlEngine, SqlError, parse_select
+
+
+@pytest.fixture
+def engine():
+    engine = SqlEngine()
+    engine.create_table(
+        "users",
+        [
+            {"id": 1, "name": "ada", "age": 36, "city": "london"},
+            {"id": 2, "name": "grace", "age": 45, "city": "nyc"},
+            {"id": 3, "name": "alan", "age": 41, "city": "london"},
+            {"id": 4, "name": "edsger", "age": 72, "city": "austin"},
+        ],
+    )
+    return engine
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse_select("SELECT id, name FROM users")
+        assert stmt.columns == ("id", "name")
+        assert stmt.table == "users"
+        assert stmt.predicate is None
+
+    def test_star(self):
+        assert parse_select("SELECT * FROM t").columns == ()
+
+    def test_where_clause(self):
+        stmt = parse_select("SELECT * FROM t WHERE age > 40")
+        assert stmt.predicate({"age": 45})
+        assert not stmt.predicate({"age": 35})
+
+    def test_string_literal(self):
+        stmt = parse_select("SELECT * FROM t WHERE city = 'london'")
+        assert stmt.predicate({"city": "london"})
+        assert not stmt.predicate({"city": "nyc"})
+
+    def test_and_or_precedence(self):
+        # AND binds tighter than OR.
+        stmt = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.predicate({"a": 1, "b": 0, "c": 0})
+        assert stmt.predicate({"a": 0, "b": 2, "c": 3})
+        assert not stmt.predicate({"a": 0, "b": 2, "c": 0})
+
+    def test_parentheses_override(self):
+        stmt = parse_select("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert not stmt.predicate({"a": 1, "b": 0, "c": 0})
+        assert stmt.predicate({"a": 1, "b": 0, "c": 3})
+
+    def test_not(self):
+        stmt = parse_select("SELECT * FROM t WHERE NOT a = 1")
+        assert stmt.predicate({"a": 2})
+
+    def test_order_and_limit(self):
+        stmt = parse_select("SELECT * FROM t ORDER BY age DESC LIMIT 2")
+        assert stmt.order_by == "age"
+        assert stmt.descending
+        assert stmt.limit == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a ~ 1",
+            "SELECT * FROM t LIMIT banana",
+            "SELECT * FROM t WHERE (a = 1",
+            "SELECT * FROM t extra",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SqlError):
+            parse_select(bad)
+
+
+class TestExecution:
+    def test_filter_and_project(self, engine):
+        rows = engine.execute("SELECT name FROM users WHERE city = 'london'")
+        assert rows == [{"name": "ada"}, {"name": "alan"}]
+
+    def test_order_by_desc_limit(self, engine):
+        rows = engine.execute("SELECT name FROM users ORDER BY age DESC LIMIT 2")
+        assert [row["name"] for row in rows] == ["edsger", "grace"]
+
+    def test_star_returns_copies(self, engine):
+        rows = engine.execute("SELECT * FROM users WHERE id = 1")
+        rows[0]["name"] = "mutated"
+        again = engine.execute("SELECT * FROM users WHERE id = 1")
+        assert again[0]["name"] == "ada"
+
+    def test_numeric_comparisons(self, engine):
+        rows = engine.execute("SELECT id FROM users WHERE age >= 41 AND age <= 45")
+        assert sorted(row["id"] for row in rows) == [2, 3]
+
+    def test_insert_visible(self, engine):
+        engine.insert("users", {"id": 5, "name": "barbara", "age": 60, "city": "mit"})
+        rows = engine.execute("SELECT name FROM users WHERE id = 5")
+        assert rows == [{"name": "barbara"}]
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(SqlError, match="unknown table"):
+            engine.execute("SELECT * FROM ghosts")
+
+    def test_unknown_column_in_predicate(self, engine):
+        with pytest.raises(SqlError, match="unknown column"):
+            engine.execute("SELECT * FROM users WHERE nope = 1")
+
+    def test_unknown_projection_column(self, engine):
+        with pytest.raises(SqlError, match="unknown columns"):
+            engine.execute("SELECT nope FROM users")
+
+    def test_duplicate_table_rejected(self, engine):
+        with pytest.raises(SqlError):
+            engine.create_table("users")
+
+    def test_empty_result(self, engine):
+        assert engine.execute("SELECT * FROM users WHERE age > 100") == []

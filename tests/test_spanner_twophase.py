@@ -1,0 +1,199 @@
+"""Tests for cross-shard two-phase commit over Paxos."""
+
+import pytest
+
+from repro.cluster.manager import Cluster
+from repro.cluster.node import WorkContext
+from repro.platforms.spanner import ShardParticipant, TwoPhaseCommit
+from repro.platforms.spanner.consensus import PaxosGroup
+from repro.platforms.spanner.transactions import LockManager, TransactionError
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_participants(env, shards=2):
+    cluster = Cluster(env, racks_per_cluster=3, nodes_per_rack=3)
+    nodes = cluster.nodes
+    participants = []
+    for shard in range(shards):
+        group = PaxosGroup(
+            env=env,
+            fabric=cluster.fabric,
+            name=f"g{shard}",
+            leader=nodes[shard],
+            followers=[nodes[shard + 2], nodes[shard + 4]],
+        )
+        participants.append(
+            ShardParticipant(
+                shard_id=shard,
+                locks=LockManager(env),
+                data={"a": 1, "b": 2},
+                paxos=group,
+            )
+        )
+    return participants
+
+
+class TestTwoPhaseCommit:
+    def test_commit_applies_on_both_shards(self, env):
+        participants = make_participants(env)
+        ctx = WorkContext(platform="Spanner")
+        txn = TwoPhaseCommit(env, 1, participants)
+
+        def run():
+            yield from txn.acquire(ctx, {0: ["a"], 1: ["b"]})
+            txn.buffer_write(0, "a", 100)
+            txn.buffer_write(1, "b", 200)
+            return (yield from txn.commit(ctx))
+
+        assert env.run(until=env.process(run())) is True
+        assert participants[0].data["a"] == 100
+        assert participants[1].data["b"] == 200
+
+    def test_prepare_logged_on_every_participant(self, env):
+        participants = make_participants(env)
+        ctx = WorkContext(platform="Spanner")
+        txn = TwoPhaseCommit(env, 1, participants)
+
+        def run():
+            yield from txn.acquire(ctx, {0: ["a"], 1: ["b"]})
+            txn.buffer_write(0, "a", 1)
+            txn.buffer_write(1, "b", 2)
+            yield from txn.commit(ctx)
+
+        env.run(until=env.process(run()))
+        # Participant 1 logs its prepare; the coordinator (participant 0)
+        # logs its prepare plus the commit decision.
+        phases0 = [e.payload["phase"] for e in participants[0].paxos.log]
+        phases1 = [e.payload["phase"] for e in participants[1].paxos.log]
+        assert phases0 == ["prepare", "commit"]
+        assert phases1 == ["prepare"]
+
+    def test_abort_releases_and_discards(self, env):
+        participants = make_participants(env)
+        ctx = WorkContext(platform="Spanner")
+        txn = TwoPhaseCommit(env, 1, participants)
+
+        def run():
+            yield from txn.acquire(ctx, {0: ["a"]})
+            txn.buffer_write(0, "a", 999)
+            txn.abort()
+
+        env.run(until=env.process(run()))
+        assert participants[0].data["a"] == 1
+        assert participants[0].locks.holders("a") == set()
+
+    def test_read_your_writes(self, env):
+        participants = make_participants(env)
+        ctx = WorkContext(platform="Spanner")
+        txn = TwoPhaseCommit(env, 1, participants)
+
+        def run():
+            yield from txn.acquire(ctx, {1: ["b"]})
+            txn.buffer_write(1, "b", 42)
+            return txn.read(1, "b"), txn.read(0, "a")
+
+        own_write, other = env.run(until=env.process(run()))
+        assert own_write == 42
+        assert other == 1
+
+    def test_empty_commit_is_cheap(self, env):
+        participants = make_participants(env)
+        ctx = WorkContext(platform="Spanner")
+        txn = TwoPhaseCommit(env, 1, participants)
+
+        def run():
+            yield from txn.acquire(ctx, {0: ["a"]})
+            return (yield from txn.commit(ctx))
+
+        assert env.run(until=env.process(run())) is True
+        assert participants[0].paxos.commits == 0  # nothing logged
+
+    def test_write_to_unlocked_key_rejected(self, env):
+        txn = TwoPhaseCommit(env, 1, make_participants(env))
+        with pytest.raises(TransactionError):
+            txn.buffer_write(0, "zzz", 1)
+
+    def test_reuse_after_commit_rejected(self, env):
+        participants = make_participants(env)
+        ctx = WorkContext(platform="Spanner")
+        txn = TwoPhaseCommit(env, 1, participants)
+
+        def run():
+            yield from txn.acquire(ctx, {0: ["a"]})
+            yield from txn.commit(ctx)
+
+        env.run(until=env.process(run()))
+        with pytest.raises(TransactionError):
+            txn.read(0, "a")
+
+    def test_conflicting_distributed_txns_serialize(self, env):
+        participants = make_participants(env)
+        ctx = WorkContext(platform="Spanner")
+        order = []
+
+        def writer(txn_id):
+            txn = TwoPhaseCommit(env, txn_id, participants)
+            yield from txn.acquire(ctx, {0: ["a"], 1: ["b"]})
+            current = txn.read(0, "a")
+            yield env.timeout(1e-4)
+            txn.buffer_write(0, "a", current + 1)
+            txn.buffer_write(1, "b", current + 1)
+            yield from txn.commit(ctx)
+            order.append(txn_id)
+
+        env.process(writer(1))
+        env.process(writer(2))
+        env.run()
+        assert participants[0].data["a"] == 3  # 1 -> 2 -> 3, no lost update
+        assert order == [1, 2]
+
+    def test_unknown_shard_rejected(self, env):
+        txn = TwoPhaseCommit(env, 1, make_participants(env))
+        ctx = WorkContext(platform="Spanner")
+        process = txn.acquire(ctx, {9: ["a"]})
+        with pytest.raises(TransactionError):
+            env.run(until=env.process(process))
+
+    def test_needs_participants(self, env):
+        with pytest.raises(ValueError):
+            TwoPhaseCommit(env, 1, [])
+
+    def test_2pc_slower_than_single_shard(self, env):
+        """Two Paxos rounds (prepare + commit decision) cost more than one."""
+        participants = make_participants(env)
+        ctx = WorkContext(platform="Spanner")
+
+        def distributed():
+            txn = TwoPhaseCommit(env, 1, participants)
+            yield from txn.acquire(ctx, {0: ["a"], 1: ["b"]})
+            txn.buffer_write(0, "a", 5)
+            txn.buffer_write(1, "b", 5)
+            start = env.now
+            yield from txn.commit(ctx)
+            return env.now - start
+
+        distributed_time = env.run(until=env.process(distributed()))
+
+        env2 = Environment()
+        participants2 = make_participants(env2)
+        ctx2 = WorkContext(platform="Spanner")
+
+        def single():
+            from repro.platforms.spanner.transactions import Transaction
+
+            txn = Transaction(
+                1, participants2[0].locks, participants2[0].data, participants2[0].paxos
+            )
+            yield from txn.acquire(ctx2, read_keys=[], write_keys=["a"])
+            txn.buffer_write("a", 5)
+            start = env2.now
+            yield from txn.commit(ctx2)
+            return env2.now - start
+
+        single_time = env2.run(until=env2.process(single()))
+        assert distributed_time > single_time

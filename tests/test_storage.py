@@ -1,0 +1,247 @@
+"""Tests for devices, tiered caching, the DFS, and capacity telemetry."""
+
+import pytest
+
+from repro.cluster.network import NetworkFabric, Topology
+from repro.cluster.node import WorkContext
+from repro.profiling.dapper import SpanKind, Trace
+from repro.sim import Environment
+from repro.storage import (
+    CapacityTelemetry,
+    DeviceKind,
+    DistributedFileSystem,
+    LruCache,
+    StorageDevice,
+    StorageServer,
+    TieredStore,
+)
+
+KB = 1024.0
+MB = 1024.0 * KB
+
+
+class TestStorageDevice:
+    def test_read_time_ordering_across_kinds(self):
+        ram = StorageDevice(DeviceKind.RAM, 1e12)
+        ssd = StorageDevice(DeviceKind.SSD, 1e12)
+        hdd = StorageDevice(DeviceKind.HDD, 1e12)
+        assert ram.read_time(4 * KB) < ssd.read_time(4 * KB) < hdd.read_time(4 * KB)
+
+    def test_traffic_counters(self):
+        device = StorageDevice(DeviceKind.SSD, 1e12)
+        device.read_time(1000)
+        device.write_time(500)
+        assert device.bytes_read == 1000
+        assert device.bytes_written == 500
+        assert (device.reads, device.writes) == (1, 1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StorageDevice(DeviceKind.RAM, 0)
+
+
+class TestLruCache:
+    def test_hit_and_miss(self):
+        cache = LruCache(100)
+        cache.insert("a", 50)
+        assert cache.touch("a")
+        assert not cache.touch("b")
+
+    def test_eviction_order(self):
+        cache = LruCache(100)
+        cache.insert("a", 50)
+        cache.insert("b", 50)
+        cache.touch("a")  # b is now LRU
+        evicted = cache.insert("c", 50)
+        assert evicted == ["b"]
+        assert "a" in cache
+
+    def test_oversized_item_not_admitted(self):
+        cache = LruCache(100)
+        assert cache.insert("huge", 200) == []
+        assert "huge" not in cache
+
+    def test_reinsert_updates_size(self):
+        cache = LruCache(100)
+        cache.insert("a", 30)
+        cache.insert("a", 60)
+        assert cache.used_bytes == 60
+
+    def test_remove(self):
+        cache = LruCache(100)
+        cache.insert("a", 30)
+        cache.remove("a")
+        assert cache.used_bytes == 0
+
+
+class TestTieredStore:
+    def test_miss_then_hit_path(self):
+        store = TieredStore(ram_bytes=1 * MB, ssd_bytes=8 * MB, hdd_bytes=90 * MB)
+        _, tier1 = store.read("key", 64 * KB)
+        assert tier1 is DeviceKind.HDD
+        _, tier2 = store.read("key", 64 * KB)
+        assert tier2 is DeviceKind.RAM  # promoted on the miss
+
+    def test_ssd_serves_ram_evictions(self):
+        store = TieredStore(ram_bytes=100 * KB, ssd_bytes=10 * MB, hdd_bytes=90 * MB)
+        for i in range(8):  # push "key0" out of the tiny RAM cache
+            store.read(f"key{i}", 50 * KB)
+        _, tier = store.read("key0", 50 * KB)
+        assert tier is DeviceKind.SSD
+
+    def test_latency_ordering(self):
+        store = TieredStore(ram_bytes=1 * MB, ssd_bytes=8 * MB, hdd_bytes=90 * MB)
+        hdd_latency, _ = store.read("k", 64 * KB)
+        ram_latency, _ = store.read("k", 64 * KB)
+        assert ram_latency < hdd_latency
+
+    def test_write_lands_in_buffer(self):
+        store = TieredStore(ram_bytes=1 * MB, ssd_bytes=8 * MB, hdd_bytes=90 * MB)
+        latency = store.write("w", 64 * KB)
+        assert latency < 1e-4  # RAM-speed, not HDD-speed
+        _, tier = store.read("w", 64 * KB)
+        assert tier is DeviceKind.RAM
+
+    def test_hit_rates(self):
+        store = TieredStore(ram_bytes=1 * MB, ssd_bytes=8 * MB, hdd_bytes=90 * MB)
+        store.read("k", 10 * KB)
+        store.read("k", 10 * KB)
+        store.read("k", 10 * KB)
+        assert store.stats.accesses == 3
+        assert store.stats.hit_rate(DeviceKind.RAM) == pytest.approx(2 / 3)
+
+
+def _make_dfs(env, servers=4, replication=3, chunk_bytes=1 * MB):
+    fabric = NetworkFabric()
+    nodes = [
+        StorageServer(
+            index=i,
+            topology=Topology("us", "us-c0", f"r{i % 2}"),
+            store=TieredStore(ram_bytes=4 * MB, ssd_bytes=32 * MB, hdd_bytes=360 * MB),
+        )
+        for i in range(servers)
+    ]
+    return DistributedFileSystem(
+        env, fabric, nodes, replication=replication, chunk_bytes=chunk_bytes
+    )
+
+
+class TestDistributedFileSystem:
+    def test_create_places_replicated_chunks(self):
+        dfs = _make_dfs(Environment())
+        meta = dfs.create("/table/sst0", 3.5 * MB)
+        assert len(meta.chunks) == 4  # ceil(3.5MB / 1MB)
+        assert all(len(c.replicas) == 3 for c in meta.chunks)
+        assert all(len(set(c.replicas)) == 3 for c in meta.chunks)
+
+    def test_duplicate_create_rejected(self):
+        dfs = _make_dfs(Environment())
+        dfs.create("/f", MB)
+        with pytest.raises(FileExistsError):
+            dfs.create("/f", MB)
+
+    def test_read_returns_bytes_and_records_io_span(self):
+        env = Environment()
+        dfs = _make_dfs(env)
+        dfs.create("/f", 2 * MB)
+        trace = Trace(0, "q", 0.0)
+        ctx = WorkContext(platform="BigTable", trace=trace)
+        reader = Topology("us", "us-c0", "r0")
+
+        served = env.run(until=env.process(dfs.read(ctx, reader, "/f")))
+        assert served == pytest.approx(2 * MB)
+        io_spans = [s for s in trace.spans if s.kind is SpanKind.IO]
+        assert len(io_spans) == 1
+        assert io_spans[0].annotations["bytes"] == pytest.approx(2 * MB)
+        assert env.now > 0
+
+    def test_range_read(self):
+        env = Environment()
+        dfs = _make_dfs(env)
+        dfs.create("/f", 4 * MB)
+        ctx = WorkContext(platform="BigTable")
+        reader = Topology("us", "us-c0", "r0")
+        served = env.run(
+            until=env.process(dfs.read(ctx, reader, "/f", offset=0.5 * MB, size=MB))
+        )
+        assert served == pytest.approx(MB)
+
+    def test_out_of_range_read_rejected(self):
+        env = Environment()
+        dfs = _make_dfs(env)
+        dfs.create("/f", MB)
+        ctx = WorkContext(platform="x")
+        reader = Topology("us", "us-c0", "r0")
+        process = dfs.read(ctx, reader, "/f", offset=0, size=2 * MB)
+        with pytest.raises(ValueError):
+            env.run(until=env.process(process))
+
+    def test_missing_file(self):
+        dfs = _make_dfs(Environment())
+        with pytest.raises(FileNotFoundError):
+            dfs.meta("/ghost")
+
+    def test_second_read_is_faster_due_to_caching(self):
+        env = Environment()
+        dfs = _make_dfs(env)
+        dfs.create("/f", 2 * MB)
+        ctx = WorkContext(platform="x")
+        reader = Topology("us", "us-c0", "r0")
+
+        start = env.now
+        env.run(until=env.process(dfs.read(ctx, reader, "/f")))
+        cold = env.now - start
+        start = env.now
+        env.run(until=env.process(dfs.read(ctx, reader, "/f")))
+        warm = env.now - start
+        assert warm < cold
+
+    def test_write_replicates(self):
+        env = Environment()
+        dfs = _make_dfs(env)
+        ctx = WorkContext(platform="x")
+        writer = Topology("us", "us-c0", "r0")
+        env.run(until=env.process(dfs.write(ctx, writer, "/log", 2 * MB)))
+        read_bytes, written_bytes = dfs.device_traffic(DeviceKind.HDD)
+        assert written_bytes == pytest.approx(3 * 2 * MB)  # 3 replicas
+
+    def test_delete(self):
+        env = Environment()
+        dfs = _make_dfs(env)
+        dfs.create("/f", MB)
+        dfs.delete("/f")
+        assert not dfs.exists("/f")
+        with pytest.raises(FileNotFoundError):
+            dfs.delete("/f")
+
+    def test_invalid_configuration(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            _make_dfs(env, servers=2, replication=3)
+
+
+class TestCapacityTelemetry:
+    def test_table1_ratio_recovery(self):
+        telemetry = CapacityTelemetry()
+        # Provision Spanner-shaped servers: 1 : 8 : 90.
+        for _ in range(4):
+            telemetry.register(
+                "Spanner", TieredStore(ram_bytes=MB, ssd_bytes=8 * MB, hdd_bytes=90 * MB)
+            )
+        ram, ssd, hdd = telemetry.storage_ratios("Spanner")
+        assert (ram, ssd, hdd) == (1.0, pytest.approx(8.0), pytest.approx(90.0))
+
+    def test_reads_by_tier(self):
+        telemetry = CapacityTelemetry()
+        store = telemetry.register(
+            "BigTable", TieredStore(ram_bytes=MB, ssd_bytes=8 * MB, hdd_bytes=90 * MB)
+        )
+        store.read("k", KB)
+        store.read("k", KB)
+        reads = telemetry.reads_by_tier("BigTable")
+        assert reads[DeviceKind.HDD] == 1
+        assert reads[DeviceKind.RAM] == 1
+
+    def test_missing_platform_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityTelemetry().storage_ratios("nope")

@@ -1,0 +1,221 @@
+"""Tests for the Section 3 extensions: disaggregation and tier placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.device import DeviceKind
+from repro.storage.disaggregation import (
+    DisaggregatedMemoryPool,
+    ProvisioningStudy,
+    diurnal_demand,
+)
+from repro.storage.placement import (
+    AdmitAll,
+    LearnedAdmission,
+    SecondChanceAdmission,
+)
+from repro.storage.tier import TieredStore
+
+MB = 1024.0 * 1024.0
+
+
+class TestDiurnalDemand:
+    def test_bounds(self):
+        series = diurnal_demand(base_bytes=10, peak_bytes=100, noise=0.0)
+        assert series.min() == pytest.approx(10, rel=0.01)
+        assert series.max() == pytest.approx(100, rel=0.01)
+
+    def test_peak_position(self):
+        series = diurnal_demand(
+            base_bytes=0, peak_bytes=1, peak_position=0.25, noise=0.0, samples=100
+        )
+        assert np.argmax(series) == 25
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            diurnal_demand(base_bytes=10, peak_bytes=5)
+        with pytest.raises(ValueError):
+            diurnal_demand(base_bytes=0, peak_bytes=1, peak_position=1.5)
+
+
+class TestProvisioningStudy:
+    def test_staggered_peaks_save_capacity(self):
+        """Platforms peaking at different times: pooling beats dedicated."""
+        demands = {
+            "Spanner": diurnal_demand(
+                base_bytes=20, peak_bytes=100, peak_position=0.1, seed=1
+            ),
+            "BigTable": diurnal_demand(
+                base_bytes=20, peak_bytes=100, peak_position=0.45, seed=2
+            ),
+            "BigQuery": diurnal_demand(
+                base_bytes=20, peak_bytes=100, peak_position=0.8, seed=3
+            ),
+        }
+        study = ProvisioningStudy(demands)
+        assert study.peak_of_sum < study.sum_of_peaks
+        assert study.savings_fraction > 0.15
+
+    def test_aligned_peaks_save_nothing(self):
+        demands = {
+            "a": diurnal_demand(base_bytes=0, peak_bytes=100, peak_position=0.5, noise=0.0),
+            "b": diurnal_demand(base_bytes=0, peak_bytes=100, peak_position=0.5, noise=0.0),
+        }
+        study = ProvisioningStudy(demands)
+        assert study.savings_fraction == pytest.approx(0.0, abs=0.01)
+
+    def test_peak_of_sum_never_exceeds_sum_of_peaks(self):
+        demands = {
+            f"t{i}": diurnal_demand(
+                base_bytes=5, peak_bytes=50, peak_position=i / 7, seed=i
+            )
+            for i in range(7)
+        }
+        study = ProvisioningStudy(demands)
+        assert study.peak_of_sum <= study.sum_of_peaks + 1e-9
+
+    def test_report_keys(self):
+        study = ProvisioningStudy(
+            {"a": diurnal_demand(base_bytes=1, peak_bytes=2, noise=0.0)}
+        )
+        assert set(study.report()) == {
+            "sum_of_peaks",
+            "peak_of_sum",
+            "savings_fraction",
+        }
+
+    def test_ragged_series_rejected(self):
+        with pytest.raises(ValueError):
+            ProvisioningStudy({"a": np.ones(10), "b": np.ones(20)})
+
+
+class TestDisaggregatedMemoryPool:
+    def test_allocate_and_release(self):
+        pool = DisaggregatedMemoryPool(capacity_bytes=100)
+        assert pool.allocate("spanner", 60)
+        assert pool.allocate("bigtable", 40)
+        assert not pool.allocate("bigquery", 1)
+        assert pool.rejections == 1
+        pool.release("spanner", 60)
+        assert pool.allocate("bigquery", 50)
+
+    def test_peak_tracking(self):
+        pool = DisaggregatedMemoryPool(capacity_bytes=100)
+        pool.allocate("a", 70)
+        pool.release("a", 50)
+        pool.allocate("a", 10)
+        assert pool.peak_used == 70
+
+    def test_over_release_rejected(self):
+        pool = DisaggregatedMemoryPool(capacity_bytes=100)
+        pool.allocate("a", 10)
+        with pytest.raises(ValueError):
+            pool.release("a", 20)
+
+    def test_resize(self):
+        pool = DisaggregatedMemoryPool(capacity_bytes=100)
+        assert pool.resize_to("a", 80)
+        assert pool.resize_to("a", 30)
+        assert pool.usage("a") == pytest.approx(30)
+
+    @given(
+        allocations=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.floats(0, 50)),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_usage_never_exceeds_capacity(self, allocations):
+        pool = DisaggregatedMemoryPool(capacity_bytes=100)
+        for tenant, nbytes in allocations:
+            pool.allocate(tenant, nbytes)
+        assert pool.used_bytes <= 100 + 1e-9
+        assert pool.peak_used <= 100 + 1e-9
+
+
+class TestAdmissionPolicies:
+    def test_admit_all(self):
+        policy = AdmitAll()
+        assert policy.should_admit("k", 100)
+
+    def test_second_chance(self):
+        policy = SecondChanceAdmission(window=10)
+        assert not policy.should_admit("k", 1)  # first touch: ghost only
+        assert policy.should_admit("k", 1)  # second touch: admit
+        assert not policy.should_admit("k", 1)  # consumed; back to ghost
+
+    def test_second_chance_window_eviction(self):
+        policy = SecondChanceAdmission(window=2)
+        policy.should_admit("a", 1)
+        policy.should_admit("b", 1)
+        policy.should_admit("c", 1)  # evicts "a" from the ghost list
+        assert not policy.should_admit("a", 1)
+
+    def test_learned_admission_learns_reuse(self):
+        policy = LearnedAdmission(threshold=0.3, alpha=0.5, prior=0.5)
+        # The hot file keeps hitting: reuse estimate stays high.
+        for _ in range(10):
+            policy.on_access("/hot#1", hit=True)
+        # The scan file keeps missing: reuse estimate collapses.
+        for _ in range(10):
+            policy.on_access("/scan#1", hit=False)
+        assert policy.should_admit("/hot#5", 1)
+        assert not policy.should_admit("/scan#5", 1)
+
+    def test_learned_groups_by_file(self):
+        policy = LearnedAdmission()
+        assert policy.group_of("/table/sst0#3") == "/table/sst0"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SecondChanceAdmission(window=0)
+        with pytest.raises(ValueError):
+            LearnedAdmission(threshold=2.0)
+        with pytest.raises(ValueError):
+            LearnedAdmission(alpha=0.0)
+
+
+class TestTieredStoreWithPolicies:
+    def _scan_then_hot_workload(self, store):
+        """A one-touch scan over many keys plus a small hot set."""
+        rng = np.random.default_rng(5)
+        for i in range(200):
+            store.read(f"/scan#{i}", 64 * 1024)  # never reused
+            if i % 2 == 0:
+                store.read(f"/hot#{int(rng.integers(8))}", 64 * 1024)
+
+    def test_second_chance_filters_scan_pollution(self):
+        baseline = TieredStore(0.5 * MB, 2 * MB, 500 * MB)
+        filtered = TieredStore(
+            0.5 * MB, 2 * MB, 500 * MB, ssd_admission=SecondChanceAdmission()
+        )
+        self._scan_then_hot_workload(baseline)
+        self._scan_then_hot_workload(filtered)
+        assert (
+            filtered.stats.hit_rate(DeviceKind.HDD)
+            < baseline.stats.hit_rate(DeviceKind.HDD)
+        )
+
+    def test_learned_policy_beats_baseline_on_mixed_workload(self):
+        baseline = TieredStore(0.5 * MB, 2 * MB, 500 * MB)
+        learned = TieredStore(
+            0.5 * MB,
+            2 * MB,
+            500 * MB,
+            ssd_admission=LearnedAdmission(threshold=0.2, alpha=0.2),
+        )
+        self._scan_then_hot_workload(baseline)
+        self._scan_then_hot_workload(learned)
+        assert (
+            learned.stats.hit_rate(DeviceKind.HDD)
+            <= baseline.stats.hit_rate(DeviceKind.HDD)
+        )
+
+    def test_admit_all_matches_default(self):
+        default = TieredStore(0.5 * MB, 2 * MB, 500 * MB)
+        explicit = TieredStore(0.5 * MB, 2 * MB, 500 * MB, ssd_admission=AdmitAll())
+        self._scan_then_hot_workload(default)
+        self._scan_then_hot_workload(explicit)
+        assert default.stats.hits == explicit.stats.hits

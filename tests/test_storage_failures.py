@@ -1,0 +1,113 @@
+"""Failure-injection tests for the distributed file system."""
+
+import pytest
+
+from repro.cluster.network import NetworkFabric, Topology
+from repro.cluster.node import WorkContext
+from repro.sim import Environment
+from repro.storage import DistributedFileSystem, StorageServer, TieredStore
+
+MB = 1024.0 * 1024.0
+
+
+def make_dfs(env, servers=4, replication=3):
+    fabric = NetworkFabric()
+    nodes = [
+        StorageServer(
+            index=i,
+            topology=Topology("us", "us-c0", f"r{i % 2}"),
+            store=TieredStore(4 * MB, 32 * MB, 360 * MB),
+        )
+        for i in range(servers)
+    ]
+    return DistributedFileSystem(env, fabric, nodes, replication=replication, chunk_bytes=MB)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestReplicaFailover:
+    def test_read_survives_single_failure(self, env):
+        dfs = make_dfs(env)
+        dfs.create("/f", 2 * MB)
+        reader = Topology("us", "us-c0", "r0")
+        ctx = WorkContext(platform="x")
+        first_replica = dfs.meta("/f").chunks[0].replicas[0]
+        dfs.fail_server(first_replica)
+        served = env.run(until=env.process(dfs.read(ctx, reader, "/f")))
+        assert served == pytest.approx(2 * MB)
+
+    def test_read_survives_two_failures(self, env):
+        dfs = make_dfs(env)
+        dfs.create("/f", MB)
+        replicas = dfs.meta("/f").chunks[0].replicas
+        dfs.fail_server(replicas[0])
+        dfs.fail_server(replicas[1])
+        ctx = WorkContext(platform="x")
+        reader = Topology("us", "us-c0", "r0")
+        served = env.run(until=env.process(dfs.read(ctx, reader, "/f")))
+        assert served == pytest.approx(MB)
+
+    def test_all_replicas_down_raises(self, env):
+        dfs = make_dfs(env)
+        dfs.create("/f", MB)
+        for replica in dfs.meta("/f").chunks[0].replicas:
+            dfs.fail_server(replica)
+        ctx = WorkContext(platform="x")
+        reader = Topology("us", "us-c0", "r0")
+        with pytest.raises(IOError, match="replicas"):
+            env.run(until=env.process(dfs.read(ctx, reader, "/f")))
+
+    def test_restore_recovers(self, env):
+        dfs = make_dfs(env)
+        dfs.create("/f", MB)
+        replicas = dfs.meta("/f").chunks[0].replicas
+        for replica in replicas:
+            dfs.fail_server(replica)
+        dfs.restore_server(replicas[0])
+        assert not dfs.is_down(replicas[0])
+        ctx = WorkContext(platform="x")
+        reader = Topology("us", "us-c0", "r0")
+        served = env.run(until=env.process(dfs.read(ctx, reader, "/f")))
+        assert served == pytest.approx(MB)
+
+    def test_write_skips_down_replicas(self, env):
+        dfs = make_dfs(env)
+        ctx = WorkContext(platform="x")
+        writer = Topology("us", "us-c0", "r0")
+        env.run(until=env.process(dfs.write(ctx, writer, "/f", MB)))
+        replicas = dfs.meta("/f").chunks[0].replicas
+        down = replicas[0]
+        dfs.fail_server(down)
+        before = dfs.servers[down].store.hdd.bytes_written
+        env.run(until=env.process(dfs.write(ctx, writer, "/f", MB)))
+        assert dfs.servers[down].store.hdd.bytes_written == before
+
+    def test_failure_can_increase_read_latency(self, env):
+        """Losing the closest replica forces a farther read."""
+        fabric = NetworkFabric()
+        near = StorageServer(0, Topology("us", "us-c0", "r0"),
+                             TieredStore(4 * MB, 32 * MB, 360 * MB))
+        far = StorageServer(1, Topology("eu", "eu-c0", "r0"),
+                            TieredStore(4 * MB, 32 * MB, 360 * MB))
+        dfs = DistributedFileSystem(env, fabric, [near, far], replication=2, chunk_bytes=MB)
+        dfs.create("/f", MB)
+        ctx = WorkContext(platform="x")
+        reader = Topology("us", "us-c0", "r0")
+
+        start = env.now
+        env.run(until=env.process(dfs.read(ctx, reader, "/f")))
+        near_latency = env.now - start
+
+        dfs.fail_server(0)
+        start = env.now
+        env.run(until=env.process(dfs.read(ctx, reader, "/f")))
+        far_latency = env.now - start
+        assert far_latency > near_latency + 0.05  # WAN round trip
+
+    def test_invalid_server_index(self, env):
+        dfs = make_dfs(env)
+        with pytest.raises(IndexError):
+            dfs.fail_server(99)

@@ -1,0 +1,91 @@
+"""Tests for the cycle-accounting taxonomy (paper Tables 2-5)."""
+
+import pytest
+
+from repro import taxonomy
+
+
+class TestBroadCategories:
+    def test_three_broad_categories(self):
+        assert len(taxonomy.BroadCategory) == 3
+
+    def test_display_names(self):
+        assert taxonomy.BroadCategory.CORE_COMPUTE.display_name == "Core Compute"
+        assert taxonomy.BroadCategory.DATACENTER_TAX.display_name == "Datacenter Taxes"
+        assert taxonomy.BroadCategory.SYSTEM_TAX.display_name == "System Taxes"
+
+
+class TestCategoryTables:
+    def test_table2_has_six_datacenter_taxes(self):
+        assert len(taxonomy.DATACENTER_TAXES) == 6
+        fines = {c.fine for c in taxonomy.DATACENTER_TAXES}
+        assert fines == {
+            "compression",
+            "cryptography",
+            "data_movement",
+            "memory_allocation",
+            "protobuf",
+            "rpc",
+        }
+
+    def test_table3_has_eight_system_taxes(self):
+        assert len(taxonomy.SYSTEM_TAXES) == 8
+
+    def test_table4_database_core_ops(self):
+        fines = {c.fine for c in taxonomy.DATABASE_CORE_OPS}
+        assert "read" in fines
+        assert "write" in fines
+        assert "consensus" in fines
+        assert "compaction" in fines
+
+    def test_table5_analytics_core_ops(self):
+        fines = {c.fine for c in taxonomy.ANALYTICS_CORE_OPS}
+        for expected in (
+            "aggregate",
+            "compute",
+            "destructure",
+            "filter",
+            "join",
+            "materialize",
+            "project",
+            "sort",
+        ):
+            assert expected in fines
+
+    def test_every_category_has_description(self):
+        for category in taxonomy.ALL_CATEGORIES:
+            assert category.description
+
+    def test_keys_are_unique(self):
+        keys = [c.key for c in taxonomy.ALL_CATEGORIES]
+        assert len(keys) == len(set(keys))
+
+
+class TestKeyHelpers:
+    def test_key_format(self):
+        assert taxonomy.PROTOBUF.key == "dctax/protobuf"
+        assert taxonomy.STL.key == "systax/stl"
+        assert taxonomy.READ.key == "core/read"
+
+    def test_roundtrip_from_key(self):
+        for category in taxonomy.ALL_CATEGORIES:
+            assert taxonomy.category_from_key(category.key) is category
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            taxonomy.category_from_key("dctax/nonexistent")
+
+    def test_broad_of(self):
+        assert taxonomy.broad_of("dctax/rpc") is taxonomy.BroadCategory.DATACENTER_TAX
+        assert taxonomy.broad_of("core/read") is taxonomy.BroadCategory.CORE_COMPUTE
+        assert taxonomy.broad_of("systax/edac") is taxonomy.BroadCategory.SYSTEM_TAX
+
+    def test_is_tax(self):
+        assert taxonomy.is_tax("dctax/rpc")
+        assert taxonomy.is_tax("systax/stl")
+        assert not taxonomy.is_tax("core/join")
+
+    def test_misc_core_shared_between_tables(self):
+        # MISC_CORE and UNCATEGORIZED appear in both Table 4 and Table 5.
+        assert taxonomy.MISC_CORE in taxonomy.DATABASE_CORE_OPS
+        assert taxonomy.MISC_CORE in taxonomy.ANALYTICS_CORE_OPS

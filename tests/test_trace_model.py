@@ -1,0 +1,157 @@
+"""Tests for trace-driven model application (Section 6.4)."""
+
+import pytest
+
+from repro.core.scenario import ASYNC_ON_CHIP, CHAINED_ON_CHIP, SYNC_ON_CHIP
+from repro.core.trace_model import (
+    SpeedupDistribution,
+    evaluate_query,
+    evaluate_trace_population,
+    query_workload_times,
+)
+from repro.profiling.breakdown import QueryBreakdown
+
+FRACTIONS = {"dctax/compression": 0.4, "dctax/rpc": 0.3, "systax/stl": 0.3}
+TARGETS = ("dctax/compression", "dctax/rpc")
+
+
+def make_query(cpu=6.0, remote=2.0, io=2.0, overlap=0.0):
+    return QueryBreakdown(
+        name="q",
+        t_e2e=cpu + remote + io,
+        t_cpu=cpu,
+        t_remote=remote,
+        t_io=io,
+        overlap_hidden=overlap,
+    )
+
+
+class TestQueryWorkloadTimes:
+    def test_no_overlap(self):
+        times = query_workload_times(make_query())
+        assert times.t_cpu == 6.0
+        assert times.t_dep == 4.0
+        assert times.f == 1.0
+
+    def test_overlap_recovers_true_cpu_and_f(self):
+        # 1s of CPU was hidden under the dependency wait.
+        times = query_workload_times(make_query(cpu=5.0, overlap=1.0))
+        assert times.t_cpu == 6.0
+        assert times.f == pytest.approx(1.0 - 1.0 / 4.0)
+
+    def test_cpu_only_query(self):
+        times = query_workload_times(make_query(cpu=6.0, remote=0.0, io=0.0))
+        assert times.f == 1.0
+        assert times.t_dep == 0.0
+
+
+class TestEvaluateQuery:
+    def test_sync_speedup(self):
+        result = evaluate_query(
+            make_query(), FRACTIONS, TARGETS, SYNC_ON_CHIP.with_speedup(1e12)
+        )
+        # 70% of 6s CPU vanishes: e2e 10 -> 1.8 + 4 x wait... actually
+        # t'_cpu = 0.3 * 6 = 1.8; e2e' = 1.8 + 4 = 5.8.
+        assert result.t_cpu_accelerated == pytest.approx(1.8)
+        assert result.speedup == pytest.approx(10.0 / 5.8)
+
+    def test_async_at_least_sync(self):
+        query = make_query()
+        sync = evaluate_query(query, FRACTIONS, TARGETS, SYNC_ON_CHIP.with_speedup(8.0))
+        asyn = evaluate_query(query, FRACTIONS, TARGETS, ASYNC_ON_CHIP.with_speedup(8.0))
+        assert asyn.speedup >= sync.speedup
+
+    def test_chained_route(self):
+        result = evaluate_query(
+            make_query(),
+            FRACTIONS,
+            TARGETS,
+            CHAINED_ON_CHIP.with_speedup(8.0).with_setup_time(0.1),
+        )
+        assert result.t_chnd > 0
+
+    def test_remove_dependencies(self):
+        result = evaluate_query(
+            make_query(),
+            FRACTIONS,
+            TARGETS,
+            SYNC_ON_CHIP.with_speedup(8.0),
+            remove_dependencies=True,
+        )
+        assert result.t_e2e_accelerated == pytest.approx(result.t_cpu_accelerated)
+
+
+class TestPopulation:
+    def _population(self):
+        return [
+            make_query(cpu=8.0, remote=1.0, io=1.0),  # CPU heavy
+            make_query(cpu=1.0, remote=1.0, io=8.0),  # IO heavy
+            make_query(cpu=3.0, remote=5.0, io=2.0),  # remote heavy
+        ]
+
+    def test_distribution_statistics(self):
+        dist = evaluate_trace_population(
+            self._population(), FRACTIONS, TARGETS, SYNC_ON_CHIP.with_speedup(8.0)
+        )
+        assert dist.count == 3
+        assert dist.minimum <= dist.p50 <= dist.p95 <= dist.maximum
+        assert dist.minimum >= 1.0
+        summary = dist.summary()
+        assert set(summary) >= {"aggregate", "mean", "p50", "p95"}
+
+    def test_cpu_heavy_queries_benefit_most(self):
+        population = self._population()
+        dist = evaluate_trace_population(
+            population, FRACTIONS, TARGETS, SYNC_ON_CHIP.with_speedup(64.0)
+        )
+        speedups = dict(zip(["cpu", "io", "remote"], dist.speedups))
+        assert speedups["cpu"] > speedups["io"]
+        assert speedups["cpu"] > speedups["remote"]
+
+    def test_aggregate_is_time_weighted(self):
+        population = self._population()
+        dist = evaluate_trace_population(
+            population, FRACTIONS, TARGETS, SYNC_ON_CHIP.with_speedup(8.0)
+        )
+        # Aggregate equals sum(before)/sum(after), not the mean of ratios.
+        assert dist.aggregate != pytest.approx(dist.mean)
+        assert dist.total_time_before == pytest.approx(30.0)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_trace_population([], FRACTIONS, TARGETS, SYNC_ON_CHIP)
+
+    def test_distribution_dataclass(self):
+        dist = SpeedupDistribution(
+            speedups=(1.0, 2.0, 3.0), total_time_before=10.0, total_time_after=5.0
+        )
+        assert dist.aggregate == 2.0
+        assert dist.mean == 2.0
+        assert dist.p50 == 2.0
+
+
+class TestWithRealTraces:
+    def test_end_to_end_from_simulation(self):
+        """Run a platform, trace it, and design-space-explore the traces."""
+        from repro.platforms.spanner import SpannerDatabase
+        from repro.profiling.breakdown import trace_breakdown
+        from repro.profiling.gwp import FleetProfiler
+        from repro.sim import Environment
+        from repro.workloads.calibration import SPANNER, accelerated_targets, build_profile
+
+        env = Environment()
+        profiler = FleetProfiler(sample_period=5e-5)
+        db = SpannerDatabase(env, build_profile(SPANNER), profiler=profiler, seed=3)
+        env.run(until=env.process(db.serve(60)))
+        queries = [trace_breakdown(t) for t in db.tracer.finished_traces()]
+        fractions = profiler.cycle_breakdown(SPANNER).cpu_fractions()
+
+        dist = evaluate_trace_population(
+            queries, fractions, accelerated_targets(SPANNER),
+            SYNC_ON_CHIP.with_speedup(8.0),
+        )
+        assert dist.count == 60
+        assert 1.0 <= dist.aggregate <= 3.0
+        # Tail queries differ from the median: the distribution carries
+        # information the group aggregate cannot.
+        assert dist.maximum > dist.minimum
