@@ -5,8 +5,15 @@
 * :mod:`repro.analysis.tables` -- Tables 1, 6, 7, 8 from measurements.
 * :mod:`repro.analysis.figures` -- Figures 2-6 (measurement figures) and
   Figures 9, 10, 13, 14, 15 (model figures) as data series.
+* :mod:`repro.analysis.degraded` -- clean-vs-chaos profile shift (the
+  degraded-mode counterpart of Figure 2, fed by :mod:`repro.faults`).
 """
 
+from repro.analysis.degraded import (
+    DegradedComparison,
+    compare_degraded,
+    degraded_report,
+)
 from repro.analysis.figures import (
     figure2_data,
     figure3_data,
@@ -31,6 +38,9 @@ __all__ = [
     "TextTable",
     "Comparison",
     "render_comparisons",
+    "DegradedComparison",
+    "compare_degraded",
+    "degraded_report",
     "table1_data",
     "table6_data",
     "table7_data",

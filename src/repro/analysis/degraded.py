@@ -1,0 +1,103 @@
+"""Degraded-vs-clean profiling comparison (chaos report section).
+
+Runs the Section 4.1 attribution over a clean fleet result and a
+fault-injected one and tabulates how the end-to-end breakdown shifts:
+under partitions and sick disks, wall-clock migrates out of CPU into
+REMOTE (retries, re-elections, re-dispatch) and IO (slow-device reads,
+replica failover) -- the degraded-mode counterpart of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import TextTable
+from repro.workloads.fleet import FleetResult
+
+__all__ = ["DegradedComparison", "compare_degraded", "degraded_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class DegradedComparison:
+    """One platform's clean-vs-degraded profile shift."""
+
+    platform: str
+    clean_fractions: dict[str, float]
+    degraded_fractions: dict[str, float]
+    clean_mean_latency: float
+    degraded_mean_latency: float
+    failed_queries: int
+    faults_injected: int
+    faults_healed: int
+
+    @property
+    def non_cpu_shift(self) -> float:
+        """How much of the breakdown moved out of CPU (positive = degraded)."""
+        clean_cpu = self.clean_fractions.get("cpu", 0.0)
+        degraded_cpu = self.degraded_fractions.get("cpu", 0.0)
+        return clean_cpu - degraded_cpu
+
+    @property
+    def latency_inflation(self) -> float:
+        if self.clean_mean_latency <= 0:
+            return 0.0
+        return self.degraded_mean_latency / self.clean_mean_latency
+
+
+def compare_degraded(
+    clean: FleetResult, degraded: FleetResult
+) -> dict[str, DegradedComparison]:
+    """Per-platform shift between a clean run and a chaos run."""
+    comparisons: dict[str, DegradedComparison] = {}
+    for platform in clean.platforms:
+        if platform not in degraded.platforms:
+            continue
+        controller = degraded.chaos.get(platform)
+        clean_platform = clean.platforms[platform]
+        degraded_platform = degraded.platforms[platform]
+        comparisons[platform] = DegradedComparison(
+            platform=platform,
+            clean_fractions=clean.e2e[platform].overall_breakdown(),
+            degraded_fractions=degraded.e2e[platform].overall_breakdown(),
+            clean_mean_latency=clean_platform.mean_latency(),
+            degraded_mean_latency=degraded_platform.mean_latency(),
+            failed_queries=sum(
+                1 for record in degraded_platform.records if record.failed
+            ),
+            faults_injected=len(controller.injected) if controller else 0,
+            faults_healed=len(controller.healed) if controller else 0,
+        )
+    return comparisons
+
+
+def degraded_report(comparisons: dict[str, DegradedComparison]) -> str:
+    """Render the chaos section as a fixed-width text table."""
+    table = TextTable(
+        [
+            "Platform",
+            "cpu clean",
+            "cpu chaos",
+            "remote clean",
+            "remote chaos",
+            "io clean",
+            "io chaos",
+            "latency x",
+            "failed",
+            "faults",
+        ],
+        title="Degraded-mode profile shift (clean vs fault-injected run)",
+    )
+    for platform, cmp in sorted(comparisons.items()):
+        table.add_row(
+            platform,
+            cmp.clean_fractions.get("cpu", 0.0),
+            cmp.degraded_fractions.get("cpu", 0.0),
+            cmp.clean_fractions.get("remote", 0.0),
+            cmp.degraded_fractions.get("remote", 0.0),
+            cmp.clean_fractions.get("io", 0.0),
+            cmp.degraded_fractions.get("io", 0.0),
+            cmp.latency_inflation,
+            cmp.failed_queries,
+            f"{cmp.faults_healed}/{cmp.faults_injected}",
+        )
+    return table.render()

@@ -9,8 +9,15 @@ recorded as a Dapper span -- this is what makes the Sections 4-5
 measurements fall out of simulation rather than being asserted.
 """
 
-from repro.cluster.network import Locality, NetworkFabric, Topology
-from repro.cluster.node import ServerNode, WorkContext
+from repro.cluster.network import (
+    LinkDegradation,
+    Locality,
+    NetworkFabric,
+    NetworkPartitioned,
+    Topology,
+    TopologySelector,
+)
+from repro.cluster.node import NodeDown, ServerNode, WorkContext
 from repro.cluster.rpc import (
     RpcError,
     RpcServer,
@@ -23,7 +30,11 @@ from repro.cluster.manager import Cluster, ClusterManager
 __all__ = [
     "Locality",
     "NetworkFabric",
+    "NetworkPartitioned",
+    "LinkDegradation",
     "Topology",
+    "TopologySelector",
+    "NodeDown",
     "ServerNode",
     "WorkContext",
     "RpcError",

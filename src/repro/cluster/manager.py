@@ -6,7 +6,7 @@ import itertools
 from typing import Iterable, Sequence
 
 from repro.cluster.network import NetworkFabric, Topology
-from repro.cluster.node import ServerNode
+from repro.cluster.node import NodeDown, ServerNode
 from repro.sim import Environment
 
 __all__ = ["Cluster", "ClusterManager"]
@@ -76,11 +76,23 @@ class ClusterManager:
     def nodes(self) -> tuple[ServerNode, ...]:
         return tuple(self._nodes)
 
+    @property
+    def live_nodes(self) -> tuple[ServerNode, ...]:
+        return tuple(node for node in self._nodes if node.up)
+
     def round_robin(self) -> ServerNode:
-        return self._nodes[next(self._cursor)]
+        """Next live node in rotation; crashed nodes are skipped."""
+        for _ in range(len(self._nodes)):
+            node = self._nodes[next(self._cursor)]
+            if node.up:
+                return node
+        raise NodeDown("*", "no live nodes to schedule on")
 
     def least_loaded(self) -> ServerNode:
-        return min(self._nodes, key=lambda node: node.runnable_backlog)
+        live = self.live_nodes
+        if not live:
+            raise NodeDown("*", "no live nodes to schedule on")
+        return min(live, key=lambda node: node.runnable_backlog)
 
     def pick(self, strategy: str = "round_robin") -> ServerNode:
         if strategy == "round_robin":

@@ -12,7 +12,18 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["Locality", "Topology", "NetworkFabric"]
+__all__ = [
+    "Locality",
+    "Topology",
+    "TopologySelector",
+    "LinkDegradation",
+    "NetworkPartitioned",
+    "NetworkFabric",
+]
+
+
+class NetworkPartitioned(IOError):
+    """Raised when a transfer crosses an active network partition."""
 
 
 class Locality(enum.Enum):
@@ -41,6 +52,49 @@ class Topology:
         if self.rack != other.rack:
             return Locality.SAME_CLUSTER
         return Locality.SAME_RACK
+
+
+@dataclass(frozen=True, slots=True)
+class TopologySelector:
+    """Matches a topology domain: any unset coordinate is a wildcard.
+
+    ``TopologySelector(rack="r0")`` matches every node in any rack named
+    ``r0``; ``TopologySelector(cluster="us-c0", rack="r0")`` pins the rack to
+    one cluster.  Fault plans use selector pairs to express partitions and
+    link degradations "between topology domains".
+    """
+
+    region: str | None = None
+    cluster: str | None = None
+    rack: str | None = None
+
+    def matches(self, topology: Topology) -> bool:
+        return (
+            (self.region is None or topology.region == self.region)
+            and (self.cluster is None or topology.cluster == self.cluster)
+            and (self.rack is None or topology.rack == self.rack)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDegradation:
+    """A multiplicative penalty on traffic between two domains."""
+
+    a: TopologySelector
+    b: TopologySelector
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_factor < 1.0:
+            raise ValueError("latency_factor must be >= 1")
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+
+    def covers(self, src: Topology, dst: Topology) -> bool:
+        return (self.a.matches(src) and self.b.matches(dst)) or (
+            self.a.matches(dst) and self.b.matches(src)
+        )
 
 
 #: One-way latency (seconds) per locality, loosely modeled on production
@@ -85,6 +139,46 @@ class NetworkFabric:
                 raise ValueError(f"non-positive bandwidth for {locality}")
         self.bytes_transferred = 0.0
         self.messages_sent = 0
+        self._partitions: list[tuple[TopologySelector, TopologySelector]] = []
+        self._degradations: list[LinkDegradation] = []
+        self.partition_drops = 0
+
+    # -- fault injection -----------------------------------------------------
+
+    def partition(
+        self, a: TopologySelector, b: TopologySelector
+    ) -> tuple[TopologySelector, TopologySelector]:
+        """Cut all traffic between two domains; returns a handle for :meth:`heal`."""
+        handle = (a, b)
+        self._partitions.append(handle)
+        return handle
+
+    def heal(self, handle: tuple[TopologySelector, TopologySelector]) -> None:
+        self._partitions.remove(handle)
+
+    def degrade_link(
+        self,
+        a: TopologySelector,
+        b: TopologySelector,
+        *,
+        latency_factor: float = 1.0,
+        bandwidth_factor: float = 1.0,
+    ) -> LinkDegradation:
+        """Slow traffic between two domains; returns a handle for :meth:`restore_link`."""
+        degradation = LinkDegradation(a, b, latency_factor, bandwidth_factor)
+        self._degradations.append(degradation)
+        return degradation
+
+    def restore_link(self, handle: LinkDegradation) -> None:
+        self._degradations.remove(handle)
+
+    def is_partitioned(self, src: Topology, dst: Topology) -> bool:
+        return any(
+            (a.matches(src) and b.matches(dst)) or (a.matches(dst) and b.matches(src))
+            for a, b in self._partitions
+        )
+
+    # -- cost model ----------------------------------------------------------
 
     def one_way_latency(self, src: Topology, dst: Topology) -> float:
         return self.latency[src.locality_to(dst)]
@@ -93,12 +187,21 @@ class NetworkFabric:
         """One-way message time: propagation plus serialization delay."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        if self._partitions and self.is_partitioned(src, dst):
+            self.partition_drops += 1
+            raise NetworkPartitioned(f"no route from {src} to {dst} (partitioned)")
         locality = src.locality_to(dst)
         self.bytes_transferred += nbytes
         self.messages_sent += 1
         bandwidth = self.bandwidth[locality]
+        latency = self.latency[locality]
+        if self._degradations:
+            for degradation in self._degradations:
+                if degradation.covers(src, dst):
+                    latency *= degradation.latency_factor
+                    bandwidth *= degradation.bandwidth_factor
         transmission = 0.0 if bandwidth == float("inf") else nbytes / bandwidth
-        return self.latency[locality] + transmission
+        return latency + transmission
 
     def round_trip_time(
         self, src: Topology, dst: Topology, request_bytes: float, response_bytes: float

@@ -8,9 +8,17 @@ from typing import Generator, Optional
 from repro.cluster.network import Topology
 from repro.profiling.dapper import Span, SpanKind, Trace
 from repro.profiling.gwp import FleetProfiler
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Interrupt, Resource
 
-__all__ = ["WorkContext", "ServerNode"]
+__all__ = ["NodeDown", "WorkContext", "ServerNode"]
+
+
+class NodeDown(RuntimeError):
+    """Raised when work is dispatched to (or interrupted by) a crashed node."""
+
+    def __init__(self, node_name: str, message: str = ""):
+        super().__init__(message or f"node {node_name!r} is down")
+        self.node_name = node_name
 
 
 @dataclass
@@ -39,7 +47,10 @@ class WorkContext:
     def record_span(
         self, name: str, kind: SpanKind, start: float, end: float, **annotations
     ) -> Optional[Span]:
-        if self.trace is None:
+        if self.trace is None or self.trace.finished:
+            # A finished trace means the query already completed (or was
+            # abandoned after a fault); late spans from orphaned subprocesses
+            # must not extend past the trace interval.
             return None
         return self.trace.record(
             name, kind, start, end, parent=self.parent_span, **annotations
@@ -64,6 +75,9 @@ class ServerNode:
     topology: Topology
     cores: int = 8
     _core_pool: Resource = field(init=False, repr=False)
+    up: bool = field(default=True, init=False)
+    crashes: int = field(default=0, init=False)
+    _tenants: set = field(default_factory=set, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -78,6 +92,29 @@ class ServerNode:
     def runnable_backlog(self) -> int:
         return self._core_pool.queue_length
 
+    # -- lifecycle (fault injection) ----------------------------------------
+
+    def crash(self) -> None:
+        """Take the node down, interrupting every process computing on it.
+
+        Interrupted processes see :class:`~repro.sim.Interrupt` with a
+        :class:`NodeDown` cause at their current yield point; core grants are
+        released (or cancelled) by :meth:`compute`'s cleanup, so busy-time
+        conservation holds across crashes.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.crashes += 1
+        for proc in list(self._tenants):
+            if proc.is_alive and proc is not self.env.active_process:
+                proc.interrupt(NodeDown(self.name, f"node {self.name!r} crashed"))
+        self._tenants.clear()
+
+    def restart(self) -> None:
+        """Bring a crashed node back into service (empty-handed)."""
+        self.up = True
+
     def compute(
         self, ctx: WorkContext, function: str, duration: float
     ) -> Generator:
@@ -90,15 +127,30 @@ class ServerNode:
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
+        if not self.up:
+            raise NodeDown(self.name)
         start = self.env.now
-        grant = self._core_pool.request()
-        yield grant
-        service_start = self.env.now
+        tenant = self.env.active_process
+        registered = tenant is not None and tenant not in self._tenants
+        if registered:
+            self._tenants.add(tenant)
         try:
-            if duration > 0:
-                yield self.env.timeout(duration)
+            grant = self._core_pool.request()
+            try:
+                yield grant
+            except Interrupt:
+                # Crashed (or otherwise interrupted) while queued for a core.
+                self._core_pool.cancel(grant)
+                raise
+            service_start = self.env.now
+            try:
+                if duration > 0:
+                    yield self.env.timeout(duration)
+            finally:
+                self._core_pool.release(grant)
         finally:
-            self._core_pool.release(grant)
+            if registered:
+                self._tenants.discard(tenant)
         end = self.env.now
         ctx.record_cpu(function, end - service_start, service_start)
         ctx.record_span(function, SpanKind.CPU, start, end, node=self.name)

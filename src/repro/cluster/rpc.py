@@ -18,12 +18,18 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Iterable
 
-from repro.cluster.network import NetworkFabric
+from repro.cluster.network import NetworkFabric, NetworkPartitioned
 from repro.cluster.node import ServerNode, WorkContext
 from repro.profiling.dapper import SpanKind
 from repro.sim import Environment
 
-__all__ = ["RpcService", "RpcServer", "rpc_call"]
+__all__ = [
+    "RpcError",
+    "RpcService",
+    "RpcServer",
+    "rpc_call",
+    "rpc_call_with_retries",
+]
 
 CpuChunks = Iterable[tuple[str, float]]
 Handler = Callable[[WorkContext, Any], Generator]
@@ -41,14 +47,19 @@ class RpcService:
         self.name = name
         self._handlers: dict[str, Handler] = {}
         self.calls_served = 0
-        self.available = True
+        self._available = True
+
+    @property
+    def available(self) -> bool:
+        """Up iff not explicitly failed and the hosting node is alive."""
+        return self._available and self.node.up
 
     def fail(self) -> None:
         """Take the service down (failure injection)."""
-        self.available = False
+        self._available = False
 
     def restore(self) -> None:
-        self.available = True
+        self._available = True
 
     def register(self, method: str, handler: Handler) -> None:
         if method in self._handlers:
@@ -128,11 +139,26 @@ def rpc_call(
     yield from client.compute_many(ctx, list(client_send_chunks))
 
     wait_start = env.now
+
+    def partition_failure() -> RpcError:
+        ctx.record_span(
+            f"rpc:{service.name}.{method}:unreachable",
+            wait_kind,
+            wait_start,
+            env.now,
+            service=service.name,
+            error="partition",
+        )
+        return RpcError(f"service {service.name!r} unreachable (network partition)")
+
     if not service.available:
         # Fast failure: connection refused after one network round trip.
-        refusal = fabric.round_trip_time(
-            client.topology, service.node.topology, 64.0, 64.0
-        )
+        try:
+            refusal = fabric.round_trip_time(
+                client.topology, service.node.topology, 64.0, 64.0
+            )
+        except NetworkPartitioned:
+            raise partition_failure() from None
         if refusal > 0:
             yield env.timeout(refusal)
         ctx.record_span(
@@ -146,9 +172,12 @@ def rpc_call(
         raise RpcError(f"service {service.name!r} unavailable")
 
     # Request flight time.
-    request_flight = fabric.transfer_time(
-        client.topology, service.node.topology, request_bytes
-    )
+    try:
+        request_flight = fabric.transfer_time(
+            client.topology, service.node.topology, request_bytes
+        )
+    except NetworkPartitioned:
+        raise partition_failure() from None
     if request_flight > 0:
         yield env.timeout(request_flight)
 
@@ -168,6 +197,9 @@ def rpc_call(
         timer = env.timeout(remaining, value=_DEADLINE)
         winner = yield any_of(env, [server_proc, timer])
         if winner is _DEADLINE:
+            # The abandoned handler must not keep consuming server cores.
+            if server_proc.is_alive:
+                server_proc.interrupt("deadline expired")
             ctx.record_span(
                 f"rpc:{service.name}.{method}:timeout",
                 wait_kind,
@@ -183,9 +215,12 @@ def rpc_call(
     service.calls_served += 1
 
     # Response flight time.
-    response_flight = fabric.transfer_time(
-        service.node.topology, client.topology, response_bytes
-    )
+    try:
+        response_flight = fabric.transfer_time(
+            service.node.topology, client.topology, response_bytes
+        )
+    except NetworkPartitioned:
+        raise partition_failure() from None
     if response_flight > 0:
         yield env.timeout(response_flight)
     ctx.record_span(

@@ -1,0 +1,39 @@
+"""Deterministic fault injection and simulation invariants.
+
+The chaos layer for the fleet simulator: author a seeded
+:class:`~repro.faults.plan.FaultPlan` of timed infrastructure faults, replay
+it into a running simulation with a
+:class:`~repro.faults.controller.ChaosController`, and validate the run --
+clean or degraded -- with the :mod:`~repro.faults.invariants` checkers.
+The platforms' failover machinery (Paxos leader election, tablet recovery,
+shuffle re-dispatch, DFS replica failover) is exercised by exactly these
+plans; the paper's profiling pipeline then measures how the Section 4
+breakdowns shift under degradation.
+"""
+
+from repro.faults.controller import ChaosController
+from repro.faults.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    check_breakdown_sums,
+    check_busy_conservation,
+    check_faults_visible,
+    check_span_nesting,
+)
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.scenarios import canned_mixed_scenario, platform_chaos_plan
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "ChaosController",
+    "InvariantChecker",
+    "InvariantViolation",
+    "check_span_nesting",
+    "check_busy_conservation",
+    "check_breakdown_sums",
+    "check_faults_visible",
+    "canned_mixed_scenario",
+    "platform_chaos_plan",
+]

@@ -1,0 +1,210 @@
+"""Simulation invariants: structural checks that must hold, chaos or not.
+
+Four families of checks, each returning a (possibly empty) list of
+violation strings so callers can aggregate and report:
+
+* **Span nesting** -- every span is finished, non-negative, inside its
+  trace's ``[start, end]`` interval, and inside its parent span when it
+  has one (and the parent must exist).
+* **Busy-time conservation** -- a node's integrated core-busy seconds
+  never exceed ``cores * env.now``, and instantaneous occupancy stays in
+  ``[0, cores]``.  Crashes must not leak core grants.
+* **Breakdown closure** -- the Section 4.1 attribution is a *partition*
+  of wall-clock: ``t_cpu + t_remote + t_io + t_unattributed == t_e2e``.
+* **Fault visibility** -- every fault a :class:`ChaosController` injected
+  appears as an ``error=``-tagged span carrying its ``fault_id`` in the
+  collected Dapper traces.
+
+:class:`InvariantChecker` bundles them for use as a runtime guard or a
+pytest fixture (see ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.cluster.node import ServerNode
+from repro.profiling.breakdown import QueryBreakdown
+from repro.profiling.dapper import Trace
+
+__all__ = [
+    "InvariantViolation",
+    "check_span_nesting",
+    "check_busy_conservation",
+    "check_breakdown_sums",
+    "check_faults_visible",
+    "InvariantChecker",
+]
+
+#: Absolute slack for float comparisons on simulated timestamps.
+EPS = 1e-9
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :meth:`InvariantChecker.assert_ok` with every violation."""
+
+
+def check_span_nesting(trace: Trace, *, eps: float = EPS) -> list[str]:
+    """Spans nest properly and never exceed their trace's interval."""
+    problems: list[str] = []
+    label = f"trace {trace.trace_id} ({trace.name})"
+    if not trace.finished:
+        return [f"{label}: not finished"]
+    if trace.end < trace.start - eps:
+        problems.append(f"{label}: ends before it starts")
+    by_id = {span.span_id: span for span in trace.spans}
+    for span in trace.spans:
+        where = f"{label} span {span.span_id} ({span.name})"
+        if not span.finished:
+            problems.append(f"{where}: not finished")
+            continue
+        if span.end < span.start - eps:
+            problems.append(f"{where}: end {span.end} before start {span.start}")
+        if span.start < trace.start - eps or span.end > trace.end + eps:
+            problems.append(
+                f"{where}: [{span.start}, {span.end}] outside trace "
+                f"[{trace.start}, {trace.end}]"
+            )
+        if span.parent_id is not None:
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                problems.append(f"{where}: dangling parent {span.parent_id}")
+            elif parent.finished and (
+                span.start < parent.start - eps or span.end > parent.end + eps
+            ):
+                problems.append(
+                    f"{where}: exceeds parent {parent.span_id} "
+                    f"[{parent.start}, {parent.end}]"
+                )
+    return problems
+
+
+def check_busy_conservation(node: ServerNode, *, eps: float = 1e-6) -> list[str]:
+    """Per-node core busy time conserved against the virtual clock."""
+    problems: list[str] = []
+    pool = node._core_pool
+    busy = pool.busy_time()
+    ceiling = node.cores * node.env.now
+    if busy < -eps:
+        problems.append(f"node {node.name}: negative busy time {busy}")
+    if busy > ceiling * (1.0 + eps) + eps:
+        problems.append(
+            f"node {node.name}: busy time {busy} exceeds cores*now {ceiling}"
+        )
+    if not 0 <= pool.in_use <= node.cores:
+        problems.append(
+            f"node {node.name}: {pool.in_use} cores in use of {node.cores}"
+        )
+    return problems
+
+
+def check_breakdown_sums(
+    breakdown: QueryBreakdown, *, rel_eps: float = 1e-6
+) -> list[str]:
+    """The attribution classes partition the end-to-end wall-clock."""
+    parts = (
+        breakdown.t_cpu,
+        breakdown.t_remote,
+        breakdown.t_io,
+        breakdown.t_unattributed,
+    )
+    problems: list[str] = []
+    for value, part in zip(parts, ("cpu", "remote", "io", "unattributed")):
+        if value < -EPS:
+            problems.append(f"query {breakdown.name}: negative t_{part} {value}")
+    total = sum(parts)
+    slack = max(abs(breakdown.t_e2e), 1.0) * rel_eps
+    if abs(total - breakdown.t_e2e) > slack:
+        problems.append(
+            f"query {breakdown.name}: breakdown sums to {total}, "
+            f"e2e is {breakdown.t_e2e}"
+        )
+    return problems
+
+
+def check_faults_visible(
+    fault_ids: Iterable[str], traces: Iterable[Trace]
+) -> list[str]:
+    """Every injected fault left an ``error=``-tagged span behind."""
+    wanted = set(fault_ids)
+    if not wanted:
+        return []
+    for trace in traces:
+        for span in trace.error_spans():
+            wanted.discard(span.annotations.get("fault_id"))
+        if not wanted:
+            break
+    return [f"fault {fault_id!r} left no error-tagged span" for fault_id in sorted(wanted)]
+
+
+class InvariantChecker:
+    """Aggregates the invariant checks over watched resources.
+
+    Usage::
+
+        checker = InvariantChecker()
+        checker.watch_nodes(platform.cluster.nodes)
+        checker.watch_traces(platform.tracer.finished_traces())
+        checker.watch_controller(controller)     # fault visibility
+        checker.assert_ok()                      # raises with all violations
+    """
+
+    def __init__(self) -> None:
+        self._nodes: list[ServerNode] = []
+        self._traces: list[Trace] = []
+        self._breakdowns: list[QueryBreakdown] = []
+        self._fault_ids: list[str] = []
+
+    # -- registration --------------------------------------------------------
+
+    def watch_nodes(self, nodes: Iterable[ServerNode]) -> "InvariantChecker":
+        self._nodes.extend(nodes)
+        return self
+
+    def watch_traces(self, traces: Iterable[Trace]) -> "InvariantChecker":
+        self._traces.extend(traces)
+        return self
+
+    def watch_breakdowns(
+        self, breakdowns: Iterable[QueryBreakdown]
+    ) -> "InvariantChecker":
+        self._breakdowns.extend(breakdowns)
+        return self
+
+    def watch_controller(self, controller) -> "InvariantChecker":
+        """Track a chaos controller: its trace plus its fault ids."""
+        self._fault_ids.extend(controller.fault_ids)
+        self._traces.append(controller.finish())
+        return self
+
+    def watch_platform(self, platform) -> "InvariantChecker":
+        """Track a platform simulator's nodes, traces, and breakdowns."""
+        from repro.profiling.breakdown import trace_breakdown
+
+        self.watch_nodes(platform.cluster.nodes)
+        finished = platform.tracer.finished_traces()
+        self.watch_traces(finished)
+        self.watch_breakdowns(trace_breakdown(trace) for trace in finished)
+        return self
+
+    # -- evaluation ----------------------------------------------------------
+
+    def check(self) -> list[str]:
+        """Run every registered check; returns all violations found."""
+        problems: list[str] = []
+        for trace in self._traces:
+            problems.extend(check_span_nesting(trace))
+        for node in self._nodes:
+            problems.extend(check_busy_conservation(node))
+        for breakdown in self._breakdowns:
+            problems.extend(check_breakdown_sums(breakdown))
+        problems.extend(check_faults_visible(self._fault_ids, self._traces))
+        return problems
+
+    def assert_ok(self) -> None:
+        problems = self.check()
+        if problems:
+            summary = "\n  ".join(problems)
+            raise InvariantViolation(
+                f"{len(problems)} invariant violation(s):\n  {summary}"
+            )

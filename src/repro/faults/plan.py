@@ -1,0 +1,208 @@
+"""Fault plans: seeded, deterministic schedules of infrastructure faults.
+
+A :class:`FaultPlan` is a timeline of :class:`FaultEvent` items -- node
+crashes, RPC service outages, network partitions, link degradations, and
+storage-device slowdowns -- that a
+:class:`~repro.faults.controller.ChaosController` replays into a running
+simulation.  Plans are plain data: they can be authored by hand with the
+chainable builders, generated deterministically from a seed with
+:meth:`FaultPlan.random`, and serialized for golden tests.
+
+The same plan against the same seeded simulation yields byte-identical
+traces -- determinism is the point: a chaos scenario that fails is a chaos
+scenario that can be replayed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.network import TopologySelector
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """What kind of infrastructure fault an event injects."""
+
+    NODE_CRASH = "node_crash"
+    SERVICE_OUTAGE = "service_outage"
+    PARTITION = "partition"
+    LINK_DEGRADE = "link_degrade"
+    DISK_SLOWDOWN = "disk_slowdown"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` names the attached resource (a node name, a service key, a
+    store key, or a selector-pair label for network faults); ``duration``
+    of ``None`` means the fault persists until the end of the run,
+    otherwise the controller heals it ``duration`` seconds after injection.
+    """
+
+    fault_id: str
+    at: float
+    kind: FaultKind
+    target: str
+    duration: float | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault {self.fault_id!r} scheduled before t=0")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"fault {self.fault_id!r} needs a positive duration")
+
+
+class FaultPlan:
+    """An ordered, append-only schedule of faults (chainable builders)."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        self._events: list[FaultEvent] = list(events)
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        """Events in injection order (time, then insertion order)."""
+        ordered = sorted(
+            enumerate(self._events), key=lambda pair: (pair[1].at, pair[0])
+        )
+        return tuple(event for _, event in ordered)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def _add(
+        self,
+        kind: FaultKind,
+        target: str,
+        at: float,
+        duration: float | None,
+        **params: Any,
+    ) -> "FaultPlan":
+        self._events.append(
+            FaultEvent(
+                fault_id=f"{kind.value}-{len(self._events)}",
+                at=at,
+                kind=kind,
+                target=target,
+                duration=duration,
+                params=params,
+            )
+        )
+        return self
+
+    # -- builders -----------------------------------------------------------
+
+    def crash(
+        self, node: str, *, at: float, duration: float | None = None
+    ) -> "FaultPlan":
+        """Crash a node at ``at``; restart it after ``duration`` if given."""
+        return self._add(FaultKind.NODE_CRASH, node, at, duration)
+
+    def service_outage(
+        self, service: str, *, at: float, duration: float | None = None
+    ) -> "FaultPlan":
+        """Take an RPC service down (its node stays up)."""
+        return self._add(FaultKind.SERVICE_OUTAGE, service, at, duration)
+
+    def partition(
+        self,
+        a: TopologySelector,
+        b: TopologySelector,
+        *,
+        at: float,
+        duration: float | None = None,
+    ) -> "FaultPlan":
+        """Drop all traffic between the domains matched by ``a`` and ``b``."""
+        return self._add(
+            FaultKind.PARTITION, f"{_label(a)}|{_label(b)}", at, duration, a=a, b=b
+        )
+
+    def degrade_link(
+        self,
+        a: TopologySelector,
+        b: TopologySelector,
+        *,
+        at: float,
+        duration: float | None = None,
+        latency_factor: float = 1.0,
+        bandwidth_factor: float = 1.0,
+    ) -> "FaultPlan":
+        """Inflate latency / shrink bandwidth between two domains."""
+        return self._add(
+            FaultKind.LINK_DEGRADE,
+            f"{_label(a)}|{_label(b)}",
+            at,
+            duration,
+            a=a,
+            b=b,
+            latency_factor=latency_factor,
+            bandwidth_factor=bandwidth_factor,
+        )
+
+    def slow_disk(
+        self,
+        store: str,
+        *,
+        at: float,
+        duration: float | None = None,
+        factor: float = 8.0,
+    ) -> "FaultPlan":
+        """Multiply a tiered store's persistent-device access times."""
+        return self._add(FaultKind.DISK_SLOWDOWN, store, at, duration, factor=factor)
+
+    # -- generation ---------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        nodes: Sequence[str],
+        stores: Sequence[str] = (),
+        horizon: float = 1.0,
+        events: int = 4,
+        mean_duration: float | None = None,
+    ) -> "FaultPlan":
+        """A deterministic random plan: same seed, same plan, always."""
+        if not nodes:
+            raise ValueError("need at least one node name")
+        if events < 0:
+            raise ValueError("events must be non-negative")
+        rng = np.random.default_rng(seed)
+        mean_duration = mean_duration or horizon / 4.0
+        kinds = [FaultKind.NODE_CRASH, FaultKind.DISK_SLOWDOWN]
+        if not stores:
+            kinds = [FaultKind.NODE_CRASH]
+        plan = cls()
+        for _ in range(events):
+            at = float(rng.uniform(0.0, horizon))
+            duration = float(rng.exponential(mean_duration)) or mean_duration
+            kind = kinds[int(rng.integers(len(kinds)))]
+            if kind is FaultKind.NODE_CRASH:
+                plan.crash(
+                    str(nodes[int(rng.integers(len(nodes)))]), at=at, duration=duration
+                )
+            else:
+                plan.slow_disk(
+                    str(stores[int(rng.integers(len(stores)))]),
+                    at=at,
+                    duration=duration,
+                    factor=float(rng.uniform(2.0, 16.0)),
+                )
+        return plan
+
+
+def _label(selector: TopologySelector) -> str:
+    return "/".join(
+        part or "*" for part in (selector.region, selector.cluster, selector.rack)
+    )

@@ -1,0 +1,82 @@
+"""Canned chaos scenarios for tests and degraded-mode studies.
+
+The canonical acceptance scenario injects, per platform, one node crash,
+one rack-level network partition, and one sick disk -- all mid-run, all
+auto-healing -- against a mixed Spanner/BigTable/BigQuery fleet.  Fault
+times are expressed as fractions of the platform's expected makespan so
+one scenario scales across the three platforms' very different time
+scales (BigQuery queries run ~1000x longer than Spanner's).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.cluster.network import TopologySelector
+from repro.faults.plan import FaultPlan
+
+__all__ = ["platform_chaos_plan", "canned_mixed_scenario"]
+
+#: Platform name -> cluster node-name prefix (see each platform's Cluster).
+NODE_PREFIXES: Mapping[str, str] = {
+    "Spanner": "spanner",
+    "BigTable": "bigtable",
+    "BigQuery": "bigquery",
+}
+
+
+def platform_chaos_plan(
+    platform: str,
+    makespan: float,
+    *,
+    crash_node_index: int = 1,
+    disk_factor: float = 8.0,
+) -> FaultPlan:
+    """One platform's share of the canned scenario.
+
+    Relative schedule (fractions of ``makespan``):
+
+    * ``0.10 .. 0.60`` -- ``storage-0``'s SSD/HDD run ``disk_factor`` slow;
+    * ``0.20 .. 0.50`` -- node ``<prefix>-<crash_node_index>`` is down;
+    * ``0.40 .. 0.60`` -- racks ``r0`` and ``r2`` cannot reach each other.
+    """
+    if makespan <= 0:
+        raise ValueError("makespan must be positive")
+    prefix = NODE_PREFIXES.get(platform)
+    if prefix is None:
+        raise ValueError(f"unknown platform {platform!r}")
+    return (
+        FaultPlan()
+        .slow_disk(
+            "storage-0",
+            at=0.10 * makespan,
+            duration=0.50 * makespan,
+            factor=disk_factor,
+        )
+        .crash(
+            f"{prefix}-{crash_node_index}",
+            at=0.20 * makespan,
+            duration=0.30 * makespan,
+        )
+        .partition(
+            TopologySelector(rack="r0"),
+            TopologySelector(rack="r2"),
+            at=0.40 * makespan,
+            duration=0.20 * makespan,
+        )
+    )
+
+
+def canned_mixed_scenario(
+    makespans: Mapping[str, float],
+) -> dict[str, FaultPlan]:
+    """The acceptance scenario: a fault plan per platform.
+
+    ``makespans`` maps platform names to the expected clean-run makespan
+    (measure one clean run, then feed its per-platform ``env.now`` here so
+    every fault lands while queries are in flight).
+    """
+    return {
+        platform: platform_chaos_plan(platform, makespan)
+        for platform, makespan in makespans.items()
+    }

@@ -12,13 +12,18 @@ from typing import Generator, Sequence
 
 import numpy as np
 
-from repro.cluster.network import NetworkFabric
-from repro.cluster.node import ServerNode, WorkContext
+from repro.cluster.network import NetworkFabric, NetworkPartitioned
+from repro.cluster.node import NodeDown, ServerNode, WorkContext
 from repro.platforms.bigquery.columnar import ColumnarTable
 from repro.profiling.dapper import SpanKind
 from repro.sim import Environment, all_of
 
 __all__ = ["ShuffleEngine"]
+
+#: Straggler/outage mitigation: re-dispatch a failed shuffle write this many
+#: times with exponential backoff before giving up.
+MAX_ATTEMPTS = 3
+INITIAL_BACKOFF = 100e-6
 
 
 def _hash_partition(keys: np.ndarray, partitions: int) -> np.ndarray:
@@ -43,6 +48,7 @@ class ShuffleEngine:
         self.servers = list(servers)
         self.shuffles_run = 0
         self.bytes_shuffled = 0.0
+        self.retries = 0
 
     def partition(
         self, table: ColumnarTable, key: str, partitions: int
@@ -83,6 +89,11 @@ class ShuffleEngine:
         plane is skipped but the bytes still move).  Partition pushes fan
         out in parallel; the producer waits for all sinks to ack -- that
         wait is the REMOTE span.
+
+        Fault tolerance: pushes go only to live, reachable shuffle servers;
+        a round that still hits a partition is re-dispatched with
+        exponential backoff (Dremel's straggler re-dispatch), each retry
+        recorded as an error-tagged span.
         """
         partitioned: list[ColumnarTable | None]
         if table is not None and key is not None:
@@ -102,11 +113,59 @@ class ShuffleEngine:
             if ack > 0:
                 yield self.env.timeout(ack)
 
-        pushes = [
-            self.env.process(push(self.servers[p % len(self.servers)]))
-            for p in range(partitions)
-        ]
-        yield all_of(self.env, pushes)
+        attempt = 0
+        backoff = INITIAL_BACKOFF
+        while True:
+            sinks = [
+                server
+                for server in self.servers
+                if server.up
+                and not self.fabric.is_partitioned(producer.topology, server.topology)
+            ]
+            failure: Exception
+            if sinks:
+                pushes = [
+                    self.env.process(push(sinks[p % len(sinks)]))
+                    for p in range(partitions)
+                ]
+                try:
+                    yield all_of(self.env, pushes)
+                    break
+                except (NetworkPartitioned, NodeDown) as exc:
+                    for proc in pushes:
+                        if proc.is_alive:
+                            proc.interrupt("shuffle re-dispatch")
+                    failure = exc
+            else:
+                failure = NetworkPartitioned(
+                    f"no reachable shuffle server from {producer.name}"
+                )
+            attempt += 1
+            if attempt >= MAX_ATTEMPTS:
+                ctx.record_span(
+                    "shuffle:write",
+                    SpanKind.REMOTE,
+                    wait_start,
+                    self.env.now,
+                    bytes=nbytes,
+                    partitions=partitions,
+                    error="shuffle_failed",
+                    attempts=attempt,
+                )
+                raise failure
+            self.retries += 1
+            retry_start = self.env.now
+            yield self.env.timeout(backoff)
+            ctx.record_span(
+                "shuffle:retry",
+                SpanKind.REMOTE,
+                retry_start,
+                self.env.now,
+                error="shuffle_retry",
+                attempt=attempt,
+                detail=str(failure),
+            )
+            backoff *= 2.0
         ctx.record_span(
             "shuffle:write",
             SpanKind.REMOTE,

@@ -12,7 +12,7 @@ import heapq
 from typing import Any, Generator, Sequence
 
 from repro.cluster.network import NetworkFabric
-from repro.cluster.node import ServerNode, WorkContext
+from repro.cluster.node import NodeDown, ServerNode, WorkContext
 from repro.platforms.bigtable.sstable import SSTable
 from repro.platforms.bigtable.tablet import Tablet
 from repro.profiling.dapper import SpanKind
@@ -83,9 +83,12 @@ class CompactionManager:
         self._cursor = 0
 
     def _next_worker(self) -> ServerNode:
-        worker = self.workers[self._cursor % len(self.workers)]
-        self._cursor += 1
-        return worker
+        for _ in range(len(self.workers)):
+            worker = self.workers[self._cursor % len(self.workers)]
+            self._cursor += 1
+            if worker.up:
+                return worker
+        raise NodeDown("*", "no live compaction workers")
 
     def estimate_time(self, tablet: Tablet) -> float:
         """Rough cost of one minor compaction (for budget pacing)."""

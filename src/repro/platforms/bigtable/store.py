@@ -121,6 +121,10 @@ class BigTableStore(PlatformBase):
 
     def _execute(self, ctx: WorkContext, plan: QueryPlan) -> Generator:
         tablet = self.tablets[int(self.rng.integers(len(self.tablets)))]
+        if not tablet.node.up:
+            # The tablet's server crashed: reload it on a live node before
+            # serving (BigTable's master does exactly this reassignment).
+            yield from tablet.recover(ctx, self.manager.pick("least_loaded"))
         chunks = self.chunker.chunks(plan.t_cpu)
         overlap_chunks, serial_chunks = self.chunker.split(chunks, plan.overlap_budget)
         dep = self._dependency_phase(ctx, tablet, plan)

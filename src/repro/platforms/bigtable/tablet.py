@@ -8,6 +8,7 @@ from typing import Any, Generator
 from repro.cluster.node import ServerNode, WorkContext
 from repro.platforms.bigtable.memtable import Memtable
 from repro.platforms.bigtable.sstable import SSTable
+from repro.profiling.dapper import SpanKind
 from repro.storage.dfs import DistributedFileSystem
 
 __all__ = ["Tablet"]
@@ -16,6 +17,7 @@ __all__ = ["Tablet"]
 READ_CPU = 4e-6
 WRITE_CPU = 3e-6
 FLUSH_CPU_PER_ENTRY = 0.3e-6
+RECOVERY_CPU_PER_RUN = 2e-6
 
 
 class Tablet:
@@ -83,6 +85,42 @@ class Tablet:
         self.memtable.clear()
         self.flushes += 1
         return sstable
+
+    # -- failover ----------------------------------------------------------------
+
+    def recover(self, ctx: WorkContext, new_node: ServerNode) -> Generator:
+        """Simulation process: reassign the tablet to a live server.
+
+        Mirrors production BigTable recovery: the tablet's data needs no
+        copying (it already lives in the replicated DFS); the new server
+        replays the WAL and reopens each SSTable's index block.
+        """
+        env = new_node.env
+        start = env.now
+        old_node, self.node = self.node, new_node
+        runs = [run for run in self.sstables if self.dfs.exists(run.path)]
+        yield from new_node.compute(
+            ctx, "Tablet::RecoverTablet", RECOVERY_CPU_PER_RUN * max(1, len(runs))
+        )
+        if self.dfs.exists(self.wal_path):
+            yield from self.dfs.read(ctx, new_node.topology, self.wal_path)
+        for run in runs:
+            yield from self.dfs.read(
+                ctx,
+                new_node.topology,
+                run.path,
+                offset=0.0,
+                size=min(self.block_bytes, run.size_bytes),
+            )
+        ctx.record_span(
+            f"bigtable:{self.name}:recover",
+            SpanKind.REMOTE,
+            start,
+            env.now,
+            failover="tablet_recovery",
+            old_node=old_node.name,
+            new_node=new_node.name,
+        )
 
     # -- read path ---------------------------------------------------------------
 

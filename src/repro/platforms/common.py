@@ -30,12 +30,13 @@ from typing import Generator, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.cluster.node import ServerNode, WorkContext
+from repro.cluster.node import NodeDown, ServerNode, WorkContext
+from repro.cluster.rpc import RpcError
 from repro.core.profile import PlatformProfile, QueryGroupProfile
 from repro.platforms.functions import functions_for
 from repro.profiling.dapper import SpanKind, Tracer
 from repro.profiling.gwp import FleetProfiler
-from repro.sim import Environment, all_of
+from repro.sim import Environment, Interrupt, all_of
 
 __all__ = ["QueryPlan", "CpuChunker", "PlatformBase", "QueryRecord"]
 
@@ -132,10 +133,15 @@ class QueryRecord:
     group: str
     started: float
     finished: float
+    error: str | None = None
 
     @property
     def latency(self) -> float:
         return self.finished - self.started
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 class PlatformBase:
@@ -217,22 +223,48 @@ class PlatformBase:
         raise NotImplementedError
 
     def run_query(self, plan: QueryPlan | None = None) -> Generator:
-        """Simulation process: serve one query end to end."""
+        """Simulation process: serve one query end to end.
+
+        A query that hits an injected fault (node crash, partition, failed
+        RPC, dead storage) fails *individually*: the failure is recorded as
+        an error-tagged span and an annotated trace, and the serving loop
+        carries on with the next query -- the fleet survives chaos.
+        """
         plan = plan or self.plan_query()
         started = self.env.now
         trace = self.tracer.start_trace(f"{self.platform_name}:{plan.kind}", started)
         ctx = WorkContext(
             platform=self.platform_name, trace=trace, profiler=self.profiler
         )
-        result = yield from self._execute(ctx, plan)
+        result = None
+        error: str | None = None
+        try:
+            result = yield from self._execute(ctx, plan)
+        except (Interrupt, NodeDown, RpcError, IOError) as exc:
+            error = type(exc).__name__
+            span_kind = SpanKind.IO if isinstance(exc, IOError) else SpanKind.REMOTE
+            ctx.record_span(
+                f"{self.platform_name.lower()}:query-failed",
+                span_kind,
+                started,
+                self.env.now,
+                error=error,
+                detail=str(exc),
+            )
         finished = self.env.now
         if trace is not None:
             trace.finish(finished)
             trace.annotations["group"] = plan.group
             trace.annotations["kind"] = plan.kind
+            if error is not None:
+                trace.annotations["error"] = error
         self.records.append(
             QueryRecord(
-                kind=plan.kind, group=plan.group, started=started, finished=finished
+                kind=plan.kind,
+                group=plan.group,
+                started=started,
+                finished=finished,
+                error=error,
             )
         )
         return result
@@ -315,13 +347,24 @@ class PlatformBase:
     ) -> Generator:
         """Run the dependency phase with a CPU slice overlapped onto it."""
         dep = self.env.process(dep_process, name=f"{name}:dep")
+        siblings = [dep]
         if overlap_chunks:
             cpu = self.env.process(
                 self.burn_cpu(ctx, node, overlap_chunks), name=f"{name}:overlap-cpu"
             )
-            yield all_of(self.env, [dep, cpu])
-        else:
-            yield dep
+            siblings.append(cpu)
+        try:
+            if len(siblings) > 1:
+                yield all_of(self.env, siblings)
+            else:
+                yield dep
+        except BaseException:
+            # One side failed (or we were interrupted by a fault): reap the
+            # survivors so orphaned subprocesses don't keep running.
+            for sibling in siblings:
+                if sibling.is_alive:
+                    sibling.interrupt("query failed")
+            raise
 
     def realize_budget(
         self,

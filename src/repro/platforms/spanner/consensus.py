@@ -15,11 +15,14 @@ from dataclasses import dataclass, field
 from typing import Any, Generator, Sequence
 
 from repro.cluster.network import NetworkFabric
-from repro.cluster.node import ServerNode, WorkContext
+from repro.cluster.node import NodeDown, ServerNode, WorkContext
 from repro.profiling.dapper import SpanKind
 from repro.sim import Environment, quorum_of
 
 __all__ = ["LogEntry", "PaxosGroup"]
+
+#: CPU burned by the new leader to assume leadership (log catch-up, leases).
+ELECTION_CPU = 5e-6
 
 #: Leader-side CPU to build/propose one log entry.
 PROPOSE_CPU = 1e-6
@@ -49,6 +52,7 @@ class PaxosGroup:
     followers: Sequence[ServerNode]
     log: list[LogEntry] = field(default_factory=list)
     commits: int = field(default=0, init=False)
+    elections: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if not self.followers:
@@ -73,6 +77,37 @@ class PaxosGroup:
         needed_acks = self.quorum - 1  # leader acks itself
         quorum_rtt = rtts[needed_acks - 1] if needed_acks >= 1 else 0.0
         return PROPOSE_CPU + VOTE_CPU + quorum_rtt + COMMIT_WAIT
+
+    def elect_leader(self, ctx: WorkContext) -> Generator:
+        """Simulation process: re-elect around a downed leader.
+
+        Deterministic: the first live member (leader, then followers in
+        order) takes over; the old leader is demoted to follower so it
+        rejoins the group when restarted.  The election wait is recorded as
+        a REMOTE span tagged ``failover="leader_election"``.
+        """
+        members = [self.leader] + list(self.followers)
+        live = [node for node in members if node.up]
+        if not live:
+            raise NodeDown(self.name, f"group {self.name!r} has no live members")
+        new_leader = live[0]
+        if new_leader is self.leader:
+            return self.leader
+        wait_start = self.env.now
+        self.followers = [node for node in members if node is not new_leader]
+        old_leader, self.leader = self.leader, new_leader
+        self.elections += 1
+        yield from new_leader.compute(ctx, "paxos::LeaderElection", ELECTION_CPU)
+        ctx.record_span(
+            f"paxos:{self.name}:elect",
+            SpanKind.REMOTE,
+            wait_start,
+            self.env.now,
+            failover="leader_election",
+            old_leader=old_leader.name,
+            new_leader=new_leader.name,
+        )
+        return new_leader
 
     def _follower_ack(
         self, ctx: WorkContext, follower: ServerNode, entry: LogEntry
@@ -99,6 +134,8 @@ class PaxosGroup:
         Returns the committed :class:`LogEntry`.  The wait from fan-out to
         quorum (plus the commit wait) is recorded as a REMOTE span.
         """
+        if not self.leader.up:
+            yield from self.elect_leader(ctx)
         entry = LogEntry(index=len(self.log), payload=payload, nbytes=nbytes)
         yield from self.leader.compute(ctx, "paxos::ReplicateLog", PROPOSE_CPU)
         wait_start = self.env.now

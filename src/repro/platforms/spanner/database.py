@@ -215,21 +215,31 @@ class SpannerDatabase(PlatformBase):
                     txn_id,
                     [self._participant(shard), self._participant(other)],
                 )
-                yield from txn.acquire(
-                    ctx, {shard: keys[:1], other: keys[1:2]}
-                )
-                txn.buffer_write(shard, keys[0], txn_id)
-                txn.buffer_write(other, keys[1], txn_id)
-                yield from txn.commit(ctx)
+                try:
+                    yield from txn.acquire(
+                        ctx, {shard: keys[:1], other: keys[1:2]}
+                    )
+                    txn.buffer_write(shard, keys[0], txn_id)
+                    txn.buffer_write(other, keys[1], txn_id)
+                    yield from txn.commit(ctx)
+                except BaseException:
+                    txn.abandon()
+                    raise
             else:
                 txn = Transaction(
                     txn_id, self.locks[shard], self.data[shard], self.groups[shard]
                 )
-                yield from txn.acquire(ctx, read_keys=keys[:1], write_keys=keys[1:])
-                value = txn.read(keys[0])
-                txn.buffer_write(keys[1], value)
-                txn.buffer_write(keys[2], txn_id)
-                yield from txn.commit(ctx)
+                try:
+                    yield from txn.acquire(
+                        ctx, read_keys=keys[:1], write_keys=keys[1:]
+                    )
+                    value = txn.read(keys[0])
+                    txn.buffer_write(keys[1], value)
+                    txn.buffer_write(keys[2], txn_id)
+                    yield from txn.commit(ctx)
+                except BaseException:
+                    txn.abandon()
+                    raise
         elif plan.kind == "sql_query":
             self.sql.execute(
                 "SELECT id, balance FROM accounts WHERE balance > 500 ORDER BY balance DESC LIMIT 10"
@@ -240,10 +250,14 @@ class SpannerDatabase(PlatformBase):
             yield self.env.timeout(0.0)
         else:  # read_txn: strong read through shared locks
             txn = Transaction(txn_id, self.locks[shard], self.data[shard], self.groups[shard])
-            yield from txn.acquire(ctx, read_keys=keys, write_keys=[])
-            for key in keys:
-                txn.read(key)
-            yield from txn.commit(ctx)
+            try:
+                yield from txn.acquire(ctx, read_keys=keys, write_keys=[])
+                for key in keys:
+                    txn.read(key)
+                yield from txn.commit(ctx)
+            except BaseException:
+                txn.abandon()
+                raise
 
     def _remote_op_factory(self, ctx: WorkContext, shard: int):
         group = self.groups[shard]

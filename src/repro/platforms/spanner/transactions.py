@@ -78,6 +78,27 @@ class LockManager:
             state.mode = None
             self._wake_waiters(state)
 
+    def withdraw(self, txn_id: int, key: Any, grant: Event) -> None:
+        """Back out of an in-flight ``acquire`` (the requester died waiting).
+
+        If the grant already fired, the lock is released; otherwise the
+        queued request is removed and any now-compatible waiters are woken.
+        Without this, a crashed waiter's grant would eventually be issued to
+        a process that no longer exists and the key would be held forever.
+        """
+        state = self._locks.get(key)
+        if state is None:
+            return
+        if grant.triggered:
+            if txn_id in state.holders:
+                self.release(txn_id, key)
+            return
+        for position, (waiting, _, _) in enumerate(state.waiters):
+            if waiting is grant:
+                del state.waiters[position]
+                break
+        self._wake_waiters(state)
+
     def _wake_waiters(self, state: _LockState) -> None:
         # Grant the longest-waiting request, plus any compatible followers.
         while state.waiters:
@@ -126,7 +147,13 @@ class Transaction:
         plan = sorted(set(read_keys) | write_set, key=repr)
         for key in plan:
             mode = LockMode.EXCLUSIVE if key in write_set else LockMode.SHARED
-            yield self._locks.acquire(self.txn_id, key, mode)
+            grant = self._locks.acquire(self.txn_id, key, mode)
+            try:
+                yield grant
+            except BaseException:
+                self._locks.withdraw(self.txn_id, key, grant)
+                self.abandon()
+                raise
             self._held.append(key)
         self._read_set = [key for key in plan if key not in write_set]
 
@@ -156,6 +183,14 @@ class Transaction:
 
     def abort(self) -> None:
         self._check_open()
+        self._write_buffer.clear()
+        self._release_all()
+        self._finished = True
+
+    def abandon(self) -> None:
+        """Crash-time cleanup: release everything; safe if already finished."""
+        if self._finished:
+            return
         self._write_buffer.clear()
         self._release_all()
         self._finished = True

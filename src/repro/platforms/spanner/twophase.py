@@ -75,7 +75,13 @@ class TwoPhaseCommit:
                 raise TransactionError(f"unknown shard {shard_id}")
             participant = self.participants[shard_id]
             for key in sorted(write_keys[shard_id], key=repr):
-                yield participant.locks.acquire(self.txn_id, key, LockMode.EXCLUSIVE)
+                grant = participant.locks.acquire(self.txn_id, key, LockMode.EXCLUSIVE)
+                try:
+                    yield grant
+                except BaseException:
+                    participant.locks.withdraw(self.txn_id, key, grant)
+                    self.abandon()
+                    raise
                 self._held[shard_id].append(key)
 
     def read(self, shard_id: int, key: Any) -> Any:
@@ -122,7 +128,15 @@ class TwoPhaseCommit:
             )
             for shard_id in touched
         ]
-        yield all_of(self.env, prepares)
+        try:
+            yield all_of(self.env, prepares)
+        except BaseException:
+            # The coordinator died mid-prepare: stop the orphaned prepare
+            # rounds so they don't keep replicating for an abandoned txn.
+            for proc in prepares:
+                if proc.is_alive:
+                    proc.interrupt("transaction abandoned")
+            raise
         # Phase 2: the coordinator logs the commit decision.
         yield from self.coordinator.paxos.replicate(
             ctx, {"txn": self.txn_id, "phase": "commit"}, nbytes=96.0
@@ -136,6 +150,15 @@ class TwoPhaseCommit:
 
     def abort(self) -> None:
         self._check_open()
+        for buffer in self._write_buffers.values():
+            buffer.clear()
+        self._release_all()
+        self._finished = True
+
+    def abandon(self) -> None:
+        """Crash-time cleanup: release everything; safe if already finished."""
+        if self._finished:
+            return
         for buffer in self._write_buffers.values():
             buffer.clear()
         self._release_all()

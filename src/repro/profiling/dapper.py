@@ -132,6 +132,10 @@ class Trace:
     def spans_of_kind(self, kind: SpanKind) -> Iterator[Span]:
         return (span for span in self._spans if span.kind is kind)
 
+    def error_spans(self) -> list[Span]:
+        """Spans tagged with an ``error`` annotation (fault visibility)."""
+        return [span for span in self._spans if "error" in span.annotations]
+
     def children_of(self, span: Span) -> list[Span]:
         return [s for s in self._spans if s.parent_id == span.span_id]
 

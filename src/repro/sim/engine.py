@@ -143,6 +143,8 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             raise SimulationError("cannot interrupt a finished process")
+        if self is self.env._active_process:
+            raise SimulationError("a process cannot interrupt itself")
         target = self._waiting_on
         if target is not None and target.callbacks is not None:
             try:
@@ -155,6 +157,11 @@ class Process(Event):
         wakeup.fail(Interrupt(cause))
 
     def _resume(self, trigger: Event) -> None:
+        if self._triggered:
+            # The process already finished (e.g. it was interrupted twice in
+            # the same instant and the first wakeup ended it); a stale wakeup
+            # must not be thrown into the exhausted generator.
+            return
         self._waiting_on = None
         self.env._active_process = self
         try:

@@ -69,6 +69,23 @@ class Resource:
             self._waiters.append(grant)
         return grant
 
+    def cancel(self, grant: Event) -> None:
+        """Withdraw a request without failing it (interrupted waiter cleanup).
+
+        A granted request is released normally; a still-queued request is
+        silently removed from the wait queue.  Use this when the waiting
+        process was interrupted and nobody will consume the grant -- plain
+        :meth:`release` would fail the event, which explodes the simulation
+        once the interrupt has detached the waiter's callback.
+        """
+        if grant.triggered:
+            self.release(grant)
+            return
+        try:
+            self._waiters.remove(grant)
+        except ValueError:
+            raise SimulationError("cancelling a request that was never queued")
+
     def release(self, grant: Event) -> None:
         """Return a granted unit; hands it to the next waiter if any."""
         if not grant.triggered:

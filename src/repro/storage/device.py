@@ -44,6 +44,7 @@ class StorageDevice:
     bytes_written: float = field(default=0.0, init=False)
     reads: int = field(default=0, init=False)
     writes: int = field(default=0, init=False)
+    slowdown: float = field(default=1.0, init=False)
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:
@@ -51,17 +52,34 @@ class StorageDevice:
         if self.params is None:
             self.params = DEVICE_DEFAULTS[self.kind]
 
+    def degrade(self, factor: float) -> None:
+        """Multiply access times by ``factor`` (fault injection: a sick disk).
+
+        The factor must be finite so a stalled device still makes progress --
+        an infinite stall would deadlock the simulation.
+        """
+        if not factor >= 1.0 or factor == float("inf"):
+            raise ValueError(f"slowdown factor must be finite and >= 1, got {factor}")
+        self.slowdown = factor
+
+    def restore(self) -> None:
+        self.slowdown = 1.0
+
     def read_time(self, nbytes: float) -> float:
         """Seconds to read ``nbytes`` (latency + transfer); counts traffic."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         self.bytes_read += nbytes
         self.reads += 1
-        return self.params.read_latency + nbytes / self.params.read_bandwidth
+        return self.slowdown * (
+            self.params.read_latency + nbytes / self.params.read_bandwidth
+        )
 
     def write_time(self, nbytes: float) -> float:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         self.bytes_written += nbytes
         self.writes += 1
-        return self.params.write_latency + nbytes / self.params.write_bandwidth
+        return self.slowdown * (
+            self.params.write_latency + nbytes / self.params.write_bandwidth
+        )

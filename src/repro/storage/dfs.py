@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Generator, Sequence
 
-from repro.cluster.network import NetworkFabric, Topology
+from repro.cluster.network import NetworkFabric, NetworkPartitioned, Topology
 from repro.cluster.node import WorkContext
 from repro.profiling.dapper import SpanKind
 from repro.sim import Environment
@@ -143,12 +143,20 @@ class DistributedFileSystem:
     # -- data path ------------------------------------------------------------
 
     def _closest_replica(self, chunk: Chunk, reader: Topology) -> StorageServer:
+        return self._replicas_by_locality(chunk, reader)[0]
+
+    def _replicas_by_locality(
+        self, chunk: Chunk, reader: Topology
+    ) -> list[StorageServer]:
+        """Live replicas, closest first (ties keep replica-placement order)."""
         live = [self.servers[i] for i in chunk.replicas if i not in self._down]
         if not live:
             raise IOError(
                 f"all {len(chunk.replicas)} replicas of {chunk.chunk_id} are down"
             )
-        return min(
+        # Stable sort: the first element matches what min() picked before the
+        # failover loop existed, so clean-run replica selection is unchanged.
+        return sorted(
             live, key=lambda server: reader.locality_to(server.topology).value
         )
 
@@ -186,19 +194,37 @@ class DistributedFileSystem:
             )
         start = self.env.now
         served = 0.0
+        failovers = 0
         tiers_hit: dict[str, int] = {}
         for chunk, nbytes in self._chunks_for_range(meta, offset, size):
-            server = self._closest_replica(chunk, reader)
-            device_time, tier = server.store.read(chunk.chunk_id, nbytes)
-            network_time = self.fabric.round_trip_time(
-                reader, server.topology, 256.0, nbytes
-            )
-            yield self.env.timeout(device_time + network_time)
-            served += nbytes
-            tiers_hit[tier.value] = tiers_hit.get(tier.value, 0) + 1
+            # Closest replica first; fail over across a partition to the next
+            # reachable one (the production DFS reroutes the same way).
+            for server in self._replicas_by_locality(chunk, reader):
+                try:
+                    network_time = self.fabric.round_trip_time(
+                        reader, server.topology, 256.0, nbytes
+                    )
+                except NetworkPartitioned:
+                    failovers += 1
+                    continue
+                device_time, tier = server.store.read(chunk.chunk_id, nbytes)
+                yield self.env.timeout(device_time + network_time)
+                served += nbytes
+                tiers_hit[tier.value] = tiers_hit.get(tier.value, 0) + 1
+                break
+            else:
+                ctx.record_span(
+                    f"dfs:read:{path}", SpanKind.IO, start, self.env.now,
+                    bytes=served, error="partition",
+                )
+                raise NetworkPartitioned(
+                    f"no reachable replica of {chunk.chunk_id} from {reader}"
+                )
+        annotations = {"bytes": served, "tiers": tiers_hit}
+        if failovers:
+            annotations["failovers"] = failovers
         ctx.record_span(
-            f"dfs:read:{path}", SpanKind.IO, start, self.env.now,
-            bytes=served, tiers=tiers_hit,
+            f"dfs:read:{path}", SpanKind.IO, start, self.env.now, **annotations
         )
         return served
 
@@ -228,13 +254,27 @@ class DistributedFileSystem:
                     f"all {len(chunk.replicas)} replicas of {chunk.chunk_id} are down"
                 )
             slowest = 0.0
+            reachable = 0
             for replica in live_replicas:
                 server = self.servers[replica]
+                try:
+                    network_time = self.fabric.round_trip_time(
+                        writer, server.topology, nbytes, 128.0
+                    )
+                except NetworkPartitioned:
+                    # Unreachable replica: skipped now, re-replicated later.
+                    continue
                 device_time = server.store.write(chunk.chunk_id, nbytes)
-                network_time = self.fabric.round_trip_time(
-                    writer, server.topology, nbytes, 128.0
-                )
                 slowest = max(slowest, device_time + network_time)
+                reachable += 1
+            if not reachable:
+                ctx.record_span(
+                    f"dfs:write:{path}", SpanKind.IO, start, self.env.now,
+                    bytes=0.0, error="partition",
+                )
+                raise NetworkPartitioned(
+                    f"no reachable replica of {chunk.chunk_id} from {writer}"
+                )
             yield self.env.timeout(slowest)
         ctx.record_span(
             f"dfs:write:{path}", SpanKind.IO, start, self.env.now, bytes=size

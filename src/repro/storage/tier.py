@@ -114,6 +114,16 @@ class TieredStore:
     def devices(self) -> tuple[StorageDevice, StorageDevice, StorageDevice]:
         return (self.ram, self.ssd, self.hdd)
 
+    def degrade(self, factor: float, kinds: tuple[DeviceKind, ...] = (DeviceKind.SSD, DeviceKind.HDD)) -> None:
+        """Slow the persistent devices of this store (fault injection)."""
+        for device in self.devices:
+            if device.kind in kinds:
+                device.degrade(factor)
+
+    def restore(self) -> None:
+        for device in self.devices:
+            device.restore()
+
     def capacity(self, kind: DeviceKind) -> float:
         return {
             DeviceKind.RAM: self.ram.capacity_bytes,

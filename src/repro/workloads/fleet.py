@@ -15,6 +15,7 @@ from typing import Mapping
 
 from repro import taxonomy
 from repro.core.profile import PlatformProfile, QueryGroupProfile, QUERY_GROUPS
+from repro.faults import ChaosController, FaultPlan
 from repro.platforms.bigquery import BigQueryEngine
 from repro.platforms.bigtable import BigTableStore
 from repro.platforms.common import PlatformBase
@@ -54,6 +55,7 @@ class FleetResult:
     profiler: FleetProfiler
     telemetry: CapacityTelemetry
     e2e: dict[str, E2EBreakdown]
+    chaos: dict[str, "ChaosController"] = field(default_factory=dict)
     cycles: dict[str, CpuCycleBreakdown] = field(init=False)
 
     def __post_init__(self) -> None:
@@ -155,6 +157,7 @@ class FleetSimulation:
         trace_sample_rate: int = 1,
         counter_jitter: float = 0.02,
         bigquery_dataset_rows: int = 4000,
+        fault_plans: Mapping[str, FaultPlan] | None = None,
     ):
         if isinstance(queries, int):
             queries = {name: queries for name in PLATFORMS}
@@ -163,6 +166,9 @@ class FleetSimulation:
         self.trace_sample_rate = trace_sample_rate
         self.counter_jitter = counter_jitter
         self.bigquery_dataset_rows = bigquery_dataset_rows
+        #: Optional chaos: platform name -> FaultPlan replayed into that
+        #: platform's environment while it serves its query stream.
+        self.fault_plans = dict(fault_plans or {})
 
     def run(self) -> FleetResult:
         telemetry = CapacityTelemetry()
@@ -216,13 +222,21 @@ class FleetSimulation:
             dataset_rows=self.bigquery_dataset_rows,
         )
 
+        chaos: dict[str, ChaosController] = {}
         for name, env in (
             (SPANNER, spanner_env),
             (BIGTABLE, bigtable_env),
             (BIGQUERY, bigquery_env),
         ):
             platform = platforms[name]
+            plan = self.fault_plans.get(name)
+            if plan is not None:
+                controller = ChaosController.for_platform(platform, plan)
+                controller.start()
+                chaos[name] = controller
             env.run(until=env.process(platform.serve(self.queries[name])))
+            if name in chaos:
+                chaos[name].finish()
             breakdown = E2EBreakdown(name)
             for trace in platform.tracer.finished_traces():
                 breakdown.add(trace_breakdown(trace))
@@ -231,5 +245,9 @@ class FleetSimulation:
         # Merge the BigQuery profiler shard into the fleet profiler.
         profiler.extend(bigquery_profiler.samples)
         return FleetResult(
-            platforms=platforms, profiler=profiler, telemetry=telemetry, e2e=e2e
+            platforms=platforms,
+            profiler=profiler,
+            telemetry=telemetry,
+            e2e=e2e,
+            chaos=chaos,
         )

@@ -1,0 +1,18 @@
+"""Shared fixtures: the simulation-invariant checker.
+
+Any test can take the ``invariants`` fixture, register the resources it
+exercises (platforms, nodes, traces, chaos controllers), and the checker
+asserts every registered invariant at teardown -- so a test that passes
+its own assertions but corrupts the simulation's bookkeeping still fails.
+"""
+
+import pytest
+
+from repro.faults import InvariantChecker
+
+
+@pytest.fixture
+def invariants():
+    checker = InvariantChecker()
+    yield checker
+    checker.assert_ok()

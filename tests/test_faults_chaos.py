@@ -1,0 +1,106 @@
+"""Acceptance test for the chaos subsystem: the canned mixed scenario.
+
+One node crash, one rack partition, and one sick disk are injected into
+each of Spanner, BigTable, and BigQuery mid-run.  The run must complete
+without deadlock, every platform must serve its full query stream (failed
+queries are recorded, not dropped), every injected fault must be visible
+as an error-tagged span, and all simulation invariants must hold.
+"""
+
+import pytest
+
+from repro.analysis import compare_degraded, degraded_report
+from repro.faults import FaultKind, InvariantChecker, canned_mixed_scenario
+from repro.workloads.calibration import BIGQUERY, BIGTABLE, PLATFORMS, SPANNER
+from repro.workloads.fleet import FleetSimulation
+
+QUERIES = {SPANNER: 25, BIGTABLE: 25, BIGQUERY: 3}
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    return FleetSimulation(
+        queries=QUERIES, seed=7, bigquery_dataset_rows=1500
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def chaos_result(clean_result):
+    makespans = {
+        platform: clean_result.platforms[platform].env.now
+        for platform in PLATFORMS
+    }
+    plans = canned_mixed_scenario(makespans)
+    return FleetSimulation(
+        queries=QUERIES, seed=7, bigquery_dataset_rows=1500, fault_plans=plans
+    ).run()
+
+
+class TestCannedScenario:
+    def test_serving_survives_chaos(self, chaos_result):
+        """No deadlock: every platform finishes its full query stream."""
+        for platform, expected in QUERIES.items():
+            assert chaos_result.platforms[platform].queries_served == expected
+
+    def test_every_fault_injected(self, chaos_result):
+        for platform in PLATFORMS:
+            controller = chaos_result.chaos[platform]
+            injected_kinds = {event.kind for event, _ in controller.injected}
+            assert injected_kinds == {
+                FaultKind.NODE_CRASH,
+                FaultKind.PARTITION,
+                FaultKind.DISK_SLOWDOWN,
+            }
+
+    def test_invariants_hold_under_chaos(self, chaos_result):
+        checker = InvariantChecker()
+        for platform in PLATFORMS:
+            checker.watch_platform(chaos_result.platforms[platform])
+            checker.watch_controller(chaos_result.chaos[platform])
+        checker.assert_ok()
+
+    def test_faults_visible_in_traces(self, chaos_result):
+        """Every injected fault appears as an error-tagged span."""
+        for platform in PLATFORMS:
+            controller = chaos_result.chaos[platform]
+            tagged = {
+                span.annotations.get("fault_id")
+                for span in controller.trace.error_spans()
+            }
+            assert set(controller.fault_ids) <= tagged
+
+    def test_crashed_nodes_recorded_and_restarted(self, chaos_result):
+        for platform in PLATFORMS:
+            platform_obj = chaos_result.platforms[platform]
+            controller = chaos_result.chaos[platform]
+            crashed = [n for n in platform_obj.cluster.nodes if n.crashes > 0]
+            assert len(crashed) == 1
+            # If the run lasted past the heal time, the node came back up
+            # (a run can legitimately end mid-outage).
+            healed_kinds = {event.kind for event, _ in controller.healed}
+            if FaultKind.NODE_CRASH in healed_kinds:
+                assert crashed[0].up
+
+    def test_failed_queries_carry_error_records(self, chaos_result):
+        """Whatever failed is visible in the platform's own query log."""
+        for platform in PLATFORMS:
+            for record in chaos_result.platforms[platform].records:
+                if record.failed:
+                    assert record.error
+                    assert record.finished >= record.started
+
+    def test_spanner_failover_machinery_engaged(self, chaos_result):
+        """The crash of a Paxos member is survivable: queries keep committing."""
+        spanner = chaos_result.platforms[SPANNER]
+        assert sum(group.commits for group in spanner.groups) > 0
+        succeeded = [r for r in spanner.records if not r.failed]
+        assert len(succeeded) > 0
+
+    def test_degraded_report_renders(self, clean_result, chaos_result):
+        comparisons = compare_degraded(clean_result, chaos_result)
+        assert set(comparisons) == set(PLATFORMS)
+        rendered = degraded_report(comparisons)
+        for platform in PLATFORMS:
+            assert platform in rendered
+        for comparison in comparisons.values():
+            assert comparison.faults_injected == 3

@@ -1,0 +1,326 @@
+"""Unit tests for the fault-injection subsystem and the invariant checkers.
+
+These exercise the pieces in isolation -- plan authoring and ordering,
+controller apply/heal mechanics against minimal hand-built resources, and
+each invariant check's pass and fail behavior -- complementing the
+whole-fleet acceptance tests in ``test_faults_chaos.py``.
+"""
+
+import pytest
+
+from repro.cluster.network import NetworkFabric, Topology, TopologySelector
+from repro.cluster.node import ServerNode
+from repro.cluster.rpc import RpcService
+from repro.faults import (
+    ChaosController,
+    FaultKind,
+    FaultPlan,
+    InvariantChecker,
+    InvariantViolation,
+    check_breakdown_sums,
+    check_busy_conservation,
+    check_faults_visible,
+    check_span_nesting,
+)
+from repro.profiling.breakdown import QueryBreakdown
+from repro.profiling.dapper import SpanKind, Trace
+from repro.sim import Environment
+from repro.storage.tier import TieredStore
+
+TOPOLOGY = Topology(region="us", cluster="c0", rack="r0")
+
+
+def _node(env: Environment, name: str = "n0") -> ServerNode:
+    return ServerNode(env=env, name=name, topology=TOPOLOGY, cores=4)
+
+
+# -- FaultPlan ---------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_builders_chain_and_assign_ids(self):
+        plan = (
+            FaultPlan()
+            .crash("n0", at=0.1, duration=0.2)
+            .slow_disk("storage-0", at=0.05, factor=4.0)
+            .service_outage("frontend", at=0.3)
+        )
+        assert len(plan) == 3
+        kinds = [event.kind for event in plan.events]
+        assert kinds == [
+            FaultKind.DISK_SLOWDOWN,  # earliest first
+            FaultKind.NODE_CRASH,
+            FaultKind.SERVICE_OUTAGE,
+        ]
+        assert {event.fault_id for event in plan} == {
+            "node_crash-0",
+            "disk_slowdown-1",
+            "service_outage-2",
+        }
+
+    def test_events_ordered_by_time_then_insertion(self):
+        plan = FaultPlan().crash("a", at=0.5).crash("b", at=0.5).crash("c", at=0.1)
+        assert [event.target for event in plan.events] == ["c", "a", "b"]
+
+    def test_partition_target_label_uses_wildcards(self):
+        plan = FaultPlan().partition(
+            TopologySelector(rack="r0"), TopologySelector(rack="r2"), at=0.0
+        )
+        assert plan.events[0].target == "*/*/r0|*/*/r2"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="before t=0"):
+            FaultPlan().crash("n0", at=-0.1)
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ValueError, match="positive duration"):
+            FaultPlan().crash("n0", at=0.0, duration=0.0)
+
+    def test_random_plans_are_seed_deterministic(self):
+        kwargs = dict(
+            nodes=["n0", "n1", "n2"], stores=["s0"], horizon=2.0, events=6
+        )
+        first = FaultPlan.random(3, **kwargs)
+        second = FaultPlan.random(3, **kwargs)
+        other = FaultPlan.random(4, **kwargs)
+        assert first.events == second.events
+        assert first.events != other.events
+        assert len(first) == 6
+
+    def test_random_without_stores_only_crashes(self):
+        plan = FaultPlan.random(1, nodes=["n0"], events=8)
+        assert {event.kind for event in plan} == {FaultKind.NODE_CRASH}
+
+    def test_random_requires_nodes(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            FaultPlan.random(0, nodes=[])
+
+
+# -- ChaosController ---------------------------------------------------------
+
+
+class TestChaosController:
+    def test_crash_and_heal_lifecycle(self):
+        env = Environment()
+        node = _node(env)
+        plan = FaultPlan().crash("n0", at=0.1, duration=0.2)
+        controller = ChaosController(env, plan).attach_node(node)
+        controller.start()
+
+        env.run(until=0.15)
+        assert not node.up
+        env.run(until=0.5)
+        assert node.up
+        assert node.crashes == 1
+        assert [event.fault_id for event, _ in controller.injected] == ["node_crash-0"]
+        assert [when for _, when in controller.injected] == [pytest.approx(0.1)]
+        assert [when for _, when in controller.healed] == [pytest.approx(0.3)]
+
+    def test_persistent_outage_never_heals(self):
+        env = Environment()
+        node = _node(env)
+        service = RpcService(node, "frontend")
+        plan = FaultPlan().service_outage("frontend", at=0.1)
+        controller = ChaosController(env, plan).attach_service("frontend", service)
+        controller.start()
+        env.run(until=1.0)
+        assert not service.available
+        assert controller.healed == []
+
+    def test_disk_slowdown_applies_and_restores(self):
+        env = Environment()
+        store = TieredStore(ram_bytes=1e6, ssd_bytes=1e7, hdd_bytes=1e8)
+        plan = FaultPlan().slow_disk("s0", at=0.0, duration=0.5, factor=6.0)
+        controller = ChaosController(env, plan).attach_store("s0", store)
+        controller.start()
+        env.run(until=0.25)
+        assert store.ssd.slowdown == 6.0
+        assert store.hdd.slowdown == 6.0
+        assert store.ram.slowdown == 1.0  # RAM is never degraded
+        env.run(until=1.0)
+        assert store.ssd.slowdown == 1.0
+
+    def test_partition_applies_and_heals(self):
+        env = Environment()
+        fabric = NetworkFabric()
+        src = Topology(region="us", cluster="c0", rack="r0")
+        dst = Topology(region="us", cluster="c0", rack="r2")
+        plan = FaultPlan().partition(
+            TopologySelector(rack="r0"), TopologySelector(rack="r2"),
+            at=0.1, duration=0.2,
+        )
+        controller = ChaosController(env, plan).attach_fabric(fabric)
+        controller.start()
+        env.run(until=0.2)
+        assert fabric.is_partitioned(src, dst)
+        env.run(until=0.5)
+        assert not fabric.is_partitioned(src, dst)
+
+    def test_injection_recorded_as_error_tagged_span(self):
+        env = Environment()
+        node = _node(env)
+        plan = FaultPlan().crash("n0", at=0.1)
+        controller = ChaosController(env, plan).attach_node(node)
+        controller.start()
+        env.run(until=0.5)
+        trace = controller.finish()
+        assert trace.finished
+        tagged = trace.error_spans()
+        assert len(tagged) == 1
+        assert tagged[0].annotations["fault_id"] == "node_crash-0"
+        assert tagged[0].annotations["error"] == "node_crash"
+
+    def test_unattached_target_rejected_at_start(self):
+        """A typo'd target fails loudly at start(), not silently mid-run."""
+        env = Environment()
+        plan = FaultPlan().crash("ghost", at=0.0)
+        controller = ChaosController(env, plan)
+        with pytest.raises(KeyError, match="unattached node 'ghost'"):
+            controller.start()
+
+    def test_double_start_rejected(self):
+        env = Environment()
+        controller = ChaosController(env, FaultPlan())
+        controller.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            controller.start()
+
+
+# -- invariant checks --------------------------------------------------------
+
+
+def _finished_trace() -> Trace:
+    trace = Trace(trace_id=0, name="q", start=0.0)
+    root = trace.record("root", SpanKind.CPU, 0.0, 1.0)
+    trace.record("child", SpanKind.IO, 0.2, 0.8, parent=root)
+    trace.finish(1.0)
+    return trace
+
+
+class TestSpanNesting:
+    def test_clean_trace_passes(self):
+        assert check_span_nesting(_finished_trace()) == []
+
+    def test_unfinished_trace_flagged(self):
+        trace = Trace(trace_id=1, name="q", start=0.0)
+        assert check_span_nesting(trace) == ["trace 1 (q): not finished"]
+
+    def test_span_outside_trace_interval_flagged(self):
+        trace = Trace(trace_id=2, name="q", start=0.0)
+        trace.record("late", SpanKind.CPU, 0.5, 2.0)
+        trace.finish(1.0)
+        problems = check_span_nesting(trace)
+        assert len(problems) == 1
+        assert "outside trace" in problems[0]
+
+    def test_child_exceeding_parent_flagged(self):
+        trace = Trace(trace_id=3, name="q", start=0.0)
+        parent = trace.record("parent", SpanKind.CPU, 0.0, 0.5)
+        trace.record("child", SpanKind.IO, 0.2, 0.9, parent=parent)
+        trace.finish(1.0)
+        assert any("exceeds parent" in p for p in check_span_nesting(trace))
+
+    def test_dangling_parent_flagged(self):
+        trace = Trace(trace_id=4, name="q", start=0.0)
+        span = trace.start_span("orphan", SpanKind.CPU, 0.0)
+        span.parent_id = 999
+        span.finish(0.5)
+        trace.finish(1.0)
+        assert any("dangling parent" in p for p in check_span_nesting(trace))
+
+
+class _PoolStub:
+    def __init__(self, busy: float, in_use: int):
+        self._busy = busy
+        self.in_use = in_use
+
+    def busy_time(self) -> float:
+        return self._busy
+
+
+class _NodeStub:
+    def __init__(self, env, busy: float, in_use: int, cores: int = 4):
+        self.env = env
+        self.name = "stub"
+        self.cores = cores
+        self._core_pool = _PoolStub(busy, in_use)
+
+
+class TestBusyConservation:
+    def test_fresh_node_passes(self):
+        env = Environment()
+        assert check_busy_conservation(_node(env)) == []
+
+    def test_overcommitted_busy_time_flagged(self):
+        env = Environment()
+        env.run(until=1.0)
+        stub = _NodeStub(env, busy=100.0, in_use=0)  # 4 cores * 1s max
+        assert any("exceeds cores*now" in p for p in check_busy_conservation(stub))
+
+    def test_core_leak_flagged(self):
+        env = Environment()
+        stub = _NodeStub(env, busy=0.0, in_use=7)
+        assert any("cores in use" in p for p in check_busy_conservation(stub))
+
+
+class TestBreakdownSums:
+    def test_partitioning_breakdown_passes(self):
+        good = QueryBreakdown(
+            name="q", t_e2e=1.0, t_cpu=0.5, t_remote=0.3, t_io=0.2
+        )
+        assert check_breakdown_sums(good) == []
+
+    def test_leaky_breakdown_flagged(self):
+        leaky = QueryBreakdown(
+            name="q", t_e2e=1.0, t_cpu=0.5, t_remote=0.3, t_io=0.1
+        )
+        assert any("sums to" in p for p in check_breakdown_sums(leaky))
+
+    def test_negative_component_flagged(self):
+        bad = QueryBreakdown(
+            name="q", t_e2e=1.0, t_cpu=1.2, t_remote=-0.2, t_io=0.0
+        )
+        assert any("negative t_remote" in p for p in check_breakdown_sums(bad))
+
+
+class TestFaultsVisible:
+    def test_tagged_fault_passes(self):
+        trace = Trace(trace_id=0, name="chaos", start=0.0)
+        trace.record("inject", SpanKind.REMOTE, 0.0, 0.0,
+                     error="node_crash", fault_id="node_crash-0")
+        trace.finish(0.0)
+        assert check_faults_visible(["node_crash-0"], [trace]) == []
+
+    def test_missing_fault_flagged(self):
+        problems = check_faults_visible(["partition-1"], [_finished_trace()])
+        assert problems == ["fault 'partition-1' left no error-tagged span"]
+
+    def test_no_faults_no_problems(self):
+        assert check_faults_visible([], []) == []
+
+
+class TestInvariantChecker:
+    def test_aggregates_all_violations(self):
+        env = Environment()
+        env.run(until=1.0)
+        checker = (
+            InvariantChecker()
+            .watch_nodes([_NodeStub(env, busy=100.0, in_use=7)])
+            .watch_traces([Trace(trace_id=9, name="open", start=0.0)])
+        )
+        problems = checker.check()
+        assert len(problems) == 3  # busy overrun, core leak, unfinished trace
+        with pytest.raises(InvariantViolation, match="3 invariant violation"):
+            checker.assert_ok()
+
+    def test_clean_state_passes(self, invariants):
+        """Exercises the shared ``invariants`` conftest fixture end to end."""
+        env = Environment()
+        node = _node(env)
+        plan = FaultPlan().crash("n0", at=0.1, duration=0.1)
+        controller = ChaosController(env, plan).attach_node(node)
+        controller.start()
+        env.run(until=1.0)
+        invariants.watch_nodes([node]).watch_controller(controller)
+        invariants.watch_traces([_finished_trace()])
+        # the fixture calls assert_ok() at teardown

@@ -1,0 +1,214 @@
+"""Property-based tests for the simulation kernel's composite events,
+plus the whole-simulator determinism guarantee.
+
+The Hypothesis properties pin the composite semantics the failover code
+leans on: ``any_of`` returns the first winner's value, ``quorum_of``
+succeeds exactly when enough constituents succeed (and fails as soon as
+the quorum becomes unreachable), and no composite ever double-triggers --
+a double trigger would raise ``SimulationError`` inside ``env.run`` and
+fail the test.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment, Event, all_of, any_of, quorum_of
+
+# (delay_ticks, succeeds) per constituent; unique delays make firing order
+# deterministic and independent of heap tie-breaking.
+EVENT_SPECS = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=1000), st.booleans()),
+    min_size=1,
+    max_size=8,
+    unique_by=lambda spec: spec[0],
+)
+
+TICK = 1e-4
+
+
+def _driven_events(env: Environment, specs) -> list[Event]:
+    """One event per spec, succeeded/failed by a driver process at its delay."""
+    events = [Event(env) for _ in specs]
+
+    def driver(event: Event, delay: int, ok: bool):
+        yield env.timeout(delay * TICK)
+        if ok:
+            event.succeed(delay)
+        else:
+            event.fail(RuntimeError(f"constituent {delay} failed"))
+
+    for event, (delay, ok) in zip(events, specs):
+        env.process(driver(event, delay, ok))
+    return events
+
+
+def _observe(composite: Event) -> None:
+    # A failed event with no callbacks is surfaced by Environment.step;
+    # registering an observer marks the failure as handled, letting the
+    # test inspect the outcome after the run instead.
+    composite.callbacks.append(lambda event: None)
+
+
+def _expected_quorum(specs, count):
+    """Replay the timeline: (outcome, value-or-None) for quorum_of."""
+    successes: list[int] = []
+    failures = 0
+    for delay, ok in sorted(specs):
+        if ok:
+            successes.append(delay)
+            if len(successes) >= count:
+                return "success", successes[:count]
+        else:
+            failures += 1
+            if len(specs) - failures < count:
+                return "failure", None
+    raise AssertionError("timeline ended without an outcome")
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=EVENT_SPECS, data=st.data())
+def test_quorum_of_matches_timeline_semantics(specs, data):
+    count = data.draw(st.integers(min_value=1, max_value=len(specs)))
+    env = Environment()
+    composite = quorum_of(env, _driven_events(env, specs), count)
+    _observe(composite)
+    env.run()
+    assert composite.triggered, "quorum composite never triggered"
+    outcome, values = _expected_quorum(specs, count)
+    if outcome == "success":
+        assert composite.ok
+        assert composite.value == values
+    else:
+        assert not composite.ok
+        assert isinstance(composite.value, RuntimeError)
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=EVENT_SPECS)
+def test_any_of_returns_first_winner_value(specs):
+    env = Environment()
+    composite = any_of(env, _driven_events(env, specs))
+    _observe(composite)
+    env.run()
+    winners = sorted(delay for delay, ok in specs if ok)
+    failures = sum(1 for _, ok in specs if not ok)
+    assert composite.triggered
+    if winners and failures < len(specs):
+        assert composite.ok
+        assert composite.value == winners[0]
+    else:
+        assert not composite.ok
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=EVENT_SPECS)
+def test_all_of_requires_every_constituent(specs):
+    env = Environment()
+    composite = all_of(env, _driven_events(env, specs))
+    _observe(composite)
+    env.run()
+    assert composite.triggered
+    if all(ok for _, ok in specs):
+        assert composite.ok
+        # Values arrive in firing order == sorted delay order.
+        assert composite.value == sorted(delay for delay, _ in specs)
+    else:
+        assert not composite.ok
+        first_failure = min(delay for delay, ok in specs if not ok)
+        assert str(first_failure) in str(composite.value)
+
+
+def test_simultaneous_triggers_do_not_double_fire():
+    """Constituents firing at the same instant must trigger composites once."""
+    env = Environment()
+    events = [Event(env) for _ in range(4)]
+
+    def fire_all():
+        yield env.timeout(TICK)
+        for i, event in enumerate(events):
+            event.succeed(i)
+
+    env.process(fire_all())
+    winner = any_of(env, events)
+    everyone = all_of(env, list(events))
+    env.run()
+    assert winner.ok and winner.value == 0
+    assert everyone.ok and everyone.value == [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("count", [3, 5])
+def test_quorum_failure_tolerated_below_threshold(count):
+    """A quorum survives (len - count) failures and fails at one more."""
+    env = Environment()
+    specs = [(i + 1, i >= count - 1) for i in range(5)]
+    # The first count-1 constituents fail; exactly 5 - (count-1) succeed.
+    composite = quorum_of(env, _driven_events(env, specs), count)
+    _observe(composite)
+    env.run()
+    survivors = 5 - (count - 1)
+    assert composite.ok is (survivors >= count)
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def _serialized_traces(platform) -> str:
+    """A canonical byte-stable rendering of every trace the platform logged."""
+    out = []
+    for trace in platform.tracer.traces:
+        spans = [
+            (
+                span.span_id,
+                span.parent_id,
+                span.name,
+                span.kind.value,
+                repr(span.start),
+                repr(span.end),
+                sorted((k, repr(v)) for k, v in span.annotations.items()),
+            )
+            for span in trace.spans
+        ]
+        out.append(
+            (
+                trace.trace_id,
+                trace.name,
+                repr(trace.start),
+                repr(trace.end),
+                sorted((k, repr(v)) for k, v in trace.annotations.items()),
+                spans,
+            )
+        )
+    return repr(out)
+
+
+def _chaos_run(seed: int) -> str:
+    from repro.faults import ChaosController
+    from repro.faults.scenarios import platform_chaos_plan
+    from repro.platforms.spanner import SpannerDatabase
+    from repro.profiling.dapper import Tracer
+    from repro.workloads import calibration
+
+    env = Environment()
+    platform = SpannerDatabase(
+        env, calibration.build_profile("Spanner"), tracer=Tracer(), seed=seed
+    )
+    controller = ChaosController.for_platform(
+        platform, platform_chaos_plan("Spanner", 0.15)
+    )
+    controller.start()
+    env.run(until=env.process(platform.serve(25)))
+    controller.finish()
+    return _serialized_traces(platform) + "||" + repr(
+        [(event.fault_id, repr(when)) for event, when in controller.injected]
+    )
+
+
+def test_chaos_runs_are_deterministic():
+    """Same seed + same fault plan => byte-identical Dapper traces."""
+    assert _chaos_run(seed=11) == _chaos_run(seed=11)
+
+
+def test_chaos_runs_differ_across_seeds():
+    assert _chaos_run(seed=11) != _chaos_run(seed=12)
