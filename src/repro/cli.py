@@ -2,7 +2,7 @@
 
 Usage::
 
-    repro fleet [--queries N] [--seed S]        # Tables 1, 6, 7 + Figures 2-6
+    repro fleet [--queries N] [--seed S] [--parallel]  # Tables 1, 6, 7 + Figures 2-6
     repro validate [--batch N]                  # Table 8 on the simulated SoC
     repro model [--figure 9|10|13|14|15]        # the Section 6 model figures
     repro sweep --platform Spanner [--speedup 8]  # one platform's design points
@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--compare", action="store_true", help="also print paper-vs-measured rows"
     )
+    fleet.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the three platforms in parallel worker processes "
+        "(identical results, lower wall-clock)",
+    )
 
     validate = sub.add_parser("validate", help="reproduce Table 8 on the SoC model")
     validate.add_argument("--batch", type=int, default=100, help="messages per batch")
@@ -106,7 +112,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         "BigQuery": max(10, args.queries // 6),
     }
     print(f"simulating fleet: {queries} queries, seed {args.seed} ...\n")
-    result = FleetSimulation(queries=queries, seed=args.seed).run()
+    if getattr(args, "parallel", False):
+        from repro.workloads.parallel import ParallelFleetSimulation
+
+        result = ParallelFleetSimulation(queries=queries, seed=args.seed).run()
+    else:
+        result = FleetSimulation(queries=queries, seed=args.seed).run()
     for regenerate in (
         table1_data,
         figure2_data,

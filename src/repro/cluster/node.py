@@ -3,14 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush as _heappush
 from typing import Generator, Optional
 
 from repro.cluster.network import Topology
 from repro.profiling.dapper import Span, SpanKind, Trace
 from repro.profiling.gwp import FleetProfiler
-from repro.sim import Environment, Interrupt, Resource
+from repro.sim import Environment, Event, Interrupt, Resource
 
 __all__ = ["NodeDown", "WorkContext", "ServerNode"]
+
+_CPU = SpanKind.CPU
 
 
 class NodeDown(RuntimeError):
@@ -155,9 +158,308 @@ class ServerNode:
         ctx.record_cpu(function, end - service_start, service_start)
         ctx.record_span(function, SpanKind.CPU, start, end, node=self.name)
 
+    def compute_batch(
+        self, ctx: WorkContext, chunks: list[tuple[str, float]]
+    ) -> Generator:
+        """Execute consecutive CPU chunks under one core grant and one event.
+
+        The fast path for an uncontended core: instead of one scheduled
+        timeout per micro-chunk, the whole run is one timeout to the batch's
+        end, with one deferred recorder per chunk firing at that chunk's
+        exact end time -- so the profiler and tracer observe byte-identical
+        per-chunk reports (same durations, same timestamps, same order).
+
+        Coalescing invariants (see docs/performance.md):
+
+        * only taken when no work is queued for a core *and* a spare core
+          remains (otherwise falls back to :meth:`compute` per chunk,
+          preserving FIFO interleaving);
+        * if a competitor queues up for a core *during* the batch, the
+          recorder ends the batch at the next chunk boundary: the process
+          resumes there, releases its core (handing it to the waiter exactly
+          when a chunk-by-chunk run would have), and finishes the remaining
+          chunks uncoalesced;
+        * chunk end times are accumulated iteratively (``t = t + d_k``),
+          reproducing the floats of chained per-chunk timeouts;
+        * on interrupt (node crash, reaped sibling), recorders for chunks
+          past ``env.now`` are cancelled and the grant released -- exactly
+          the chunks an uncoalesced run would never have reported.
+        """
+        chunks = list(chunks)
+        if not chunks:
+            return
+        if not self.up:
+            raise NodeDown(self.name)
+        pool = self._core_pool
+        if pool.queue_length > 0 or pool.in_use + 1 >= pool.capacity:
+            for function, duration in chunks:
+                yield from self.compute(ctx, function, duration)
+            return
+        for _, duration in chunks:
+            if duration < 0:
+                raise ValueError("duration must be non-negative")
+        env = self.env
+        start = env.now
+        tenant = env.active_process
+        registered = tenant is not None and tenant not in self._tenants
+        if registered:
+            self._tenants.add(tenant)
+        try:
+            grant = pool.request()
+            try:
+                yield grant
+            except Interrupt:
+                pool.cancel(grant)
+                raise
+            service_start = env.now
+            t = service_start
+            ends: list[float] = []
+            append_end = ends.append
+            for _, duration in chunks:
+                t = t + duration
+                append_end(t)
+            parent = ctx.parent_span
+            # The recorder keeps exactly ONE entry in the event heap: each
+            # fire records its chunk and pushes the next boundary, using a
+            # counter block reserved here so the (time, counter) order is
+            # identical to pushing every boundary up front -- but the heap
+            # stays small (one entry per active batch, not per pending chunk).
+            recorder = _BatchRecorder(
+                ctx.profiler,
+                ctx.platform,
+                ctx.trace,
+                parent.span_id if parent is not None else None,
+                self.name,
+                chunks,
+                ends,
+                start,
+                service_start,
+                env._queue,
+                env.reserve_counters(len(ends)),
+                pool._waiters,
+            )
+            resume_from = None
+            try:
+                if t > service_start:
+                    _heappush(env._queue, (ends[0], recorder.base, recorder))
+                    timeout = env.timeout_at(t)
+                    recorder.process = tenant
+                    recorder.timeout = timeout
+                    signal = yield timeout
+                    if type(signal) is _BatchPreempted:
+                        resume_from = signal.next_index
+                else:
+                    # Zero-duration batch: record synchronously, in order,
+                    # exactly like back-to-back zero-duration computes.
+                    for _ in ends:
+                        recorder()
+                    recorder.cancelled = True
+            except BaseException:
+                # Chunks ending at or before now have already fired (their
+                # heap entries sort before this interrupt); the rest would
+                # never have been reported by an uncoalesced run.
+                recorder.cancelled = True
+                raise
+            finally:
+                pool.release(grant)
+            if resume_from is not None:
+                # A competitor queued up mid-batch; the recorder cut the
+                # batch at this chunk boundary (the grant just released goes
+                # to the waiter, exactly as chunk-by-chunk execution would
+                # hand it over).  Finish the remaining chunks uncoalesced,
+                # queueing FIFO behind the waiter.
+                for function, duration in chunks[resume_from:]:
+                    yield from self.compute(ctx, function, duration)
+        finally:
+            if registered:
+                self._tenants.discard(tenant)
+
     def compute_many(
         self, ctx: WorkContext, chunks: list[tuple[str, float]]
     ) -> Generator:
         """Execute a sequence of (function, duration) chunks back to back."""
-        for function, duration in chunks:
-            yield from self.compute(ctx, function, duration)
+        yield from self.compute_batch(ctx, chunks)
+
+
+class _BatchPreempted:
+    """Sent into a batched process when its batch is cut short mid-run."""
+
+    __slots__ = ("next_index",)
+
+    def __init__(self, next_index: int):
+        self.next_index = next_index
+
+
+class _BatchRecorder:
+    """Reports a coalesced batch's chunks at their exact end times.
+
+    One instance serves a whole batch: it keeps exactly one entry in the
+    event heap (each fire pushes the next chunk boundary, using the counter
+    block reserved at batch start) and replays the per-chunk reports in
+    order through a cursor, so coalesced execution emits byte-identical
+    profiler/tracer records to chunk-by-chunk execution.
+
+    If a competitor is queued for a core when a boundary fires, the batch
+    ends here: the recorder detaches the process from its batch-end timeout
+    and resumes it *synchronously* -- i.e. at this boundary's reserved heap
+    position, exactly where the uncoalesced chunk timeout would have resumed
+    it -- with a :class:`_BatchPreempted` signal, so the core is handed over
+    with chunk-by-chunk FIFO timing.
+
+    The trace/profiler/parent are resolved once at batch construction instead
+    of going through :class:`WorkContext` per chunk; the only per-chunk check
+    kept is ``trace.end is None``, because a trace can finish mid-batch (a
+    query abandoning orphaned subprocesses) and late spans must stay dropped
+    exactly as :meth:`WorkContext.record_span` would drop them.
+    """
+
+    __slots__ = (
+        "profiler",
+        "platform",
+        "trace",
+        "parent_id",
+        "node_name",
+        "chunks",
+        "ends",
+        "start",
+        "service_start",
+        "queue",
+        "base",
+        "waiters",
+        "process",
+        "timeout",
+        "cursor",
+        "cancelled",
+        "pid",
+        "period",
+        "credits",
+        "cpu_secs",
+        "append_span",
+        "next_span_id",
+    )
+
+    def __init__(
+        self,
+        profiler: Optional[FleetProfiler],
+        platform: str,
+        trace: Optional[Trace],
+        parent_id: Optional[int],
+        node_name: str,
+        chunks: list[tuple[str, float]],
+        ends: list[float],
+        start: float,
+        service_start: float,
+        queue: list,
+        base: int,
+        waiters,
+    ):
+        self.profiler = profiler
+        self.platform = platform
+        self.trace = trace
+        self.parent_id = parent_id
+        self.node_name = node_name
+        #: The batch's (function, duration) chunks and their end times; the
+        #: k-th chunk runs [ends[k-1], ends[k]) (the first from
+        #: ``service_start``, its span from ``start`` to cover queue wait).
+        self.chunks = chunks
+        self.ends = ends
+        self.start = start
+        self.service_start = service_start
+        #: The event heap plus this batch's reserved counter block; entry k
+        #: is (ends[k], base + k) and is pushed by the (k-1)-th fire.
+        self.queue = queue
+        self.base = base
+        #: The core pool's wait deque; non-empty at a boundary => preempt.
+        self.waiters = waiters
+        self.process = None
+        self.timeout = None
+        self.cursor = 0
+        self.cancelled = False
+        # Pre-resolved profiler internals: __call__ bumps the platform's
+        # sampling credit inline and only enters the profiler when a chunk
+        # crosses the period (a few thousand crossings per million chunks).
+        if profiler is not None:
+            self.pid = profiler._intern_platform(platform)
+            self.period = profiler.sample_period
+            self.credits = profiler._credit_by_pid
+            self.cpu_secs = profiler._cpu_seconds_by_pid
+        if trace is not None:
+            self.append_span = trace._spans.append
+            self.next_span_id = trace._span_ids.__next__
+
+    def __call__(self) -> None:
+        if self.cancelled:
+            return
+        cursor = self.cursor
+        ends = self.ends
+        nxt = cursor + 1
+        self.cursor = nxt
+        preempt = False
+        if nxt < len(ends):
+            if self.waiters and self.process is not None:
+                preempt = True
+            else:
+                _heappush(self.queue, (ends[nxt], self.base + nxt, self))
+        function = self.chunks[cursor][0]
+        end = ends[cursor]
+        if cursor:
+            span_start = prev = ends[cursor - 1]
+        else:
+            prev = self.service_start
+            span_start = self.start
+        if self.profiler is not None:
+            pid = self.pid
+            duration = end - prev
+            self.cpu_secs[pid] += duration
+            credits = self.credits
+            credit = credits[pid] + duration
+            if credit < self.period:
+                credits[pid] = credit
+            else:
+                self.profiler._record_crossing(pid, self.platform, function, credit, prev)
+        trace = self.trace
+        if trace is not None and trace.end is None:
+            # Trace.record_chunk inlined (the call overhead is measurable at
+            # one invocation per CPU micro-chunk).
+            self.append_span(
+                (
+                    self.next_span_id(),
+                    self.parent_id,
+                    function,
+                    _CPU,
+                    span_start,
+                    end,
+                    self.node_name,
+                )
+            )
+        if preempt:
+            self._preempt(nxt)
+
+    def _preempt(self, next_index: int) -> None:
+        """End the batch at this boundary: resume the process *now*.
+
+        The process sleeps on the batch-end timeout; detach it and resume it
+        synchronously (we are executing at this boundary's reserved heap
+        slot, which is exactly where the uncoalesced chunk timeout would
+        have resumed it), delivering :class:`_BatchPreempted` so
+        ``compute_batch`` releases the core and finishes uncoalesced.
+        """
+        process = self.process
+        timeout = self.timeout
+        if timeout is None or process._waiting_on is not timeout:
+            # Not parked on our timeout (already interrupted/crashed);
+            # leave normal interrupt handling to it.
+            _heappush(self.queue, (self.ends[next_index], self.base + next_index, self))
+            return
+        self.cancelled = True
+        callbacks = timeout.callbacks
+        if callbacks is not None:
+            try:
+                callbacks.remove(process._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        process._waiting_on = None
+        wakeup = Event(timeout.env)
+        wakeup._triggered = True
+        wakeup._value = _BatchPreempted(next_index)
+        process._resume(wakeup)

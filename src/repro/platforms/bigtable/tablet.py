@@ -30,8 +30,6 @@ class Tablet:
     charges a DFS block read.
     """
 
-    _wal_ids = itertools.count()
-
     def __init__(
         self,
         name: str,
@@ -52,7 +50,11 @@ class Tablet:
         self.memtable = Memtable()
         self.sstables: list[SSTable] = []  # newest first
         self._sstable_seq = itertools.count()
-        self.wal_path = f"/bigtable/{name}/wal{next(Tablet._wal_ids)}"
+        # Tablet names are unique within a store, so the WAL path can be
+        # derived from the name alone -- a process-global counter here would
+        # make file names (and trace span names) depend on how many tablets
+        # any *earlier* simulation in the same process ever created.
+        self.wal_path = f"/bigtable/{name}/wal"
         self.flushes = 0
         self.reads_served = 0
         self.writes_served = 0

@@ -100,12 +100,18 @@ class CpuChunker:
         if t_cpu == 0:
             return []
         pieces: list[tuple[str, float]] = []
+        chunk_seconds = self._chunk_seconds
+        append = pieces.append
         for key, fraction in self._fractions.items():
             budget = fraction * t_cpu
-            while budget > 0:
-                step = min(self._chunk_seconds, budget)
-                pieces.append((next(self._pool_cursor[key]), step))
-                budget -= step
+            cursor = self._pool_cursor[key].__next__
+            # Same floats as the naive min()-loop: full chunks subtract
+            # iteratively and the remainder is whatever is left.
+            while budget > chunk_seconds:
+                append((cursor(), chunk_seconds))
+                budget -= chunk_seconds
+            if budget > 0:
+                append((cursor(), budget))
         self._rng.shuffle(pieces)
         return pieces
 
@@ -113,16 +119,17 @@ class CpuChunker:
         self, chunks: Sequence[tuple[str, float]], first_budget: float
     ) -> tuple[list[tuple[str, float]], list[tuple[str, float]]]:
         """Split a chunk list so the first part totals ~``first_budget``."""
-        first: list[tuple[str, float]] = []
-        rest: list[tuple[str, float]] = []
+        # Once the accumulated duration reaches the budget every remaining
+        # chunk goes to ``rest``, so the split point is a single index and
+        # the two halves are plain slices.
         acc = 0.0
-        for function, duration in chunks:
-            if acc < first_budget:
-                first.append((function, duration))
-                acc += duration
-            else:
-                rest.append((function, duration))
-        return first, rest
+        cut = 0
+        for _, duration in chunks:
+            if acc >= first_budget:
+                break
+            acc += duration
+            cut += 1
+        return list(chunks[:cut]), list(chunks[cut:])
 
 
 @dataclass(frozen=True, slots=True)
@@ -166,6 +173,7 @@ class PlatformBase:
         jitter: float = 0.08,
         offload=None,
         offload_model=None,
+        coalesce: bool = True,
     ):
         self.env = env
         self.profile = profile
@@ -173,6 +181,11 @@ class PlatformBase:
         self.profiler = profiler
         self.rng = np.random.default_rng(seed)
         self.jitter = jitter
+        #: When True (the default), uncontended CPU chunk runs execute as a
+        #: single scheduled event per run (:meth:`ServerNode.compute_batch`)
+        #: instead of one event per micro-chunk.  Measurements are
+        #: unaffected -- see docs/performance.md for the invariants.
+        self.coalesce = coalesce
         #: Optional accelerator offload: an
         #: :class:`repro.accel.offload.OffloadRuntime` plus an
         #: :class:`repro.accel.complex.InvocationModel`.  When set, CPU
@@ -307,8 +320,11 @@ class PlatformBase:
         """
         chunks = list(chunks)
         if self.offload is None:
-            for function, duration in chunks:
-                yield from node.compute(ctx, function, duration)
+            if self.coalesce:
+                yield from node.compute_batch(ctx, chunks)
+            else:
+                for function, duration in chunks:
+                    yield from node.compute(ctx, function, duration)
             return
         from repro.profiling.categories import default_categorizer
 
@@ -334,8 +350,11 @@ class PlatformBase:
                 accelerated=True,
                 items=len(offloadable),
             )
-        for function, duration in residual:
-            yield from node.compute(ctx, function, duration)
+        if self.coalesce:
+            yield from node.compute_batch(ctx, residual)
+        else:
+            for function, duration in residual:
+                yield from node.compute(ctx, function, duration)
 
     def overlap_phase(
         self,

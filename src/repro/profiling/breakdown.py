@@ -146,16 +146,50 @@ def trace_breakdown(
         raise ValueError("attribution_order must be a permutation of SpanKind")
     if not trace.finished:
         raise ValueError(f"trace {trace.trace_id} not finished")
-    by_kind: dict[SpanKind, list[tuple[float, float]]] = {
-        kind: [] for kind in SpanKind
-    }
+    cpu_intervals: list[tuple[float, float]] = []
+    io_intervals: list[tuple[float, float]] = []
+    remote_intervals: list[tuple[float, float]] = []
     raw_total = 0.0
-    for span in trace.spans:
-        if not span.finished:
+    # Iterate the trace's internal storage: compact chunk rows (tuples, see
+    # Trace.record_chunk) are read positionally without materializing Spans.
+    # Consecutive chunk rows of one coalesced batch abut exactly (each starts
+    # where the previous ended), so adjacent runs are collapsed into one
+    # interval here -- the later union/subtract passes then sort hundreds of
+    # intervals instead of hundreds of thousands.
+    run_start = run_end = None
+    for span in trace._spans:
+        if type(span) is tuple:
+            start = span[4]
+            end = span[5]
+            if end > start:
+                raw_total += end - start
+                if start == run_end:
+                    run_end = end
+                else:
+                    if run_start is not None:
+                        cpu_intervals.append((run_start, run_end))
+                    run_start, run_end = start, end
+            continue
+        end = span.end
+        if end is None:
             raise ValueError(f"span {span.name!r} in trace {trace.trace_id} unfinished")
-        if span.duration > 0:
-            by_kind[span.kind].append((span.start, span.end))
-            raw_total += span.duration
+        start = span.start
+        if end > start:
+            raw_total += end - start
+            kind = span.kind
+            if kind is SpanKind.CPU:
+                cpu_intervals.append((start, end))
+            elif kind is SpanKind.IO:
+                io_intervals.append((start, end))
+            else:
+                remote_intervals.append((start, end))
+    if run_start is not None:
+        cpu_intervals.append((run_start, run_end))
+    by_kind: dict[SpanKind, list[tuple[float, float]]] = {
+        SpanKind.CPU: cpu_intervals,
+        SpanKind.IO: io_intervals,
+        SpanKind.REMOTE: remote_intervals,
+    }
 
     attributed: dict[SpanKind, list[tuple[float, float]]] = {}
     claimed: list[tuple[float, float]] = []

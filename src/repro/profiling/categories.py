@@ -41,7 +41,29 @@ class FunctionCategorizer:
         self._compiled = [
             (re.compile(rule.pattern), rule.category) for rule in self._rules
         ]
+        self._master = self._precompile()
         self._cache: dict[str, str] = {}
+
+    def _precompile(self) -> "re.Pattern | None":
+        """One alternation over all rules, each wrapped in a named group.
+
+        The combined scan finds *some* matching rule in a single pass; rule
+        priority is then restored by checking only the (usually zero) rules
+        ranked above the alternation's winner.  Rules that declare their own
+        capturing groups would shift group bookkeeping, so we fall back to
+        the plain ordered scan in that case.
+        """
+        if any(pattern.groups for pattern, _ in self._compiled):
+            return None
+        try:
+            return re.compile(
+                "|".join(
+                    f"(?P<r{index}>{rule.pattern})"
+                    for index, rule in enumerate(self._rules)
+                )
+            )
+        except re.error:  # pragma: no cover - defensive: odd extension rules
+            return None
 
     @property
     def rules(self) -> tuple[CategorizationRule, ...]:
@@ -52,12 +74,26 @@ class FunctionCategorizer:
         cached = self._cache.get(function_name)
         if cached is not None:
             return cached
-        for pattern, category in self._compiled:
-            if pattern.search(function_name):
-                self._cache[function_name] = category.key
-                return category.key
-        self._cache[function_name] = taxonomy.UNCATEGORIZED.key
-        return taxonomy.UNCATEGORIZED.key
+        key = taxonomy.UNCATEGORIZED.key
+        if self._master is not None:
+            match = self._master.search(function_name)
+            if match is not None:
+                winner = int(match.lastgroup[1:])
+                # The alternation is leftmost-position-first; restore
+                # first-rule-wins by consulting only higher-priority rules.
+                for pattern, category in self._compiled[:winner]:
+                    if pattern.search(function_name):
+                        key = category.key
+                        break
+                else:
+                    key = self._compiled[winner][1].key
+        else:
+            for pattern, category in self._compiled:
+                if pattern.search(function_name):
+                    key = category.key
+                    break
+        self._cache[function_name] = key
+        return key
 
     def with_rules(self, extra: Iterable[CategorizationRule]) -> "FunctionCategorizer":
         """A new categorizer with ``extra`` rules taking precedence."""

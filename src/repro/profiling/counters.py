@@ -90,6 +90,17 @@ class PerfCounterModel:
             raise ValueError("jitter must be non-negative")
         self._rates = dict(rates_by_category)
         self._jitter = jitter
+        # Vectorized lookup tables for sample_many (the rate table is
+        # immutable after construction).
+        self._row_of = {key: i for i, key in enumerate(self._rates)}
+        self._ipc_vec = np.array([rates.ipc for rates in self._rates.values()])
+        self._mpki_mat = np.array(
+            [rates.as_vector() for rates in self._rates.values()]
+        )
+
+    @property
+    def jitter(self) -> float:
+        return self._jitter
 
     def rates_for(self, broad_key: str) -> CounterRates:
         try:
@@ -116,6 +127,49 @@ class PerfCounterModel:
             for event in EVENT_NAMES
         }
         return CounterSample(cycles=cycles, instructions=instructions, misses=misses)
+
+    def sample_many(
+        self,
+        broad_keys: Sequence[str],
+        cycles: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`sample` for a whole batch of CPU samples.
+
+        Returns ``(instructions, misses)`` where ``instructions`` has shape
+        ``(n,)`` and ``misses`` has shape ``(n, len(EVENT_NAMES))`` in
+        :data:`EVENT_NAMES` column order.  With jitter enabled and an ``rng``
+        supplied, noise for the batch is one ``(n, 7)`` gaussian block --
+        instructions first, then the six miss events, mirroring the scalar
+        path's miss-from-noisy-instructions chaining.
+        """
+        cycles = np.asarray(cycles, dtype=float)
+        if cycles.ndim != 1:
+            raise ValueError("cycles must be a 1-d array")
+        if cycles.size and cycles.min() < 0:
+            raise ValueError("cycles must be non-negative")
+        row_of = self._row_of
+        try:
+            rows = np.fromiter(
+                (row_of[key] for key in broad_keys),
+                dtype=np.intp,
+                count=cycles.size,
+            )
+        except KeyError as exc:
+            raise KeyError(
+                f"no counter rates for category {exc.args[0]!r}"
+            ) from None
+        instructions = cycles * self._ipc_vec[rows]
+        if self._jitter and rng is not None:
+            noise = 1.0 + rng.normal(
+                0.0, self._jitter, size=(cycles.size, 1 + len(EVENT_NAMES))
+            )
+            instructions = np.maximum(0.0, instructions * noise[:, 0])
+            misses = instructions[:, None] * self._mpki_mat[rows] / 1000.0
+            misses = np.maximum(0.0, misses * noise[:, 1:])
+        else:
+            misses = instructions[:, None] * self._mpki_mat[rows] / 1000.0
+        return instructions, misses
 
 
 @dataclass

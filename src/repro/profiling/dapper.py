@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 __all__ = ["SpanKind", "Span", "Trace", "Tracer"]
@@ -32,17 +31,59 @@ class SpanKind(enum.Enum):
         return {SpanKind.REMOTE: 0, SpanKind.IO: 1, SpanKind.CPU: 2}[self]
 
 
-@dataclass
 class Span:
-    """One timed interval within a trace."""
+    """One timed interval within a trace.
 
-    span_id: int
-    parent_id: int | None
-    name: str
-    kind: SpanKind
-    start: float
-    end: float | None = None
-    annotations: dict = field(default_factory=dict)
+    A plain slotted class (not a dataclass): fleet runs record one span per
+    CPU micro-chunk, so construction cost and per-instance footprint matter.
+    The annotations dict is allocated lazily on first access.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "kind", "start", "end", "_annotations")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        kind: SpanKind,
+        start: float,
+        end: float | None = None,
+        annotations: dict | None = None,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.start = start
+        self.end = end
+        self._annotations = annotations
+
+    @property
+    def annotations(self) -> dict:
+        if self._annotations is None:
+            self._annotations = {}
+        return self._annotations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span(span_id={self.span_id}, parent_id={self.parent_id}, "
+            f"name={self.name!r}, kind={self.kind}, start={self.start}, "
+            f"end={self.end}, annotations={self._annotations or {}})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Span):
+            return NotImplemented
+        return (
+            self.span_id == other.span_id
+            and self.parent_id == other.parent_id
+            and self.name == other.name
+            and self.kind == other.kind
+            and self.start == other.start
+            and self.end == other.end
+            and (self._annotations or {}) == (other._annotations or {})
+        )
 
     @property
     def finished(self) -> bool:
@@ -66,14 +107,21 @@ class Span:
 
 
 class Trace:
-    """The spans of one query, forming a tree via parent ids."""
+    """The spans of one query, forming a tree via parent ids.
+
+    Internally ``_spans`` may hold two representations: full :class:`Span`
+    objects, and compact tuples ``(span_id, parent_id, name, kind, start,
+    end, node)`` appended by :meth:`record_chunk` on the CPU hot path.
+    Compact rows are materialized into (cached) ``Span`` objects the first
+    time :attr:`spans` is read, so every public API still deals in spans.
+    """
 
     def __init__(self, trace_id: int, name: str, start: float):
         self.trace_id = trace_id
         self.name = name
         self.start = start
         self.end: float | None = None
-        self._spans: list[Span] = []
+        self._spans: list = []
         self._span_ids = itertools.count()
         self.annotations: dict = {}
 
@@ -104,10 +152,38 @@ class Trace:
         **annotations,
     ) -> Span:
         """Record an already-finished interval in one call."""
-        span = self.start_span(name, kind, start, parent)
-        span.finish(end)
-        span.annotations.update(annotations)
+        if end < start:
+            raise ValueError(
+                f"span {name!r} cannot end at {end} before start {start}"
+            )
+        span = Span(
+            span_id=next(self._span_ids),
+            parent_id=parent.span_id if parent else None,
+            name=name,
+            kind=kind,
+            start=start,
+            end=end,
+            annotations=annotations or None,
+        )
+        self._spans.append(span)
         return span
+
+    def record_chunk(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: int | None,
+        node: str | None,
+    ) -> None:
+        """Append a finished CPU chunk as a compact row (hot path).
+
+        Skips the :class:`Span` allocation and validation of :meth:`record`;
+        the caller (the coalesced-batch recorder) guarantees ``end >= start``.
+        """
+        self._spans.append(
+            (next(self._span_ids), parent_id, name, SpanKind.CPU, start, end, node)
+        )
 
     def finish(self, when: float) -> "Trace":
         if self.end is not None:
@@ -127,17 +203,30 @@ class Trace:
 
     @property
     def spans(self) -> tuple[Span, ...]:
-        return tuple(self._spans)
+        spans = self._spans
+        for index, span in enumerate(spans):
+            if type(span) is tuple:
+                span_id, parent_id, name, kind, start, end, node = span
+                spans[index] = Span(
+                    span_id=span_id,
+                    parent_id=parent_id,
+                    name=name,
+                    kind=kind,
+                    start=start,
+                    end=end,
+                    annotations={"node": node} if node is not None else None,
+                )
+        return tuple(spans)
 
     def spans_of_kind(self, kind: SpanKind) -> Iterator[Span]:
-        return (span for span in self._spans if span.kind is kind)
+        return (span for span in self.spans if span.kind is kind)
 
     def error_spans(self) -> list[Span]:
         """Spans tagged with an ``error`` annotation (fault visibility)."""
-        return [span for span in self._spans if "error" in span.annotations]
+        return [span for span in self.spans if "error" in span.annotations]
 
     def children_of(self, span: Span) -> list[Span]:
-        return [s for s in self._spans if s.parent_id == span.span_id]
+        return [s for s in self.spans if s.parent_id == span.span_id]
 
 
 class Tracer:

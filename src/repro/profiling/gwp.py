@@ -6,12 +6,22 @@ into periodic timer samples -- one sample per elapsed sampling period of CPU
 time, with fractional periods carried across chunks, exactly like a
 cycle-budget timer interrupt -- categorizes each sample's leaf function via
 the rule table, and attaches modeled performance counters.
+
+Storage is columnar: samples live as parallel columns of interned
+platform/function/category ids plus cycles and timestamps, with a
+per-platform row index.  :class:`CpuSample` objects are materialized lazily
+through :class:`SampleView`, and counter jitter is drawn in one vectorized
+block per platform (seeded from the profiler seed and the platform name, so
+the noise stream is independent of chunk arrival order -- a sharded run
+merged back together reads the same counters as a single-profiler run).
 """
 
 from __future__ import annotations
 
+from collections import Counter
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -19,12 +29,13 @@ from repro import taxonomy
 from repro.profiling.breakdown import CpuCycleBreakdown
 from repro.profiling.categories import FunctionCategorizer, default_categorizer
 from repro.profiling.counters import (
+    EVENT_NAMES,
     CounterAggregate,
     CounterSample,
     PerfCounterModel,
 )
 
-__all__ = ["CpuSample", "FleetProfiler"]
+__all__ = ["CpuSample", "FleetProfiler", "SampleView"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +50,45 @@ class CpuSample:
     counters: CounterSample | None = None
 
 
+class SampleView(Sequence):
+    """Cheap read-only view over a profiler's (subset of) samples.
+
+    Materializes :class:`CpuSample` objects on access only; ``len`` and
+    iteration over the underlying columns are O(1) per element.  Passing a
+    view to :meth:`FleetProfiler.extend` merges the backing columns directly
+    without building any sample objects.
+    """
+
+    __slots__ = ("_profiler", "_rows")
+
+    def __init__(self, profiler: "FleetProfiler", rows: list[int] | None = None):
+        self._profiler = profiler
+        #: Row indices into the profiler columns; ``None`` means all rows.
+        self._rows = rows
+
+    def __len__(self) -> int:
+        if self._rows is None:
+            return len(self._profiler._fid_col)
+        return len(self._rows)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("sample index out of range")
+        row = index if self._rows is None else self._rows[index]
+        return self._profiler._materialize(row)
+
+    def __iter__(self) -> Iterator[CpuSample]:
+        profiler = self._profiler
+        rows = range(len(profiler._fid_col)) if self._rows is None else self._rows
+        for row in rows:
+            yield profiler._materialize(row)
+
+
 class FleetProfiler:
     """Collects CPU samples across every platform in the simulated fleet.
 
@@ -50,7 +100,9 @@ class FleetProfiler:
         categorizer: leaf-function rule table (defaults to the fleet table).
         counter_models: per-platform :class:`PerfCounterModel`; platforms
             without a model get samples without counters.
-        seed: RNG seed for counter jitter.
+        seed: RNG seed for counter jitter.  Jitter is drawn lazily per
+            platform from ``(seed, platform_name)``, so it does not depend
+            on the order platforms report work.
     """
 
     def __init__(
@@ -69,18 +121,81 @@ class FleetProfiler:
         self.cpu_hz = cpu_hz
         self.categorizer = categorizer or default_categorizer()
         self.counter_models = dict(counter_models or {})
-        self._rng = np.random.default_rng(seed)
-        self._samples: list[CpuSample] = []
-        self._credit: dict[str, float] = {}
-        self._cpu_seconds: dict[str, float] = {}
+        self.seed = seed
 
-    @property
-    def samples(self) -> tuple[CpuSample, ...]:
-        return tuple(self._samples)
+        # Intern tables.
+        self._platform_names: list[str] = []
+        self._platform_id: dict[str, int] = {}
+        self._function_names: list[str] = []
+        self._function_id: dict[str, int] = {}
+        self._category_keys: list[str] = []
+        self._category_id: dict[str, int] = {}
+        self._broad_by_cid: list[taxonomy.BroadCategory] = []
+        # platform -> function -> (pid, fid, cid); nested so the hot
+        # record_work lookup is a plain str-keyed get, no tuple allocation.
+        self._meta: dict[str, dict[str, tuple[int, int, int]]] = {}
+
+        # Sample columns (parallel lists; appends dominate, reads are rare).
+        self._pid_col: list[int] = []
+        self._fid_col: list[int] = []
+        self._cid_col: list[int] = []
+        self._cycles_col: list[float] = []
+        self._when_col: list[float] = []
+        #: Index of each sample within its platform's row list (for
+        #: O(1) row -> per-platform counter-array lookups).
+        self._local_col: list[int] = []
+        self._rows_by_pid: list[list[int]] = []
+
+        # Per-platform accumulators, indexed by pid.
+        self._credit_by_pid: list[float] = []
+        self._cpu_seconds_by_pid: list[float] = []
+
+        # pid -> (row_count_at_compute, instructions[n], misses[n, 6]);
+        # recomputed from scratch when new samples have landed.  The noise
+        # stream is a prefix-stable gaussian block, so growing the sample
+        # set never changes already-drawn noise.
+        self._counter_cache: dict[int, tuple[int, np.ndarray, np.ndarray]] = {}
+
+    # -- interning -----------------------------------------------------------
+
+    def _intern_platform(self, platform: str) -> int:
+        pid = self._platform_id.get(platform)
+        if pid is None:
+            pid = len(self._platform_names)
+            self._platform_id[platform] = pid
+            self._platform_names.append(platform)
+            self._rows_by_pid.append([])
+            self._credit_by_pid.append(0.0)
+            self._cpu_seconds_by_pid.append(0.0)
+        return pid
+
+    def _intern_category(self, category_key: str) -> int:
+        cid = self._category_id.get(category_key)
+        if cid is None:
+            cid = len(self._category_keys)
+            self._category_id[category_key] = cid
+            self._category_keys.append(category_key)
+            self._broad_by_cid.append(taxonomy.broad_of(category_key))
+        return cid
+
+    def _intern(self, platform: str, function: str) -> tuple[int, int, int]:
+        pid = self._intern_platform(platform)
+        fid = self._function_id.get(function)
+        if fid is None:
+            fid = len(self._function_names)
+            self._function_id[function] = fid
+            self._function_names.append(function)
+        cid = self._intern_category(self.categorizer.categorize(function))
+        meta = (pid, fid, cid)
+        self._meta.setdefault(platform, {})[function] = meta
+        return meta
+
+    # -- ingestion -----------------------------------------------------------
 
     def cpu_seconds(self, platform: str) -> float:
         """Total CPU seconds reported by a platform (sampled or not)."""
-        return self._cpu_seconds.get(platform, 0.0)
+        pid = self._platform_id.get(platform)
+        return 0.0 if pid is None else self._cpu_seconds_by_pid[pid]
 
     def record_work(
         self, platform: str, function: str, duration: float, when: float = 0.0
@@ -93,41 +208,185 @@ class FleetProfiler:
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        self._cpu_seconds[platform] = self._cpu_seconds.get(platform, 0.0) + duration
-        credit = self._credit.get(platform, 0.0) + duration
+        by_function = self._meta.get(platform)
+        meta = by_function.get(function) if by_function is not None else None
+        if meta is None:
+            meta = self._intern(platform, function)
+        pid, fid, cid = meta
+        self._cpu_seconds_by_pid[pid] += duration
+        credit = self._credit_by_pid[pid] + duration
+        period = self.sample_period
+        if credit < period:
+            self._credit_by_pid[pid] = credit
+            return 0
         taken = 0
-        category_key = self.categorizer.categorize(function)
-        broad_key = taxonomy.broad_of(category_key).value
-        model = self.counter_models.get(platform)
-        while credit >= self.sample_period:
-            credit -= self.sample_period
-            cycles = self.sample_period * self.cpu_hz
-            counters = (
-                model.sample(broad_key, cycles, rng=self._rng) if model else None
-            )
-            self._samples.append(
-                CpuSample(
-                    platform=platform,
-                    function=function,
-                    category_key=category_key,
-                    cycles=cycles,
-                    timestamp=when,
-                    counters=counters,
-                )
-            )
+        while credit >= period:
+            credit -= period
             taken += 1
-        self._credit[platform] = credit
+        self._credit_by_pid[pid] = credit
+        self._append_samples(pid, fid, cid, taken, when)
         return taken
 
-    # -- aggregations --------------------------------------------------------
+    def record_work_batch(
+        self,
+        platform: str,
+        chunks: Iterable[tuple[str, float, float]],
+    ) -> int:
+        """Report many ``(function, duration, when)`` chunks in one call.
 
-    def platform_samples(self, platform: str) -> list[CpuSample]:
-        return [s for s in self._samples if s.platform == platform]
+        Equivalent to calling :meth:`record_work` per chunk (same credit
+        walk, same samples) with the per-call lookups hoisted.
+        """
+        pid = self._intern_platform(platform)
+        meta_map = self._meta.setdefault(platform, {})
+        credit = self._credit_by_pid[pid]
+        cpu_seconds = 0.0
+        period = self.sample_period
+        taken_total = 0
+        for function, duration, when in chunks:
+            if duration < 0:
+                raise ValueError("duration must be non-negative")
+            cpu_seconds += duration
+            credit += duration
+            if credit < period:
+                continue
+            meta = meta_map.get(function)
+            if meta is None:
+                meta = self._intern(platform, function)
+            taken = 0
+            while credit >= period:
+                credit -= period
+                taken += 1
+            self._append_samples(pid, meta[1], meta[2], taken, when)
+            taken_total += taken
+        self._credit_by_pid[pid] = credit
+        self._cpu_seconds_by_pid[pid] += cpu_seconds
+        return taken_total
+
+    def _record_crossing(
+        self, pid: int, platform: str, function: str, credit: float, when: float
+    ) -> None:
+        """Slow half of the coalesced-batch fast path (see ``_BatchRecorder``).
+
+        The recorder bumps credit inline per chunk and only calls in here
+        when the accumulated credit crossed the sampling period -- so the
+        meta lookup and credit walk run once per *sample*, not per chunk.
+        """
+        by_function = self._meta.get(platform)
+        meta = by_function.get(function) if by_function is not None else None
+        if meta is None:
+            meta = self._intern(platform, function)
+        period = self.sample_period
+        taken = 0
+        while credit >= period:
+            credit -= period
+            taken += 1
+        self._credit_by_pid[pid] = credit
+        self._append_samples(pid, meta[1], meta[2], taken, when)
+
+    def _append_samples(
+        self, pid: int, fid: int, cid: int, taken: int, when: float
+    ) -> None:
+        cycles = self.sample_period * self.cpu_hz
+        rows = self._rows_by_pid[pid]
+        row = len(self._fid_col)
+        for _ in range(taken):
+            self._local_col.append(len(rows))
+            rows.append(row)
+            row += 1
+            self._pid_col.append(pid)
+            self._fid_col.append(fid)
+            self._cid_col.append(cid)
+            self._cycles_col.append(cycles)
+            self._when_col.append(when)
+
+    # -- sample access -------------------------------------------------------
+
+    @property
+    def samples(self) -> SampleView:
+        """Read-only view of all samples (lazy; O(1) to obtain)."""
+        return SampleView(self)
+
+    def sample_count(self, platform: str | None = None) -> int:
+        """Number of samples taken, fleet-wide or for one platform."""
+        if platform is None:
+            return len(self._fid_col)
+        pid = self._platform_id.get(platform)
+        return 0 if pid is None else len(self._rows_by_pid[pid])
+
+    def platform_samples(self, platform: str) -> SampleView:
+        pid = self._platform_id.get(platform)
+        rows = [] if pid is None else self._rows_by_pid[pid]
+        return SampleView(self, rows)
+
+    def _materialize(self, row: int) -> CpuSample:
+        pid = self._pid_col[row]
+        counters = None
+        platform = self._platform_names[pid]
+        if platform in self.counter_models:
+            _, instructions, misses = self._platform_counters(pid)
+            local = self._local_col[row]
+            counters = CounterSample(
+                cycles=self._cycles_col[row],
+                instructions=float(instructions[local]),
+                misses={
+                    event: float(misses[local, j])
+                    for j, event in enumerate(EVENT_NAMES)
+                },
+            )
+        return CpuSample(
+            platform=platform,
+            function=self._function_names[self._fid_col[row]],
+            category_key=self._category_keys[self._cid_col[row]],
+            cycles=self._cycles_col[row],
+            timestamp=self._when_col[row],
+            counters=counters,
+        )
+
+    # -- counters ------------------------------------------------------------
+
+    def _counter_rng(self, platform: str) -> np.random.Generator:
+        """Jitter stream for one platform, independent of ingest order."""
+        return np.random.default_rng([self.seed & 0xFFFFFFFF, *platform.encode()])
+
+    def _platform_counters(
+        self, pid: int
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """(row_count, instructions, misses) for one platform's samples."""
+        rows = self._rows_by_pid[pid]
+        cached = self._counter_cache.get(pid)
+        if cached is not None and cached[0] == len(rows):
+            return cached
+        platform = self._platform_names[pid]
+        model = self.counter_models[platform]
+        cid_col = self._cid_col
+        cycles_col = self._cycles_col
+        broad_by_cid = self._broad_by_cid
+        broad_keys = [broad_by_cid[cid_col[row]].value for row in rows]
+        cycles = np.fromiter(
+            (cycles_col[row] for row in rows), dtype=float, count=len(rows)
+        )
+        instructions, misses = model.sample_many(
+            broad_keys, cycles, rng=self._counter_rng(platform)
+        )
+        result = (len(rows), instructions, misses)
+        self._counter_cache[pid] = result
+        return result
+
+    # -- aggregations --------------------------------------------------------
 
     def cycle_breakdown(self, platform: str) -> CpuCycleBreakdown:
         """Figures 3-6 input: cycles per category for one platform."""
         breakdown = CpuCycleBreakdown(platform=platform)
-        breakdown.add_samples(self.platform_samples(platform))
+        pid = self._platform_id.get(platform)
+        if pid is None:
+            return breakdown
+        cid_col = self._cid_col
+        cycles_col = self._cycles_col
+        keys = self._category_keys
+        add = breakdown.add_sample
+        for row in self._rows_by_pid[pid]:
+            add(keys[cid_col[row]], cycles_col[row])
         return breakdown
 
     def counter_aggregate(
@@ -137,22 +396,109 @@ class FleetProfiler:
     ) -> CounterAggregate:
         """Tables 6-7 input: counter totals, optionally per broad category."""
         aggregate = CounterAggregate()
-        for sample in self.platform_samples(platform):
-            if sample.counters is None:
-                continue
-            if broad is not None and taxonomy.broad_of(sample.category_key) is not broad:
-                continue
-            aggregate.add(sample.counters)
+        pid = self._platform_id.get(platform)
+        if pid is None or platform not in self.counter_models:
+            return aggregate
+        rows = self._rows_by_pid[pid]
+        if not rows:
+            return aggregate
+        _, instructions, misses = self._platform_counters(pid)
+        cycles = np.fromiter(
+            (self._cycles_col[row] for row in rows), dtype=float, count=len(rows)
+        )
+        if broad is not None:
+            broad_by_cid = self._broad_by_cid
+            cid_col = self._cid_col
+            mask = np.fromiter(
+                (broad_by_cid[cid_col[row]] is broad for row in rows),
+                dtype=bool,
+                count=len(rows),
+            )
+            if not mask.any():
+                return aggregate
+            cycles = cycles[mask]
+            instructions = instructions[mask]
+            misses = misses[mask]
+        aggregate.cycles = float(cycles.sum())
+        aggregate.instructions = float(instructions.sum())
+        totals = misses.sum(axis=0)
+        aggregate.misses = {
+            event: float(totals[j]) for j, event in enumerate(EVENT_NAMES)
+        }
         return aggregate
 
     def top_functions(self, platform: str, count: int = 10) -> list[tuple[str, float]]:
         """Hottest leaf functions by sampled cycles (profiler report view)."""
-        cycles: dict[str, float] = {}
-        for sample in self.platform_samples(platform):
-            cycles[sample.function] = cycles.get(sample.function, 0.0) + sample.cycles
-        ranked = sorted(cycles.items(), key=lambda item: item[1], reverse=True)
-        return ranked[:count]
+        pid = self._platform_id.get(platform)
+        if pid is None:
+            return []
+        cycles = Counter()
+        fid_col = self._fid_col
+        cycles_col = self._cycles_col
+        for row in self._rows_by_pid[pid]:
+            cycles[fid_col[row]] += cycles_col[row]
+        names = self._function_names
+        return [(names[fid], total) for fid, total in cycles.most_common(count)]
+
+    # -- merging -------------------------------------------------------------
 
     def extend(self, samples: Iterable[CpuSample]) -> None:
-        """Merge samples collected by another profiler shard."""
-        self._samples.extend(samples)
+        """Merge samples collected by another profiler shard.
+
+        A :class:`SampleView` merges columns directly -- O(shard) with no
+        sample materialization.  Counters are (re)derived from this
+        profiler's own per-platform jitter streams on demand.
+        """
+        if isinstance(samples, SampleView):
+            self._extend_columns(samples._profiler, samples._rows)
+            return
+        for sample in samples:
+            meta = self._meta.get(sample.platform, {}).get(sample.function)
+            if meta is None:
+                meta = self._intern(sample.platform, sample.function)
+            pid, fid, _ = meta
+            cid = self._intern_category(sample.category_key)
+            rows = self._rows_by_pid[pid]
+            self._local_col.append(len(rows))
+            rows.append(len(self._fid_col))
+            self._pid_col.append(pid)
+            self._fid_col.append(fid)
+            self._cid_col.append(cid)
+            self._cycles_col.append(sample.cycles)
+            self._when_col.append(sample.timestamp)
+
+    def _extend_columns(
+        self, other: "FleetProfiler", rows: list[int] | None
+    ) -> None:
+        pid_map = [self._intern_platform(name) for name in other._platform_names]
+        fid_map: list[int] = []
+        for name in other._function_names:
+            fid = self._function_id.get(name)
+            if fid is None:
+                fid = len(self._function_names)
+                self._function_id[name] = fid
+                self._function_names.append(name)
+            fid_map.append(fid)
+        cid_map = [self._intern_category(key) for key in other._category_keys]
+        row_iter = (
+            range(len(other._fid_col)) if rows is None else rows
+        )
+        base = len(self._fid_col)
+        for offset, row in enumerate(row_iter):
+            pid = pid_map[other._pid_col[row]]
+            rows = self._rows_by_pid[pid]
+            self._local_col.append(len(rows))
+            rows.append(base + offset)
+            self._pid_col.append(pid)
+            self._fid_col.append(fid_map[other._fid_col[row]])
+            self._cid_col.append(cid_map[other._cid_col[row]])
+            self._cycles_col.append(other._cycles_col[row])
+            self._when_col.append(other._when_col[row])
+
+    def merge(self, other: "FleetProfiler") -> None:
+        """Absorb a whole shard: samples plus CPU-second/credit accounting."""
+        self._extend_columns(other, None)
+        for opid, name in enumerate(other._platform_names):
+            pid = self._intern_platform(name)
+            self._cpu_seconds_by_pid[pid] += other._cpu_seconds_by_pid[opid]
+            self._credit_by_pid[pid] += other._credit_by_pid[opid]

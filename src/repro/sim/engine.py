@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Generator, Iterable
 
 __all__ = [
@@ -95,19 +94,34 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after its creation."""
+    """An event that fires ``delay`` time units after its creation.
+
+    With ``at`` set, the event fires at that *absolute* simulation time
+    instead (``delay`` is ignored).  Absolute scheduling exists so batched
+    work can land wake-ups on exactly the same float timestamps that
+    chunk-by-chunk accumulation (``now + delay`` per chunk) would produce.
+    """
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
-        if delay < 0:
+    def __init__(
+        self,
+        env: "Environment",
+        delay: float,
+        value: Any = None,
+        *,
+        at: float | None = None,
+    ):
+        if at is None and delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
+        if at is not None and at < env.now:
+            raise ValueError(f"at={at} is in the past (now={env.now})")
         super().__init__(env)
         self.delay = delay
         self._triggered = True
         self._ok = True
         self._value = value
-        env._schedule(self, delay=delay)
+        env._schedule(self, delay=delay, at=at)
 
 
 ProcessGenerator = Generator[Event, Any, Any]
@@ -208,8 +222,13 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        # Next event sequence number (the heap tie-breaker).  A plain int
+        # rather than itertools.count so whole blocks can be reserved at
+        # once (see reserve_counters).
+        self._counter = 0
         self._active_process: Process | None = None
+        #: Number of events processed so far (perf-harness telemetry).
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -221,8 +240,59 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
 
-    def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+    def _schedule(
+        self, event: Event, delay: float = 0.0, at: float | None = None
+    ) -> None:
+        when = self._now + delay if at is None else at
+        count = self._counter
+        self._counter = count + 1
+        heapq.heappush(self._queue, (when, count, event))
+
+    def schedule_call(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callable at an absolute time.
+
+        The cheap half of CPU-chunk coalescing: the callable goes straight
+        onto the event heap (no :class:`Event` object, no callbacks list)
+        and is invoked with no arguments when its time is popped.  It cannot
+        be waited on; use :meth:`timeout_at` for that.
+        """
+        if when < self._now:
+            raise ValueError(f"when={when} is in the past (now={self._now})")
+        count = self._counter
+        self._counter = count + 1
+        heapq.heappush(self._queue, (when, count, fn))
+
+    def schedule_calls(self, times: Iterable[float], fn: Callable[[], None]) -> None:
+        """Bulk :meth:`schedule_call`: one invocation of ``fn`` per time.
+
+        Equivalent to ``for when in times: schedule_call(when, fn)`` with the
+        per-call overhead hoisted.
+        """
+        push = heapq.heappush
+        queue = self._queue
+        count = self._counter
+        now = self._now
+        for when in times:
+            if when < now:
+                raise ValueError(f"when={when} is in the past (now={now})")
+            push(queue, (when, count, fn))
+            count += 1
+        self._counter = count
+
+    def reserve_counters(self, n: int) -> int:
+        """Reserve ``n`` consecutive event sequence numbers; returns the first.
+
+        The coalesced CPU-batch path assigns its chunk-boundary entries a
+        contiguous counter block at batch start but keeps only one entry in
+        the heap at a time (each fire pushes the next).  Ordering is exactly
+        as if all entries had been pushed up front -- the heap is a total
+        order on ``(time, counter)`` -- while the heap stays small.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        base = self._counter
+        self._counter = base + n
+        return base
 
     def step(self) -> None:
         """Process the next scheduled event."""
@@ -230,6 +300,10 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
+        if not isinstance(event, Event):
+            event()  # a schedule_call() callable
+            return
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -245,25 +319,63 @@ class Environment:
                 reaches it; an :class:`Event` runs until it triggers and
                 returns its value (re-raising its exception on failure).
         """
-        if isinstance(until, Event):
-            sentinel = until
-            while not sentinel.processed:
-                if not self._queue:
-                    raise SimulationError(
-                        "event queue drained before the awaited event fired"
-                    )
-                self.step()
-            if sentinel.ok:
-                return sentinel.value
-            raise sentinel.value
-        deadline = float("inf") if until is None else float(until)
-        if deadline != float("inf") and deadline < self._now:
-            raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
-        if deadline != float("inf"):
-            self._now = deadline
-        return None
+        # The loops below inline step()'s body with local bindings: the run
+        # loop is the hottest code in the simulator (millions of events per
+        # fleet run), and the dominant case is one callback per event.
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        try:
+            if isinstance(until, Event):
+                sentinel = until
+                while sentinel.callbacks is not None:
+                    if not queue:
+                        raise SimulationError(
+                            "event queue drained before the awaited event fired"
+                        )
+                    when, _, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    # Drain consecutive schedule_call() callables without
+                    # re-checking the sentinel: only an Event dispatch (the
+                    # callbacks swap below) can ever fire it.
+                    while not isinstance(event, Event):
+                        event()
+                        if not queue:
+                            raise SimulationError(
+                                "event queue drained before the awaited event fired"
+                            )
+                        when, _, event = pop(queue)
+                        self._now = when
+                        processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not callbacks and not isinstance(event, Process):
+                        raise event._value
+                if sentinel.ok:
+                    return sentinel.value
+                raise sentinel.value
+            deadline = float("inf") if until is None else float(until)
+            if deadline != float("inf") and deadline < self._now:
+                raise ValueError(f"until={deadline} is in the past (now={self._now})")
+            while queue and queue[0][0] <= deadline:
+                when, _, event = pop(queue)
+                self._now = when
+                processed += 1
+                if not isinstance(event, Event):
+                    event()  # a schedule_call() callable
+                    continue
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not callbacks and not isinstance(event, Process):
+                    raise event._value
+            if deadline != float("inf"):
+                self._now = deadline
+            return None
+        finally:
+            self.events_processed += processed
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf when idle."""
@@ -276,6 +388,10 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """A timeout firing at an exact absolute simulation time."""
+        return Timeout(self, 0.0, value, at=when)
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         return Process(self, generator, name=name)

@@ -15,7 +15,7 @@ from typing import Iterable, Mapping
 from repro.storage.device import DeviceKind
 from repro.storage.tier import TieredStore
 
-__all__ = ["CapacityTelemetry"]
+__all__ = ["CapacityTelemetry", "TelemetrySummary"]
 
 PIB = float(2**50)
 
@@ -62,3 +62,80 @@ class CapacityTelemetry:
     def table1_rows(self) -> dict[str, tuple[float, float, float]]:
         """All platforms' ratio rows, ready for printing."""
         return {platform: self.storage_ratios(platform) for platform in self._stores}
+
+    def summary(self) -> "TelemetrySummary":
+        """A picklable snapshot with the same read API.
+
+        The live telemetry holds the platforms' :class:`TieredStore` objects
+        (which hold simulation state and cannot cross a process boundary);
+        the summary captures the per-platform capacity and read totals so a
+        sharded run can ship its telemetry home and merge it.
+        """
+        return TelemetrySummary(
+            capacities={
+                platform: {
+                    kind: self.capacity_bytes(platform, kind) for kind in DeviceKind
+                }
+                for platform in self._stores
+            },
+            reads={
+                platform: dict(self.reads_by_tier(platform))
+                for platform in self._stores
+            },
+        )
+
+
+@dataclass
+class TelemetrySummary:
+    """Frozen per-platform capacity/read totals (picklable, mergeable).
+
+    Exposes the same read API as :class:`CapacityTelemetry` --
+    :meth:`platforms`, :meth:`capacity_bytes`, :meth:`storage_ratios`,
+    :meth:`reads_by_tier`, :meth:`table1_rows` -- so downstream consumers
+    (Table 1 rendering, tests) accept either interchangeably.
+    """
+
+    capacities: dict[str, dict[DeviceKind, float]] = field(default_factory=dict)
+    reads: dict[str, dict[DeviceKind, int]] = field(default_factory=dict)
+
+    @classmethod
+    def merged(cls, summaries: Iterable["TelemetrySummary"]) -> "TelemetrySummary":
+        """Combine shard summaries; platform order follows shard order."""
+        result = cls()
+        for summary in summaries:
+            result.merge(summary)
+        return result
+
+    def merge(self, other: "TelemetrySummary") -> None:
+        for platform, by_kind in other.capacities.items():
+            mine = self.capacities.setdefault(platform, {kind: 0.0 for kind in DeviceKind})
+            for kind, value in by_kind.items():
+                mine[kind] = mine.get(kind, 0.0) + value
+        for platform, by_kind in other.reads.items():
+            mine = self.reads.setdefault(platform, {kind: 0 for kind in DeviceKind})
+            for kind, value in by_kind.items():
+                mine[kind] = mine.get(kind, 0) + value
+
+    def platforms(self) -> tuple[str, ...]:
+        return tuple(self.capacities)
+
+    def capacity_bytes(self, platform: str, kind: DeviceKind) -> float:
+        return self.capacities.get(platform, {}).get(kind, 0.0)
+
+    def storage_ratios(self, platform: str) -> tuple[float, float, float]:
+        ram = self.capacity_bytes(platform, DeviceKind.RAM)
+        if ram <= 0:
+            raise ValueError(f"{platform}: no RAM capacity registered")
+        ssd = self.capacity_bytes(platform, DeviceKind.SSD)
+        hdd = self.capacity_bytes(platform, DeviceKind.HDD)
+        return (1.0, ssd / ram, hdd / ram)
+
+    def reads_by_tier(self, platform: str) -> Mapping[DeviceKind, int]:
+        totals = {kind: 0 for kind in DeviceKind}
+        totals.update(self.reads.get(platform, {}))
+        return totals
+
+    def table1_rows(self) -> dict[str, tuple[float, float, float]]:
+        return {
+            platform: self.storage_ratios(platform) for platform in self.capacities
+        }

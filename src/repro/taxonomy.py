@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 class BroadCategory(enum.Enum):
@@ -175,8 +176,13 @@ def category_from_key(key: str) -> Category:
         raise KeyError(f"unknown category key: {key!r}") from None
 
 
+@lru_cache(maxsize=None)
 def broad_of(key: str) -> BroadCategory:
-    """Return the broad category that a ``"broad/fine"`` key belongs to."""
+    """Return the broad category that a ``"broad/fine"`` key belongs to.
+
+    Memoized: the profiler hot path resolves this for every reported CPU
+    chunk, and the key vocabulary is a small closed set.
+    """
     prefix, _, _ = key.partition("/")
     return BroadCategory(prefix)
 

@@ -6,6 +6,8 @@
   model-ready :class:`~repro.core.profile.PlatformProfile` objects.
 * :mod:`repro.workloads.fleet` -- the "one day of fleet traffic" driver that
   runs all three platforms under the profiling pipeline.
+* :mod:`repro.workloads.parallel` -- the same driver fanned out across a
+  process pool (one worker per platform, deterministic merge).
 
 (The per-query budget generators themselves live on
 :class:`repro.platforms.common.PlatformBase`, parameterized from the

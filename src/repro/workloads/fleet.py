@@ -22,13 +22,28 @@ from repro.platforms.common import PlatformBase
 from repro.platforms.spanner import SpannerDatabase
 from repro.profiling.breakdown import CpuCycleBreakdown, E2EBreakdown, trace_breakdown
 from repro.profiling.counters import CounterRates, PerfCounterModel
+from repro.profiling.dapper import Tracer
 from repro.profiling.gwp import FleetProfiler
 from repro.sim import Environment
 from repro.storage.telemetry import CapacityTelemetry
 from repro.workloads import calibration
 from repro.workloads.calibration import BIGQUERY, BIGTABLE, PLATFORMS, SPANNER
 
-__all__ = ["FleetResult", "FleetSimulation", "counter_model_for"]
+__all__ = [
+    "FleetResult",
+    "FleetSimulation",
+    "counter_model_for",
+    "FLEET_SAMPLE_PERIOD",
+    "BIGQUERY_SAMPLE_PERIOD",
+]
+
+#: GWP sampling period shared by the OLTP platforms (Spanner, BigTable).
+FLEET_SAMPLE_PERIOD = 5e-5
+#: BigQuery's queries run for seconds; sample it more coarsely so one fleet
+#: run stays tractable while still yielding ~1e5 samples.
+BIGQUERY_SAMPLE_PERIOD = 20e-3
+
+_PLATFORM_SEED_OFFSET = {SPANNER: 10, BIGTABLE: 20, BIGQUERY: 30}
 
 
 def counter_model_for(platform: str, jitter: float = 0.02) -> PerfCounterModel:
@@ -158,6 +173,7 @@ class FleetSimulation:
         counter_jitter: float = 0.02,
         bigquery_dataset_rows: int = 4000,
         fault_plans: Mapping[str, FaultPlan] | None = None,
+        coalesce: bool = True,
     ):
         if isinstance(queries, int):
             queries = {name: queries for name in PLATFORMS}
@@ -166,81 +182,111 @@ class FleetSimulation:
         self.trace_sample_rate = trace_sample_rate
         self.counter_jitter = counter_jitter
         self.bigquery_dataset_rows = bigquery_dataset_rows
+        #: Disable CPU-chunk coalescing (one event per micro-chunk instead);
+        #: exists for the golden-equivalence tests and perf A/B runs.
+        self.coalesce = coalesce
         #: Optional chaos: platform name -> FaultPlan replayed into that
         #: platform's environment while it serves its query stream.
         self.fault_plans = dict(fault_plans or {})
 
-    def run(self) -> FleetResult:
-        telemetry = CapacityTelemetry()
-        profiler = FleetProfiler(
-            sample_period=5e-5,
+    # -- per-platform building blocks (shared with the parallel runner) ------
+
+    def config(self) -> dict:
+        """Constructor kwargs reproducing this simulation (picklable)."""
+        return {
+            "queries": dict(self.queries),
+            "seed": self.seed,
+            "trace_sample_rate": self.trace_sample_rate,
+            "counter_jitter": self.counter_jitter,
+            "bigquery_dataset_rows": self.bigquery_dataset_rows,
+            "fault_plans": dict(self.fault_plans),
+            "coalesce": self.coalesce,
+        }
+
+    def fleet_profiler(self) -> FleetProfiler:
+        """The shared GWP instance (Spanner + BigTable + merge target)."""
+        return FleetProfiler(
+            sample_period=FLEET_SAMPLE_PERIOD,
             counter_models={
                 name: counter_model_for(name, self.counter_jitter)
                 for name in PLATFORMS
             },
             seed=self.seed,
         )
-        # BigQuery's queries run for seconds; sample it more coarsely so one
-        # fleet run stays tractable while still yielding ~1e5 samples.
-        bigquery_profiler = FleetProfiler(
-            sample_period=20e-3,
+
+    def bigquery_profiler(self) -> FleetProfiler:
+        """BigQuery's coarser-period profiler shard."""
+        return FleetProfiler(
+            sample_period=BIGQUERY_SAMPLE_PERIOD,
             counter_models={BIGQUERY: counter_model_for(BIGQUERY, self.counter_jitter)},
             seed=self.seed + 1,
         )
 
-        from repro.profiling.dapper import Tracer
+    def profiler_for(self, name: str) -> FleetProfiler:
+        """The profiler a platform reports into when run as its own shard."""
+        return self.bigquery_profiler() if name == BIGQUERY else self.fleet_profiler()
+
+    def build_platform(
+        self, name: str, profiler: FleetProfiler, telemetry: CapacityTelemetry
+    ) -> PlatformBase:
+        """Construct one platform simulator on a fresh environment."""
+        env = Environment()
+        tracer = Tracer(self.trace_sample_rate)
+        seed = self.seed + _PLATFORM_SEED_OFFSET[name]
+        profile = calibration.build_profile(name)
+        if name == SPANNER:
+            platform: PlatformBase = SpannerDatabase(
+                env, profile, profiler=profiler, telemetry=telemetry,
+                tracer=tracer, seed=seed,
+            )
+        elif name == BIGTABLE:
+            platform = BigTableStore(
+                env, profile, profiler=profiler, telemetry=telemetry,
+                tracer=tracer, seed=seed,
+            )
+        elif name == BIGQUERY:
+            platform = BigQueryEngine(
+                env, profile, profiler=profiler, telemetry=telemetry,
+                tracer=tracer, seed=seed, dataset_rows=self.bigquery_dataset_rows,
+            )
+        else:
+            raise ValueError(f"unknown platform {name!r}")
+        platform.coalesce = self.coalesce
+        return platform
+
+    def serve_platform(
+        self, name: str, platform: PlatformBase
+    ) -> tuple[E2EBreakdown, ChaosController | None]:
+        """Serve one platform's query stream (with chaos, if planned)."""
+        env = platform.env
+        controller = None
+        plan = self.fault_plans.get(name)
+        if plan is not None:
+            controller = ChaosController.for_platform(platform, plan)
+            controller.start()
+        env.run(until=env.process(platform.serve(self.queries[name])))
+        if controller is not None:
+            controller.finish()
+        breakdown = E2EBreakdown(name)
+        for trace in platform.tracer.finished_traces():
+            breakdown.add(trace_breakdown(trace))
+        return breakdown, controller
+
+    def run(self) -> FleetResult:
+        telemetry = CapacityTelemetry()
+        profiler = self.fleet_profiler()
+        bigquery_profiler = self.bigquery_profiler()
 
         platforms: dict[str, PlatformBase] = {}
         e2e: dict[str, E2EBreakdown] = {}
-
-        spanner_env = Environment()
-        platforms[SPANNER] = SpannerDatabase(
-            spanner_env,
-            calibration.build_profile(SPANNER),
-            profiler=profiler,
-            telemetry=telemetry,
-            tracer=Tracer(self.trace_sample_rate),
-            seed=self.seed + 10,
-        )
-        bigtable_env = Environment()
-        platforms[BIGTABLE] = BigTableStore(
-            bigtable_env,
-            calibration.build_profile(BIGTABLE),
-            profiler=profiler,
-            telemetry=telemetry,
-            tracer=Tracer(self.trace_sample_rate),
-            seed=self.seed + 20,
-        )
-        bigquery_env = Environment()
-        platforms[BIGQUERY] = BigQueryEngine(
-            bigquery_env,
-            calibration.build_profile(BIGQUERY),
-            profiler=bigquery_profiler,
-            telemetry=telemetry,
-            tracer=Tracer(self.trace_sample_rate),
-            seed=self.seed + 30,
-            dataset_rows=self.bigquery_dataset_rows,
-        )
-
         chaos: dict[str, ChaosController] = {}
-        for name, env in (
-            (SPANNER, spanner_env),
-            (BIGTABLE, bigtable_env),
-            (BIGQUERY, bigquery_env),
-        ):
-            platform = platforms[name]
-            plan = self.fault_plans.get(name)
-            if plan is not None:
-                controller = ChaosController.for_platform(platform, plan)
-                controller.start()
+        for name in PLATFORMS:
+            shard = bigquery_profiler if name == BIGQUERY else profiler
+            platform = self.build_platform(name, shard, telemetry)
+            platforms[name] = platform
+            e2e[name], controller = self.serve_platform(name, platform)
+            if controller is not None:
                 chaos[name] = controller
-            env.run(until=env.process(platform.serve(self.queries[name])))
-            if name in chaos:
-                chaos[name].finish()
-            breakdown = E2EBreakdown(name)
-            for trace in platform.tracer.finished_traces():
-                breakdown.add(trace_breakdown(trace))
-            e2e[name] = breakdown
 
         # Merge the BigQuery profiler shard into the fleet profiler.
         profiler.extend(bigquery_profiler.samples)

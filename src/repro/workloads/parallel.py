@@ -1,0 +1,235 @@
+"""Parallel fleet runner: one subprocess per platform simulation.
+
+The three platforms share nothing at simulation time -- each has its own
+:class:`~repro.sim.Environment`, RNG seeds, cluster, and storage -- so a
+fleet run parallelizes perfectly across processes.  The only shared pieces
+in the sequential driver are measurement *sinks* (the fleet profiler and the
+capacity telemetry), and both were built to merge deterministically:
+
+* GWP sampling credit is tracked per platform, and counter jitter is drawn
+  from a per-platform stream seeded by ``(seed, platform_name)``, so a
+  platform's samples are byte-identical whether it reported into the shared
+  profiler or into its own shard that is merged afterwards.
+* Telemetry reduces to per-platform capacity/read totals, shipped home as a
+  picklable :class:`~repro.storage.telemetry.TelemetrySummary`.
+
+Each worker therefore runs one platform against private sinks and returns a
+:class:`PlatformShard`; :func:`run_parallel` merges the shards *in the fixed
+platform order* (not completion order), producing a :class:`FleetResult`
+equal to :meth:`FleetSimulation.run` -- same end-to-end breakdowns, same
+cycle breakdowns, same Table 1/6/7 rows.
+
+Live :class:`~repro.platforms.common.PlatformBase` objects cannot cross the
+process boundary (they hold generators and simulation state), so the merged
+result carries :class:`PlatformSummary` stand-ins exposing the slice of the
+platform API downstream consumers use (``records``, ``queries_served``,
+``mean_latency()``, ``env.now``); likewise :class:`ChaosSummary` for fault
+controllers.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.faults import ChaosController
+from repro.platforms.common import PlatformBase, QueryRecord
+from repro.profiling.breakdown import E2EBreakdown
+from repro.profiling.gwp import FleetProfiler
+from repro.storage.telemetry import CapacityTelemetry, TelemetrySummary
+from repro.workloads.calibration import BIGQUERY, PLATFORMS
+from repro.workloads.fleet import FleetResult, FleetSimulation
+
+__all__ = [
+    "SimClock",
+    "PlatformSummary",
+    "ChaosSummary",
+    "PlatformShard",
+    "ParallelFleetSimulation",
+    "run_parallel",
+    "sweep_seeds",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SimClock:
+    """Stand-in for a worker's :class:`~repro.sim.Environment` clock."""
+
+    now: float
+    events_processed: int
+
+
+@dataclass(frozen=True, slots=True)
+class PlatformSummary:
+    """Picklable snapshot of one platform simulator after its run.
+
+    Mirrors the reporting surface of
+    :class:`~repro.platforms.common.PlatformBase` that fleet-level consumers
+    (degraded-mode comparisons, tests) read: the query log, served counts,
+    mean latency, and the simulation clock.
+    """
+
+    platform_name: str
+    records: tuple[QueryRecord, ...]
+    env: SimClock
+    node_crashes: int = 0
+
+    @classmethod
+    def from_platform(cls, platform: PlatformBase) -> "PlatformSummary":
+        return cls(
+            platform_name=platform.platform_name,
+            records=tuple(platform.records),
+            env=SimClock(
+                now=platform.env.now,
+                events_processed=platform.env.events_processed,
+            ),
+            node_crashes=sum(node.crashes for node in platform.cluster.nodes),
+        )
+
+    @property
+    def queries_served(self) -> int:
+        return len(self.records)
+
+    def mean_latency(self) -> float:
+        if not self.records:
+            raise ValueError("no queries served")
+        return sum(record.latency for record in self.records) / len(self.records)
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosSummary:
+    """Picklable snapshot of a worker's :class:`ChaosController` ledger."""
+
+    name: str
+    fault_ids: tuple[str, ...]
+    injected: tuple = ()
+    healed: tuple = ()
+
+    @classmethod
+    def from_controller(cls, controller: ChaosController) -> "ChaosSummary":
+        return cls(
+            name=controller.name,
+            fault_ids=controller.fault_ids,
+            injected=tuple(controller.injected),
+            healed=tuple(controller.healed),
+        )
+
+
+@dataclass
+class PlatformShard:
+    """Everything one worker measured, ready to merge."""
+
+    name: str
+    summary: PlatformSummary
+    profiler: FleetProfiler
+    telemetry: TelemetrySummary
+    e2e: E2EBreakdown
+    chaos: ChaosSummary | None = None
+
+
+def _run_platform_shard(config: Mapping, name: str) -> PlatformShard:
+    """Worker entry point: simulate one platform against private sinks.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
+    it; ``config`` is :meth:`FleetSimulation.config`.
+    """
+    sim = FleetSimulation(**config)
+    profiler = sim.profiler_for(name)
+    telemetry = CapacityTelemetry()
+    platform = sim.build_platform(name, profiler, telemetry)
+    e2e, controller = sim.serve_platform(name, platform)
+    return PlatformShard(
+        name=name,
+        summary=PlatformSummary.from_platform(platform),
+        profiler=profiler,
+        telemetry=telemetry.summary(),
+        e2e=e2e,
+        chaos=ChaosSummary.from_controller(controller) if controller else None,
+    )
+
+
+def _assemble(sim: FleetSimulation, shards: Sequence[PlatformShard]) -> FleetResult:
+    """Merge per-platform shards into one :class:`FleetResult`.
+
+    ``shards`` must be in :data:`PLATFORMS` order; the merge then replays
+    exactly what the sequential driver does -- the OLTP shards are absorbed
+    whole (samples plus CPU-second/credit accounting) and the BigQuery shard
+    is sample-extended last -- so intern tables, sample order, and derived
+    counters come out identical.
+    """
+    profiler = sim.fleet_profiler()
+    for shard in shards:
+        if shard.name == BIGQUERY:
+            profiler.extend(shard.profiler.samples)
+        else:
+            profiler.merge(shard.profiler)
+    return FleetResult(
+        platforms={shard.name: shard.summary for shard in shards},
+        profiler=profiler,
+        telemetry=TelemetrySummary.merged(shard.telemetry for shard in shards),
+        e2e={shard.name: shard.e2e for shard in shards},
+        chaos={
+            shard.name: shard.chaos for shard in shards if shard.chaos is not None
+        },
+    )
+
+
+def run_parallel(
+    sim: FleetSimulation, *, max_workers: int | None = None
+) -> FleetResult:
+    """Run a fleet simulation with one subprocess per platform."""
+    config = sim.config()
+    with ProcessPoolExecutor(max_workers=max_workers or len(PLATFORMS)) as pool:
+        futures = [
+            pool.submit(_run_platform_shard, config, name) for name in PLATFORMS
+        ]
+        shards = [future.result() for future in futures]
+    return _assemble(sim, shards)
+
+
+class ParallelFleetSimulation(FleetSimulation):
+    """Drop-in :class:`FleetSimulation` whose :meth:`run` fans out.
+
+    Accepts the same configuration; ``max_workers`` bounds the process pool
+    (default: one worker per platform).
+    """
+
+    def __init__(self, *, max_workers: int | None = None, **kwargs):
+        super().__init__(**kwargs)
+        self.max_workers = max_workers
+
+    def run(self) -> FleetResult:
+        return run_parallel(self, max_workers=self.max_workers)
+
+
+def sweep_seeds(
+    seeds: Iterable[int],
+    *,
+    max_workers: int | None = None,
+    **kwargs,
+) -> dict[int, FleetResult]:
+    """Run one fleet simulation per seed, sharing a single process pool.
+
+    All ``len(seeds) * len(PLATFORMS)`` platform shards are submitted at
+    once, so a multi-seed study saturates the pool instead of running seeds
+    back to back.  ``kwargs`` are forwarded to :class:`FleetSimulation`
+    (minus ``seed``).  Returns ``{seed: FleetResult}`` in input order.
+    """
+    seeds = list(seeds)
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("duplicate seeds in sweep")
+    sims = {seed: FleetSimulation(seed=seed, **kwargs) for seed in seeds}
+    workers = max_workers or min(8, max(1, len(seeds) * len(PLATFORMS)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            seed: [
+                pool.submit(_run_platform_shard, sims[seed].config(), name)
+                for name in PLATFORMS
+            ]
+            for seed in seeds
+        }
+        return {
+            seed: _assemble(sims[seed], [f.result() for f in shard_futures])
+            for seed, shard_futures in futures.items()
+        }

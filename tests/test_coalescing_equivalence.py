@@ -1,0 +1,239 @@
+"""Golden equivalence: CPU-chunk coalescing must not change any measurement.
+
+The coalesced fast path (`ServerNode.compute_batch` + `_BatchRecorder`)
+exists purely for speed; every observable -- span tuples, profiler samples,
+end-to-end breakdowns, cycle breakdowns -- must be byte-identical to the
+uncoalesced chunk-by-chunk path.  These tests run both paths and compare
+exact floats (no tolerances: the invariant is identity, not closeness).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ServerNode, Topology, WorkContext
+from repro.profiling.dapper import SpanKind, Trace
+from repro.profiling.gwp import FleetProfiler
+from repro.sim import Environment
+from repro.workloads.calibration import PLATFORMS
+from repro.workloads.fleet import FleetSimulation
+
+QUERIES = {"Spanner": 6, "BigTable": 6, "BigQuery": 3}
+
+
+def _span_rows(trace):
+    return [
+        (s.span_id, s.parent_id, s.name, s.kind, s.start, s.end, s.annotations)
+        for s in trace.spans
+    ]
+
+
+def _sample_rows(profiler):
+    return [
+        (s.platform, s.function, s.category_key, s.cycles, s.timestamp)
+        for s in profiler.samples
+    ]
+
+
+def _breakdown_rows(e2e):
+    return [
+        (q.name, q.t_e2e, q.t_cpu, q.t_remote, q.t_io, q.t_unattributed,
+         q.overlap_hidden)
+        for q in e2e.queries
+    ]
+
+
+@pytest.fixture(scope="module", params=[0, 1, 2])
+def fleet_pair(request):
+    seed = request.param
+    coalesced = FleetSimulation(queries=QUERIES, seed=seed, coalesce=True).run()
+    chunked = FleetSimulation(queries=QUERIES, seed=seed, coalesce=False).run()
+    return coalesced, chunked
+
+
+class TestFleetEquivalence:
+    def test_samples_identical(self, fleet_pair):
+        coalesced, chunked = fleet_pair
+        assert _sample_rows(coalesced.profiler) == _sample_rows(chunked.profiler)
+
+    def test_cpu_seconds_identical(self, fleet_pair):
+        coalesced, chunked = fleet_pair
+        for platform in PLATFORMS:
+            assert coalesced.profiler.cpu_seconds(
+                platform
+            ) == chunked.profiler.cpu_seconds(platform)
+
+    def test_e2e_breakdowns_identical(self, fleet_pair):
+        coalesced, chunked = fleet_pair
+        for platform in PLATFORMS:
+            assert _breakdown_rows(coalesced.e2e[platform]) == _breakdown_rows(
+                chunked.e2e[platform]
+            )
+
+    def test_cycle_breakdowns_identical(self, fleet_pair):
+        coalesced, chunked = fleet_pair
+        for platform in PLATFORMS:
+            assert (
+                coalesced.cycles[platform].cycles_by_category
+                == chunked.cycles[platform].cycles_by_category
+            )
+
+    def test_traces_identical(self, fleet_pair):
+        coalesced, chunked = fleet_pair
+        for platform in PLATFORMS:
+            a = coalesced.platforms[platform].tracer.finished_traces()
+            b = chunked.platforms[platform].tracer.finished_traces()
+            assert len(a) == len(b)
+            for ta, tb in zip(a, b):
+                assert (ta.trace_id, ta.name, ta.start, ta.end) == (
+                    tb.trace_id, tb.name, tb.start, tb.end,
+                )
+                assert _span_rows(ta) == _span_rows(tb)
+
+    def test_query_records_identical(self, fleet_pair):
+        coalesced, chunked = fleet_pair
+        for platform in PLATFORMS:
+            assert (
+                coalesced.platforms[platform].records
+                == chunked.platforms[platform].records
+            )
+
+
+class TestBareNodeEquivalence:
+    """compute_batch vs per-chunk compute on a single node, exact floats."""
+
+    CHUNKS = [
+        ("proto2::ParseFromString", 1.1e-4),
+        ("snappy::RawCompress", 0.9e-4),
+        ("tcmalloc::allocate", 0.0),
+        ("misc_core::stage", 2.3e-4),
+    ]
+
+    def _run(self, batched: bool):
+        env = Environment()
+        node = ServerNode(
+            env=env, name="n0", topology=Topology("us", "us-c0", "r0"), cores=2
+        )
+        profiler = FleetProfiler(sample_period=1e-4)
+        trace = Trace(trace_id=1, name="q", start=0.0)
+        ctx = WorkContext(platform="Spanner", trace=trace, profiler=profiler)
+
+        def work():
+            if batched:
+                yield from node.compute_batch(ctx, self.CHUNKS)
+            else:
+                for function, duration in self.CHUNKS:
+                    yield from node.compute(ctx, function, duration)
+
+        env.run(until=env.process(work()))
+        trace.finish(env.now)
+        return env.now, _span_rows(trace), _sample_rows(profiler)
+
+    def test_identical_observables(self):
+        assert self._run(batched=True) == self._run(batched=False)
+
+    def test_zero_duration_batch(self):
+        env = Environment()
+        node = ServerNode(
+            env=env, name="n0", topology=Topology("us", "us-c0", "r0"), cores=2
+        )
+        profiler = FleetProfiler(sample_period=1e-4)
+        trace = Trace(trace_id=1, name="q", start=0.0)
+        ctx = WorkContext(platform="Spanner", trace=trace, profiler=profiler)
+        chunks = [("a::Zero", 0.0), ("b::Zero", 0.0)]
+        env.run(until=env.process(node.compute_batch(ctx, chunks)))
+        trace.finish(env.now)
+        assert env.now == 0.0
+        assert [row[2] for row in _span_rows(trace)] == ["a::Zero", "b::Zero"]
+
+    def test_crash_mid_batch_drops_tail_chunks(self):
+        """A node crash cancels recorders past env.now, like the slow path."""
+
+        def run(batched: bool):
+            env = Environment()
+            node = ServerNode(
+                env=env, name="n0", topology=Topology("us", "us-c0", "r0"), cores=2
+            )
+            profiler = FleetProfiler(sample_period=1e-4)
+            trace = Trace(trace_id=1, name="q", start=0.0)
+            ctx = WorkContext(platform="Spanner", trace=trace, profiler=profiler)
+            chunks = [("x::One", 1e-3), ("x::Two", 1e-3), ("x::Three", 1e-3)]
+
+            def work():
+                try:
+                    if batched:
+                        yield from node.compute_batch(ctx, chunks)
+                    else:
+                        for function, duration in chunks:
+                            yield from node.compute(ctx, function, duration)
+                except Exception:
+                    pass
+
+            proc = env.process(work())
+            env.schedule_call(1.5e-3, node.crash)
+            env.run(until=proc)
+            env.run()
+            trace.finish(env.now)
+            return _span_rows(trace), _sample_rows(profiler)
+
+        assert run(batched=True) == run(batched=False)
+
+    def test_contended_cores_preserve_fifo(self):
+        """Concurrent tenants: batching only engages while a core stays spare,
+        so queueing and grant order match the chunk-by-chunk run exactly."""
+
+        def run(batched: bool):
+            env = Environment()
+            node = ServerNode(
+                env=env, name="n0", topology=Topology("us", "us-c0", "r0"), cores=2
+            )
+            profiler = FleetProfiler(sample_period=1e-4)
+            trace = Trace(trace_id=1, name="q", start=0.0)
+            ctx = WorkContext(platform="Spanner", trace=trace, profiler=profiler)
+            chunks = [("y::A", 2e-4), ("y::B", 2e-4)]
+
+            def work(tag):
+                if batched:
+                    yield from node.compute_batch(
+                        ctx, [(f"{tag}{name}", d) for name, d in chunks]
+                    )
+                else:
+                    for name, duration in chunks:
+                        yield from node.compute(ctx, f"{tag}{name}", duration)
+
+            procs = [env.process(work(f"t{i}.")) for i in range(3)]
+            for proc in procs:
+                env.run(until=proc)
+            trace.finish(env.now)
+            return env.now, _span_rows(trace), _sample_rows(profiler)
+
+        assert run(batched=True) == run(batched=False)
+
+
+class TestRecordWorkBatchProperty:
+    @given(
+        chunks=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["proto2::Parse", "snappy::RawCompress", "misc_core::x"]
+                ),
+                st.floats(min_value=0.0, max_value=5e-4, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            max_size=40,
+        ),
+        period=st.sampled_from([5e-5, 1e-4, 2e-3]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_equals_chunk_by_chunk(self, chunks, period):
+        batch = FleetProfiler(sample_period=period)
+        single = FleetProfiler(sample_period=period)
+        taken_batch = batch.record_work_batch("Spanner", chunks)
+        taken_single = sum(
+            single.record_work("Spanner", fn, d, when) for fn, d, when in chunks
+        )
+        assert taken_batch == taken_single
+        assert _sample_rows(batch) == _sample_rows(single)
+        assert batch.cpu_seconds("Spanner") == pytest.approx(
+            single.cpu_seconds("Spanner"), abs=0, rel=0
+        )
