@@ -17,12 +17,15 @@ import os
 import time
 from pathlib import Path
 
+from repro.api import FleetConfig, Profile, Telemetry, run_fleet
 from repro.workloads.calibration import PLATFORMS
 from repro.workloads.fleet import FleetSimulation
 from repro.workloads.parallel import ParallelFleetSimulation
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 REPORT_PATH = REPO_ROOT / "BENCH_fleet.json"
+PROM_PATH = REPO_ROOT / "BENCH_fleet.prom"
+FOLDED_PATH = REPO_ROOT / "BENCH_fleet.folded"
 
 QUERIES = 60
 SEED = 0
@@ -50,6 +53,10 @@ def test_fleet_hot_path_perf_report():
     sequential, seq_wall = _timed_run(FleetSimulation(queries=QUERIES, seed=SEED))
     parallel, par_wall = _timed_run(ParallelFleetSimulation(queries=QUERIES, seed=SEED))
 
+    observed_start = time.perf_counter()
+    observed = run_fleet(FleetConfig(queries=QUERIES, seed=SEED, observability=True))
+    obs_wall = time.perf_counter() - observed_start
+
     samples = sequential.profiler.sample_count()
     events = sum(
         sequential.platforms[name].env.events_processed for name in PLATFORMS
@@ -58,10 +65,16 @@ def test_fleet_hot_path_perf_report():
         sequential.platforms[name].queries_served for name in PLATFORMS
     )
 
-    # Determinism guards: optimization must not change measured numbers.
+    # Determinism guards: optimization must not change measured numbers,
+    # and neither must the observability layer.
     assert samples == EXPECTED_SAMPLES
     assert parallel.profiler.sample_count() == samples
+    assert observed.profiler.sample_count() == samples
     assert queries_served == QUERIES * len(PLATFORMS)
+
+    # Export artifacts ride along with the JSON report in CI.
+    PROM_PATH.write_text(Telemetry(observed).prometheus())
+    FOLDED_PATH.write_text(Profile(observed).folded())
 
     report = {
         "workload": {"queries_per_platform": QUERIES, "seed": SEED},
@@ -80,8 +93,17 @@ def test_fleet_hot_path_perf_report():
             "dominates this workload) and by host CPU count; wins on "
             "multicore hosts and multi-seed sweeps",
         },
+        "observed": {
+            "wall_seconds": round(obs_wall, 3),
+            "overhead_vs_sequential": round(obs_wall / seq_wall, 2),
+            "samples": observed.profiler.sample_count(),
+            "note": "sequential run with the metrics registry + periodic "
+            "scraper enabled; measurements are asserted byte-identical",
+        },
         "baseline_pre_coalescing": BASELINE,
     }
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {REPORT_PATH}")
+    print(f"wrote {PROM_PATH}")
+    print(f"wrote {FOLDED_PATH}")
     print(json.dumps(report, indent=2))

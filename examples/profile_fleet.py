@@ -20,8 +20,8 @@ from repro.analysis import (
     table1_data,
     table6_data,
 )
+from repro.api import FleetConfig, run_fleet
 from repro.workloads.calibration import BIGQUERY, BIGTABLE, SPANNER
-from repro.workloads.fleet import FleetSimulation
 
 
 def main() -> None:
@@ -32,7 +32,7 @@ def main() -> None:
         BIGQUERY: max(10, database_queries // 6),
     }
     print(f"Simulating one fleet day: {queries} queries ...\n")
-    result = FleetSimulation(queries=queries, seed=2024).run()
+    result = run_fleet(FleetConfig(queries=queries, seed=2024))
 
     for regenerate in (table1_data, figure2_data, figure3_data, figure5_data, table6_data):
         table, comparisons = regenerate(result)

@@ -25,7 +25,12 @@ from repro.analysis.figures import (
 from repro.analysis.report import Comparison, TextTable
 from repro.analysis.tables import table1_data, table6_data, table7_data, table8_data
 
-__all__ = ["table_to_markdown", "comparisons_to_markdown", "write_report"]
+__all__ = [
+    "table_to_markdown",
+    "comparisons_to_markdown",
+    "render_report",
+    "write_report",
+]
 
 
 def table_to_markdown(table: TextTable) -> str:
@@ -57,14 +62,13 @@ def comparisons_to_markdown(comparisons: Iterable[Comparison]) -> str:
     return "\n".join(lines)
 
 
-def write_report(
+def render_report(
     fleet_result,
     table8_result,
-    path: str | Path,
     *,
     title: str = "Reproduction report: Profiling Hyperscale Big Data Processing",
-) -> Path:
-    """Write the full markdown report; returns the path written.
+) -> str:
+    """Render the full markdown report as a string.
 
     Sections: the measurement tables/figures from ``fleet_result``, the
     model figures from the calibrated profiles, and Table 8 from
@@ -108,6 +112,17 @@ def write_report(
         parts.append("")
         parts.append(comparisons_to_markdown(comparisons))
         parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(
+    fleet_result,
+    table8_result,
+    path: str | Path,
+    *,
+    title: str = "Reproduction report: Profiling Hyperscale Big Data Processing",
+) -> Path:
+    """Write the full markdown report; returns the path written."""
     path = Path(path)
-    path.write_text("\n".join(parts))
+    path.write_text(render_report(fleet_result, table8_result, title=title))
     return path

@@ -1,0 +1,303 @@
+"""The stable facade: one place to run, sweep, report, and read a fleet.
+
+Everything the CLI (and downstream scripts) need lives here:
+
+* :class:`FleetConfig` -- one frozen dataclass describing a fleet run,
+  including execution mode (``parallel=True`` fans each platform out to a
+  worker process) so callers never branch on runner classes.
+* :func:`run_fleet` -- the single entry point: config in,
+  :class:`~repro.workloads.fleet.FleetResult` out, sequential or parallel
+  selected by the config.
+* :func:`sweep` -- the Section 6 design-point sweep for one platform.
+* :func:`profile_report` -- the full markdown reproduction report.
+* :class:`Profile` / :class:`Telemetry` -- the read API over a finished
+  run: breakdowns, measured profiles, and folded stacks on one side;
+  Prometheus text, scraped time series, and counter/quantile lookups on
+  the other.
+
+The old direct constructors (``FleetSimulation``,
+``ParallelFleetSimulation``, ...) still work but importing them from
+:mod:`repro.workloads` now raises a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from repro.observability import (
+    ObservabilityConfig,
+    ObservabilityResult,
+    TimeSeries,
+    fleet_traces,
+    folded_stacks,
+    prometheus_text,
+    traces_jsonl,
+)
+from repro.workloads.fleet import FleetResult, FleetSimulation
+
+__all__ = [
+    "FleetConfig",
+    "build_simulation",
+    "run_fleet",
+    "sweep",
+    "SweepResult",
+    "profile_report",
+    "ReportResult",
+    "Profile",
+    "Telemetry",
+]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet run, fully described (execution mode included).
+
+    ``queries`` is either a per-platform mapping or a single int applied to
+    every platform; ``observability=True`` (or a ``{platform: scrape
+    period}`` mapping) turns on the metrics registry and periodic scraper;
+    ``parallel=True`` runs one worker process per platform with a
+    deterministic merge -- same measurements either way.
+    """
+
+    queries: Mapping[str, int] | int = 200
+    seed: int = 0
+    parallel: bool = False
+    max_workers: int | None = None
+    trace_sample_rate: int = 1
+    counter_jitter: float = 0.02
+    bigquery_dataset_rows: int = 4000
+    fault_plans: Mapping[str, Any] | None = None
+    coalesce: bool = True
+    observability: ObservabilityConfig | Mapping[str, float] | bool | None = None
+
+    def with_overrides(self, **overrides) -> "FleetConfig":
+        """A copy with the given fields replaced (validates field names)."""
+        return replace(self, **overrides)
+
+
+def _coerce_config(
+    config: FleetConfig | Mapping[str, Any] | None, overrides: Mapping[str, Any]
+) -> FleetConfig:
+    if config is None:
+        config = FleetConfig()
+    elif isinstance(config, Mapping):
+        config = FleetConfig(**config)
+    elif not isinstance(config, FleetConfig):
+        raise TypeError(f"expected FleetConfig, mapping, or None, got {config!r}")
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config
+
+
+def build_simulation(
+    config: FleetConfig | Mapping[str, Any] | None = None, **overrides
+) -> FleetSimulation:
+    """The simulation object a config describes (parallel-aware)."""
+    config = _coerce_config(config, overrides)
+    kwargs = {
+        f.name: getattr(config, f.name)
+        for f in fields(config)
+        if f.name not in ("parallel", "max_workers")
+    }
+    if config.parallel:
+        from repro.workloads.parallel import ParallelFleetSimulation
+
+        return ParallelFleetSimulation(max_workers=config.max_workers, **kwargs)
+    return FleetSimulation(**kwargs)
+
+
+def run_fleet(
+    config: FleetConfig | Mapping[str, Any] | None = None,
+    *,
+    progress=None,
+    **overrides,
+) -> FleetResult:
+    """Run one fleet simulation and return its full measurement set.
+
+    The one entry point: sequential vs parallel comes from
+    ``config.parallel``.  ``progress`` (optional, requires observability)
+    is a queue-like object that receives live
+    ``(platform, sim_time, queries_served, gwp_samples)`` rows during the
+    run -- the channel behind ``repro top``.
+    """
+    sim = build_simulation(config, **overrides)
+    if progress is not None:
+        sim.progress_sink = progress
+    return sim.run()
+
+
+# -- design-point sweep -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One platform's Section 6 acceleration design points."""
+
+    platform: str
+    speedup: float
+    targets: tuple[str, ...]
+    #: ``(accelerator-system label, modeled fleet speedup)`` per design point.
+    points: tuple[tuple[str, float], ...]
+
+    def __bool__(self) -> bool:
+        return bool(self.targets)
+
+
+def sweep(platform: str, *, speedup: float = 8.0) -> SweepResult:
+    """Model the accelerator design points for one platform.
+
+    Evaluates every :data:`~repro.core.scenario.FEATURE_CONFIGS` system at
+    the given per-component speedup against the platform's calibrated
+    profile.  An empty ``targets`` tuple means the platform has no
+    accelerated components -- callers should treat that as an empty result
+    set, not a zero-speedup one.
+    """
+    from repro.core.scenario import FEATURE_CONFIGS, platform_speedup
+    from repro.workloads.calibration import accelerated_targets, build_profile
+
+    profile = build_profile(platform)
+    targets = accelerated_targets(platform)
+    points = tuple(
+        (
+            config.label,
+            platform_speedup(profile, targets, config.with_speedup(speedup)),
+        )
+        for config in FEATURE_CONFIGS
+    )
+    return SweepResult(
+        platform=platform, speedup=speedup, targets=tuple(targets), points=points
+    )
+
+
+# -- full report --------------------------------------------------------------
+
+
+@dataclass
+class ReportResult:
+    """A rendered reproduction report plus the runs behind it."""
+
+    markdown: str
+    fleet: FleetResult
+    validation: Any
+
+    @property
+    def queries_served(self) -> int:
+        return sum(p.queries_served for p in self.fleet.platforms.values())
+
+
+def profile_report(
+    config: FleetConfig | Mapping[str, Any] | None = None,
+    *,
+    validation_seed: int = 0,
+    title: str | None = None,
+    **overrides,
+) -> ReportResult:
+    """Run the fleet + the Table 8 experiment and render the full report.
+
+    Raises :class:`ValueError` when the fleet served no queries -- an empty
+    result set renders nothing meaningful, and callers (the CLI) surface
+    that as a non-zero exit instead of writing a hollow report.
+    """
+    from repro.analysis.markdown import render_report
+    from repro.soc import ValidationExperiment
+
+    fleet = run_fleet(config, **overrides)
+    if sum(p.queries_served for p in fleet.platforms.values()) == 0:
+        raise ValueError("fleet served no queries; nothing to report")
+    validation = ValidationExperiment(seed=validation_seed).run()
+    kwargs = {} if title is None else {"title": title}
+    markdown = render_report(fleet, validation, **kwargs)
+    return ReportResult(markdown=markdown, fleet=fleet, validation=validation)
+
+
+# -- read API -----------------------------------------------------------------
+
+
+class Profile:
+    """Read API over a fleet run's profiling measurements.
+
+    Wraps a :class:`~repro.workloads.fleet.FleetResult` and exposes the
+    GWP/Dapper side: cycle and end-to-end breakdowns, measured platform
+    profiles, folded flamegraph stacks, and JSONL trace search.
+    """
+
+    def __init__(self, result: FleetResult):
+        self.result = result
+
+    def platforms(self) -> tuple[str, ...]:
+        return tuple(self.result.platforms)
+
+    def sample_count(self, platform: str | None = None) -> int:
+        profiler = self.result.profiler
+        if platform is not None:
+            return profiler.sample_count(platform)
+        return sum(profiler.sample_count(name) for name in self.platforms())
+
+    def cycle_breakdown(self, platform: str):
+        return self.result.cycles[platform]
+
+    def e2e_breakdown(self, platform: str):
+        return self.result.e2e[platform]
+
+    def measured_profile(self, platform: str):
+        return self.result.measured_profile(platform)
+
+    def folded(self, *, platform: str | None = None, weight: str = "cycles") -> str:
+        """GWP samples as folded flamegraph stacks (see exporters)."""
+        return folded_stacks(self.result.profiler, platform=platform, weight=weight)
+
+    def traces(self, **filters):
+        """Finished Dapper traces matching the given search predicates."""
+        from repro.observability.exporters import search_traces
+
+        return list(search_traces(fleet_traces(self.result), **filters))
+
+    def traces_jsonl(self, **filters) -> str:
+        return traces_jsonl(fleet_traces(self.result), **filters)
+
+
+class Telemetry:
+    """Read API over a fleet run's metrics and capacity telemetry.
+
+    The observability half of the read surface: Prometheus text, scraped
+    time series, counter/quantile lookups, and the Table 1 capacity rows.
+    Metric lookups require the run to have been observed
+    (``observability=True``); capacity rows work either way.
+    """
+
+    def __init__(self, result: FleetResult):
+        self.result = result
+
+    @property
+    def observed(self) -> bool:
+        return self.result.metrics is not None
+
+    def _require(self) -> ObservabilityResult:
+        if self.result.metrics is None:
+            raise ValueError(
+                "run was not observed; pass observability=True to run_fleet"
+            )
+        return self.result.metrics
+
+    def prometheus(self) -> str:
+        return prometheus_text(self._require().registry)
+
+    def series(self, platform: str) -> TimeSeries:
+        return self._require().series[platform]
+
+    def counter(self, name: str, /, **labels) -> float:
+        # Positional-only so label keys like ``name`` never collide.
+        return self._require().registry.counter_value(name, **labels)
+
+    def quantile(self, name: str, q: float, /, **labels) -> float:
+        family = self._require().registry.find(name)
+        if family is None:
+            raise KeyError(f"no metric family named {name!r}")
+        child = family.get(**labels)
+        if child is None:
+            raise KeyError(f"{name}: no child with labels {labels!r}")
+        return child.quantile(q)
+
+    def table1_rows(self) -> dict[str, tuple[float, float, float]]:
+        return self.result.table1_rows()

@@ -3,18 +3,23 @@
 Usage::
 
     repro fleet [--queries N] [--seed S] [--parallel]  # Tables 1, 6, 7 + Figures 2-6
+    repro top [--queries N] [--parallel]        # live-ish summary of an observed run
+    repro export --format prom|folded|jsonl     # exporters over an observed run
     repro validate [--batch N]                  # Table 8 on the simulated SoC
     repro model [--figure 9|10|13|14|15]        # the Section 6 model figures
     repro sweep --platform Spanner [--speedup 8]  # one platform's design points
+    repro report [--out report.md]              # the full markdown report
 
-Installed as the ``repro`` console script; also runnable as
-``python -m repro.cli``.
+Every fleet run goes through :func:`repro.api.run_fleet`; this module is
+argument parsing and presentation only.  Installed as the ``repro`` console
+script; also runnable as ``python -m repro.cli``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import (
@@ -68,6 +73,75 @@ def build_parser() -> argparse.ArgumentParser:
         "(identical results, lower wall-clock)",
     )
 
+    top = sub.add_parser(
+        "top",
+        help="run an observed fleet, streaming scrape rows and printing a "
+        "top-style summary at the end",
+    )
+    top.add_argument("--queries", type=int, default=150, help="queries per database")
+    top.add_argument("--seed", type=int, default=42)
+    top.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan platforms out to worker processes; live rows arrive over "
+        "the worker merge channel",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="minimum wall-clock seconds between printed rows per platform",
+    )
+
+    export = sub.add_parser(
+        "export",
+        help="run an observed fleet and export metrics, stacks, or traces",
+    )
+    export.add_argument(
+        "--format",
+        choices=("prom", "folded", "jsonl"),
+        required=True,
+        help="prom: Prometheus text; folded: flamegraph stacks; "
+        "jsonl: Dapper trace search",
+    )
+    export.add_argument(
+        "--queries", type=int, default=6, help="queries per OLTP platform"
+    )
+    export.add_argument(
+        "--bigquery-queries",
+        type=int,
+        default=3,
+        help="queries for BigQuery (its queries run ~1000x longer)",
+    )
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument(
+        "--parallel",
+        action="store_true",
+        help="parallel workers (ignored for jsonl: span trees do not cross "
+        "the process boundary)",
+    )
+    export.add_argument(
+        "--out", default="-", help="output path, or '-' for stdout (default)"
+    )
+    export.add_argument(
+        "--platform", default=None, help="folded: only this platform's stacks"
+    )
+    export.add_argument(
+        "--weight",
+        choices=("cycles", "samples"),
+        default="cycles",
+        help="folded: stack weights",
+    )
+    export.add_argument(
+        "--name-contains", default=None, help="jsonl: trace name substring filter"
+    )
+    export.add_argument(
+        "--min-duration", type=float, default=None, help="jsonl: duration floor"
+    )
+    export.add_argument(
+        "--errors-only", action="store_true", help="jsonl: failed traces only"
+    )
+
     validate = sub.add_parser("validate", help="reproduce Table 8 on the SoC model")
     validate.add_argument("--batch", type=int, default=100, help="messages per batch")
     validate.add_argument("--seed", type=int, default=0)
@@ -85,11 +159,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--platform", choices=("Spanner", "BigTable", "BigQuery"), default="Spanner"
     )
     sweep.add_argument("--speedup", type=float, default=8.0)
+    sweep.add_argument(
+        "--out", default="-", help="output path, or '-' for stdout (default)"
+    )
 
     report = sub.add_parser(
         "report", help="run everything and write a markdown reproduction report"
     )
-    report.add_argument("--out", default="reproduction_report.md")
+    report.add_argument(
+        "--out",
+        default="reproduction_report.md",
+        help="output path, or '-' for stdout",
+    )
     report.add_argument("--queries", type=int, default=150)
     report.add_argument("--seed", type=int, default=42)
     return parser
@@ -103,21 +184,37 @@ def _print(table, comparisons, compare: bool) -> None:
     print()
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.workloads.fleet import FleetSimulation
-
-    queries = {
+def _fleet_queries(args: argparse.Namespace) -> dict[str, int]:
+    bigquery = getattr(args, "bigquery_queries", None)
+    if bigquery is None:
+        # An explicitly empty fleet stays empty (``--queries 0``).
+        bigquery = max(10, args.queries // 6) if args.queries else 0
+    return {
         "Spanner": args.queries,
         "BigTable": args.queries,
-        "BigQuery": max(10, args.queries // 6),
+        "BigQuery": bigquery,
     }
-    print(f"simulating fleet: {queries} queries, seed {args.seed} ...\n")
-    if getattr(args, "parallel", False):
-        from repro.workloads.parallel import ParallelFleetSimulation
 
-        result = ParallelFleetSimulation(queries=queries, seed=args.seed).run()
+
+def _write_out(text: str, out: str) -> None:
+    """Write to a path, or to stdout when ``out`` is ``-``."""
+    if out == "-":
+        sys.stdout.write(text)
+        if text and not text.endswith("\n"):
+            sys.stdout.write("\n")
     else:
-        result = FleetSimulation(queries=queries, seed=args.seed).run()
+        Path(out).write_text(text)
+        print(f"wrote {out}")
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro import api
+
+    queries = _fleet_queries(args)
+    print(f"simulating fleet: {queries} queries, seed {args.seed} ...\n")
+    result = api.run_fleet(
+        api.FleetConfig(queries=queries, seed=args.seed, parallel=args.parallel)
+    )
     for regenerate in (
         table1_data,
         figure2_data,
@@ -130,6 +227,131 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     ):
         table, comparisons = regenerate(result)
         _print(table, comparisons, args.compare)
+    return 0
+
+
+class _ThrottledPrinter:
+    """Prints per-platform scrape rows at most once per interval."""
+
+    def __init__(self, interval: float):
+        self._interval = interval
+        self._last: dict[str, float] = {}
+
+    def put(self, row) -> None:
+        import time
+
+        name, sim_now, served, samples = row
+        now = time.monotonic()
+        if now - self._last.get(name, float("-inf")) < self._interval:
+            return
+        self._last[name] = now
+        print(
+            f"  {name:<10} t={sim_now:>10.4f}s  served={served:<6d} "
+            f"gwp_samples={samples}",
+            flush=True,
+        )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro import api
+
+    queries = _fleet_queries(args)
+    config = api.FleetConfig(
+        queries=queries,
+        seed=args.seed,
+        parallel=args.parallel,
+        observability=True,
+    )
+    print(f"observing fleet: {queries} queries, seed {args.seed} ...")
+    printer = _ThrottledPrinter(args.interval)
+    if args.parallel:
+        import multiprocessing
+        import queue as queue_mod
+        import threading
+
+        manager = multiprocessing.Manager()
+        channel = manager.Queue()
+        stop = threading.Event()
+
+        def drain() -> None:
+            while not stop.is_set():
+                try:
+                    printer.put(channel.get(timeout=0.2))
+                except (queue_mod.Empty, EOFError, OSError):
+                    continue
+
+        drainer = threading.Thread(target=drain, daemon=True)
+        drainer.start()
+        try:
+            result = api.run_fleet(config, progress=channel)
+        finally:
+            stop.set()
+            drainer.join(timeout=2.0)
+            manager.shutdown()
+    else:
+        result = api.run_fleet(config, progress=printer)
+
+    telemetry = api.Telemetry(result)
+    print()
+    header = (
+        f"{'platform':<10} {'queries':>8} {'sim_s':>10} {'qps':>10} "
+        f"{'p50_ms':>9} {'p90_ms':>9} {'p99_ms':>9} {'samples':>9}"
+    )
+    print(header)
+    for name, platform in result.platforms.items():
+        served = platform.queries_served
+        horizon = platform.env.now
+        qps = served / horizon if horizon > 0 else 0.0
+        quantiles = [
+            telemetry.quantile("repro_query_latency_seconds", q, platform=name) * 1e3
+            for q in (0.5, 0.9, 0.99)
+        ]
+        print(
+            f"{name:<10} {served:>8d} {horizon:>10.4f} {qps:>10.1f} "
+            f"{quantiles[0]:>9.3f} {quantiles[1]:>9.3f} {quantiles[2]:>9.3f} "
+            f"{result.profiler.sample_count(name):>9d}"
+        )
+    hottest: dict[str, float] = {}
+    for line in api.Profile(result).folded().splitlines():
+        stack, _, weight = line.rpartition(" ")
+        function = stack.rsplit(";", 1)[-1]
+        hottest[function] = hottest.get(function, 0.0) + float(weight)
+    print("\nhottest functions (sampled cycles):")
+    for function, cycles in sorted(hottest.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"  {function:<28} {cycles:>14.0f}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro import api
+
+    # Traces live on in-process platform objects only; a parallel run has
+    # none to export, so jsonl always runs sequentially.
+    parallel = args.parallel and args.format != "jsonl"
+    result = api.run_fleet(
+        api.FleetConfig(
+            queries=_fleet_queries(args),
+            seed=args.seed,
+            parallel=parallel,
+            observability=True,
+        )
+    )
+    if args.format == "prom":
+        text = api.Telemetry(result).prometheus()
+    elif args.format == "folded":
+        text = api.Profile(result).folded(
+            platform=args.platform, weight=args.weight
+        )
+    else:
+        text = api.Profile(result).traces_jsonl(
+            name_contains=args.name_contains,
+            min_duration=args.min_duration,
+            errors_only=args.errors_only,
+        )
+    if not text:
+        print(f"export produced no {args.format} output", file=sys.stderr)
+        return 1
+    _write_out(text, args.out)
     return 0
 
 
@@ -151,33 +373,42 @@ def _cmd_model(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.core.scenario import FEATURE_CONFIGS, platform_speedup
-    from repro.workloads.calibration import accelerated_targets, build_profile
+    from repro import api
 
-    profile = build_profile(args.platform)
-    targets = accelerated_targets(args.platform)
-    print(f"{args.platform}: accelerating {len(targets)} components at {args.speedup:g}x")
-    for config in FEATURE_CONFIGS:
-        value = platform_speedup(profile, targets, config.with_speedup(args.speedup))
-        print(f"  {config.label:<18} {value:6.3f}x")
+    result = api.sweep(args.platform, speedup=args.speedup)
+    if not result.targets:
+        print(
+            f"{args.platform}: no accelerated components; empty sweep",
+            file=sys.stderr,
+        )
+        return 2
+    lines = [
+        f"{args.platform}: accelerating {len(result.targets)} components "
+        f"at {args.speedup:g}x"
+    ]
+    lines.extend(
+        f"  {label:<18} {value:6.3f}x" for label, value in result.points
+    )
+    _write_out("\n".join(lines) + "\n", args.out)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis.markdown import write_report
-    from repro.soc import ValidationExperiment
-    from repro.workloads.fleet import FleetSimulation
+    from repro import api
 
-    queries = {
-        "Spanner": args.queries,
-        "BigTable": args.queries,
-        "BigQuery": max(10, args.queries // 6),
-    }
+    queries = _fleet_queries(args)
     print(f"simulating fleet ({queries}) and the Table 8 experiment ...")
-    fleet = FleetSimulation(queries=queries, seed=args.seed).run()
-    table8 = ValidationExperiment(seed=0).run()
-    path = write_report(fleet, table8, args.out)
-    print(f"wrote {path}")
+    try:
+        report = api.profile_report(
+            api.FleetConfig(queries=queries, seed=args.seed)
+        )
+    except ValueError as error:
+        print(f"report failed: {error}", file=sys.stderr)
+        return 1
+    if report.queries_served == 0:
+        print("report failed: fleet served no queries", file=sys.stderr)
+        return 1
+    _write_out(report.markdown, args.out)
     return 0
 
 
@@ -185,6 +416,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "fleet": _cmd_fleet,
+        "top": _cmd_top,
+        "export": _cmd_export,
         "validate": _cmd_validate,
         "model": _cmd_model,
         "sweep": _cmd_sweep,

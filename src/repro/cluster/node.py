@@ -38,6 +38,11 @@ class WorkContext:
     trace: Optional[Trace] = None
     profiler: Optional[FleetProfiler] = None
     parent_span: Optional[Span] = None
+    #: Optional observability sink (a
+    #: :class:`repro.observability.MetricsRegistry`).  Carried alongside the
+    #: trace/profiler so the RPC and storage layers can publish counters
+    #: without new plumbing; ``None`` means observability is off.
+    metrics: Optional[object] = None
 
     def child(self, parent_span: Optional[Span]) -> "WorkContext":
         return WorkContext(
@@ -45,6 +50,7 @@ class WorkContext:
             trace=self.trace,
             profiler=self.profiler,
             parent_span=parent_span,
+            metrics=self.metrics,
         )
 
     def record_span(

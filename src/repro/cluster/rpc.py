@@ -35,6 +35,34 @@ CpuChunks = Iterable[tuple[str, float]]
 Handler = Callable[[WorkContext, Any], Generator]
 
 
+def _publish_call(
+    ctx: WorkContext, service: "RpcService", outcome: str, seconds: float
+) -> None:
+    """Publish one call's outcome to the observability registry (if any).
+
+    Pure registry writes -- never touches simulation state, so RPC timing
+    and spans are identical with observability on or off.
+    """
+    metrics = ctx.metrics
+    if metrics is None:
+        return
+    metrics.inc(
+        "repro_rpc_calls_total",
+        "RPC calls by service and outcome",
+        platform=ctx.platform,
+        service=service.name,
+        outcome=outcome,
+    )
+    if outcome == "ok":
+        metrics.observe(
+            "repro_rpc_latency_seconds",
+            seconds,
+            "Client send-to-receive RPC interval",
+            platform=ctx.platform,
+            service=service.name,
+        )
+
+
 class RpcError(RuntimeError):
     """Raised when a call fails (service down) or exceeds its deadline."""
 
@@ -149,6 +177,7 @@ def rpc_call(
             service=service.name,
             error="partition",
         )
+        _publish_call(ctx, service, "partition", env.now - wait_start)
         return RpcError(f"service {service.name!r} unreachable (network partition)")
 
     if not service.available:
@@ -169,6 +198,7 @@ def rpc_call(
             service=service.name,
             error="unavailable",
         )
+        _publish_call(ctx, service, "unavailable", env.now - wait_start)
         raise RpcError(f"service {service.name!r} unavailable")
 
     # Request flight time.
@@ -208,6 +238,7 @@ def rpc_call(
                 service=service.name,
                 error="deadline",
             )
+            _publish_call(ctx, service, "deadline", env.now - wait_start)
             raise RpcError(
                 f"{service.name}.{method}: deadline of {deadline}s exceeded"
             )
@@ -233,6 +264,7 @@ def rpc_call(
         request_bytes=request_bytes,
         response_bytes=response_bytes,
     )
+    _publish_call(ctx, service, "ok", env.now - wait_start)
 
     # Client-side unmarshalling.
     yield from client.compute_many(ctx, list(client_recv_chunks))

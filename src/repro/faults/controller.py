@@ -28,10 +28,18 @@ __all__ = ["ChaosController"]
 class ChaosController:
     """Injects one :class:`FaultPlan` into one environment's resources."""
 
-    def __init__(self, env: Environment, plan: FaultPlan, *, name: str = "chaos"):
+    def __init__(
+        self,
+        env: Environment,
+        plan: FaultPlan,
+        *,
+        name: str = "chaos",
+        metrics: Any = None,
+    ):
         self.env = env
         self.plan = plan
         self.name = name
+        self.metrics = metrics
         self.trace = Trace(trace_id=-1, name=f"chaos:{name}", start=env.now)
         self.injected: list[tuple[FaultEvent, float]] = []
         self.healed: list[tuple[FaultEvent, float]] = []
@@ -70,7 +78,10 @@ class ChaosController:
         ``storage-<index>``.
         """
         controller = cls(
-            platform.env, plan, name=name or platform.platform_name.lower()
+            platform.env,
+            plan,
+            name=name or platform.platform_name.lower(),
+            metrics=getattr(platform, "metrics", None),
         )
         for node in platform.cluster.nodes:
             controller.attach_node(node)
@@ -128,6 +139,7 @@ class ChaosController:
             handle = self._apply(event)
             now = self.env.now
             self.injected.append((event, now))
+            self._count("repro_faults_injected_total", event)
             self.trace.record(
                 f"chaos:{event.kind.value}:{event.target}",
                 SpanKind.REMOTE,
@@ -148,6 +160,7 @@ class ChaosController:
         self._heal(event, handle)
         now = self.env.now
         self.healed.append((event, now))
+        self._count("repro_faults_healed_total", event)
         if not self.trace.finished:
             self.trace.record(
                 f"chaos:heal:{event.target}",
@@ -156,6 +169,17 @@ class ChaosController:
                 now,
                 fault_id=event.fault_id,
                 healed=True,
+            )
+
+    def _count(self, metric: str, event: FaultEvent) -> None:
+        """Registry-only bookkeeping; the injected/healed ledgers stay the
+        measurement of record."""
+        if self.metrics is not None:
+            self.metrics.inc(
+                metric,
+                "Chaos controller fault events",
+                name=self.name,
+                kind=event.kind.value,
             )
 
     def _apply(self, event: FaultEvent) -> Any:

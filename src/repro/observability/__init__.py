@@ -1,0 +1,67 @@
+"""Live observability for the simulated fleet (the always-on GWP/Dapper view).
+
+The paper's methodology is *continuous* fleet observation; this package
+gives the reproduction the same property.  During a fleet run every layer
+publishes into one :class:`MetricsRegistry` -- the platform serve loops
+(query counters, latency quantile sketches), the RPC fabric (per-service
+call counters and latency), the chaos controller (injection/heal ledgers),
+the storage tiers and the sim engine (scraped gauges) -- while a
+:class:`~repro.observability.scraper.Scraper` driven by *simulated* time
+snapshots the whole registry into per-platform time series.
+
+Read side: Prometheus text, folded flamegraph stacks, and JSONL trace
+search (:mod:`repro.observability.exporters`), surfaced on the CLI as
+``repro top`` and ``repro export`` and on the stable facade as
+:mod:`repro.api`.
+
+Observers are strictly read-only: with observability enabled, every
+measurement (samples, breakdowns, tables, chaos ledgers, query records) is
+byte-identical to an unobserved run -- see ``tests/test_observability_parity``.
+"""
+
+from repro.observability.exporters import (
+    fleet_traces,
+    folded_stacks,
+    prometheus_text,
+    search_traces,
+    trace_to_dict,
+    traces_jsonl,
+)
+from repro.observability.observer import (
+    DEFAULT_SCRAPE_PERIODS,
+    ObservabilityConfig,
+    ObservabilityResult,
+    PlatformObserver,
+)
+from repro.observability.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.observability.scraper import Scraper, TimeSeries
+from repro.observability.sketch import DEFAULT_QUANTILES, P2Quantile, QuantileSketch
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "P2Quantile",
+    "QuantileSketch",
+    "DEFAULT_QUANTILES",
+    "Scraper",
+    "TimeSeries",
+    "ObservabilityConfig",
+    "ObservabilityResult",
+    "PlatformObserver",
+    "DEFAULT_SCRAPE_PERIODS",
+    "prometheus_text",
+    "folded_stacks",
+    "traces_jsonl",
+    "trace_to_dict",
+    "search_traces",
+    "fleet_traces",
+]

@@ -1,0 +1,195 @@
+"""Exporters: Prometheus text, folded flamegraph stacks, JSONL trace search.
+
+Three read-side serializations of one observed fleet run:
+
+* :func:`prometheus_text` -- the registry in the Prometheus text exposition
+  format (histograms as summaries with ``quantile`` labels).
+* :func:`folded_stacks` -- GWP samples collapsed into folded flamegraph
+  lines (``platform;broad;fine;function weight``), the input format of
+  ``flamegraph.pl`` / speedscope.
+* :func:`traces_jsonl` / :func:`search_traces` -- Dapper span trees as one
+  JSON object per line, with predicate filtering (name substring,
+  annotation match, minimum duration, error-only).
+
+All output is deterministically ordered so exports golden-test cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from repro import taxonomy
+from repro.observability.registry import Histogram, MetricsRegistry
+from repro.profiling.dapper import Trace
+from repro.profiling.gwp import FleetProfiler
+
+__all__ = [
+    "prometheus_text",
+    "folded_stacks",
+    "trace_to_dict",
+    "traces_jsonl",
+    "search_traces",
+    "fleet_traces",
+]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers bare, floats via repr (lossless)."""
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(value, "NaN")
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labelstr(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    parts = [f'{name}="{value}"' for name, value in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Serialize a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        prom_type = "summary" if family.kind == "histogram" else family.kind
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {prom_type}")
+        for values, child in family.children():
+            base = _labelstr(family.labelnames, values)
+            if isinstance(child, Histogram):
+                for q in child.sketch.quantiles:
+                    qlabel = _labelstr(
+                        family.labelnames, values, f'quantile="{_fmt(q)}"'
+                    )
+                    lines.append(f"{family.name}{qlabel} {_fmt(child.quantile(q))}")
+                lines.append(f"{family.name}_sum{base} {_fmt(child.total)}")
+                lines.append(f"{family.name}_count{base} {_fmt(child.count)}")
+            else:
+                lines.append(f"{family.name}{base} {_fmt(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def folded_stacks(
+    profiler: FleetProfiler,
+    *,
+    platform: str | None = None,
+    weight: str = "cycles",
+) -> str:
+    """Collapse GWP samples into folded flamegraph stacks.
+
+    One line per distinct ``platform;broad;fine;function`` stack with its
+    aggregate weight -- sampled cycles (default, rounded to integers) or raw
+    sample counts (``weight="samples"``).  Lines are sorted for determinism.
+    """
+    if weight not in ("cycles", "samples"):
+        raise ValueError(f"weight must be 'cycles' or 'samples', got {weight!r}")
+    totals: dict[tuple[str, str, str, str], float] = {}
+    # Walk the profiler's columns directly: no CpuSample materialization.
+    pid_col = profiler._pid_col
+    fid_col = profiler._fid_col
+    cid_col = profiler._cid_col
+    cycles_col = profiler._cycles_col
+    platforms = profiler._platform_names
+    functions = profiler._function_names
+    categories = profiler._category_keys
+    broads = profiler._broad_by_cid
+    for row in range(len(fid_col)):
+        pname = platforms[pid_col[row]]
+        if platform is not None and pname != platform:
+            continue
+        cid = cid_col[row]
+        key = (pname, broads[cid].value, categories[cid], functions[fid_col[row]])
+        totals[key] = totals.get(key, 0.0) + (
+            cycles_col[row] if weight == "cycles" else 1.0
+        )
+    lines = [
+        f"{pname};{broad};{fine};{function} {int(round(total))}"
+        for (pname, broad, fine, function), total in sorted(totals.items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- trace search / JSONL ----------------------------------------------------
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    """One trace as a JSON-ready dict (span tree flattened by parent ids)."""
+    return {
+        "trace_id": trace.trace_id,
+        "name": trace.name,
+        "start": trace.start,
+        "end": trace.end,
+        "duration": (trace.end - trace.start) if trace.end is not None else None,
+        "annotations": dict(trace.annotations),
+        "spans": [
+            {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "kind": span.kind.value,
+                "start": span.start,
+                "end": span.end,
+                "annotations": dict(span.annotations),
+            }
+            for span in trace.spans
+        ],
+    }
+
+
+def search_traces(
+    traces: Iterable[Trace],
+    *,
+    name_contains: str | None = None,
+    annotation: str | None = None,
+    annotation_value: str | None = None,
+    min_duration: float | None = None,
+    errors_only: bool = False,
+) -> Iterator[Trace]:
+    """Filter finished traces by simple predicates (all must match)."""
+    for trace in traces:
+        if not trace.finished:
+            continue
+        if name_contains is not None and name_contains not in trace.name:
+            continue
+        if min_duration is not None and trace.duration < min_duration:
+            continue
+        if annotation is not None:
+            if annotation not in trace.annotations:
+                continue
+            if (
+                annotation_value is not None
+                and str(trace.annotations[annotation]) != annotation_value
+            ):
+                continue
+        if errors_only and "error" not in trace.annotations and not trace.error_spans():
+            continue
+        yield trace
+
+
+def traces_jsonl(traces: Iterable[Trace], **filters) -> str:
+    """Matching traces serialized one JSON object per line."""
+    lines = [
+        json.dumps(trace_to_dict(trace), sort_keys=True, default=str)
+        for trace in search_traces(traces, **filters)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def fleet_traces(result) -> list[Trace]:
+    """All finished traces held by a fleet result's *live* platforms.
+
+    Parallel runs carry :class:`~repro.workloads.parallel.PlatformSummary`
+    stand-ins without tracers (span trees do not cross the process
+    boundary); those contribute no traces here.
+    """
+    traces: list[Trace] = []
+    for platform in result.platforms.values():
+        tracer = getattr(platform, "tracer", None)
+        if tracer is not None:
+            traces.extend(tracer.finished_traces())
+    return traces

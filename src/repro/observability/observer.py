@@ -1,0 +1,196 @@
+"""Fleet observability wiring: config, per-platform observers, results.
+
+:class:`PlatformObserver` attaches a :class:`~repro.observability.scraper.Scraper`
+to one platform simulator's environment.  Every scrape refreshes the
+platform's gauges in the shared :class:`MetricsRegistry` (simulation clock,
+event counts, queue depths, queries served, GWP sample counts, storage-tier
+read totals, core occupancy) and appends a row to the platform's
+:class:`TimeSeries`.  Counters and histograms, by contrast, are published
+*inline* by the instrumented layers (platform serve loop, RPC fabric, chaos
+controller) as execution proceeds.
+
+Everything here is read-only with respect to the simulation: observers never
+draw randomness or alter control flow, so measurements are byte-identical
+with observability on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.observability.registry import MetricsRegistry
+from repro.observability.scraper import Scraper, TimeSeries
+
+__all__ = [
+    "DEFAULT_SCRAPE_PERIODS",
+    "ObservabilityConfig",
+    "ObservabilityResult",
+    "PlatformObserver",
+]
+
+#: Default scrape periods in *simulated* seconds.  The OLTP platforms serve
+#: millisecond queries over a sub-second horizon; BigQuery queries run for
+#: seconds over a multi-minute horizon.  These defaults yield on the order
+#: of a hundred snapshots per platform for the canned fleet.
+DEFAULT_SCRAPE_PERIODS: dict[str, float] = {
+    "Spanner": 2e-3,
+    "BigTable": 2e-3,
+    "BigQuery": 0.5,
+}
+_FALLBACK_SCRAPE_PERIOD = 1e-2
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """How a fleet run is observed (picklable; rides in the sim config)."""
+
+    scrape_periods: tuple[tuple[str, float], ...] = ()
+
+    @classmethod
+    def coerce(
+        cls, value: "ObservabilityConfig | Mapping[str, float] | bool | None"
+    ) -> "ObservabilityConfig | None":
+        """Normalize the user-facing knob: False/None -> off (None)."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls(scrape_periods=tuple(sorted(value.items())))
+        raise TypeError(f"cannot interpret observability={value!r}")
+
+    def period_for(self, platform: str) -> float:
+        for name, period in self.scrape_periods:
+            if name == platform:
+                return period
+        return DEFAULT_SCRAPE_PERIODS.get(platform, _FALLBACK_SCRAPE_PERIOD)
+
+
+@dataclass
+class ObservabilityResult:
+    """What one observed run produced: the registry plus scraped series.
+
+    Picklable; parallel shards each carry one and :meth:`merged` combines
+    them in fixed platform order, matching a sequential run's content.
+    """
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+
+    @classmethod
+    def merged(cls, parts) -> "ObservabilityResult":
+        result = cls()
+        for part in parts:
+            result.registry.merge(part.registry)
+            result.series.update(part.series)
+        return result
+
+
+class PlatformObserver:
+    """Scrapes one platform simulator into the registry + a time series."""
+
+    def __init__(
+        self,
+        platform,
+        registry: MetricsRegistry,
+        *,
+        period: float,
+        progress=None,
+    ):
+        self.platform = platform
+        self.registry = registry
+        self.progress = progress
+        self.name = platform.platform_name
+        self._scraper = Scraper(platform.env, period, self._collect)
+        # Pre-resolve the gauge families touched every scrape.
+        self._g_time = registry.gauge(
+            "repro_sim_time_seconds", "Simulated clock per platform", ("platform",)
+        )
+        self._g_events = registry.gauge(
+            "repro_sim_events_processed", "Engine events processed", ("platform",)
+        )
+        self._g_queue = registry.gauge(
+            "repro_sim_queue_depth", "Pending event-heap entries", ("platform",)
+        )
+        self._g_served = registry.gauge(
+            "repro_queries_in_log", "Queries recorded so far", ("platform",)
+        )
+        self._g_samples = registry.gauge(
+            "repro_gwp_samples", "GWP samples taken so far", ("platform",)
+        )
+        self._g_cores = registry.gauge(
+            "repro_cores_in_use", "Cores busy across the cluster", ("platform",)
+        )
+        self._g_backlog = registry.gauge(
+            "repro_core_backlog", "Work queued for cores", ("platform",)
+        )
+        self._g_reads = registry.gauge(
+            "repro_storage_tier_reads",
+            "Tiered-store read hits so far",
+            ("platform", "tier"),
+        )
+
+    def start(self) -> "PlatformObserver":
+        self._scraper.start()
+        return self
+
+    def finish(self) -> TimeSeries:
+        """Final snapshot after the serve loop; returns the scraped series."""
+        return self._scraper.stop()
+
+    @property
+    def series(self) -> TimeSeries:
+        return self._scraper.series
+
+    # -- the scrape body (read-only) -----------------------------------------
+
+    def _collect(self, now: float) -> dict[str, float]:
+        platform = self.platform
+        name = self.name
+        stats = platform.env.stats()
+        served = len(platform.records)
+        profiler = platform.profiler
+        samples = profiler.sample_count(name) if profiler is not None else 0
+        cores = 0
+        backlog = 0
+        cluster = getattr(platform, "cluster", None)
+        if cluster is not None:
+            for node in cluster.nodes:
+                cores += node._core_pool.in_use
+                backlog += node.runnable_backlog
+        values = {
+            "events_processed": float(stats["events_processed"]),
+            "queue_depth": float(stats["queue_depth"]),
+            "queries_served": float(served),
+            "gwp_samples": float(samples),
+            "cores_in_use": float(cores),
+            "core_backlog": float(backlog),
+        }
+        self._g_time.set(now, platform=name)
+        self._g_events.set(values["events_processed"], platform=name)
+        self._g_queue.set(values["queue_depth"], platform=name)
+        self._g_served.set(values["queries_served"], platform=name)
+        self._g_samples.set(values["gwp_samples"], platform=name)
+        self._g_cores.set(values["cores_in_use"], platform=name)
+        self._g_backlog.set(values["core_backlog"], platform=name)
+        dfs = getattr(platform, "dfs", None)
+        if dfs is not None:
+            totals: dict[str, int] = {}
+            for server in dfs.servers:
+                for kind, hits in server.store.stats.hits.items():
+                    key = kind.value if hasattr(kind, "value") else str(kind)
+                    totals[key] = totals.get(key, 0) + hits
+            for tier, hits in sorted(totals.items()):
+                values[f"reads_{tier}"] = float(hits)
+                self._g_reads.set(float(hits), platform=name, tier=tier)
+        if self.progress is not None:
+            try:
+                self.progress.put((name, now, served, samples))
+            except Exception:
+                # The live-progress channel is best-effort (the parent may
+                # have gone away); never let it touch the run.
+                self.progress = None
+        return values

@@ -1,0 +1,292 @@
+"""The metrics registry: counters, gauges, and quantile histograms.
+
+Everything the simulation publishes during execution lands here.  Metrics
+are grouped into *families* (one name + label schema, many labeled
+children), mirroring the Prometheus data model so the text exporter is a
+straight serialization.  Instruments are strictly write-only from the
+simulation's point of view: publishing never draws randomness, schedules
+events, or otherwise feeds back into the run -- the PR's byte-identical
+guarantee rests on that.
+
+Registries are picklable and mergeable: a parallel fleet run builds one
+registry per worker process and merges them home in fixed platform order,
+producing the same content as a sequential run publishing into one shared
+registry (all fleet metrics carry a ``platform`` label, so shard families
+never collide on the same child).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.observability.sketch import DEFAULT_QUANTILES, QuantileSketch
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricFamily", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """A value that can go up and down (set at scrape time)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def merge(self, other: "Gauge") -> None:
+        # Shard gauges are platform-labeled and therefore disjoint; when a
+        # collision does happen the later shard (fixed merge order) wins.
+        self.value = other.value
+
+
+class Histogram:
+    """Count/sum/min/max plus a streaming quantile sketch."""
+
+    __slots__ = ("count", "total", "min", "max", "sketch")
+    kind = "histogram"
+
+    def __init__(self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.sketch = QuantileSketch(quantiles)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.sketch.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        return self.sketch.quantile(q)
+
+    def merge(self, other: "Histogram") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            # Adopt the other sketch wholesale (exact, the common shard case).
+            self.sketch = other.sketch
+        else:
+            # P2 markers are not exactly mergeable; replaying the other
+            # sketch's marker heights keeps a deterministic approximation.
+            for estimator in other.sketch._estimators.values():
+                for height in estimator._heights:
+                    self.sketch.observe(height)
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One metric name + label schema, holding labeled children."""
+
+    __slots__ = ("name", "help", "kind", "labelnames", "_children", "_quantiles")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+    ):
+        if kind not in _METRIC_TYPES:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple[str, ...], object] = {}
+        self._quantiles = tuple(quantiles)
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got "
+                f"{tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def labels(self, **labels):
+        """The child metric for one label combination (created on demand)."""
+        key = self._key(labels)
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "histogram":
+                child = Histogram(self._quantiles)
+            else:
+                child = _METRIC_TYPES[self.kind]()
+            self._children[key] = child
+        return child
+
+    def get(self, **labels):
+        """The child for one label combination, or ``None`` if never touched."""
+        return self._children.get(self._key(labels))
+
+    # Convenience single-call instruments (hot enough call sites pre-resolve
+    # the family; none of these run per CPU micro-chunk).
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self.labels(**labels).inc(amount)
+
+    def set(self, value: float, **labels) -> None:
+        self.labels(**labels).set(value)
+
+    def observe(self, value: float, **labels) -> None:
+        self.labels(**labels).observe(value)
+
+    def children(self) -> Iterator[tuple[tuple[str, ...], object]]:
+        """Children sorted by label values (deterministic export order)."""
+        return iter(sorted(self._children.items()))
+
+    def merge(self, other: "MetricFamily") -> None:
+        if other.kind != self.kind or other.labelnames != self.labelnames:
+            raise ValueError(
+                f"cannot merge family {self.name!r}: schema mismatch "
+                f"({self.kind}/{self.labelnames} vs {other.kind}/{other.labelnames})"
+            )
+        for key, child in other._children.items():
+            mine = self._children.get(key)
+            if mine is None:
+                self._children[key] = child
+            else:
+                mine.merge(child)
+
+
+class MetricsRegistry:
+    """All metric families published during one fleet run."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- family constructors -------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Iterable[str],
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name, kind, help, tuple(labelnames), quantiles)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labelnames, quantiles)
+
+    # -- one-shot conveniences (label names inferred, sorted for stability) --
+    # Positional-only parameters so label keys like ``name`` never collide.
+
+    def inc(
+        self, name: str, help: str = "", /, amount: float = 1.0, **labels
+    ) -> None:
+        self.counter(name, help, tuple(sorted(labels))).inc(amount, **labels)
+
+    def set_gauge(
+        self, name: str, value: float, help: str = "", /, **labels
+    ) -> None:
+        self.gauge(name, help, tuple(sorted(labels))).set(value, **labels)
+
+    def observe(
+        self, name: str, value: float, help: str = "", /, **labels
+    ) -> None:
+        self.histogram(name, help, tuple(sorted(labels))).observe(value, **labels)
+
+    # -- reads ---------------------------------------------------------------
+
+    def find(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def families(self) -> Iterator[MetricFamily]:
+        """Families sorted by name (deterministic export order)."""
+        return iter(sorted(self._families.values(), key=lambda f: f.name))
+
+    def counter_value(self, name: str, /, **labels) -> float:
+        """A counter child's value, 0.0 when absent (read convenience)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        child = family.get(**labels)
+        return 0.0 if child is None else child.value
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Absorb a shard registry (the parallel-run merge channel)."""
+        for name, family in other._families.items():
+            mine = self._families.get(name)
+            if mine is None:
+                self._families[name] = family
+            else:
+                mine.merge(family)

@@ -1,0 +1,141 @@
+"""Streaming quantile sketches for observability histograms.
+
+Latency distributions are summarized online with the P² algorithm (Jain &
+Chlamtac, 1985): each tracked quantile keeps five markers whose heights are
+adjusted with a piecewise-parabolic update as observations stream in, giving
+O(1) memory per quantile and no buffering of raw values.  The estimator is
+fully deterministic -- same observation stream, same estimate -- which the
+observability layer relies on for golden-file exports and for sequential /
+parallel run parity.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+__all__ = ["P2Quantile", "QuantileSketch", "DEFAULT_QUANTILES"]
+
+#: Quantiles tracked by default (the usual latency SLO trio).
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+class P2Quantile:
+    """One streaming quantile estimate via the P² algorithm.
+
+    Exact while fewer than five observations have arrived (it interpolates
+    the sorted buffer); afterwards the five markers track the quantile with
+    bounded error and constant memory.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._rates = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            bisect.insort(heights, value)
+            return
+        # Locate the marker cell containing the observation.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and heights[cell + 1] <= value:
+                cell += 1
+        positions = self._positions
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        rates = self._rates
+        for i in range(5):
+            desired[i] += rates[i]
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """The current quantile estimate (0.0 before any observation)."""
+        heights = self._heights
+        if not heights:
+            return 0.0
+        if self.count <= 5:
+            return _interpolated(heights, self.q)
+        return heights[2]
+
+
+def _interpolated(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of a small sorted buffer."""
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+class QuantileSketch:
+    """A bundle of :class:`P2Quantile` estimators sharing one stream."""
+
+    __slots__ = ("_estimators",)
+
+    def __init__(self, quantiles: Iterable[float] = DEFAULT_QUANTILES):
+        quantiles = tuple(quantiles)
+        if not quantiles:
+            raise ValueError("need at least one quantile")
+        self._estimators = {q: P2Quantile(q) for q in quantiles}
+
+    @property
+    def quantiles(self) -> tuple[float, ...]:
+        return tuple(self._estimators)
+
+    def observe(self, value: float) -> None:
+        for estimator in self._estimators.values():
+            estimator.observe(value)
+
+    def quantile(self, q: float) -> float:
+        try:
+            return self._estimators[q].value()
+        except KeyError:
+            raise KeyError(f"quantile {q} not tracked (have {self.quantiles})") from None
+
+    def values(self) -> dict[float, float]:
+        return {q: est.value() for q, est in self._estimators.items()}

@@ -287,6 +287,7 @@ class BigQueryEngine(PlatformBase):
                 partitions=4,
                 nbytes=max(table.size_bytes, 1.0),
             )
+            self._count_shuffle(max(table.size_bytes, 1.0))
         semantic_remote = self.env.now - remote_start
         yield from self.realize_budget(
             ctx,
@@ -318,6 +319,22 @@ class BigQueryEngine(PlatformBase):
 
         return factory
 
+    def _count_shuffle(self, nbytes: float) -> None:
+        """Registry-only shuffle accounting (no simulation effects)."""
+        if self.metrics is None:
+            return
+        self.metrics.inc(
+            "repro_bigquery_shuffles_total",
+            "Shuffle writes issued",
+            platform=self.platform_name,
+        )
+        self.metrics.inc(
+            "repro_bigquery_shuffle_bytes_total",
+            "Bytes pushed through the shuffle layer",
+            amount=nbytes,
+            platform=self.platform_name,
+        )
+
     def _timed_shuffle(
         self, ctx: WorkContext, node: ServerNode, nbytes: float, partitions: int
     ) -> Generator:
@@ -328,6 +345,7 @@ class BigQueryEngine(PlatformBase):
         elapsed = self.env.now - start
         if elapsed > 0:
             self._shuffle_rate = 0.5 * self._shuffle_rate + 0.5 * elapsed / nbytes
+        self._count_shuffle(nbytes)
 
     def _io_op_factory(self, ctx: WorkContext, node: ServerNode):
         def factory(remaining: float):

@@ -157,6 +157,7 @@ class BigTableStore(PlatformBase):
         index = int(self.rng.integers(4096))
         tablet_index = self.tablets.index(tablet)
         key = f"row{tablet_index}-{index:06d}"
+        op = plan.kind if plan.kind in ("put", "scan") else "get"
         if plan.kind == "put":
             yield from tablet.put(ctx, key, f"updated-{index}")
         elif plan.kind == "scan":
@@ -164,12 +165,25 @@ class BigTableStore(PlatformBase):
             yield from tablet.scan(ctx, key, f"row{tablet_index}-{end_index:06d}")
         else:
             yield from tablet.get(ctx, key)
+        if self.metrics is not None:
+            self.metrics.inc(
+                "repro_bigtable_ops_total",
+                "Tablet operations completed",
+                platform=self.platform_name,
+                op=op,
+            )
 
     def _remote_op_factory(self, ctx: WorkContext, tablet: Tablet):
         def factory(remaining: float):
             estimate = self.compactor.estimate_time(tablet)
             if remaining < estimate * 0.6:
                 return None
+            if self.metrics is not None:
+                self.metrics.inc(
+                    "repro_bigtable_compactions_total",
+                    "Compaction hand-offs launched",
+                    platform=self.platform_name,
+                )
             return self.compactor.compact(ctx, tablet)
 
         return factory

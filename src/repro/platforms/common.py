@@ -174,11 +174,16 @@ class PlatformBase:
         offload=None,
         offload_model=None,
         coalesce: bool = True,
+        metrics=None,
     ):
         self.env = env
         self.profile = profile
         self.tracer = tracer or Tracer()
         self.profiler = profiler
+        #: Optional :class:`repro.observability.MetricsRegistry`.  Observers
+        #: only ever *read* simulation state and *write* the registry, so
+        #: measurements are identical whether or not this is set.
+        self.metrics = metrics
         self.rng = np.random.default_rng(seed)
         self.jitter = jitter
         #: When True (the default), uncontended CPU chunk runs execute as a
@@ -247,7 +252,10 @@ class PlatformBase:
         started = self.env.now
         trace = self.tracer.start_trace(f"{self.platform_name}:{plan.kind}", started)
         ctx = WorkContext(
-            platform=self.platform_name, trace=trace, profiler=self.profiler
+            platform=self.platform_name,
+            trace=trace,
+            profiler=self.profiler,
+            metrics=self.metrics,
         )
         result = None
         error: str | None = None
@@ -280,6 +288,27 @@ class PlatformBase:
                 error=error,
             )
         )
+        if self.metrics is not None:
+            self.metrics.inc(
+                "repro_queries_total",
+                "Queries served, by query group and kind",
+                platform=self.platform_name,
+                group=plan.group,
+                kind=plan.kind,
+            )
+            if error is not None:
+                self.metrics.inc(
+                    "repro_query_failures_total",
+                    "Queries that failed under injected faults",
+                    platform=self.platform_name,
+                    error=error,
+                )
+            self.metrics.observe(
+                "repro_query_latency_seconds",
+                finished - started,
+                "End-to-end query latency",
+                platform=self.platform_name,
+            )
         return result
 
     def serve(self, query_count: int, *, interarrival: float = 0.0) -> Generator:

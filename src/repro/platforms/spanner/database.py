@@ -203,6 +203,17 @@ class SpannerDatabase(PlatformBase):
         data = self.data[shard]
         return {key: data.get(key) for key in keys}
 
+    def _count_txn(self, scope: str, outcome: str) -> None:
+        """Registry-only transaction accounting (no simulation effects)."""
+        if self.metrics is not None:
+            self.metrics.inc(
+                "repro_spanner_txns_total",
+                "Spanner transactions by scope and outcome",
+                platform=self.platform_name,
+                scope=scope,
+                outcome=outcome,
+            )
+
     def _semantic_op(self, ctx: WorkContext, plan: QueryPlan, shard: int) -> Generator:
         txn_id = next(self._txn_ids)
         keys = [f"key{int(self.rng.integers(256))}" for _ in range(3)]
@@ -222,8 +233,10 @@ class SpannerDatabase(PlatformBase):
                     txn.buffer_write(shard, keys[0], txn_id)
                     txn.buffer_write(other, keys[1], txn_id)
                     yield from txn.commit(ctx)
+                    self._count_txn("cross_shard", "commit")
                 except BaseException:
                     txn.abandon()
+                    self._count_txn("cross_shard", "abort")
                     raise
             else:
                 txn = Transaction(
@@ -237,8 +250,10 @@ class SpannerDatabase(PlatformBase):
                     txn.buffer_write(keys[1], value)
                     txn.buffer_write(keys[2], txn_id)
                     yield from txn.commit(ctx)
+                    self._count_txn("single_shard", "commit")
                 except BaseException:
                     txn.abandon()
+                    self._count_txn("single_shard", "abort")
                     raise
         elif plan.kind == "sql_query":
             self.sql.execute(
@@ -255,8 +270,10 @@ class SpannerDatabase(PlatformBase):
                 for key in keys:
                     txn.read(key)
                 yield from txn.commit(ctx)
+                self._count_txn("read", "commit")
             except BaseException:
                 txn.abandon()
+                self._count_txn("read", "abort")
                 raise
 
     def _remote_op_factory(self, ctx: WorkContext, shard: int):

@@ -381,6 +381,18 @@ class Environment:
         """Time of the next scheduled event, or +inf when idle."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def stats(self) -> dict[str, float]:
+        """Engine telemetry snapshot (read-only; the observability scrape).
+
+        Returns the current clock, the number of events processed so far,
+        and the pending event-heap depth.
+        """
+        return {
+            "now": self._now,
+            "events_processed": float(self.events_processed),
+            "queue_depth": float(len(self._queue)),
+        }
+
     # -- event constructors -------------------------------------------------
 
     def event(self) -> Event:

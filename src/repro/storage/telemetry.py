@@ -63,6 +63,31 @@ class CapacityTelemetry:
         """All platforms' ratio rows, ready for printing."""
         return {platform: self.storage_ratios(platform) for platform in self._stores}
 
+    def publish(self, registry) -> None:
+        """Publish capacity and read-traffic gauges into a metrics registry.
+
+        ``repro_storage_capacity_bytes{platform,tier}`` and
+        ``repro_storage_reads_total{platform,tier}``; read-only with respect
+        to the stores themselves.
+        """
+        for platform in self._stores:
+            for kind in DeviceKind:
+                registry.set_gauge(
+                    "repro_storage_capacity_bytes",
+                    self.capacity_bytes(platform, kind),
+                    "Provisioned storage capacity per tier",
+                    platform=platform,
+                    tier=kind.value,
+                )
+            for kind, reads in self.reads_by_tier(platform).items():
+                registry.set_gauge(
+                    "repro_storage_reads_total",
+                    float(reads),
+                    "Read operations served per tier",
+                    platform=platform,
+                    tier=kind.value,
+                )
+
     def summary(self) -> "TelemetrySummary":
         """A picklable snapshot with the same read API.
 
@@ -139,3 +164,24 @@ class TelemetrySummary:
         return {
             platform: self.storage_ratios(platform) for platform in self.capacities
         }
+
+    def publish(self, registry) -> None:
+        """Same gauges as :meth:`CapacityTelemetry.publish`, from the frozen
+        totals."""
+        for platform in self.capacities:
+            for kind in DeviceKind:
+                registry.set_gauge(
+                    "repro_storage_capacity_bytes",
+                    self.capacity_bytes(platform, kind),
+                    "Provisioned storage capacity per tier",
+                    platform=platform,
+                    tier=kind.value,
+                )
+            for kind, reads in self.reads_by_tier(platform).items():
+                registry.set_gauge(
+                    "repro_storage_reads_total",
+                    float(reads),
+                    "Read operations served per tier",
+                    platform=platform,
+                    tier=kind.value,
+                )

@@ -33,3 +33,37 @@ __all__ = [
     "paper_calibration",
     "build_profile",
 ]
+
+# -- deprecated re-exports ----------------------------------------------------
+#
+# The fleet drivers moved behind the stable facade (:mod:`repro.api`).
+# ``from repro.workloads import FleetSimulation`` still works but warns;
+# importing from the submodules directly (repro.workloads.fleet / .parallel)
+# stays silent, since that is what the facade itself does.
+
+_DEPRECATED = {
+    "FleetSimulation": ("repro.workloads.fleet", "repro.api.build_simulation"),
+    "FleetResult": ("repro.workloads.fleet", "repro.api.run_fleet"),
+    "ParallelFleetSimulation": ("repro.workloads.parallel", "repro.api.run_fleet"),
+    "run_parallel": ("repro.workloads.parallel", "repro.api.run_fleet"),
+    "sweep_seeds": ("repro.workloads.parallel", "repro.api.sweep"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, replacement = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"importing {name} from repro.workloads is deprecated; "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_name), name)

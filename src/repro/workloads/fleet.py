@@ -16,6 +16,12 @@ from typing import Mapping
 from repro import taxonomy
 from repro.core.profile import PlatformProfile, QueryGroupProfile, QUERY_GROUPS
 from repro.faults import ChaosController, FaultPlan
+from repro.observability import (
+    MetricsRegistry,
+    ObservabilityConfig,
+    ObservabilityResult,
+    PlatformObserver,
+)
 from repro.platforms.bigquery import BigQueryEngine
 from repro.platforms.bigtable import BigTableStore
 from repro.platforms.common import PlatformBase
@@ -71,6 +77,9 @@ class FleetResult:
     telemetry: CapacityTelemetry
     e2e: dict[str, E2EBreakdown]
     chaos: dict[str, "ChaosController"] = field(default_factory=dict)
+    #: Observability output (None when the run was unobserved).  Strictly
+    #: additive: every other field is byte-identical with or without it.
+    metrics: ObservabilityResult | None = None
     cycles: dict[str, CpuCycleBreakdown] = field(init=False)
 
     def __post_init__(self) -> None:
@@ -174,6 +183,7 @@ class FleetSimulation:
         bigquery_dataset_rows: int = 4000,
         fault_plans: Mapping[str, FaultPlan] | None = None,
         coalesce: bool = True,
+        observability: ObservabilityConfig | Mapping[str, float] | bool | None = None,
     ):
         if isinstance(queries, int):
             queries = {name: queries for name in PLATFORMS}
@@ -188,6 +198,15 @@ class FleetSimulation:
         #: Optional chaos: platform name -> FaultPlan replayed into that
         #: platform's environment while it serves its query stream.
         self.fault_plans = dict(fault_plans or {})
+        #: Observability: ``True`` / a ``{platform: scrape_period}`` mapping /
+        #: an :class:`ObservabilityConfig` turns on metrics publication and
+        #: periodic scraping; ``None`` (default) runs unobserved.
+        self.observability = ObservabilityConfig.coerce(observability)
+        #: Live-progress channel for ``repro top`` (a queue-like object with
+        #: ``put``); deliberately not part of :meth:`config` -- parallel
+        #: workers receive theirs separately because queue proxies must be
+        #: passed as process arguments, not pickled inside the config.
+        self.progress_sink = None
 
     # -- per-platform building blocks (shared with the parallel runner) ------
 
@@ -201,6 +220,7 @@ class FleetSimulation:
             "bigquery_dataset_rows": self.bigquery_dataset_rows,
             "fault_plans": dict(self.fault_plans),
             "coalesce": self.coalesce,
+            "observability": self.observability,
         }
 
     def fleet_profiler(self) -> FleetProfiler:
@@ -227,7 +247,11 @@ class FleetSimulation:
         return self.bigquery_profiler() if name == BIGQUERY else self.fleet_profiler()
 
     def build_platform(
-        self, name: str, profiler: FleetProfiler, telemetry: CapacityTelemetry
+        self,
+        name: str,
+        profiler: FleetProfiler,
+        telemetry: CapacityTelemetry,
+        metrics: MetricsRegistry | None = None,
     ) -> PlatformBase:
         """Construct one platform simulator on a fresh environment."""
         env = Environment()
@@ -237,22 +261,37 @@ class FleetSimulation:
         if name == SPANNER:
             platform: PlatformBase = SpannerDatabase(
                 env, profile, profiler=profiler, telemetry=telemetry,
-                tracer=tracer, seed=seed,
+                tracer=tracer, seed=seed, metrics=metrics,
             )
         elif name == BIGTABLE:
             platform = BigTableStore(
                 env, profile, profiler=profiler, telemetry=telemetry,
-                tracer=tracer, seed=seed,
+                tracer=tracer, seed=seed, metrics=metrics,
             )
         elif name == BIGQUERY:
             platform = BigQueryEngine(
                 env, profile, profiler=profiler, telemetry=telemetry,
                 tracer=tracer, seed=seed, dataset_rows=self.bigquery_dataset_rows,
+                metrics=metrics,
             )
         else:
             raise ValueError(f"unknown platform {name!r}")
         platform.coalesce = self.coalesce
         return platform
+
+    def start_observer(
+        self, name: str, platform: PlatformBase, registry: MetricsRegistry
+    ) -> PlatformObserver | None:
+        """Attach + start the periodic scraper for one platform (if enabled)."""
+        if self.observability is None:
+            return None
+        observer = PlatformObserver(
+            platform,
+            registry,
+            period=self.observability.period_for(name),
+            progress=self.progress_sink,
+        )
+        return observer.start()
 
     def serve_platform(
         self, name: str, platform: PlatformBase
@@ -276,24 +315,38 @@ class FleetSimulation:
         telemetry = CapacityTelemetry()
         profiler = self.fleet_profiler()
         bigquery_profiler = self.bigquery_profiler()
+        registry = MetricsRegistry() if self.observability is not None else None
 
         platforms: dict[str, PlatformBase] = {}
         e2e: dict[str, E2EBreakdown] = {}
         chaos: dict[str, ChaosController] = {}
+        series = {}
         for name in PLATFORMS:
             shard = bigquery_profiler if name == BIGQUERY else profiler
-            platform = self.build_platform(name, shard, telemetry)
+            platform = self.build_platform(name, shard, telemetry, registry)
             platforms[name] = platform
+            observer = (
+                self.start_observer(name, platform, registry)
+                if registry is not None
+                else None
+            )
             e2e[name], controller = self.serve_platform(name, platform)
+            if observer is not None:
+                series[name] = observer.finish()
             if controller is not None:
                 chaos[name] = controller
 
         # Merge the BigQuery profiler shard into the fleet profiler.
         profiler.extend(bigquery_profiler.samples)
+        metrics = None
+        if registry is not None:
+            telemetry.publish(registry)
+            metrics = ObservabilityResult(registry=registry, series=series)
         return FleetResult(
             platforms=platforms,
             profiler=profiler,
             telemetry=telemetry,
             e2e=e2e,
             chaos=chaos,
+            metrics=metrics,
         )

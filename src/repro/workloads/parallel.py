@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.faults import ChaosController
+from repro.observability import MetricsRegistry, ObservabilityResult
 from repro.platforms.common import PlatformBase, QueryRecord
 from repro.profiling.breakdown import E2EBreakdown
 from repro.profiling.gwp import FleetProfiler
@@ -126,19 +127,37 @@ class PlatformShard:
     telemetry: TelemetrySummary
     e2e: E2EBreakdown
     chaos: ChaosSummary | None = None
+    obs: ObservabilityResult | None = None
 
 
-def _run_platform_shard(config: Mapping, name: str) -> PlatformShard:
+def _run_platform_shard(
+    config: Mapping, name: str, progress=None
+) -> PlatformShard:
     """Worker entry point: simulate one platform against private sinks.
 
     Module-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
-    it; ``config`` is :meth:`FleetSimulation.config`.
+    it; ``config`` is :meth:`FleetSimulation.config`.  ``progress`` is an
+    optional queue proxy the worker's observer pushes live scrape rows into
+    (passed as an argument because manager proxies pickle through process
+    boundaries where the config mapping stays inert data).
     """
     sim = FleetSimulation(**config)
+    sim.progress_sink = progress
     profiler = sim.profiler_for(name)
     telemetry = CapacityTelemetry()
-    platform = sim.build_platform(name, profiler, telemetry)
+    registry = MetricsRegistry() if sim.observability is not None else None
+    platform = sim.build_platform(name, profiler, telemetry, registry)
+    observer = (
+        sim.start_observer(name, platform, registry)
+        if registry is not None
+        else None
+    )
     e2e, controller = sim.serve_platform(name, platform)
+    obs = None
+    if observer is not None:
+        series = observer.finish()
+        telemetry.publish(registry)
+        obs = ObservabilityResult(registry=registry, series={name: series})
     return PlatformShard(
         name=name,
         summary=PlatformSummary.from_platform(platform),
@@ -146,6 +165,7 @@ def _run_platform_shard(config: Mapping, name: str) -> PlatformShard:
         telemetry=telemetry.summary(),
         e2e=e2e,
         chaos=ChaosSummary.from_controller(controller) if controller else None,
+        obs=obs,
     )
 
 
@@ -164,6 +184,10 @@ def _assemble(sim: FleetSimulation, shards: Sequence[PlatformShard]) -> FleetRes
             profiler.extend(shard.profiler.samples)
         else:
             profiler.merge(shard.profiler)
+    metrics = None
+    obs_parts = [shard.obs for shard in shards if shard.obs is not None]
+    if obs_parts:
+        metrics = ObservabilityResult.merged(obs_parts)
     return FleetResult(
         platforms={shard.name: shard.summary for shard in shards},
         profiler=profiler,
@@ -172,17 +196,26 @@ def _assemble(sim: FleetSimulation, shards: Sequence[PlatformShard]) -> FleetRes
         chaos={
             shard.name: shard.chaos for shard in shards if shard.chaos is not None
         },
+        metrics=metrics,
     )
 
 
 def run_parallel(
-    sim: FleetSimulation, *, max_workers: int | None = None
+    sim: FleetSimulation, *, max_workers: int | None = None, progress=None
 ) -> FleetResult:
-    """Run a fleet simulation with one subprocess per platform."""
+    """Run a fleet simulation with one subprocess per platform.
+
+    ``progress`` (optional) is a picklable queue proxy -- e.g. a
+    ``multiprocessing.Manager().Queue()`` -- that each worker's observer
+    pushes ``(platform, sim_time, queries_served, gwp_samples)`` rows into,
+    the live channel behind ``repro top --parallel``.
+    """
     config = sim.config()
+    progress = progress if progress is not None else sim.progress_sink
     with ProcessPoolExecutor(max_workers=max_workers or len(PLATFORMS)) as pool:
         futures = [
-            pool.submit(_run_platform_shard, config, name) for name in PLATFORMS
+            pool.submit(_run_platform_shard, config, name, progress)
+            for name in PLATFORMS
         ]
         shards = [future.result() for future in futures]
     return _assemble(sim, shards)

@@ -54,3 +54,38 @@ class TestCommands:
         assert "Table 1" in out
         assert "Figure 2" in out
         assert "Table 7" in out
+
+    def test_top_command_sequential(self, capsys):
+        assert main(["top", "--queries", "4", "--seed", "0", "--interval", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "platform" in out and "p99_ms" in out
+        assert "hottest functions" in out
+        for name in ("Spanner", "BigTable", "BigQuery"):
+            assert name in out
+
+    def test_sweep_writes_to_stdout_by_default(self, capsys):
+        assert main(["sweep", "--platform", "Spanner", "--speedup", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "accelerating" in out
+        assert "2x" in out
+
+    def test_sweep_out_file(self, tmp_path, capsys):
+        out = tmp_path / "sweep.txt"
+        assert main(["sweep", "--platform", "BigQuery", "--out", str(out)]) == 0
+        assert "accelerating" in out.read_text()
+        assert f"wrote {out}" in capsys.readouterr().out
+
+    def test_report_to_stdout(self, capsys):
+        assert main(
+            ["report", "--queries", "4", "--seed", "0", "--out", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "Table 8" in out
+
+    def test_report_empty_fleet_is_an_error(self, capsys):
+        code = main(["report", "--queries", "0", "--out", "-"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "report failed" in captured.err
+        assert "# Reproduction report" not in captured.out

@@ -1,0 +1,232 @@
+"""Unit tests for the observability layer: sketches, registry, scraper."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.observability import (
+    Counter,
+    DEFAULT_SCRAPE_PERIODS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObservabilityConfig,
+    P2Quantile,
+    QuantileSketch,
+    Scraper,
+    TimeSeries,
+    prometheus_text,
+)
+from repro.sim import Environment
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_quantiles(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_exact_for_small_streams(self):
+        est = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            est.observe(value)
+        assert est.value() == 3.0
+
+    def test_empty_stream_reads_zero(self):
+        assert P2Quantile(0.9).value() == 0.0
+
+    def test_tracks_uniform_stream(self):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0.0, 100.0, size=20_000)
+        for q in (0.5, 0.9, 0.99):
+            est = P2Quantile(q)
+            for value in values:
+                est.observe(value)
+            assert est.value() == pytest.approx(100.0 * q, rel=0.05)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(2.0, size=5_000)
+        a, b = P2Quantile(0.99), P2Quantile(0.99)
+        for value in values:
+            a.observe(value)
+            b.observe(value)
+        assert a.value() == b.value()
+
+    def test_sketch_bundles_quantiles(self):
+        sketch = QuantileSketch((0.5, 0.9))
+        for value in range(1, 101):
+            sketch.observe(float(value))
+        assert sketch.quantile(0.5) == pytest.approx(50.0, rel=0.1)
+        with pytest.raises(KeyError):
+            sketch.quantile(0.75)
+
+
+class TestRegistry:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc(2.0)
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+        assert counter.value == 2.0
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(3.0)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == 3.5
+
+    def test_histogram_summary_stats(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0 and hist.max == 3.0
+        assert hist.mean == 2.0
+
+    def test_oneshot_conveniences(self):
+        registry = MetricsRegistry()
+        registry.inc("calls", "calls", platform="A")
+        registry.inc("calls", "calls", amount=2.0, platform="A")
+        registry.inc("calls", "calls", platform="B")
+        registry.set_gauge("depth", 7.0, platform="A")
+        registry.observe("latency", 0.5, platform="A")
+        assert registry.counter_value("calls", platform="A") == 3.0
+        assert registry.counter_value("calls", platform="B") == 1.0
+        assert registry.counter_value("calls", platform="C") == 0.0
+        assert registry.counter_value("missing", platform="A") == 0.0
+        assert "depth" in registry
+        assert registry.find("latency").kind == "histogram"
+
+    def test_label_schema_enforced(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x", "", ("platform",))
+        with pytest.raises(ValueError):
+            family.labels(platform="A", extra="nope")
+        with pytest.raises(ValueError):
+            registry.gauge("x")  # same name, different kind
+
+    def test_merge_counters_and_adopted_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("calls", "", platform="A")
+        b.inc("calls", "", amount=4.0, platform="A")
+        b.inc("calls", "", platform="B")
+        for value in (0.1, 0.2, 0.3):
+            b.observe("latency", value, platform="B")
+        a.merge(b)
+        assert a.counter_value("calls", platform="A") == 5.0
+        assert a.counter_value("calls", platform="B") == 1.0
+        # Histogram absent in a: adopted wholesale, so quantiles are exact.
+        merged = a.find("latency").get(platform="B")
+        assert merged.count == 3
+        assert merged.quantile(0.5) == 0.2
+
+    def test_disjoint_shard_merge_equals_shared_registry(self):
+        shared = MetricsRegistry()
+        shard_a, shard_b = MetricsRegistry(), MetricsRegistry()
+        for registry in (shared, shard_a):
+            for value in (1.0, 5.0, 2.0):
+                registry.observe("lat", value, platform="A")
+        for registry in (shared, shard_b):
+            for value in (9.0, 4.0):
+                registry.observe("lat", value, platform="B")
+        merged = MetricsRegistry()
+        merged.merge(shard_a)
+        merged.merge(shard_b)
+        assert prometheus_text(merged) == prometheus_text(shared)
+
+    def test_registry_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 1.5, platform="A")
+        clone = pickle.loads(pickle.dumps(registry))
+        assert prometheus_text(clone) == prometheus_text(registry)
+
+
+class TestScraper:
+    def test_fires_on_simulated_period(self):
+        env = Environment()
+        scraper = Scraper(env, 0.1, lambda now: {"x": now * 2.0})
+
+        def work():
+            for _ in range(10):
+                yield env.timeout(0.05)
+
+        scraper.start()
+        env.run(until=env.process(work()))
+        series = scraper.stop()
+        times = series.times()
+        assert len(times) >= 4
+        assert times == sorted(times)
+        # Final stop() snapshot lands at the end of the run.
+        assert times[-1] == pytest.approx(0.5)
+        assert series.column("x")[-1] == pytest.approx(1.0)
+
+    def test_rejects_bad_period_and_double_start(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Scraper(env, 0.0, lambda now: {})
+        scraper = Scraper(env, 1.0, lambda now: {})
+        scraper.start()
+        with pytest.raises(RuntimeError):
+            scraper.start()
+
+    def test_timeseries_columns_fixed_at_first_append(self):
+        series = TimeSeries()
+        series.append(0.0, {"b": 1.0, "a": 2.0})
+        series.append(1.0, {"a": 3.0})
+        assert series.columns == ("a", "b")
+        assert series.column("a") == [2.0, 3.0]
+        assert series.column("b") == [1.0, 0.0]
+        assert series.latest() == {"time": 1.0, "a": 3.0, "b": 0.0}
+        with pytest.raises(KeyError):
+            series.column("missing")
+
+
+class TestObservabilityConfig:
+    def test_coerce(self):
+        assert ObservabilityConfig.coerce(None) is None
+        assert ObservabilityConfig.coerce(False) is None
+        assert ObservabilityConfig.coerce(True) == ObservabilityConfig()
+        config = ObservabilityConfig.coerce({"Spanner": 1e-3})
+        assert config.period_for("Spanner") == 1e-3
+        assert config.period_for("BigQuery") == DEFAULT_SCRAPE_PERIODS["BigQuery"]
+        assert ObservabilityConfig.coerce(config) is config
+        with pytest.raises(TypeError):
+            ObservabilityConfig.coerce(12)
+
+    def test_config_is_picklable(self):
+        config = ObservabilityConfig.coerce({"Spanner": 1e-3})
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestPrometheusText:
+    def test_format(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_calls_total", "calls", amount=3.0, platform="A")
+        registry.set_gauge("repro_depth", 2.5, platform="A")
+        for value in (0.25, 0.5, 1.0):
+            registry.observe("repro_lat_seconds", value, platform="A")
+        text = prometheus_text(registry)
+        assert "# HELP repro_calls_total calls\n" in text
+        assert "# TYPE repro_calls_total counter\n" in text
+        assert 'repro_calls_total{platform="A"} 3\n' in text
+        assert 'repro_depth{platform="A"} 2.5\n' in text
+        assert "# TYPE repro_lat_seconds summary\n" in text
+        assert 'repro_lat_seconds{platform="A",quantile="0.5"} 0.5\n' in text
+        assert 'repro_lat_seconds_sum{platform="A"} 1.75\n' in text
+        assert 'repro_lat_seconds_count{platform="A"} 3\n' in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_deterministic_ordering(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("z", "", k="1")
+        a.inc("a", "", k="1")
+        b.inc("a", "", k="1")
+        b.inc("z", "", k="1")
+        assert prometheus_text(a) == prometheus_text(b)

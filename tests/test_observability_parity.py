@@ -1,0 +1,171 @@
+"""Observability must not perturb measurements: the byte-identity suite.
+
+With observability enabled, every measurement surface of a
+:class:`FleetResult` -- profiler samples, end-to-end breakdowns, measured
+tables, query records, chaos ledgers -- must be byte-identical to a
+metrics-off run with the same seed, in both sequential and parallel modes.
+Observers only read simulation state and write the registry; this suite is
+the enforcement.
+"""
+
+import pytest
+
+from repro.api import FleetConfig, Telemetry, run_fleet
+from repro.faults import canned_mixed_scenario
+from repro.workloads.calibration import PLATFORMS
+
+QUERIES = {"Spanner": 6, "BigTable": 6, "BigQuery": 3}
+
+
+def _sample_rows(profiler):
+    return [
+        (s.platform, s.function, s.category_key, s.cycles, s.timestamp)
+        for s in profiler.samples
+    ]
+
+
+def _breakdown_rows(e2e):
+    return [
+        (q.name, q.t_e2e, q.t_cpu, q.t_remote, q.t_io, q.t_unattributed,
+         q.overlap_hidden)
+        for q in e2e.queries
+    ]
+
+
+def _ledger_rows(controller):
+    return (
+        [(e.fault_id, t) for e, t in controller.injected],
+        [(e.fault_id, t) for e, t in controller.healed],
+    )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    base = run_fleet(FleetConfig(queries=QUERIES, seed=0))
+    observed = run_fleet(FleetConfig(queries=QUERIES, seed=0, observability=True))
+    observed_parallel = run_fleet(
+        FleetConfig(queries=QUERIES, seed=0, observability=True, parallel=True)
+    )
+    return base, observed, observed_parallel
+
+
+class TestObservedRunsAreByteIdentical:
+    def test_samples(self, runs):
+        base, observed, observed_parallel = runs
+        assert _sample_rows(observed.profiler) == _sample_rows(base.profiler)
+        assert _sample_rows(observed_parallel.profiler) == _sample_rows(base.profiler)
+
+    def test_query_records(self, runs):
+        base, observed, observed_parallel = runs
+        for platform in PLATFORMS:
+            expected = list(base.platforms[platform].records)
+            assert list(observed.platforms[platform].records) == expected
+            assert list(observed_parallel.platforms[platform].records) == expected
+
+    def test_e2e_breakdowns(self, runs):
+        base, observed, observed_parallel = runs
+        for platform in PLATFORMS:
+            expected = _breakdown_rows(base.e2e[platform])
+            assert _breakdown_rows(observed.e2e[platform]) == expected
+            assert _breakdown_rows(observed_parallel.e2e[platform]) == expected
+
+    def test_tables(self, runs):
+        base, observed, observed_parallel = runs
+        for result in (observed, observed_parallel):
+            assert result.table1_rows() == base.table1_rows()
+            for platform in PLATFORMS:
+                assert result.uarch_table(platform) == base.uarch_table(platform)
+                assert result.uarch_category_table(
+                    platform
+                ) == base.uarch_category_table(platform)
+                assert (
+                    result.cycles[platform].cycles_by_category
+                    == base.cycles[platform].cycles_by_category
+                )
+
+    def test_metrics_presence(self, runs):
+        base, observed, observed_parallel = runs
+        assert base.metrics is None
+        assert observed.metrics is not None
+        assert observed_parallel.metrics is not None
+        assert sorted(observed.metrics.series) == sorted(PLATFORMS)
+        assert sorted(observed_parallel.metrics.series) == sorted(PLATFORMS)
+
+    def test_sequential_and_parallel_exports_match(self, runs):
+        _, observed, observed_parallel = runs
+        assert Telemetry(observed_parallel).prometheus() == Telemetry(
+            observed
+        ).prometheus()
+
+    def test_counters_match_the_query_log(self, runs):
+        _, observed, _ = runs
+        registry = observed.metrics.registry
+        for platform in PLATFORMS:
+            family = registry.find("repro_queries_total")
+            total = sum(
+                child.value
+                for values, child in family.children()
+                if values[family.labelnames.index("platform")] == platform
+            )
+            assert total == observed.platforms[platform].queries_served
+
+    def test_scrapes_progress_in_sim_time(self, runs):
+        _, observed, _ = runs
+        for platform in PLATFORMS:
+            times = observed.metrics.series[platform].times()
+            assert len(times) >= 2
+            assert times == sorted(times)
+            assert times[-1] == pytest.approx(observed.platforms[platform].env.now)
+
+
+class TestChaosParity:
+    @pytest.fixture(scope="class")
+    def chaos_runs(self):
+        clean = run_fleet(FleetConfig(queries=QUERIES, seed=3))
+        makespans = {p: clean.platforms[p].env.now for p in PLATFORMS}
+        plans = canned_mixed_scenario(makespans)
+        base = run_fleet(FleetConfig(queries=QUERIES, seed=3, fault_plans=plans))
+        observed = run_fleet(
+            FleetConfig(
+                queries=QUERIES, seed=3, fault_plans=plans, observability=True
+            )
+        )
+        observed_parallel = run_fleet(
+            FleetConfig(
+                queries=QUERIES,
+                seed=3,
+                fault_plans=plans,
+                observability=True,
+                parallel=True,
+            )
+        )
+        return base, observed, observed_parallel
+
+    def test_chaos_ledgers_identical(self, chaos_runs):
+        base, observed, observed_parallel = chaos_runs
+        assert set(observed.chaos) == set(base.chaos)
+        assert set(observed_parallel.chaos) == set(base.chaos)
+        for platform in base.chaos:
+            expected = _ledger_rows(base.chaos[platform])
+            assert _ledger_rows(observed.chaos[platform]) == expected
+            assert _ledger_rows(observed_parallel.chaos[platform]) == expected
+
+    def test_records_identical_under_chaos(self, chaos_runs):
+        base, observed, observed_parallel = chaos_runs
+        for platform in PLATFORMS:
+            expected = list(base.platforms[platform].records)
+            assert list(observed.platforms[platform].records) == expected
+            assert list(observed_parallel.platforms[platform].records) == expected
+
+    def test_fault_counters_match_ledgers(self, chaos_runs):
+        _, observed, observed_parallel = chaos_runs
+        for result in (observed, observed_parallel):
+            registry = result.metrics.registry
+            injected_family = registry.find("repro_faults_injected_total")
+            assert injected_family is not None
+            injected_total = sum(
+                child.value for _, child in injected_family.children()
+            )
+            assert injected_total == sum(
+                len(c.injected) for c in result.chaos.values()
+            )
