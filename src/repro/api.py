@@ -14,6 +14,13 @@ Everything the CLI (and downstream scripts) need lives here:
   run: breakdowns, measured profiles, and folded stacks on one side;
   Prometheus text, scraped time series, and counter/quantile lookups on
   the other.
+* :func:`export_text` / :data:`EXPORT_FORMATS` -- finished run to
+  exporter text in one call, with a typed error for unknown formats.
+* :func:`selftest` -- the differential verification harness behind
+  ``repro selftest``.
+* The typed config errors (:class:`ConfigError`,
+  :class:`EmptyFleetError`, :class:`UnknownFormatError`) re-exported so
+  callers can catch them without importing submodules.
 
 The old direct constructors (``FleetSimulation``,
 ``ParallelFleetSimulation``, ...) still work but importing them from
@@ -25,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Any, Mapping
 
+from repro.errors import ConfigError, EmptyFleetError, UnknownFormatError
 from repro.observability import (
     ObservabilityConfig,
     ObservabilityResult,
@@ -41,11 +49,18 @@ __all__ = [
     "build_simulation",
     "run_fleet",
     "sweep",
+    "sweep_seeds",
     "SweepResult",
     "profile_report",
     "ReportResult",
     "Profile",
     "Telemetry",
+    "ConfigError",
+    "EmptyFleetError",
+    "UnknownFormatError",
+    "EXPORT_FORMATS",
+    "export_text",
+    "selftest",
 ]
 
 
@@ -168,6 +183,18 @@ def sweep(platform: str, *, speedup: float = 8.0) -> SweepResult:
     return SweepResult(
         platform=platform, speedup=speedup, targets=tuple(targets), points=points
     )
+
+
+def sweep_seeds(seeds, *, max_workers: int | None = None, **kwargs):
+    """Run one fleet per seed over a shared process pool.
+
+    Returns ``{seed: FleetResult}`` in input order.  Raises
+    :class:`ConfigError` for an empty or duplicated seed list -- a silent
+    empty sweep looks exactly like a finished one.
+    """
+    from repro.workloads.parallel import sweep_seeds as _sweep_seeds
+
+    return _sweep_seeds(seeds, max_workers=max_workers, **kwargs)
 
 
 # -- full report --------------------------------------------------------------
@@ -301,3 +328,58 @@ class Telemetry:
 
     def table1_rows(self) -> dict[str, tuple[float, float, float]]:
         return self.result.table1_rows()
+
+
+# -- exports ------------------------------------------------------------------
+
+#: The formats :func:`export_text` (and ``repro export``) understand.
+EXPORT_FORMATS = ("prom", "folded", "jsonl")
+
+
+def export_text(
+    result: FleetResult,
+    format: str,
+    *,
+    platform: str | None = None,
+    weight: str = "cycles",
+    name_contains: str | None = None,
+    min_duration: float | None = None,
+    errors_only: bool = False,
+) -> str:
+    """Render one export format from a finished run.
+
+    ``prom`` is the Prometheus text exposition (requires an observed run),
+    ``folded`` the flamegraph stacks, ``jsonl`` the Dapper trace search.
+    Raises :class:`UnknownFormatError` for anything else, so callers can
+    validate a format string *before* paying for a fleet run.
+    """
+    if format not in EXPORT_FORMATS:
+        raise UnknownFormatError(
+            f"unknown export format {format!r}; choose from {list(EXPORT_FORMATS)}"
+        )
+    if format == "prom":
+        return Telemetry(result).prometheus()
+    if format == "folded":
+        return Profile(result).folded(platform=platform, weight=weight)
+    return Profile(result).traces_jsonl(
+        name_contains=name_contains,
+        min_duration=min_duration,
+        errors_only=errors_only,
+    )
+
+
+# -- selftest -----------------------------------------------------------------
+
+
+def selftest(budget: int = 25, seed: int = 0, **kwargs):
+    """Run the differential verification harness (``repro selftest``).
+
+    Fuzzes ``budget`` fleet configs and pushes each through every
+    execution-mode pair that must agree plus the metamorphic oracles.
+    Returns a :class:`repro.testing.SelftestReport`; ``report.exit_code``
+    is 0 only when every config verified clean.  See
+    :func:`repro.testing.run_selftest` for the full knob set.
+    """
+    from repro.testing import run_selftest
+
+    return run_selftest(budget, seed, **kwargs)

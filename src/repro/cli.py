@@ -9,6 +9,7 @@ Usage::
     repro model [--figure 9|10|13|14|15]        # the Section 6 model figures
     repro sweep --platform Spanner [--speedup 8]  # one platform's design points
     repro report [--out report.md]              # the full markdown report
+    repro selftest [--budget N] [--seed S]      # differential verification harness
 
 Every fleet run goes through :func:`repro.api.run_fleet`; this module is
 argument parsing and presentation only.  Installed as the ``repro`` console
@@ -99,7 +100,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument(
         "--format",
-        choices=("prom", "folded", "jsonl"),
         required=True,
         help="prom: Prometheus text; folded: flamegraph stacks; "
         "jsonl: Dapper trace search",
@@ -173,6 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--queries", type=int, default=150)
     report.add_argument("--seed", type=int, default=42)
+
+    selftest = sub.add_parser(
+        "selftest",
+        help="fuzz fleet configs and differentially verify every execution "
+        "mode pair plus the metamorphic oracles",
+    )
+    selftest.add_argument(
+        "--budget", type=int, default=25, help="number of fuzzed configs to run"
+    )
+    selftest.add_argument("--seed", type=int, default=0, help="fuzzer seed")
+    selftest.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="also stream verdict records to this JSONL file ('-' for stdout)",
+    )
+    selftest.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="on failure, skip shrinking the config to a minimal reproducer",
+    )
+    selftest.add_argument(
+        "--start", type=int, default=0, help="first fuzz index (resume a range)"
+    )
     return parser
 
 
@@ -325,6 +349,14 @@ def _cmd_top(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro import api
 
+    # Validate the format before paying for a fleet run.
+    if args.format not in api.EXPORT_FORMATS:
+        print(
+            f"unknown export format {args.format!r}; "
+            f"choose from {', '.join(api.EXPORT_FORMATS)}",
+            file=sys.stderr,
+        )
+        return 2
     # Traces live on in-process platform objects only; a parallel run has
     # none to export, so jsonl always runs sequentially.
     parallel = args.parallel and args.format != "jsonl"
@@ -336,18 +368,15 @@ def _cmd_export(args: argparse.Namespace) -> int:
             observability=True,
         )
     )
-    if args.format == "prom":
-        text = api.Telemetry(result).prometheus()
-    elif args.format == "folded":
-        text = api.Profile(result).folded(
-            platform=args.platform, weight=args.weight
-        )
-    else:
-        text = api.Profile(result).traces_jsonl(
-            name_contains=args.name_contains,
-            min_duration=args.min_duration,
-            errors_only=args.errors_only,
-        )
+    text = api.export_text(
+        result,
+        args.format,
+        platform=args.platform,
+        weight=args.weight,
+        name_contains=args.name_contains,
+        min_duration=args.min_duration,
+        errors_only=args.errors_only,
+    )
     if not text:
         print(f"export produced no {args.format} output", file=sys.stderr)
         return 1
@@ -412,6 +441,75 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    import contextlib
+    import json
+
+    from repro import api
+    from repro.testing.diff import render_mismatches
+    from repro.testing.fuzzer import config_to_jsonable
+
+    if args.budget < 1:
+        print("selftest budget must be >= 1", file=sys.stderr)
+        return 2
+
+    with contextlib.ExitStack() as stack:
+        emit = None
+        if args.jsonl == "-":
+            emit = lambda record: print(json.dumps(record))  # noqa: E731
+        elif args.jsonl is not None:
+            stream = stack.enter_context(open(args.jsonl, "w"))
+
+            def emit(record, stream=stream):
+                stream.write(json.dumps(record) + "\n")
+                stream.flush()
+
+        quiet = args.jsonl == "-"  # keep pure-JSONL stdout machine-readable
+        progress = (lambda line: None) if quiet else print
+        progress(
+            f"selftest: {args.budget} fuzzed configs, fuzzer seed {args.seed}"
+        )
+        report = api.selftest(
+            budget=args.budget,
+            seed=args.seed,
+            start=args.start,
+            shrink=not args.no_shrink,
+            emit=emit,
+            progress=progress,
+        )
+
+    if report.ok:
+        progress(f"selftest passed: {len(report.verdicts)} configs verified")
+        return 0
+
+    failing = report.failures()[0]
+    out = sys.stderr
+    print(f"\nselftest FAILED at config {failing.index}:", file=out)
+    for pair in failing.pairs:
+        if pair.ok:
+            continue
+        detail = pair.error or render_mismatches(pair.mismatches, limit=5)
+        print(f"  pair {pair.pair}: {detail}", file=out)
+    for oracle in failing.oracles:
+        if oracle.ok:
+            continue
+        detail = oracle.error or "; ".join(oracle.problems[:5])
+        print(f"  oracle {oracle.oracle}: {detail}", file=out)
+    if report.reproducer is not None:
+        print(
+            f"minimal reproducer (shrunk in {report.shrink.evals} evals):",
+            file=out,
+        )
+        print(
+            "  " + json.dumps(config_to_jsonable(report.reproducer)), file=out
+        )
+    print(
+        f"regenerate with: FleetConfigFuzzer({args.seed}).config({failing.index})",
+        file=out,
+    )
+    return report.exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -422,6 +520,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "model": _cmd_model,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
+        "selftest": _cmd_selftest,
     }
     return handlers[args.command](args)
 

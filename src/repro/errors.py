@@ -1,0 +1,24 @@
+"""Typed errors shared by the facade, the drivers, and the CLI.
+
+Every user-reachable misconfiguration raises one of these instead of
+leaking an implementation detail (``KeyError`` on a platform name, an
+empty dict silently producing an empty sweep).  They subclass
+:class:`ValueError` so existing ``except ValueError`` call sites -- the
+CLI's report handler, older tests -- keep working unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ConfigError", "EmptyFleetError", "UnknownFormatError"]
+
+
+class ConfigError(ValueError):
+    """A configuration value the drivers cannot honor."""
+
+
+class EmptyFleetError(ConfigError):
+    """A fleet config that names no platforms (nothing to simulate)."""
+
+
+class UnknownFormatError(ConfigError):
+    """An export format no exporter implements."""

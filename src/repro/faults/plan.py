@@ -59,6 +59,21 @@ class FaultEvent:
         if self.duration is not None and self.duration <= 0:
             raise ValueError(f"fault {self.fault_id!r} needs a positive duration")
 
+    def to_jsonable(self) -> dict[str, Any]:
+        """A JSON-safe description (selector params collapse to labels)."""
+        params = {
+            key: _label(value) if isinstance(value, TopologySelector) else value
+            for key, value in self.params.items()
+        }
+        return {
+            "fault_id": self.fault_id,
+            "at": self.at,
+            "kind": self.kind.value,
+            "target": self.target,
+            "duration": self.duration,
+            "params": params,
+        }
+
 
 class FaultPlan:
     """An ordered, append-only schedule of faults (chainable builders)."""
@@ -79,6 +94,10 @@ class FaultPlan:
 
     def __iter__(self) -> Iterator[FaultEvent]:
         return iter(self.events)
+
+    def to_jsonable(self) -> list[dict[str, Any]]:
+        """The schedule as JSON-safe rows (for verdict streams and reports)."""
+        return [event.to_jsonable() for event in self.events]
 
     def _add(
         self,

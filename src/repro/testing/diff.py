@@ -1,0 +1,244 @@
+"""Measurement snapshots and the structured snapshot differ.
+
+One :func:`snapshot` captures every comparable measurement surface of a
+:class:`~repro.workloads.fleet.FleetResult` -- profiler samples, per-query
+breakdowns, cycle tables, query logs, capacity rows, chaos ledgers, and
+(when observed) the Prometheus export -- as plain comparable rows.
+:func:`diff_snapshots` compares two snapshots field by field and returns
+structured :class:`Mismatch` records instead of a bare boolean, so a
+differential run that disagrees says *where* and *how*.
+
+The row extractors (:func:`sample_rows`, :func:`breakdown_rows`,
+:func:`span_rows`, :func:`ledger_rows`) are the single home of the
+comparison logic the equivalence/parity test suites previously each
+carried a private copy of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Mismatch",
+    "sample_rows",
+    "breakdown_rows",
+    "span_rows",
+    "trace_rows",
+    "ledger_rows",
+    "snapshot",
+    "diff_snapshots",
+    "render_mismatches",
+    "assert_equivalent",
+]
+
+#: How many leading element-level differences to keep per surface.
+MAX_DETAILS = 3
+
+
+# -- row extractors -----------------------------------------------------------
+
+
+def sample_rows(profiler) -> list[tuple]:
+    """GWP samples as comparable tuples (order included -- order matters)."""
+    return [
+        (s.platform, s.function, s.category_key, s.cycles, s.timestamp)
+        for s in profiler.samples
+    ]
+
+
+def breakdown_rows(e2e) -> list[tuple]:
+    """Per-query Section 4.1 attribution rows of an ``E2EBreakdown``."""
+    return [
+        (q.name, q.t_e2e, q.t_cpu, q.t_remote, q.t_io, q.t_unattributed,
+         q.overlap_hidden)
+        for q in e2e.queries
+    ]
+
+
+def span_rows(trace) -> list[tuple]:
+    """One trace's spans as comparable tuples (ids, bounds, annotations)."""
+    return [
+        (s.span_id, s.parent_id, s.name, s.kind, s.start, s.end, s.annotations)
+        for s in trace.spans
+    ]
+
+
+def trace_rows(traces: Iterable) -> list[tuple]:
+    """Finished traces as ``(id, name, start, end, spans)`` rows."""
+    return [
+        (t.trace_id, t.name, t.start, t.end, span_rows(t)) for t in traces
+    ]
+
+
+def ledger_rows(controller) -> tuple[tuple, list, list]:
+    """A chaos controller's (or summary's) ledger as comparable rows."""
+    return (
+        tuple(controller.fault_ids),
+        [(event.fault_id, when) for event, when in controller.injected],
+        [(event.fault_id, when) for event, when in controller.healed],
+    )
+
+
+# -- snapshots ----------------------------------------------------------------
+
+
+def snapshot(result, *, traces: bool = False) -> dict[str, Any]:
+    """Every comparable measurement surface of a fleet run, keyed by name.
+
+    Keys are ``surface`` or ``surface/platform``.  ``traces=True`` adds the
+    full span trees -- only available on sequential runs, where live
+    platform objects still hold their tracers (parallel summaries do not
+    carry span trees across the process boundary).  The ``prometheus``
+    surface appears only for observed runs; diff with
+    ``ignore=("prometheus",)`` when exactly one side is observed.
+    """
+    snap: dict[str, Any] = {"samples": sample_rows(result.profiler)}
+    for name, platform in result.platforms.items():
+        snap[f"cpu_seconds/{name}"] = result.profiler.cpu_seconds(name)
+        snap[f"sample_count/{name}"] = result.profiler.sample_count(name)
+        snap[f"e2e/{name}"] = breakdown_rows(result.e2e[name])
+        snap[f"cycles/{name}"] = dict(result.cycles[name].cycles_by_category)
+        snap[f"records/{name}"] = list(platform.records)
+        snap[f"clock/{name}"] = platform.env.now
+        snap[f"uarch/{name}"] = dict(result.uarch_table(name))
+        snap[f"uarch_categories/{name}"] = {
+            broad.value: dict(row)
+            for broad, row in result.uarch_category_table(name).items()
+        }
+        if traces and hasattr(platform, "tracer"):
+            snap[f"traces/{name}"] = trace_rows(platform.tracer.finished_traces())
+    snap["table1"] = dict(result.table1_rows())
+    for name, controller in result.chaos.items():
+        snap[f"chaos/{name}"] = ledger_rows(controller)
+    if result.metrics is not None:
+        from repro.observability import prometheus_text
+
+        snap["prometheus"] = prometheus_text(result.metrics.registry)
+    return snap
+
+
+# -- diffing ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One disagreement between two snapshots.
+
+    ``surface`` names the snapshot key (e.g. ``e2e/Spanner``); ``detail``
+    is human-readable; ``index`` locates the first differing element for
+    sequence surfaces (None for scalar/missing-surface mismatches).
+    """
+
+    surface: str
+    detail: str
+    index: int | None = None
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {"surface": self.surface, "detail": self.detail, "index": self.index}
+
+    def __str__(self) -> str:
+        where = f"[{self.index}]" if self.index is not None else ""
+        return f"{self.surface}{where}: {self.detail}"
+
+
+def _diff_sequences(surface: str, a: Sequence, b: Sequence) -> list[Mismatch]:
+    mismatches = []
+    if len(a) != len(b):
+        mismatches.append(
+            Mismatch(surface, f"length {len(a)} != {len(b)}")
+        )
+    for index, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            mismatches.append(
+                Mismatch(surface, f"{left!r} != {right!r}", index=index)
+            )
+            if len(mismatches) >= MAX_DETAILS:
+                break
+    return mismatches
+
+
+def _diff_mappings(surface: str, a: Mapping, b: Mapping) -> list[Mismatch]:
+    mismatches = []
+    for key in sorted(set(a) | set(b), key=str):
+        if key not in a:
+            mismatches.append(Mismatch(surface, f"{key!r} only in right side"))
+        elif key not in b:
+            mismatches.append(Mismatch(surface, f"{key!r} only in left side"))
+        elif a[key] != b[key]:
+            mismatches.append(
+                Mismatch(surface, f"{key!r}: {a[key]!r} != {b[key]!r}")
+            )
+        if len(mismatches) >= MAX_DETAILS:
+            break
+    return mismatches
+
+
+def _diff_text(surface: str, a: str, b: str) -> list[Mismatch]:
+    if a == b:
+        return []
+    for index, (left, right) in enumerate(zip(a.splitlines(), b.splitlines())):
+        if left != right:
+            return [Mismatch(surface, f"line {left!r} != {right!r}", index=index)]
+    return [Mismatch(surface, f"text lengths {len(a)} != {len(b)}")]
+
+
+def diff_snapshots(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    *,
+    ignore: Iterable[str] = (),
+) -> list[Mismatch]:
+    """Field-by-field comparison; empty list means the snapshots agree.
+
+    ``ignore`` names surfaces excluded from the comparison (exact keys or
+    ``prefix/`` to drop a whole family, e.g. ``traces/``).
+    """
+    ignored = tuple(ignore)
+
+    def skipped(key: str) -> bool:
+        return any(
+            key == entry or (entry.endswith("/") and key.startswith(entry))
+            for entry in ignored
+        )
+
+    mismatches: list[Mismatch] = []
+    for key in sorted(set(a) | set(b)):
+        if skipped(key):
+            continue
+        if key not in a or key not in b:
+            side = "right" if key not in a else "left"
+            mismatches.append(Mismatch(key, f"surface missing from {side} side"))
+            continue
+        left, right = a[key], b[key]
+        if left == right:
+            continue
+        if isinstance(left, str) and isinstance(right, str):
+            mismatches.extend(_diff_text(key, left, right))
+        elif isinstance(left, Mapping) and isinstance(right, Mapping):
+            mismatches.extend(_diff_mappings(key, left, right))
+        elif isinstance(left, Sequence) and isinstance(right, Sequence):
+            mismatches.extend(_diff_sequences(key, left, right))
+        else:
+            mismatches.append(Mismatch(key, f"{left!r} != {right!r}"))
+    return mismatches
+
+
+def render_mismatches(mismatches: Sequence[Mismatch], *, limit: int = 20) -> str:
+    """A readable multi-line mismatch report (truncated past ``limit``)."""
+    if not mismatches:
+        return "snapshots agree"
+    lines = [f"{len(mismatches)} mismatch(es):"]
+    lines.extend(f"  {mismatch}" for mismatch in mismatches[:limit])
+    if len(mismatches) > limit:
+        lines.append(f"  ... and {len(mismatches) - limit} more")
+    return "\n".join(lines)
+
+
+def assert_equivalent(result_a, result_b, *, ignore: Iterable[str] = ()) -> None:
+    """Assert two fleet runs measured the same fleet (pytest-friendly)."""
+    mismatches = diff_snapshots(
+        snapshot(result_a), snapshot(result_b), ignore=ignore
+    )
+    if mismatches:
+        raise AssertionError(render_mismatches(mismatches))

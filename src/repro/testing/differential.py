@@ -1,0 +1,175 @@
+"""Differential runner: one config, every mode pair that must agree.
+
+Four execution-mode axes must not change a single measurement:
+
+* ``parallel`` -- per-platform worker processes with a deterministic
+  merge vs the sequential driver;
+* ``observability`` -- metrics registry + scraper on vs off (observers
+  only read simulation state);
+* ``coalescing`` -- CPU-chunk coalescing fast path vs chunk-by-chunk;
+* ``replay`` -- the same config run twice: seed determinism, and (when
+  the config carries fault plans) the chaos-replay ledger against the
+  original run's ledger.
+
+:class:`DifferentialRunner` executes the legs for one config and diffs
+each against the base run with the structured snapshot differ.  A leg
+that *crashes* is a finding too -- the exception is captured into the
+pair result instead of tearing down the whole selftest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.testing.diff import Mismatch, diff_snapshots, snapshot
+
+__all__ = ["PairResult", "DifferentialReport", "DifferentialRunner", "MODE_PAIRS"]
+
+MODE_PAIRS = ("parallel", "observability", "coalescing", "replay")
+
+#: Engine bookkeeping that legitimately differs between coalesced and
+#: chunk-by-chunk execution: coalescing exists precisely to process fewer
+#: simulation events.  Every *measurement* metric must still agree.
+_ENGINE_EVENT_METRIC = "repro_sim_events_processed"
+
+
+def _mask_engine_events(snap: dict) -> dict:
+    text = snap.get("prometheus")
+    if not isinstance(text, str):
+        return snap
+    snap = dict(snap)
+    snap["prometheus"] = "\n".join(
+        line
+        for line in text.splitlines()
+        if _ENGINE_EVENT_METRIC not in line
+    )
+    return snap
+
+
+@dataclass
+class PairResult:
+    """Verdict for one execution-mode pair of one config."""
+
+    pair: str
+    mismatches: list[Mismatch] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and self.error is None
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "pair": self.pair,
+            "ok": self.ok,
+            "error": self.error,
+            "mismatches": [m.to_jsonable() for m in self.mismatches],
+        }
+
+
+@dataclass
+class DifferentialReport:
+    """All mode-pair verdicts for one config, plus the base run."""
+
+    base: Any
+    pairs: list[PairResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(pair.ok for pair in self.pairs)
+
+    def failing_pairs(self) -> list[PairResult]:
+        return [pair for pair in self.pairs if not pair.ok]
+
+
+class DifferentialRunner:
+    """Runs the mode legs for a config and diffs their snapshots.
+
+    ``run`` is injectable (defaults to :func:`repro.api.run_fleet`) so the
+    harness itself is testable; ``pairs`` selects a subset of
+    :data:`MODE_PAIRS`.
+    """
+
+    def __init__(
+        self,
+        run: Callable[..., Any] | None = None,
+        *,
+        pairs: Iterable[str] = MODE_PAIRS,
+    ):
+        if run is None:
+            from repro.api import run_fleet
+
+            run = run_fleet
+        self._run = run
+        self.pairs = tuple(pairs)
+        unknown = set(self.pairs) - set(MODE_PAIRS)
+        if unknown:
+            raise ValueError(f"unknown mode pairs {sorted(unknown)}")
+
+    # -- legs ----------------------------------------------------------------
+
+    def _leg(self, config, **overrides):
+        return self._run(config.with_overrides(parallel=False, **overrides))
+
+    def _compare(
+        self, pair: str, base_snap: dict, config, ignore=(), transform=None,
+        **overrides,
+    ) -> PairResult:
+        try:
+            other = self._leg(config, **overrides)
+        except Exception as exc:  # a crashing leg is a verdict, not a bug here
+            return PairResult(pair, error=f"{type(exc).__name__}: {exc}")
+        other_snap = snapshot(other)
+        if transform is not None:
+            base_snap, other_snap = transform(base_snap), transform(other_snap)
+        return PairResult(
+            pair, mismatches=diff_snapshots(base_snap, other_snap, ignore=ignore)
+        )
+
+    def run_config(self, config) -> DifferentialReport:
+        """Execute every selected mode pair for one config."""
+        base = self._leg(config)
+        base_snap = snapshot(base)
+        results: list[PairResult] = []
+        for pair in self.pairs:
+            if pair == "parallel":
+                results.append(self._pair_parallel(base_snap, config))
+            elif pair == "observability":
+                results.append(self._pair_observability(base_snap, config))
+            elif pair == "coalescing":
+                results.append(
+                    self._compare(
+                        "coalescing",
+                        base_snap,
+                        config,
+                        transform=_mask_engine_events,
+                        coalesce=False,
+                    )
+                )
+            elif pair == "replay":
+                results.append(self._compare("replay", base_snap, config))
+        return DifferentialReport(base=base, pairs=results)
+
+    def _pair_parallel(self, base_snap: dict, config) -> PairResult:
+        try:
+            parallel = self._run(config.with_overrides(parallel=True))
+        except Exception as exc:
+            return PairResult("parallel", error=f"{type(exc).__name__}: {exc}")
+        return PairResult(
+            "parallel",
+            mismatches=diff_snapshots(base_snap, snapshot(parallel)),
+        )
+
+    def _pair_observability(self, base_snap: dict, config) -> PairResult:
+        # Flip the axis: an observed config is re-run dark, an unobserved
+        # one is re-run observed.  Either way the measurement surfaces must
+        # be byte-identical; only the metrics export itself may differ.
+        flipped = None if config.observability not in (None, False) else True
+        return self._compare(
+            "observability",
+            base_snap,
+            config,
+            ignore=("prometheus",),
+            observability=flipped,
+        )

@@ -1,0 +1,230 @@
+"""Metamorphic oracles: properties any fleet run must satisfy.
+
+Unlike the differential pairs (which compare two executions of the *same*
+config), an oracle checks one run -- or a run plus a derived run -- against
+a property that must hold for every point of the config space:
+
+* **conservation** -- per-platform GWP sample counts and per-category
+  cycle totals sum exactly to the fleet totals;
+* **span well-formedness** -- every span tree nests properly and the
+  remote -> IO -> CPU overlap resolution never yields a negative
+  residual in any attribution class;
+* **storage recovery** -- Table 1 RAM:SSD:HDD ratios recover the
+  calibrated targets within tolerance under *any* platform mix;
+* **monotonicity** -- doubling a platform's query count never decreases
+  its served-query, CPU-second, or sample totals;
+* **seed determinism** -- the same config run twice snapshots
+  identically (the differential runner's ``replay`` pair is the same
+  check; :data:`DEFAULT_SELFTEST_ORACLES` therefore omits it to avoid
+  paying for the run twice per config).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.faults.invariants import check_breakdown_sums, check_span_nesting
+from repro.testing.diff import diff_snapshots, snapshot
+from repro.workloads import calibration
+
+__all__ = [
+    "OracleVerdict",
+    "ALL_ORACLES",
+    "DEFAULT_SELFTEST_ORACLES",
+    "run_oracles",
+    "check_conservation",
+    "check_span_wellformedness",
+    "check_storage_recovery",
+    "check_monotonicity",
+    "check_seed_determinism",
+]
+
+#: Relative tolerance for recovering the Table 1 storage ratios (the
+#: provisioning is ratio-derived, so recovery is near-exact; the slack
+#: absorbs integer device-count rounding only).
+STORAGE_RATIO_TOLERANCE = 0.10
+
+
+@dataclass
+class OracleVerdict:
+    """One oracle's verdict for one config."""
+
+    oracle: str
+    problems: list[str] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and self.error is None
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "oracle": self.oracle,
+            "ok": self.ok,
+            "error": self.error,
+            "problems": self.problems[:10],
+        }
+
+
+# -- individual oracles -------------------------------------------------------
+#
+# Each takes (config, base_result, run) -- ``run`` executes a derived
+# config when the metamorphic relation needs one -- and returns a list of
+# problem strings (empty = property holds).
+
+
+def check_conservation(config, base, run) -> list[str]:
+    """Per-category and per-platform sample totals sum to the fleet total."""
+    problems: list[str] = []
+    profiler = base.profiler
+    per_platform = {
+        name: profiler.sample_count(name) for name in base.platforms
+    }
+    total = profiler.sample_count()
+    if sum(per_platform.values()) != total:
+        problems.append(
+            f"sample counts {per_platform} sum to "
+            f"{sum(per_platform.values())}, fleet total is {total}"
+        )
+    for name in base.platforms:
+        by_category = base.cycles[name].cycles_by_category
+        category_cycles = sum(by_category.values())
+        sample_cycles = sum(
+            s.cycles for s in profiler.platform_samples(name)
+        )
+        if abs(category_cycles - sample_cycles) > 1e-6 * max(1.0, sample_cycles):
+            problems.append(
+                f"{name}: per-category cycles {category_cycles} != "
+                f"sampled cycles {sample_cycles}"
+            )
+    return problems
+
+
+def check_span_wellformedness(config, base, run) -> list[str]:
+    """Span trees nest; attribution residuals are never negative.
+
+    Span trees only exist on sequential runs (parallel summaries do not
+    carry them across the process boundary) -- the selftest's base run is
+    sequential, so this always gets real trees.
+    """
+    problems: list[str] = []
+    for name, platform in base.platforms.items():
+        tracer = getattr(platform, "tracer", None)
+        if tracer is not None:
+            for trace in tracer.finished_traces():
+                problems.extend(check_span_nesting(trace))
+        for breakdown in base.e2e[name].queries:
+            problems.extend(check_breakdown_sums(breakdown))
+            if breakdown.overlap_hidden < -1e-9:
+                problems.append(
+                    f"query {breakdown.name}: negative hidden overlap "
+                    f"{breakdown.overlap_hidden}"
+                )
+    return problems
+
+
+def check_storage_recovery(config, base, run) -> list[str]:
+    """Table 1 ratios recover the calibrated targets under any mix."""
+    problems: list[str] = []
+    for name, row in base.table1_rows().items():
+        target = calibration.STORAGE_RATIOS[name].as_tuple()
+        for measured, expected, tier in zip(row, target, ("ram", "ssd", "hdd")):
+            if abs(measured - expected) > STORAGE_RATIO_TOLERANCE * expected:
+                problems.append(
+                    f"{name}/{tier}: ratio {measured:.2f} outside "
+                    f"{expected} +/- {STORAGE_RATIO_TOLERANCE:.0%}"
+                )
+    return problems
+
+
+def check_monotonicity(config, base, run) -> list[str]:
+    """Doubling query counts never shrinks served/sample/CPU totals."""
+    doubled_queries = {
+        name: 2 * count for name, count in _query_map(config, base).items()
+    }
+    doubled = run(
+        config.with_overrides(queries=doubled_queries, parallel=False)
+    )
+    problems: list[str] = []
+    for name in base.platforms:
+        pairs = (
+            ("queries_served", base.platforms[name].queries_served,
+             doubled.platforms[name].queries_served),
+            ("sample_count", base.profiler.sample_count(name),
+             doubled.profiler.sample_count(name)),
+            ("cpu_seconds", base.profiler.cpu_seconds(name),
+             doubled.profiler.cpu_seconds(name)),
+        )
+        for what, small, large in pairs:
+            if large < small:
+                problems.append(
+                    f"{name}: {what} fell from {small} to {large} "
+                    f"when queries doubled"
+                )
+    return problems
+
+
+def check_seed_determinism(config, base, run) -> list[str]:
+    """The same config re-run snapshots byte-identically."""
+    again = run(config.with_overrides(parallel=False))
+    mismatches = diff_snapshots(snapshot(base), snapshot(again))
+    return [str(m) for m in mismatches]
+
+
+def _query_map(config, base) -> dict[str, int]:
+    queries = config.queries
+    if isinstance(queries, int):
+        return {name: queries for name in base.platforms}
+    return {name: queries.get(name, 0) for name in base.platforms}
+
+
+ALL_ORACLES: dict[str, Callable] = {
+    "conservation": check_conservation,
+    "span_wellformedness": check_span_wellformedness,
+    "storage_recovery": check_storage_recovery,
+    "monotonicity": check_monotonicity,
+    "seed_determinism": check_seed_determinism,
+}
+
+#: The selftest's default set: seed determinism is already enforced by the
+#: differential runner's ``replay`` pair, so it is omitted here.
+DEFAULT_SELFTEST_ORACLES = (
+    "conservation",
+    "span_wellformedness",
+    "storage_recovery",
+    "monotonicity",
+)
+
+
+def run_oracles(
+    config,
+    base,
+    *,
+    run: Callable[..., Any] | None = None,
+    oracles: Iterable[str] | None = None,
+) -> list[OracleVerdict]:
+    """Evaluate oracles against one config's base (sequential) run.
+
+    A crashing oracle is captured into its verdict's ``error`` field --
+    one broken property must not hide the others.
+    """
+    if run is None:
+        from repro.api import run_fleet
+
+        run = run_fleet
+    names = tuple(oracles) if oracles is not None else tuple(ALL_ORACLES)
+    unknown = set(names) - set(ALL_ORACLES)
+    if unknown:
+        raise ValueError(f"unknown oracles {sorted(unknown)}")
+    verdicts: list[OracleVerdict] = []
+    for name in names:
+        try:
+            problems = ALL_ORACLES[name](config, base, run)
+        except Exception as exc:
+            verdicts.append(
+                OracleVerdict(name, error=f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            verdicts.append(OracleVerdict(name, problems=problems))
+    return verdicts

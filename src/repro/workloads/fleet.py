@@ -15,6 +15,7 @@ from typing import Mapping
 
 from repro import taxonomy
 from repro.core.profile import PlatformProfile, QueryGroupProfile, QUERY_GROUPS
+from repro.errors import ConfigError, EmptyFleetError
 from repro.faults import ChaosController, FaultPlan
 from repro.observability import (
     MetricsRegistry,
@@ -39,6 +40,7 @@ __all__ = [
     "FleetResult",
     "FleetSimulation",
     "counter_model_for",
+    "normalize_queries",
     "FLEET_SAMPLE_PERIOD",
     "BIGQUERY_SAMPLE_PERIOD",
 ]
@@ -50,6 +52,35 @@ FLEET_SAMPLE_PERIOD = 5e-5
 BIGQUERY_SAMPLE_PERIOD = 20e-3
 
 _PLATFORM_SEED_OFFSET = {SPANNER: 10, BIGTABLE: 20, BIGQUERY: 30}
+
+
+def normalize_queries(queries: Mapping[str, int] | int) -> dict[str, int]:
+    """Resolve the ``queries`` knob into a full per-platform mapping.
+
+    An int fans out to every platform.  A mapping may name a *subset* of
+    platforms -- the rest serve zero queries -- so single-platform fleets
+    are expressed naturally as ``{"Spanner": 1}``.  An empty mapping, an
+    unknown platform name, or a negative count raises a typed error
+    instead of surfacing later as a bare ``KeyError`` mid-run.
+    """
+    if isinstance(queries, int):
+        if queries < 0:
+            raise ConfigError(f"queries must be non-negative, got {queries}")
+        return {name: queries for name in PLATFORMS}
+    queries = dict(queries)
+    if not queries:
+        raise EmptyFleetError(
+            "fleet config names no platforms (empty queries mapping)"
+        )
+    unknown = sorted(set(queries) - set(PLATFORMS))
+    if unknown:
+        raise ConfigError(
+            f"unknown platform(s) {unknown}; choose from {list(PLATFORMS)}"
+        )
+    for name, count in queries.items():
+        if count < 0:
+            raise ConfigError(f"{name}: queries must be non-negative, got {count}")
+    return {name: int(queries.get(name, 0)) for name in PLATFORMS}
 
 
 def counter_model_for(platform: str, jitter: float = 0.02) -> PerfCounterModel:
@@ -143,6 +174,19 @@ class FleetResult:
     def table1_rows(self) -> dict[str, tuple[float, float, float]]:
         return self.telemetry.table1_rows()
 
+    def snapshot(self, *, traces: bool = False):
+        """This run's full measurement surface as comparable plain rows.
+
+        The differential-verification hook: two runs that must agree
+        (sequential vs parallel, metrics on vs off, coalesced vs chunked,
+        replay vs original) are compared snapshot-to-snapshot with
+        :func:`repro.testing.diff.diff_snapshots`.  Lazy import keeps the
+        driver free of a dependency on the test harness.
+        """
+        from repro.testing.diff import snapshot
+
+        return snapshot(self, traces=traces)
+
     def uarch_table(self, platform: str) -> Mapping[str, float]:
         """Table 6 row measured from sampled counters."""
         aggregate = self.profiler.counter_aggregate(platform)
@@ -185,9 +229,7 @@ class FleetSimulation:
         coalesce: bool = True,
         observability: ObservabilityConfig | Mapping[str, float] | bool | None = None,
     ):
-        if isinstance(queries, int):
-            queries = {name: queries for name in PLATFORMS}
-        self.queries = dict(queries)
+        self.queries = normalize_queries(queries)
         self.seed = seed
         self.trace_sample_rate = trace_sample_rate
         self.counter_jitter = counter_jitter

@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro.errors import ConfigError
 from repro.faults import ChaosController
 from repro.observability import MetricsRegistry, ObservabilityResult
 from repro.platforms.common import PlatformBase, QueryRecord
@@ -250,8 +251,10 @@ def sweep_seeds(
     (minus ``seed``).  Returns ``{seed: FleetResult}`` in input order.
     """
     seeds = list(seeds)
+    if not seeds:
+        raise ConfigError("no seeds to sweep (empty seed list)")
     if len(set(seeds)) != len(seeds):
-        raise ValueError("duplicate seeds in sweep")
+        raise ConfigError("duplicate seeds in sweep")
     sims = {seed: FleetSimulation(seed=seed, **kwargs) for seed in seeds}
     workers = max_workers or min(8, max(1, len(seeds) * len(PLATFORMS)))
     with ProcessPoolExecutor(max_workers=workers) as pool:

@@ -4,43 +4,29 @@ The coalesced fast path (`ServerNode.compute_batch` + `_BatchRecorder`)
 exists purely for speed; every observable -- span tuples, profiler samples,
 end-to-end breakdowns, cycle breakdowns -- must be byte-identical to the
 uncoalesced chunk-by-chunk path.  These tests run both paths and compare
-exact floats (no tolerances: the invariant is identity, not closeness).
+exact floats (no tolerances: the invariant is identity, not closeness),
+using the shared snapshot differ from :mod:`repro.testing.diff`.
 """
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.cluster import ServerNode, Topology, WorkContext
-from repro.profiling.dapper import SpanKind, Trace
+from repro.profiling.dapper import Trace
 from repro.profiling.gwp import FleetProfiler
 from repro.sim import Environment
+from repro.testing import (
+    assert_equivalent,
+    diff_snapshots,
+    sample_rows,
+    snapshot,
+    span_rows,
+)
 from repro.workloads.calibration import PLATFORMS
 from repro.workloads.fleet import FleetSimulation
+from tests.strategies import sample_periods, work_chunks
 
 QUERIES = {"Spanner": 6, "BigTable": 6, "BigQuery": 3}
-
-
-def _span_rows(trace):
-    return [
-        (s.span_id, s.parent_id, s.name, s.kind, s.start, s.end, s.annotations)
-        for s in trace.spans
-    ]
-
-
-def _sample_rows(profiler):
-    return [
-        (s.platform, s.function, s.category_key, s.cycles, s.timestamp)
-        for s in profiler.samples
-    ]
-
-
-def _breakdown_rows(e2e):
-    return [
-        (q.name, q.t_e2e, q.t_cpu, q.t_remote, q.t_io, q.t_unattributed,
-         q.overlap_hidden)
-        for q in e2e.queries
-    ]
 
 
 @pytest.fixture(scope="module", params=[0, 1, 2])
@@ -52,51 +38,26 @@ def fleet_pair(request):
 
 
 class TestFleetEquivalence:
-    def test_samples_identical(self, fleet_pair):
+    def test_every_surface_identical(self, fleet_pair):
+        """Samples, breakdowns, cycle tables, records, clocks, capacity."""
         coalesced, chunked = fleet_pair
-        assert _sample_rows(coalesced.profiler) == _sample_rows(chunked.profiler)
+        assert_equivalent(coalesced, chunked)
+
+    def test_traces_identical(self, fleet_pair):
+        coalesced, chunked = fleet_pair
+        mismatches = diff_snapshots(
+            snapshot(coalesced, traces=True), snapshot(chunked, traces=True)
+        )
+        assert mismatches == []
 
     def test_cpu_seconds_identical(self, fleet_pair):
+        # Redundant with the snapshot diff, but pins the one number the
+        # fast path most directly manipulates.
         coalesced, chunked = fleet_pair
         for platform in PLATFORMS:
             assert coalesced.profiler.cpu_seconds(
                 platform
             ) == chunked.profiler.cpu_seconds(platform)
-
-    def test_e2e_breakdowns_identical(self, fleet_pair):
-        coalesced, chunked = fleet_pair
-        for platform in PLATFORMS:
-            assert _breakdown_rows(coalesced.e2e[platform]) == _breakdown_rows(
-                chunked.e2e[platform]
-            )
-
-    def test_cycle_breakdowns_identical(self, fleet_pair):
-        coalesced, chunked = fleet_pair
-        for platform in PLATFORMS:
-            assert (
-                coalesced.cycles[platform].cycles_by_category
-                == chunked.cycles[platform].cycles_by_category
-            )
-
-    def test_traces_identical(self, fleet_pair):
-        coalesced, chunked = fleet_pair
-        for platform in PLATFORMS:
-            a = coalesced.platforms[platform].tracer.finished_traces()
-            b = chunked.platforms[platform].tracer.finished_traces()
-            assert len(a) == len(b)
-            for ta, tb in zip(a, b):
-                assert (ta.trace_id, ta.name, ta.start, ta.end) == (
-                    tb.trace_id, tb.name, tb.start, tb.end,
-                )
-                assert _span_rows(ta) == _span_rows(tb)
-
-    def test_query_records_identical(self, fleet_pair):
-        coalesced, chunked = fleet_pair
-        for platform in PLATFORMS:
-            assert (
-                coalesced.platforms[platform].records
-                == chunked.platforms[platform].records
-            )
 
 
 class TestBareNodeEquivalence:
@@ -127,7 +88,7 @@ class TestBareNodeEquivalence:
 
         env.run(until=env.process(work()))
         trace.finish(env.now)
-        return env.now, _span_rows(trace), _sample_rows(profiler)
+        return env.now, span_rows(trace), sample_rows(profiler)
 
     def test_identical_observables(self):
         assert self._run(batched=True) == self._run(batched=False)
@@ -144,7 +105,7 @@ class TestBareNodeEquivalence:
         env.run(until=env.process(node.compute_batch(ctx, chunks)))
         trace.finish(env.now)
         assert env.now == 0.0
-        assert [row[2] for row in _span_rows(trace)] == ["a::Zero", "b::Zero"]
+        assert [row[2] for row in span_rows(trace)] == ["a::Zero", "b::Zero"]
 
     def test_crash_mid_batch_drops_tail_chunks(self):
         """A node crash cancels recorders past env.now, like the slow path."""
@@ -174,7 +135,7 @@ class TestBareNodeEquivalence:
             env.run(until=proc)
             env.run()
             trace.finish(env.now)
-            return _span_rows(trace), _sample_rows(profiler)
+            return span_rows(trace), sample_rows(profiler)
 
         assert run(batched=True) == run(batched=False)
 
@@ -205,25 +166,13 @@ class TestBareNodeEquivalence:
             for proc in procs:
                 env.run(until=proc)
             trace.finish(env.now)
-            return env.now, _span_rows(trace), _sample_rows(profiler)
+            return env.now, span_rows(trace), sample_rows(profiler)
 
         assert run(batched=True) == run(batched=False)
 
 
 class TestRecordWorkBatchProperty:
-    @given(
-        chunks=st.lists(
-            st.tuples(
-                st.sampled_from(
-                    ["proto2::Parse", "snappy::RawCompress", "misc_core::x"]
-                ),
-                st.floats(min_value=0.0, max_value=5e-4, allow_nan=False),
-                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
-            ),
-            max_size=40,
-        ),
-        period=st.sampled_from([5e-5, 1e-4, 2e-3]),
-    )
+    @given(chunks=work_chunks, period=sample_periods)
     @settings(max_examples=60, deadline=None)
     def test_batch_equals_chunk_by_chunk(self, chunks, period):
         batch = FleetProfiler(sample_period=period)
@@ -233,7 +182,7 @@ class TestRecordWorkBatchProperty:
             single.record_work("Spanner", fn, d, when) for fn, d, when in chunks
         )
         assert taken_batch == taken_single
-        assert _sample_rows(batch) == _sample_rows(single)
+        assert sample_rows(batch) == sample_rows(single)
         assert batch.cpu_seconds("Spanner") == pytest.approx(
             single.cpu_seconds("Spanner"), abs=0, rel=0
         )

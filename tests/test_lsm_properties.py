@@ -6,10 +6,9 @@ from hypothesis import strategies as st
 from repro.platforms.bigtable.compaction import merge_sstables
 from repro.platforms.bigtable.memtable import Memtable
 from repro.platforms.bigtable.sstable import SSTable
-
-keys = st.text(alphabet="abcdef", min_size=1, max_size=4)
-values = st.one_of(st.none(), st.integers(min_value=0, max_value=999))
-run_contents = st.dictionaries(keys, values, min_size=1, max_size=12)
+from tests.strategies import lsm_keys as keys
+from tests.strategies import lsm_values as values
+from tests.strategies import run_contents
 
 
 def make_run(contents: dict, index: int) -> SSTable:

@@ -5,38 +5,18 @@ With observability enabled, every measurement surface of a
 tables, query records, chaos ledgers -- must be byte-identical to a
 metrics-off run with the same seed, in both sequential and parallel modes.
 Observers only read simulation state and write the registry; this suite is
-the enforcement.
+the enforcement, built on the shared differ in :mod:`repro.testing.diff`
+(``prometheus`` is ignored where exactly one side is observed).
 """
 
 import pytest
 
 from repro.api import FleetConfig, Telemetry, run_fleet
 from repro.faults import canned_mixed_scenario
+from repro.testing import assert_equivalent, ledger_rows
 from repro.workloads.calibration import PLATFORMS
 
 QUERIES = {"Spanner": 6, "BigTable": 6, "BigQuery": 3}
-
-
-def _sample_rows(profiler):
-    return [
-        (s.platform, s.function, s.category_key, s.cycles, s.timestamp)
-        for s in profiler.samples
-    ]
-
-
-def _breakdown_rows(e2e):
-    return [
-        (q.name, q.t_e2e, q.t_cpu, q.t_remote, q.t_io, q.t_unattributed,
-         q.overlap_hidden)
-        for q in e2e.queries
-    ]
-
-
-def _ledger_rows(controller):
-    return (
-        [(e.fault_id, t) for e, t in controller.injected],
-        [(e.fault_id, t) for e, t in controller.healed],
-    )
 
 
 @pytest.fixture(scope="module")
@@ -50,38 +30,13 @@ def runs():
 
 
 class TestObservedRunsAreByteIdentical:
-    def test_samples(self, runs):
-        base, observed, observed_parallel = runs
-        assert _sample_rows(observed.profiler) == _sample_rows(base.profiler)
-        assert _sample_rows(observed_parallel.profiler) == _sample_rows(base.profiler)
+    def test_observed_matches_dark(self, runs):
+        base, observed, _ = runs
+        assert_equivalent(base, observed, ignore=("prometheus",))
 
-    def test_query_records(self, runs):
-        base, observed, observed_parallel = runs
-        for platform in PLATFORMS:
-            expected = list(base.platforms[platform].records)
-            assert list(observed.platforms[platform].records) == expected
-            assert list(observed_parallel.platforms[platform].records) == expected
-
-    def test_e2e_breakdowns(self, runs):
-        base, observed, observed_parallel = runs
-        for platform in PLATFORMS:
-            expected = _breakdown_rows(base.e2e[platform])
-            assert _breakdown_rows(observed.e2e[platform]) == expected
-            assert _breakdown_rows(observed_parallel.e2e[platform]) == expected
-
-    def test_tables(self, runs):
-        base, observed, observed_parallel = runs
-        for result in (observed, observed_parallel):
-            assert result.table1_rows() == base.table1_rows()
-            for platform in PLATFORMS:
-                assert result.uarch_table(platform) == base.uarch_table(platform)
-                assert result.uarch_category_table(
-                    platform
-                ) == base.uarch_category_table(platform)
-                assert (
-                    result.cycles[platform].cycles_by_category
-                    == base.cycles[platform].cycles_by_category
-                )
+    def test_observed_parallel_matches_dark(self, runs):
+        base, _, observed_parallel = runs
+        assert_equivalent(base, observed_parallel, ignore=("prometheus",))
 
     def test_metrics_presence(self, runs):
         base, observed, observed_parallel = runs
@@ -92,7 +47,10 @@ class TestObservedRunsAreByteIdentical:
         assert sorted(observed_parallel.metrics.series) == sorted(PLATFORMS)
 
     def test_sequential_and_parallel_exports_match(self, runs):
+        # Both sides observed, so the full snapshots -- prometheus text
+        # included -- must agree.
         _, observed, observed_parallel = runs
+        assert_equivalent(observed, observed_parallel)
         assert Telemetry(observed_parallel).prometheus() == Telemetry(
             observed
         ).prometheus()
@@ -141,21 +99,19 @@ class TestChaosParity:
         )
         return base, observed, observed_parallel
 
+    def test_chaos_runs_identical(self, chaos_runs):
+        base, observed, observed_parallel = chaos_runs
+        assert_equivalent(base, observed, ignore=("prometheus",))
+        assert_equivalent(base, observed_parallel, ignore=("prometheus",))
+
     def test_chaos_ledgers_identical(self, chaos_runs):
         base, observed, observed_parallel = chaos_runs
         assert set(observed.chaos) == set(base.chaos)
         assert set(observed_parallel.chaos) == set(base.chaos)
         for platform in base.chaos:
-            expected = _ledger_rows(base.chaos[platform])
-            assert _ledger_rows(observed.chaos[platform]) == expected
-            assert _ledger_rows(observed_parallel.chaos[platform]) == expected
-
-    def test_records_identical_under_chaos(self, chaos_runs):
-        base, observed, observed_parallel = chaos_runs
-        for platform in PLATFORMS:
-            expected = list(base.platforms[platform].records)
-            assert list(observed.platforms[platform].records) == expected
-            assert list(observed_parallel.platforms[platform].records) == expected
+            expected = ledger_rows(base.chaos[platform])
+            assert ledger_rows(observed.chaos[platform]) == expected
+            assert ledger_rows(observed_parallel.chaos[platform]) == expected
 
     def test_fault_counters_match_ledgers(self, chaos_runs):
         _, observed, observed_parallel = chaos_runs

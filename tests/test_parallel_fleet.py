@@ -2,13 +2,15 @@
 
 One worker process per platform, merged in fixed platform order -- every
 measurement surface (samples, breakdowns, tables, query logs, chaos
-ledgers) is compared against :meth:`FleetSimulation.run` with exact floats.
+ledgers) is compared against :meth:`FleetSimulation.run` with exact
+floats, via the shared snapshot differ in :mod:`repro.testing.diff`.
 """
 
 import pytest
 
 from repro.faults import canned_mixed_scenario
-from repro.workloads.calibration import PLATFORMS, SPANNER
+from repro.testing import assert_equivalent, ledger_rows, sample_rows
+from repro.workloads.calibration import PLATFORMS
 from repro.workloads.fleet import FleetSimulation
 from repro.workloads.parallel import (
     ParallelFleetSimulation,
@@ -20,21 +22,6 @@ from repro.workloads.parallel import (
 QUERIES = {"Spanner": 6, "BigTable": 6, "BigQuery": 3}
 
 
-def _sample_rows(profiler):
-    return [
-        (s.platform, s.function, s.category_key, s.cycles, s.timestamp)
-        for s in profiler.samples
-    ]
-
-
-def _breakdown_rows(e2e):
-    return [
-        (q.name, q.t_e2e, q.t_cpu, q.t_remote, q.t_io, q.t_unattributed,
-         q.overlap_hidden)
-        for q in e2e.queries
-    ]
-
-
 @pytest.fixture(scope="module")
 def result_pair():
     sequential = FleetSimulation(queries=QUERIES, seed=0).run()
@@ -43,42 +30,15 @@ def result_pair():
 
 
 class TestParallelEqualsSequential:
-    def test_samples_identical(self, result_pair):
+    def test_every_surface_identical(self, result_pair):
+        """Samples, cpu-seconds, breakdowns, cycle/uarch tables, records,
+        clocks, Table 1 -- the full snapshot, field by field."""
         sequential, parallel = result_pair
-        assert _sample_rows(sequential.profiler) == _sample_rows(parallel.profiler)
-
-    def test_cpu_seconds_identical(self, result_pair):
-        sequential, parallel = result_pair
-        for platform in PLATFORMS:
-            assert sequential.profiler.cpu_seconds(
-                platform
-            ) == parallel.profiler.cpu_seconds(platform)
-
-    def test_e2e_identical(self, result_pair):
-        sequential, parallel = result_pair
-        for platform in PLATFORMS:
-            assert _breakdown_rows(sequential.e2e[platform]) == _breakdown_rows(
-                parallel.e2e[platform]
-            )
-
-    def test_cycle_breakdowns_identical(self, result_pair):
-        sequential, parallel = result_pair
-        for platform in PLATFORMS:
-            assert (
-                sequential.cycles[platform].cycles_by_category
-                == parallel.cycles[platform].cycles_by_category
-            )
-
-    def test_tables_identical(self, result_pair):
-        sequential, parallel = result_pair
-        assert sequential.table1_rows() == parallel.table1_rows()
-        for platform in PLATFORMS:
-            assert sequential.uarch_table(platform) == parallel.uarch_table(platform)
-            assert sequential.uarch_category_table(
-                platform
-            ) == parallel.uarch_category_table(platform)
+        assert_equivalent(sequential, parallel)
 
     def test_measured_profiles_identical(self, result_pair):
+        # Derived from the snapshot surfaces, but pins the calibrated
+        # profile round-trip downstream consumers read.
         sequential, parallel = result_pair
         for platform in PLATFORMS:
             assert sequential.measured_profile(platform) == parallel.measured_profile(
@@ -107,19 +67,11 @@ class TestChaosParity:
         parallel = ParallelFleetSimulation(
             queries=QUERIES, seed=3, fault_plans=plans
         ).run()
+        assert_equivalent(sequential, parallel)
         assert set(parallel.chaos) == set(sequential.chaos)
         for platform in sequential.chaos:
-            a, b = sequential.chaos[platform], parallel.chaos[platform]
-            assert b.fault_ids == a.fault_ids
-            assert [(e.fault_id, t) for e, t in a.injected] == [
-                (e.fault_id, t) for e, t in b.injected
-            ]
-            assert [(e.fault_id, t) for e, t in a.healed] == [
-                (e.fault_id, t) for e, t in b.healed
-            ]
-        for platform in PLATFORMS:
-            assert list(parallel.platforms[platform].records) == list(
-                sequential.platforms[platform].records
+            assert ledger_rows(parallel.chaos[platform]) == ledger_rows(
+                sequential.chaos[platform]
             )
 
 
@@ -128,7 +80,7 @@ class TestRunParallelHelpers:
         sim = FleetSimulation(queries=QUERIES, seed=1)
         parallel = run_parallel(sim)
         sequential = FleetSimulation(queries=QUERIES, seed=1).run()
-        assert _sample_rows(parallel.profiler) == _sample_rows(sequential.profiler)
+        assert_equivalent(sequential, parallel)
 
     def test_config_round_trips(self):
         sim = FleetSimulation(queries=QUERIES, seed=5, trace_sample_rate=2)
@@ -139,7 +91,7 @@ class TestRunParallelHelpers:
         results = sweep_seeds([0, 7], queries=QUERIES)
         assert list(results) == [0, 7]
         single = FleetSimulation(queries=QUERIES, seed=7).run()
-        assert _sample_rows(results[7].profiler) == _sample_rows(single.profiler)
+        assert sample_rows(results[7].profiler) == sample_rows(single.profiler)
         assert results[0].profiler.sample_count() != 0
 
     def test_sweep_rejects_duplicate_seeds(self):

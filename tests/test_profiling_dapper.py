@@ -2,7 +2,6 @@
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.profiling.breakdown import (
     classify_query,
@@ -10,6 +9,7 @@ from repro.profiling.breakdown import (
     QueryBreakdown,
 )
 from repro.profiling.dapper import SpanKind, Trace, Tracer
+from tests.strategies import span_specs
 
 
 def make_trace(name="q", start=0.0):
@@ -137,17 +137,7 @@ class TestAttributionPolicy:
         with pytest.raises(ValueError, match="unfinished"):
             trace_breakdown(trace)
 
-    @given(
-        spans=st.lists(
-            st.tuples(
-                st.sampled_from(list(SpanKind)),
-                st.floats(min_value=0, max_value=50),
-                st.floats(min_value=0, max_value=50),
-            ),
-            min_size=1,
-            max_size=12,
-        )
-    )
+    @given(spans=span_specs)
     def test_attributed_time_never_exceeds_e2e(self, spans):
         trace = make_trace()
         horizon = 0.0

@@ -1,0 +1,331 @@
+"""Tests for the differential verification harness itself.
+
+Covers the fuzzer's reproducibility contract, the snapshot differ's
+mismatch reporting, the greedy shrinker, the oracle library, and -- the
+acceptance test for the whole machinery -- that injecting a real parity
+bug (a corrupted parallel profiler merge) makes ``repro selftest`` exit
+non-zero with a shrunken minimal reproducer.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.api import FleetConfig, run_fleet
+from repro.cli import main
+from repro.profiling.gwp import FleetProfiler
+from repro.testing import (
+    DifferentialRunner,
+    FleetConfigFuzzer,
+    Mismatch,
+    diff_snapshots,
+    render_mismatches,
+    run_oracles,
+    run_selftest,
+    shrink_config,
+)
+from repro.testing.fuzzer import config_to_jsonable
+from tests.strategies import fleet_configs
+
+SMALL = {"Spanner": 2, "BigTable": 1, "BigQuery": 0}
+
+
+class TestFuzzerDeterminism:
+    def test_same_seed_same_config(self):
+        a, b = FleetConfigFuzzer(11), FleetConfigFuzzer(11)
+        for index in range(20):
+            assert config_to_jsonable(a.config(index)) == config_to_jsonable(
+                b.config(index)
+            )
+
+    def test_order_independent(self):
+        """config(i) never depends on which configs were drawn before it."""
+        fuzzer = FleetConfigFuzzer(3)
+        direct = config_to_jsonable(fuzzer.config(5))
+        streamed = dict(FleetConfigFuzzer(3).configs(6))[5]
+        assert config_to_jsonable(streamed) == direct
+
+    def test_different_seeds_differ(self):
+        a = [config_to_jsonable(FleetConfigFuzzer(0).config(i)) for i in range(8)]
+        b = [config_to_jsonable(FleetConfigFuzzer(1).config(i)) for i in range(8)]
+        assert a != b
+
+    def test_configs_are_runnable_shapes(self):
+        """Every fuzzed config passes static validation (no fleet run)."""
+        from repro.workloads.fleet import normalize_queries
+
+        for _, config in FleetConfigFuzzer(5).configs(30):
+            queries = normalize_queries(config.queries)
+            assert sum(queries.values()) >= 1
+            assert config.trace_sample_rate >= 1
+            json.dumps(config_to_jsonable(config))  # JSONL-safe
+
+    @given(config=fleet_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_jsonable_round_trip(self, config):
+        """A verdict record rebuilds into an equivalent FleetConfig."""
+        record = config_to_jsonable(config)
+        rebuilt = FleetConfig(
+            **{k: v for k, v in record.items() if k != "fault_plans"}
+        )
+        assert config_to_jsonable(rebuilt) == record
+
+
+class TestSnapshotDiffer:
+    def test_agreement_is_empty(self):
+        snap = {"samples": [(1, 2)], "cpu_seconds/Spanner": 0.5}
+        assert diff_snapshots(snap, dict(snap)) == []
+
+    def test_scalar_mismatch(self):
+        a = {"cpu_seconds/Spanner": 0.5}
+        b = {"cpu_seconds/Spanner": 0.6}
+        (mismatch,) = diff_snapshots(a, b)
+        assert mismatch.surface == "cpu_seconds/Spanner"
+        assert "0.5" in mismatch.detail and "0.6" in mismatch.detail
+
+    def test_sequence_mismatch_reports_first_indices(self):
+        a = {"samples": [1, 2, 3, 4]}
+        b = {"samples": [1, 9, 3, 8]}
+        mismatches = diff_snapshots(a, b)
+        assert [m.index for m in mismatches] == [1, 3]
+
+    def test_length_mismatch_reported(self):
+        mismatches = diff_snapshots({"samples": [1]}, {"samples": [1, 2]})
+        assert any("length" in m.detail for m in mismatches)
+
+    def test_missing_surface(self):
+        (mismatch,) = diff_snapshots({"a": 1}, {})
+        assert "missing" in mismatch.detail
+
+    def test_ignore_exact_and_family(self):
+        a = {"prometheus": "x", "traces/Spanner": [1], "samples": []}
+        b = {"prometheus": "y", "traces/Spanner": [2], "samples": []}
+        assert diff_snapshots(a, b, ignore=("prometheus", "traces/")) == []
+
+    def test_text_diff_points_at_first_line(self):
+        a = {"prometheus": "alpha\nbeta\n"}
+        b = {"prometheus": "alpha\ngamma\n"}
+        (mismatch,) = diff_snapshots(a, b)
+        assert mismatch.index == 1
+        assert "beta" in mismatch.detail
+
+    def test_render_truncates(self):
+        mismatches = [Mismatch("s", f"d{i}") for i in range(30)]
+        text = render_mismatches(mismatches, limit=5)
+        assert "30 mismatch(es)" in text
+        assert "and 25 more" in text
+
+
+class TestShrinker:
+    def _noisy_config(self):
+        from repro.faults.plan import FaultPlan
+
+        plans = {
+            "Spanner": FaultPlan.random(
+                1, nodes=["spanner-1"], horizon=0.02, events=1
+            )
+        }
+        return FleetConfig(
+            queries={"Spanner": 4, "BigTable": 3, "BigQuery": 1},
+            observability=True,
+            fault_plans=plans,
+            trace_sample_rate=3,
+            counter_jitter=0.05,
+            max_workers=3,
+        )
+
+    def test_shrinks_to_fixpoint(self):
+        """Failure depends only on Spanner >= 2; all noise must vanish."""
+
+        def fails(config):
+            queries = config.queries
+            count = queries if isinstance(queries, int) else queries.get("Spanner", 0)
+            return count >= 2
+
+        result = shrink_config(self._noisy_config(), fails, max_evals=64)
+        shrunk = result.config
+        assert shrunk.queries["Spanner"] == 2  # halving 4 -> 2; 1 passes
+        assert shrunk.queries["BigTable"] == 0
+        assert shrunk.queries["BigQuery"] == 0
+        assert shrunk.fault_plans is None
+        assert shrunk.observability is None
+        assert shrunk.trace_sample_rate == 1
+        assert shrunk.counter_jitter == 0.0
+        assert shrunk.max_workers is None
+        assert not result.exhausted
+
+    def test_budget_bounds_evaluations(self):
+        calls = []
+
+        def fails(config):
+            calls.append(config)
+            return True
+
+        result = shrink_config(self._noisy_config(), fails, max_evals=3)
+        assert len(calls) == 3
+        assert result.exhausted
+
+    def test_crashing_predicate_counts_as_failing(self):
+        def fails(config):
+            raise RuntimeError("boom")
+
+        result = shrink_config(self._noisy_config(), fails, max_evals=8)
+        assert result.evals == 8  # every candidate 'failed', kept shrinking
+
+
+class TestOracles:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return run_fleet(FleetConfig(queries=SMALL, seed=2))
+
+    def test_all_oracles_pass_on_healthy_run(self, base):
+        verdicts = run_oracles(FleetConfig(queries=SMALL, seed=2), base)
+        assert [v.oracle for v in verdicts] == [
+            "conservation",
+            "span_wellformedness",
+            "storage_recovery",
+            "monotonicity",
+            "seed_determinism",
+        ]
+        for verdict in verdicts:
+            assert verdict.ok, f"{verdict.oracle}: {verdict.problems or verdict.error}"
+
+    def test_unknown_oracle_rejected(self, base):
+        with pytest.raises(ValueError, match="unknown oracles"):
+            run_oracles(
+                FleetConfig(queries=SMALL, seed=2), base, oracles=("bogus",)
+            )
+
+    def test_crashing_oracle_is_captured(self, base):
+        from repro.testing import oracles as oracles_mod
+
+        def explode(config, base, run):
+            raise RuntimeError("kaboom")
+
+        original = dict(oracles_mod.ALL_ORACLES)
+        oracles_mod.ALL_ORACLES["conservation"] = explode
+        try:
+            verdicts = run_oracles(
+                FleetConfig(queries=SMALL, seed=2),
+                base,
+                oracles=("conservation",),
+            )
+        finally:
+            oracles_mod.ALL_ORACLES.update(original)
+        assert not verdicts[0].ok
+        assert "kaboom" in verdicts[0].error
+
+
+class TestDifferentialRunner:
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode pairs"):
+            DifferentialRunner(pairs=("quantum",))
+
+    def test_replay_pair_agrees_on_healthy_tree(self):
+        report = DifferentialRunner(pairs=("replay",)).run_config(
+            FleetConfig(queries=SMALL, seed=4)
+        )
+        assert report.ok
+        assert [p.pair for p in report.pairs] == ["replay"]
+
+    def test_crashing_leg_becomes_error_verdict(self):
+        calls = []
+
+        def run(config):
+            calls.append(config)
+            if len(calls) == 1:
+                return run_fleet(config)  # base leg succeeds
+            raise RuntimeError("worker exploded")
+
+        report = DifferentialRunner(run, pairs=("replay",)).run_config(
+            FleetConfig(queries=SMALL, seed=4)
+        )
+        (pair,) = report.pairs
+        assert not pair.ok
+        assert "worker exploded" in pair.error
+
+
+class TestSelftestAcceptance:
+    def test_clean_tree_passes_smoke_budget(self):
+        records = []
+        report = run_selftest(
+            budget=2, seed=7, emit=records.append, shrink=False
+        )
+        assert report.ok and report.exit_code == 0
+        assert [r["type"] for r in records] == ["verdict", "verdict", "summary"]
+        assert all(r["ok"] for r in records)
+        # Every verdict line is JSONL-serializable as-is.
+        for record in records:
+            json.loads(json.dumps(record))
+
+    def test_injected_merge_bug_fails_with_minimal_reproducer(self, monkeypatch):
+        """The issue's acceptance check: corrupt one step of the parallel
+        merge and the selftest must exit non-zero, pinpoint the parallel
+        pair, and shrink the config to a minimal reproducer."""
+        original = FleetProfiler.merge
+
+        def corrupted(self, other):
+            original(self, other)
+            pid = self._intern_platform("Spanner")
+            self._cpu_seconds_by_pid[pid] += 1e-6  # one misplaced credit
+
+        monkeypatch.setattr(FleetProfiler, "merge", corrupted)
+
+        records = []
+        report = run_selftest(
+            budget=3,
+            seed=7,
+            pairs=("parallel",),
+            oracles=(),
+            shrink_evals=10,
+            emit=records.append,
+        )
+        assert report.exit_code == 1
+        failing = report.failures()[0]
+        assert [p.pair for p in failing.pairs if not p.ok] == ["parallel"]
+        mismatch_surfaces = {
+            m["surface"]
+            for p in records[0]["pairs"]
+            for m in p["mismatches"]
+        }
+        assert "cpu_seconds/Spanner" in mismatch_surfaces
+
+        # The shrinker produced a strictly simpler, still-failing config.
+        assert report.reproducer is not None
+        repro_queries = report.reproducer.queries
+        original_queries = FleetConfigFuzzer(7).config(failing.index).queries
+        assert sum(repro_queries.values()) < sum(original_queries.values())
+        assert report.reproducer.fault_plans is None
+        types = [r["type"] for r in records]
+        assert types[-2:] == ["reproducer", "summary"]
+        assert records[-1]["ok"] is False
+        assert records[-1]["reproducer"] == config_to_jsonable(report.reproducer)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_selftest(budget=0)
+
+
+class TestSelftestCli:
+    def test_smoke_run_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "verdicts.jsonl"
+        code = main(
+            ["selftest", "--budget", "1", "--seed", "7", "--jsonl", str(out)]
+        )
+        assert code == 0
+        assert "selftest passed" in capsys.readouterr().out
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert records[0]["type"] == "verdict"
+        assert records[-1]["type"] == "summary"
+        assert records[-1]["ok"] is True
+
+    def test_jsonl_stdout_is_pure_jsonl(self, capsys):
+        code = main(["selftest", "--budget", "1", "--seed", "7", "--jsonl", "-"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_rejects_zero_budget(self, capsys):
+        assert main(["selftest", "--budget", "0"]) == 2
+        assert "budget" in capsys.readouterr().err

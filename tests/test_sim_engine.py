@@ -12,6 +12,7 @@ from repro.sim import (
     any_of,
     quorum_of,
 )
+from tests.strategies import delay_lists, delays
 
 
 @pytest.fixture
@@ -48,7 +49,7 @@ class TestClockAndTimeouts:
         env.timeout(2.5)
         assert env.peek() == 2.5
 
-    @given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20))
+    @given(delays=delays)
     def test_events_fire_in_time_order(self, delays):
         env = Environment()
         fired = []
@@ -259,14 +260,7 @@ class TestComposites:
         data=st.data(),
     )
     def test_quorum_time_is_kth_smallest_delay(self, n, data):
-        delays = data.draw(
-            st.lists(
-                st.floats(min_value=0.1, max_value=100),
-                min_size=n,
-                max_size=n,
-                unique=True,
-            )
-        )
+        delays = data.draw(delay_lists(n, unique=True))
         k = data.draw(st.integers(min_value=1, max_value=n))
         env = Environment()
 
