@@ -5,7 +5,23 @@ and writes ``BENCH_fleet.json`` at the repo root so perf changes leave an
 auditable artifact.  The committed baseline (pre-coalescing, one heap event
 per CPU micro-chunk) is kept in the report for comparison; the measured
 wall-clock is machine-dependent, so the hard assertions here are only on
-the *measured numbers* (sample count, query count), never on time.
+the *measured numbers* (sample count, query count) and on the scheduler's
+shape (straggler bound, schema) -- never on absolute time.
+
+Four execution modes are timed:
+
+* ``sequential`` -- the legacy single-process driver;
+* ``parallel_platform`` -- the old platform-granularity fan-out (one
+  worker per platform), kept as the straggler-problem reference: its
+  wall-clock is bounded by the BigQuery shard;
+* ``work_stealing`` -- ``--parallel --shards auto``: query-granular
+  sub-shards over the work-stealing pool (auto-falls back to the
+  sequential sharded driver on small hosts, which the report records);
+* ``observed`` -- the sequential run with the metrics registry on.
+
+The report schema is guarded: every field written here must already exist
+in the committed ``BENCH_fleet.json``, so schema drift (new fields,
+renames) fails loudly until the committed artifact is regenerated.
 
 Run directly::
 
@@ -20,7 +36,7 @@ from pathlib import Path
 from repro.api import FleetConfig, Profile, Telemetry, run_fleet
 from repro.workloads.calibration import PLATFORMS
 from repro.workloads.fleet import FleetSimulation
-from repro.workloads.parallel import ParallelFleetSimulation
+from repro.workloads.parallel import run_parallel
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 REPORT_PATH = REPO_ROOT / "BENCH_fleet.json"
@@ -41,6 +57,11 @@ BASELINE = {
 #: the optimized hot path must reproduce the baseline's measurements.
 EXPECTED_SAMPLES = 15_777
 
+#: Acceptance bound for the work-stealing scheduler: with a real pool, no
+#: worker may stay busy longer than this multiple of the mean busy time
+#: (the straggler factor the query-granular sharding exists to kill).
+MAX_BUSY_OVER_MEAN = 1.5
+
 
 def _timed_run(sim):
     start = time.perf_counter()
@@ -49,9 +70,42 @@ def _timed_run(sim):
     return result, wall
 
 
+def _key_paths(data: dict, prefix: str = "") -> set:
+    """Dotted key paths of a nested dict (lists are leaves)."""
+    paths = set()
+    for key, value in data.items():
+        path = f"{prefix}{key}"
+        paths.add(path)
+        if isinstance(value, dict):
+            paths |= _key_paths(value, path + ".")
+    return paths
+
+
+def _assert_schema_committed(report: dict) -> None:
+    """Every field written must already exist in the committed report."""
+    assert REPORT_PATH.exists(), (
+        f"{REPORT_PATH} is not committed; run this harness and commit the "
+        "artifacts it writes"
+    )
+    committed = json.loads(REPORT_PATH.read_text())
+    missing = sorted(_key_paths(report) - _key_paths(committed))
+    assert not missing, (
+        "BENCH_fleet.json schema drift -- fields written by the harness "
+        f"are missing from the committed report: {missing}; regenerate "
+        "the artifact and commit it"
+    )
+
+
 def test_fleet_hot_path_perf_report():
     sequential, seq_wall = _timed_run(FleetSimulation(queries=QUERIES, seed=SEED))
-    parallel, par_wall = _timed_run(ParallelFleetSimulation(queries=QUERIES, seed=SEED))
+    platform_sharded, pp_wall = _timed_run_parallel_platform()
+
+    ws_start = time.perf_counter()
+    work_stealing = run_fleet(
+        FleetConfig(queries=QUERIES, seed=SEED, parallel=True, shards="auto")
+    )
+    ws_wall = time.perf_counter() - ws_start
+    stats = work_stealing.scheduler
 
     observed_start = time.perf_counter()
     observed = run_fleet(FleetConfig(queries=QUERIES, seed=SEED, observability=True))
@@ -66,11 +120,35 @@ def test_fleet_hot_path_perf_report():
     )
 
     # Determinism guards: optimization must not change measured numbers,
-    # and neither must the observability layer.
+    # and neither must the observability layer or the fan-out.
     assert samples == EXPECTED_SAMPLES
-    assert parallel.profiler.sample_count() == samples
+    assert platform_sharded.profiler.sample_count() == samples
     assert observed.profiler.sample_count() == samples
     assert queries_served == QUERIES * len(PLATFORMS)
+    assert (
+        sum(p.queries_served for p in work_stealing.platforms.values())
+        == QUERIES * len(PLATFORMS)
+    )
+
+    # Scheduler acceptance: with a real pool, the straggler is dead --
+    # no worker above MAX_BUSY_OVER_MEAN x the mean busy time, and the
+    # query-granular schedule beats the platform-granularity fan-out.
+    utilization = stats.utilization()
+    if stats.mode == "parallel" and stats.worker_count > 1:
+        busy = [w.busy_seconds for w in stats.workers]
+        mean_busy = sum(busy) / len(busy)
+        assert max(busy) <= MAX_BUSY_OVER_MEAN * mean_busy, (
+            f"straggler worker: busy times {busy}"
+        )
+        assert ws_wall < pp_wall, (
+            f"work stealing ({ws_wall:.2f}s) must beat the platform-"
+            f"sharded runner ({pp_wall:.2f}s) on a multi-core host"
+        )
+    else:
+        # Small host: the auto-fallback must have engaged rather than
+        # letting --parallel run slower than sequential.
+        assert stats.mode == "sequential-fallback"
+        assert stats.reason
 
     # Export artifacts ride along with the JSON report in CI.
     PROM_PATH.write_text(Telemetry(observed).prometheus())
@@ -86,12 +164,51 @@ def test_fleet_hot_path_perf_report():
             "samples_per_second": round(samples / seq_wall, 1),
             "speedup_vs_baseline": round(BASELINE["wall_seconds"] / seq_wall, 2),
         },
-        "parallel": {
-            "wall_seconds": round(par_wall, 3),
-            "speedup_vs_sequential": round(seq_wall / par_wall, 2),
-            "note": "bounded by the slowest platform shard (BigQuery "
-            "dominates this workload) and by host CPU count; wins on "
-            "multicore hosts and multi-seed sweeps",
+        "parallel_platform": {
+            "wall_seconds": round(pp_wall, 3),
+            "speedup_vs_sequential": round(seq_wall / pp_wall, 2),
+            "note": "legacy platform-granularity fan-out, bounded by the "
+            "BigQuery straggler shard; kept as the reference the "
+            "work-stealing scheduler is measured against",
+        },
+        "work_stealing": {
+            "wall_seconds": round(ws_wall, 3),
+            "speedup_vs_sequential": round(seq_wall / ws_wall, 2),
+            "speedup_vs_parallel_platform": round(pp_wall / ws_wall, 2),
+            "samples": work_stealing.profiler.sample_count(),
+            "scheduler": {
+                "mode": stats.mode,
+                "reason": stats.reason,
+                "shard_count": stats.shard_count,
+                "worker_count": stats.worker_count,
+                "steals": stats.steal_count(),
+                "max_over_mean_shard_wall": round(
+                    stats.max_over_mean_shard_wall(), 3
+                ),
+                "per_worker": [
+                    {
+                        "worker": w.worker,
+                        "jobs": w.jobs,
+                        "steals": w.steals,
+                        "busy_seconds": round(w.busy_seconds, 3),
+                        "utilization": round(utilization[w.worker], 3),
+                    }
+                    for w in stats.workers
+                ],
+                "per_shard": [
+                    {
+                        "platform": s.platform,
+                        "ordinal": s.ordinal,
+                        "queries": s.queries,
+                        "worker": s.worker,
+                        "wall_seconds": round(s.wall_seconds, 3),
+                    }
+                    for s in stats.shards
+                ],
+            },
+            "note": "--parallel --shards auto: query-granular sub-shards "
+            "over the work-stealing pool; auto-falls back to the "
+            "sequential sharded driver on small hosts",
         },
         "observed": {
             "wall_seconds": round(obs_wall, 3),
@@ -102,8 +219,16 @@ def test_fleet_hot_path_perf_report():
         },
         "baseline_pre_coalescing": BASELINE,
     }
+    _assert_schema_committed(report)
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {REPORT_PATH}")
     print(f"wrote {PROM_PATH}")
     print(f"wrote {FOLDED_PATH}")
     print(json.dumps(report, indent=2))
+
+
+def _timed_run_parallel_platform():
+    sim = FleetSimulation(queries=QUERIES, seed=SEED)
+    start = time.perf_counter()
+    result = run_parallel(sim, max_workers=len(PLATFORMS))
+    return result, time.perf_counter() - start

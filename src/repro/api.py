@@ -29,6 +29,8 @@ The old direct constructors (``FleetSimulation``,
 
 from __future__ import annotations
 
+import logging
+import os
 from dataclasses import dataclass, fields, replace
 from typing import Any, Mapping
 
@@ -42,12 +44,19 @@ from repro.observability import (
     prometheus_text,
     traces_jsonl,
 )
-from repro.workloads.fleet import FleetResult, FleetSimulation
+from repro.workloads.fleet import FleetResult, FleetSimulation, normalize_queries
+from repro.workloads.shards import QUERY_COST, SchedulerStats, resolve_shards
+
+logger = logging.getLogger("repro.api")
 
 __all__ = [
     "FleetConfig",
     "build_simulation",
     "run_fleet",
+    "ParallelPlan",
+    "parallel_plan",
+    "MIN_PARALLEL_COST",
+    "SchedulerStats",
     "sweep",
     "sweep_seeds",
     "SweepResult",
@@ -79,6 +88,12 @@ class FleetConfig:
     seed: int = 0
     parallel: bool = False
     max_workers: int | None = None
+    #: Query-granular sharding: ``None`` keeps the legacy whole-platform
+    #: decomposition; an int or ``{platform: count}`` splits each platform's
+    #: query stream into contiguous sub-shards (per-query RNG streams, same
+    #: result for any worker count or steal order); ``"auto"`` sizes shards
+    #: from the per-platform cost model and the host's CPU count.
+    shards: int | str | Mapping[str, int] | None = None
     trace_sample_rate: int = 1
     counter_jitter: float = 0.02
     bigquery_dataset_rows: int = 4000
@@ -108,18 +123,75 @@ def _coerce_config(
 def build_simulation(
     config: FleetConfig | Mapping[str, Any] | None = None, **overrides
 ) -> FleetSimulation:
-    """The simulation object a config describes (parallel-aware)."""
+    """The simulation object a config describes (parallel-aware).
+
+    ``shards="auto"`` is resolved here -- before the simulation exists --
+    so a run's shard geometry is pinned by the config layer and identical
+    for the sequential and parallel executors of the same config.
+    """
     config = _coerce_config(config, overrides)
     kwargs = {
         f.name: getattr(config, f.name)
         for f in fields(config)
-        if f.name not in ("parallel", "max_workers")
+        if f.name not in ("parallel", "max_workers", "shards")
     }
+    kwargs["shards"] = resolve_shards(
+        config.shards,
+        normalize_queries(config.queries),
+        workers=config.max_workers or os.cpu_count(),
+    )
     if config.parallel:
         from repro.workloads.parallel import ParallelFleetSimulation
 
         return ParallelFleetSimulation(max_workers=config.max_workers, **kwargs)
     return FleetSimulation(**kwargs)
+
+
+#: Estimated simulated-seconds of work below which ``parallel=True`` falls
+#: back to the sequential driver: worker spawn + pickling costs more than
+#: the fan-out saves (the BENCH regression shape this heuristic fixes).
+MIN_PARALLEL_COST = 30.0
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """Whether a config should actually fan out, and why not if not."""
+
+    parallel: bool
+    reason: str | None = None
+
+
+def parallel_plan(
+    config: FleetConfig | Mapping[str, Any] | None = None, **overrides
+) -> ParallelPlan:
+    """Decide whether ``parallel=True`` is worth honoring on this host.
+
+    ``--parallel`` must never be silently *slower* than sequential, so a
+    parallel request auto-falls back (with a reason) when the host has too
+    few CPUs (``os.cpu_count() <= 2``) or the workload is too small to
+    amortize worker spawn (estimated cost below :data:`MIN_PARALLEL_COST`).
+    An explicit ``max_workers`` is an instruction, not a hint -- the
+    heuristic steps aside and the pool is built as asked.
+    """
+    config = _coerce_config(config, overrides)
+    if not config.parallel:
+        return ParallelPlan(False)
+    if config.max_workers is not None:
+        return ParallelPlan(True)
+    cpus = os.cpu_count() or 1
+    if cpus <= 2:
+        return ParallelPlan(
+            False, f"host has {cpus} CPU(s); parallel fan-out needs > 2"
+        )
+    queries = normalize_queries(config.queries)
+    cost = sum(QUERY_COST[name] * count for name, count in queries.items())
+    if cost < MIN_PARALLEL_COST:
+        return ParallelPlan(
+            False,
+            f"workload too small (~{cost:.1f} simulated s "
+            f"< {MIN_PARALLEL_COST:.0f} s threshold)",
+        )
+    return ParallelPlan(True)
 
 
 def run_fleet(
@@ -131,15 +203,31 @@ def run_fleet(
     """Run one fleet simulation and return its full measurement set.
 
     The one entry point: sequential vs parallel comes from
-    ``config.parallel``.  ``progress`` (optional, requires observability)
-    is a queue-like object that receives live
+    ``config.parallel``, filtered through :func:`parallel_plan` so a
+    parallel request on an unsuitable host/workload runs sequentially
+    instead (``result.scheduler`` records the mode and the fallback
+    reason).  ``progress`` (optional, requires observability) is a
+    queue-like object that receives live
     ``(platform, sim_time, queries_served, gwp_samples)`` rows during the
     run -- the channel behind ``repro top``.
     """
-    sim = build_simulation(config, **overrides)
+    config = _coerce_config(config, overrides)
+    plan = parallel_plan(config)
+    fell_back = config.parallel and not plan.parallel
+    if fell_back:
+        logger.info("parallel run falling back to sequential: %s", plan.reason)
+        config = config.with_overrides(parallel=False)
+    sim = build_simulation(config)
     if progress is not None:
         sim.progress_sink = progress
-    return sim.run()
+    result = sim.run()
+    if fell_back:
+        if result.scheduler is None:
+            result.scheduler = SchedulerStats(mode="sequential-fallback", worker_count=1)
+        else:
+            result.scheduler.mode = "sequential-fallback"
+        result.scheduler.reason = plan.reason
+    return result
 
 
 # -- design-point sweep -------------------------------------------------------

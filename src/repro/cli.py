@@ -2,7 +2,8 @@
 
 Usage::
 
-    repro fleet [--queries N] [--seed S] [--parallel]  # Tables 1, 6, 7 + Figures 2-6
+    repro fleet [--queries N] [--seed S] [--parallel] [--shards N|auto]
+                                                # Tables 1, 6, 7 + Figures 2-6
     repro top [--queries N] [--parallel]        # live-ish summary of an observed run
     repro export --format prom|folded|jsonl     # exporters over an observed run
     repro validate [--batch N]                  # Table 8 on the simulated SoC
@@ -52,6 +53,41 @@ _MODEL_FIGURES = {
 }
 
 
+def _parse_shards(value: str):
+    """``--shards`` argument: a positive int or the literal ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        shards = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if shards < 1:
+        raise argparse.ArgumentTypeError(f"shards must be >= 1, got {shards}")
+    return shards
+
+
+def _add_scheduler_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--shards",
+        type=_parse_shards,
+        default=None,
+        metavar="N|auto",
+        help="split each platform's query stream into N deterministic "
+        "sub-shards (same measurements for any worker count); 'auto' sizes "
+        "shards from the per-platform cost model and the CPU count",
+    )
+    command.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker process count for --parallel (also disables the "
+        "small-host auto-fallback)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,9 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--parallel",
         action="store_true",
-        help="run the three platforms in parallel worker processes "
-        "(identical results, lower wall-clock)",
+        help="run the fleet across work-stealing worker processes "
+        "(identical results, lower wall-clock; auto-falls back to "
+        "sequential on small hosts/workloads)",
     )
+    _add_scheduler_flags(fleet)
 
     top = sub.add_parser(
         "top",
@@ -93,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="minimum wall-clock seconds between printed rows per platform",
     )
+    _add_scheduler_flags(top)
 
     export = sub.add_parser(
         "export",
@@ -120,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel workers (ignored for jsonl: span trees do not cross "
         "the process boundary)",
     )
+    _add_scheduler_flags(export)
     export.add_argument(
         "--out", default="-", help="output path, or '-' for stdout (default)"
     )
@@ -231,14 +271,34 @@ def _write_out(text: str, out: str) -> None:
         print(f"wrote {out}")
 
 
+def _print_scheduler(result) -> None:
+    stats = getattr(result, "scheduler", None)
+    if stats is None:
+        return
+    line = (
+        f"scheduler: {stats.mode} ({stats.shard_count} shards, "
+        f"{stats.worker_count} workers, {stats.steal_count()} steals)"
+    )
+    if stats.reason:
+        line += f" -- {stats.reason}"
+    print(line)
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro import api
 
     queries = _fleet_queries(args)
     print(f"simulating fleet: {queries} queries, seed {args.seed} ...\n")
     result = api.run_fleet(
-        api.FleetConfig(queries=queries, seed=args.seed, parallel=args.parallel)
+        api.FleetConfig(
+            queries=queries,
+            seed=args.seed,
+            parallel=args.parallel,
+            shards=args.shards,
+            max_workers=args.workers,
+        )
     )
+    _print_scheduler(result)
     for regenerate in (
         table1_data,
         figure2_data,
@@ -284,6 +344,8 @@ def _cmd_top(args: argparse.Namespace) -> int:
         queries=queries,
         seed=args.seed,
         parallel=args.parallel,
+        shards=args.shards,
+        max_workers=args.workers,
         observability=True,
     )
     print(f"observing fleet: {queries} queries, seed {args.seed} ...")
@@ -365,6 +427,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
             queries=_fleet_queries(args),
             seed=args.seed,
             parallel=parallel,
+            shards=args.shards,
+            max_workers=args.workers,
             observability=True,
         )
     )

@@ -184,6 +184,7 @@ class PlatformBase:
         #: only ever *read* simulation state and *write* the registry, so
         #: measurements are identical whether or not this is set.
         self.metrics = metrics
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.jitter = jitter
         #: When True (the default), uncontended CPU chunk runs execute as a
@@ -234,6 +235,24 @@ class PlatformBase:
 
     def default_kind_for(self, group: QueryGroupProfile) -> str:
         return "query"
+
+    def seed_query_streams(self, index: int) -> None:
+        """Rebase the plan and chunker RNGs onto per-query streams.
+
+        The sharded fleet runner serves contiguous query-index ranges on
+        fresh platform instances, so budget draws must depend on the
+        *query index*, not on how many queries this instance served
+        before.  Deriving both streams from ``(platform seed, index)``
+        (the same prefix-stable construction as the profiler's counter
+        jitter) makes a query's plan identical no matter which sub-shard
+        -- and therefore which worker -- executes it.
+        """
+        root = self.seed & 0xFFFFFFFF
+        self.rng = np.random.default_rng([root, 0x5EED, index])
+        self.chunker = CpuChunker(
+            self.profile.cpu_component_fractions,
+            rng=np.random.default_rng([root, 0xC41C, index]),
+        )
 
     # -- execution -----------------------------------------------------------
 
@@ -311,18 +330,37 @@ class PlatformBase:
             )
         return result
 
-    def serve(self, query_count: int, *, interarrival: float = 0.0) -> Generator:
+    def serve(
+        self,
+        query_count: int,
+        *,
+        interarrival: float = 0.0,
+        start_index: int = 0,
+        per_query_streams: bool = False,
+    ) -> Generator:
         """Simulation process: serve a stream of queries.
 
         ``interarrival`` of 0 runs queries back to back (closed loop); a
         positive value opens the loop with exponential arrivals.
+
+        ``per_query_streams`` reseeds the plan/chunker RNGs per query
+        from ``(platform seed, start_index + offset)`` (see
+        :meth:`seed_query_streams`) -- the sharded runner's mode, where
+        this instance serves the index range ``[start_index,
+        start_index + query_count)`` of a larger stream.  Only supported
+        closed-loop: open-loop arrival draws would interleave with the
+        per-query streams nondeterministically.
         """
         if query_count < 0:
             raise ValueError("query_count must be non-negative")
         if interarrival < 0:
             raise ValueError("interarrival must be non-negative")
+        if per_query_streams and interarrival != 0:
+            raise ValueError("per_query_streams requires a closed loop")
         if interarrival == 0:
-            for _ in range(query_count):
+            for offset in range(query_count):
+                if per_query_streams:
+                    self.seed_query_streams(start_index + offset)
                 yield from self.run_query()
             return
         in_flight = []

@@ -1,9 +1,12 @@
 """Differential runner: one config, every mode pair that must agree.
 
-Four execution-mode axes must not change a single measurement:
+Five execution-mode axes must not change a single measurement:
 
-* ``parallel`` -- per-platform worker processes with a deterministic
-  merge vs the sequential driver;
+* ``parallel`` -- work-stealing worker processes with a deterministic
+  merge vs the sequential driver (same shard geometry on both legs);
+* ``sharding`` -- the query-granular sharded executors against each
+  other: sequential sharded vs the work-stealing pool at a different
+  worker count, so worker placement and steal order are exercised;
 * ``observability`` -- metrics registry + scraper on vs off (observers
   only read simulation state);
 * ``coalescing`` -- CPU-chunk coalescing fast path vs chunk-by-chunk;
@@ -26,7 +29,7 @@ from repro.testing.diff import Mismatch, diff_snapshots, snapshot
 
 __all__ = ["PairResult", "DifferentialReport", "DifferentialRunner", "MODE_PAIRS"]
 
-MODE_PAIRS = ("parallel", "observability", "coalescing", "replay")
+MODE_PAIRS = ("parallel", "sharding", "observability", "coalescing", "replay")
 
 #: Engine bookkeeping that legitimately differs between coalesced and
 #: chunk-by-chunk execution: coalescing exists precisely to process fewer
@@ -135,6 +138,8 @@ class DifferentialRunner:
         for pair in self.pairs:
             if pair == "parallel":
                 results.append(self._pair_parallel(base_snap, config))
+            elif pair == "sharding":
+                results.append(self._pair_sharding(config))
             elif pair == "observability":
                 results.append(self._pair_observability(base_snap, config))
             elif pair == "coalescing":
@@ -152,13 +157,41 @@ class DifferentialRunner:
         return DifferentialReport(base=base, pairs=results)
 
     def _pair_parallel(self, base_snap: dict, config) -> PairResult:
+        # Force a real pool (max_workers set skips the auto-fallback
+        # heuristic): without this, a small workload or a 1-CPU host would
+        # quietly compare the sequential driver with itself.
+        overrides = {"parallel": True}
+        if config.max_workers is None:
+            overrides["max_workers"] = 2
         try:
-            parallel = self._run(config.with_overrides(parallel=True))
+            parallel = self._run(config.with_overrides(**overrides))
         except Exception as exc:
             return PairResult("parallel", error=f"{type(exc).__name__}: {exc}")
         return PairResult(
             "parallel",
             mismatches=diff_snapshots(base_snap, snapshot(parallel)),
+        )
+
+    def _pair_sharding(self, config) -> PairResult:
+        # Query-granular shards form their own determinism class (per-query
+        # RNG streams), so this pair runs both legs itself rather than
+        # diffing against the unsharded base: sequential sharded vs the
+        # work-stealing pool at a worker count that forces stealing.
+        sharded = config.with_overrides(
+            shards=config.shards if config.shards is not None else 2
+        )
+        try:
+            base = self._leg(sharded)
+            stolen = self._run(
+                sharded.with_overrides(
+                    parallel=True, max_workers=sharded.max_workers or 3
+                )
+            )
+        except Exception as exc:
+            return PairResult("sharding", error=f"{type(exc).__name__}: {exc}")
+        return PairResult(
+            "sharding",
+            mismatches=diff_snapshots(snapshot(base), snapshot(stolen)),
         )
 
     def _pair_observability(self, base_snap: dict, config) -> PairResult:

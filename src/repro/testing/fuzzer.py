@@ -108,6 +108,9 @@ class FleetConfigFuzzer:
             fault_plans=fault_plans,
             observability=observability,
             max_workers=(None, 2, 3)[int(rng.integers(3))],
+            # Drawn last so adding the sharding axis left every earlier
+            # field of existing (seed, index) configs unchanged.
+            shards=(None, None, 1, 2, 3, "auto")[int(rng.integers(6))],
         )
 
     def _fault_plans(
@@ -161,6 +164,9 @@ def config_to_jsonable(config) -> dict[str, Any]:
         "seed": config.seed,
         "parallel": config.parallel,
         "max_workers": config.max_workers,
+        "shards": config.shards
+        if config.shards is None or isinstance(config.shards, (int, str))
+        else dict(config.shards),
         "trace_sample_rate": config.trace_sample_rate,
         "counter_jitter": config.counter_jitter,
         "bigquery_dataset_rows": config.bigquery_dataset_rows,

@@ -13,6 +13,10 @@ a property that must hold for every point of the config space:
   calibrated targets within tolerance under *any* platform mix;
 * **monotonicity** -- doubling a platform's query count never decreases
   its served-query, CPU-second, or sample totals;
+* **steal order** -- a query-granular sharded run measures the same
+  fleet no matter how many workers execute it or in what order shards
+  complete (forced via the inline pool's adversarial completion
+  orders), and its per-query plans are invariant under shard geometry;
 * **seed determinism** -- the same config run twice snapshots
   identically (the differential runner's ``replay`` pair is the same
   check; :data:`DEFAULT_SELFTEST_ORACLES` therefore omits it to avoid
@@ -37,6 +41,7 @@ __all__ = [
     "check_span_wellformedness",
     "check_storage_recovery",
     "check_monotonicity",
+    "check_steal_order",
     "check_seed_determinism",
 ]
 
@@ -165,6 +170,51 @@ def check_monotonicity(config, base, run) -> list[str]:
     return problems
 
 
+def check_steal_order(config, base, run) -> list[str]:
+    """Sharded measurements are invariant under workers and steal order.
+
+    Metamorphic relation one (byte-exact): at fixed shard geometry, the
+    snapshot is identical for any worker count and any completion order --
+    enforced with the in-process pool's adversarial LIFO and seeded-random
+    schedules, which exercise every steal path without process spawn.
+
+    Metamorphic relation two (plan-level): each query's *plan* (its
+    kind/group draw) is pinned to its query index by the per-query RNG
+    streams, so changing the shard count must not change any platform's
+    served-query plan sequence.  Aggregate sample counts may shift within
+    per-shard boundary effects, and fault replay is relative to each
+    shard's environment, so configs carrying fault plans skip relation
+    two.
+    """
+    from repro.api import build_simulation
+    from repro.workloads.parallel import InlineWorkerPool, run_parallel
+
+    shards = config.shards if config.shards is not None else 2
+    cfg = config.with_overrides(parallel=False, shards=shards)
+    reference = run(cfg)
+    ref_snap = snapshot(reference)
+    problems: list[str] = []
+    for workers, order in ((1, "lifo"), (4, "random")):
+        pool = InlineWorkerPool(workers, order=order, seed=config.seed)
+        result = run_parallel(build_simulation(cfg), pool=pool)
+        for mismatch in diff_snapshots(ref_snap, snapshot(result)):
+            problems.append(f"workers={workers} order={order}: {mismatch}")
+    if not config.fault_plans:
+        regeometry = 3 if not isinstance(shards, int) else shards + 1
+        other = run(cfg.with_overrides(shards=regeometry))
+        for name in reference.platforms:
+            mine = [
+                (r.kind, r.group) for r in reference.platforms[name].records
+            ]
+            theirs = [(r.kind, r.group) for r in other.platforms[name].records]
+            if mine != theirs:
+                problems.append(
+                    f"{name}: query plan changed when shard count went "
+                    f"{shards} -> {regeometry}"
+                )
+    return problems
+
+
 def check_seed_determinism(config, base, run) -> list[str]:
     """The same config re-run snapshots byte-identically."""
     again = run(config.with_overrides(parallel=False))
@@ -184,6 +234,7 @@ ALL_ORACLES: dict[str, Callable] = {
     "span_wellformedness": check_span_wellformedness,
     "storage_recovery": check_storage_recovery,
     "monotonicity": check_monotonicity,
+    "steal_order": check_steal_order,
     "seed_determinism": check_seed_determinism,
 }
 
@@ -194,6 +245,7 @@ DEFAULT_SELFTEST_ORACLES = (
     "span_wellformedness",
     "storage_recovery",
     "monotonicity",
+    "steal_order",
 )
 
 

@@ -62,6 +62,12 @@ def _candidates(config) -> Iterator[tuple[str, Any]]:
             )
     if config.max_workers is not None:
         yield "default max_workers", config.with_overrides(max_workers=None)
+    if config.shards is not None:
+        yield "unsharded", config.with_overrides(shards=None)
+        if config.shards == "auto" or (
+            isinstance(config.shards, int) and config.shards > 1
+        ):
+            yield "shards=1", config.with_overrides(shards=1)
     if config.trace_sample_rate != 1:
         yield "trace_sample_rate=1", config.with_overrides(trace_sample_rate=1)
     if config.counter_jitter != 0.0:

@@ -111,6 +111,10 @@ class FleetResult:
     #: Observability output (None when the run was unobserved).  Strictly
     #: additive: every other field is byte-identical with or without it.
     metrics: ObservabilityResult | None = None
+    #: Host-side execution telemetry (scheduler mode, per-shard wall-clock,
+    #: worker utilization, steal counts).  Never part of the measurement
+    #: snapshot: how a run was executed must not affect what it measured.
+    scheduler: "SchedulerStats | None" = None
     cycles: dict[str, CpuCycleBreakdown] = field(init=False)
 
     def __post_init__(self) -> None:
@@ -228,8 +232,19 @@ class FleetSimulation:
         fault_plans: Mapping[str, FaultPlan] | None = None,
         coalesce: bool = True,
         observability: ObservabilityConfig | Mapping[str, float] | bool | None = None,
+        shards: int | Mapping[str, int] | None = None,
     ):
+        from repro.workloads.shards import validate_shards
+
         self.queries = normalize_queries(queries)
+        #: Query-granular sharding: ``None`` (default) keeps the legacy
+        #: whole-platform decomposition with platform-lifetime RNG streams;
+        #: an int or ``{platform: count}`` mapping splits each platform's
+        #: query stream into that many contiguous sub-shards with per-query
+        #: RNG streams.  ``"auto"`` is resolved to a concrete mapping at the
+        #: config layer (repro.api) so a run's shard geometry is pinned
+        #: before it can reach a worker pool.
+        self.shards = validate_shards(shards)
         self.seed = seed
         self.trace_sample_rate = trace_sample_rate
         self.counter_jitter = counter_jitter
@@ -263,6 +278,8 @@ class FleetSimulation:
             "fault_plans": dict(self.fault_plans),
             "coalesce": self.coalesce,
             "observability": self.observability,
+            "shards": self.shards if not isinstance(self.shards, dict)
+            else dict(self.shards),
         }
 
     def fleet_profiler(self) -> FleetProfiler:
@@ -336,16 +353,38 @@ class FleetSimulation:
         return observer.start()
 
     def serve_platform(
-        self, name: str, platform: PlatformBase
+        self,
+        name: str,
+        platform: PlatformBase,
+        *,
+        start: int = 0,
+        count: int | None = None,
+        per_query_streams: bool = False,
     ) -> tuple[E2EBreakdown, ChaosController | None]:
-        """Serve one platform's query stream (with chaos, if planned)."""
+        """Serve one platform's query stream (with chaos, if planned).
+
+        ``start``/``count`` select a contiguous query-index range (defaults:
+        the platform's whole stream); ``per_query_streams`` switches the
+        platform onto per-query RNG streams so the range's measurements are
+        independent of which process serves it (the sub-shard contract).
+        """
         env = platform.env
         controller = None
         plan = self.fault_plans.get(name)
         if plan is not None:
             controller = ChaosController.for_platform(platform, plan)
             controller.start()
-        env.run(until=env.process(platform.serve(self.queries[name])))
+        if count is None:
+            count = self.queries[name]
+        env.run(
+            until=env.process(
+                platform.serve(
+                    count,
+                    start_index=start,
+                    per_query_streams=per_query_streams,
+                )
+            )
+        )
         if controller is not None:
             controller.finish()
         breakdown = E2EBreakdown(name)
@@ -354,6 +393,8 @@ class FleetSimulation:
         return breakdown, controller
 
     def run(self) -> FleetResult:
+        if self.shards is not None:
+            return self._run_sharded()
         telemetry = CapacityTelemetry()
         profiler = self.fleet_profiler()
         bigquery_profiler = self.bigquery_profiler()
@@ -392,3 +433,35 @@ class FleetSimulation:
             chaos=chaos,
             metrics=metrics,
         )
+
+    def _run_sharded(self) -> FleetResult:
+        """Sequential reference executor for query-granular shards.
+
+        Runs the canonical job list in canonical order, one job at a time,
+        through the exact same :func:`~repro.workloads.shards.run_shard` /
+        :func:`~repro.workloads.shards.merge_shard_results` pair as the
+        work-stealing pool -- the parity baseline every parallel schedule
+        is compared against.
+        """
+        import time
+
+        from repro.workloads.shards import (
+            SchedulerStats,
+            merge_shard_results,
+            plan_shards,
+            run_shard,
+        )
+
+        specs = plan_shards(self.queries, self.shards)
+        stats = SchedulerStats(
+            mode="sequential-sharded", shard_count=len(specs), worker_count=1
+        )
+        config = self.config()
+        results = []
+        for spec in specs:
+            began = time.perf_counter()
+            results.append(run_shard(config, spec, self.progress_sink))
+            stats.record(0, spec, time.perf_counter() - began)
+        result = merge_shard_results(self, results)
+        result.scheduler = stats
+        return result

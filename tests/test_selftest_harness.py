@@ -186,6 +186,7 @@ class TestOracles:
             "span_wellformedness",
             "storage_recovery",
             "monotonicity",
+            "steal_order",
             "seed_determinism",
         ]
         for verdict in verdicts:
