@@ -8,9 +8,13 @@ wall-clock is machine-dependent, so the hard assertions here are only on
 the *measured numbers* (sample count, query count) and on the scheduler's
 shape (straggler bound, schema) -- never on absolute time.
 
-Four execution modes are timed:
+Five execution modes are timed:
 
-* ``sequential`` -- the legacy single-process driver;
+* ``sequential`` -- the legacy single-process driver on the reference
+  binary-heap event engine;
+* ``sequential_columnar`` -- the same driver on the batched columnar
+  calendar-queue engine (``engine="columnar"``): the measurement surface
+  is asserted byte-identical to the heap run, only wall-clock may differ;
 * ``parallel_platform`` -- the old platform-granularity fan-out (one
   worker per platform), kept as the straggler-problem reference: its
   wall-clock is bounded by the BigQuery shard;
@@ -34,6 +38,7 @@ import time
 from pathlib import Path
 
 from repro.api import FleetConfig, Profile, Telemetry, run_fleet
+from repro.testing.diff import diff_snapshots, snapshot
 from repro.workloads.calibration import PLATFORMS
 from repro.workloads.fleet import FleetSimulation
 from repro.workloads.parallel import run_parallel
@@ -98,6 +103,9 @@ def _assert_schema_committed(report: dict) -> None:
 
 def test_fleet_hot_path_perf_report():
     sequential, seq_wall = _timed_run(FleetSimulation(queries=QUERIES, seed=SEED))
+    columnar, col_wall = _timed_run(
+        FleetSimulation(queries=QUERIES, seed=SEED, engine="columnar")
+    )
     platform_sharded, pp_wall = _timed_run_parallel_platform()
 
     ws_start = time.perf_counter()
@@ -124,6 +132,13 @@ def test_fleet_hot_path_perf_report():
     assert samples == EXPECTED_SAMPLES
     assert platform_sharded.profiler.sample_count() == samples
     assert observed.profiler.sample_count() == samples
+    # Engine parity: the columnar calendar queue must reproduce the heap
+    # run on every measurement surface, events processed included.
+    assert not diff_snapshots(snapshot(sequential), snapshot(columnar))
+    col_events = sum(
+        columnar.platforms[name].env.events_processed for name in PLATFORMS
+    )
+    assert col_events == events
     assert queries_served == QUERIES * len(PLATFORMS)
     assert (
         sum(p.queries_served for p in work_stealing.platforms.values())
@@ -158,11 +173,23 @@ def test_fleet_hot_path_perf_report():
         "workload": {"queries_per_platform": QUERIES, "seed": SEED},
         "host": {"cpus": os.cpu_count()},
         "sequential": {
+            "engine": "heap",
             "wall_seconds": round(seq_wall, 3),
             "events_processed": events,
             "samples": samples,
             "samples_per_second": round(samples / seq_wall, 1),
             "speedup_vs_baseline": round(BASELINE["wall_seconds"] / seq_wall, 2),
+        },
+        "sequential_columnar": {
+            "engine": "columnar",
+            "wall_seconds": round(col_wall, 3),
+            "events_processed": col_events,
+            "samples": columnar.profiler.sample_count(),
+            "samples_per_second": round(samples / col_wall, 1),
+            "speedup_vs_heap": round(seq_wall / col_wall, 2),
+            "speedup_vs_baseline": round(BASELINE["wall_seconds"] / col_wall, 2),
+            "note": "batched columnar calendar-queue engine; snapshot "
+            "asserted byte-identical to the heap run above",
         },
         "parallel_platform": {
             "wall_seconds": round(pp_wall, 3),
@@ -172,6 +199,7 @@ def test_fleet_hot_path_perf_report():
             "work-stealing scheduler is measured against",
         },
         "work_stealing": {
+            "engine": "heap",
             "wall_seconds": round(ws_wall, 3),
             "speedup_vs_sequential": round(seq_wall / ws_wall, 2),
             "speedup_vs_parallel_platform": round(pp_wall / ws_wall, 2),

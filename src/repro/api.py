@@ -100,6 +100,12 @@ class FleetConfig:
     fault_plans: Mapping[str, Any] | None = None
     coalesce: bool = True
     observability: ObservabilityConfig | Mapping[str, float] | bool | None = None
+    #: Event-engine lane: ``"heap"`` (one heappop per event) or
+    #: ``"columnar"`` (SoA event blocks drained in time-bucketed batches by
+    #: a calendar queue).  Measurements are byte-identical either way --
+    #: the ``engine`` differential pair in ``repro selftest`` and the
+    #: exporter goldens enforce it.
+    engine: str = "heap"
 
     def with_overrides(self, **overrides) -> "FleetConfig":
         """A copy with the given fields replaced (validates field names)."""

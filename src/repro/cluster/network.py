@@ -26,6 +26,9 @@ class NetworkPartitioned(IOError):
     """Raised when a transfer crosses an active network partition."""
 
 
+_INF = float("inf")
+
+
 class Locality(enum.Enum):
     """How far apart two endpoints are."""
 
@@ -142,6 +145,17 @@ class NetworkFabric:
         self._partitions: list[tuple[TopologySelector, TopologySelector]] = []
         self._degradations: list[LinkDegradation] = []
         self.partition_drops = 0
+        #: (id(src), id(dst)) -> (src, dst, latency, bandwidth, partitioned)
+        #: with partitions and degradations folded in; dropped whenever fault
+        #: state changes.  Keyed by object identity because endpoint Topology
+        #: instances are long-lived node attributes and hashing two ints is
+        #: much cheaper than hashing six strings on the per-message path; the
+        #: entry pins both endpoints so their ids stay valid, and an identity
+        #: check guards against a stale id hitting a recycled object.
+        self._routes: dict[tuple[int, int], tuple] = {}
+        #: Directed round-trip entries: both legs of :meth:`round_trip_time`
+        #: folded into one lookup.  Same lifecycle as ``_routes``.
+        self._rtt_routes: dict[tuple[int, int], tuple] = {}
 
     # -- fault injection -----------------------------------------------------
 
@@ -151,10 +165,14 @@ class NetworkFabric:
         """Cut all traffic between two domains; returns a handle for :meth:`heal`."""
         handle = (a, b)
         self._partitions.append(handle)
+        self._routes.clear()
+        self._rtt_routes.clear()
         return handle
 
     def heal(self, handle: tuple[TopologySelector, TopologySelector]) -> None:
         self._partitions.remove(handle)
+        self._routes.clear()
+        self._rtt_routes.clear()
 
     def degrade_link(
         self,
@@ -167,10 +185,14 @@ class NetworkFabric:
         """Slow traffic between two domains; returns a handle for :meth:`restore_link`."""
         degradation = LinkDegradation(a, b, latency_factor, bandwidth_factor)
         self._degradations.append(degradation)
+        self._routes.clear()
+        self._rtt_routes.clear()
         return degradation
 
     def restore_link(self, handle: LinkDegradation) -> None:
         self._degradations.remove(handle)
+        self._routes.clear()
+        self._rtt_routes.clear()
 
     def is_partitioned(self, src: Topology, dst: Topology) -> bool:
         return any(
@@ -183,16 +205,10 @@ class NetworkFabric:
     def one_way_latency(self, src: Topology, dst: Topology) -> float:
         return self.latency[src.locality_to(dst)]
 
-    def transfer_time(self, src: Topology, dst: Topology, nbytes: float) -> float:
-        """One-way message time: propagation plus serialization delay."""
-        if nbytes < 0:
-            raise ValueError("nbytes must be non-negative")
-        if self._partitions and self.is_partitioned(src, dst):
-            self.partition_drops += 1
-            raise NetworkPartitioned(f"no route from {src} to {dst} (partitioned)")
+    def _route(self, src: Topology, dst: Topology) -> tuple:
+        """Resolve and cache the effective (latency, bandwidth, partitioned)."""
+        partitioned = bool(self._partitions) and self.is_partitioned(src, dst)
         locality = src.locality_to(dst)
-        self.bytes_transferred += nbytes
-        self.messages_sent += 1
         bandwidth = self.bandwidth[locality]
         latency = self.latency[locality]
         if self._degradations:
@@ -200,12 +216,62 @@ class NetworkFabric:
                 if degradation.covers(src, dst):
                     latency *= degradation.latency_factor
                     bandwidth *= degradation.bandwidth_factor
-        transmission = 0.0 if bandwidth == float("inf") else nbytes / bandwidth
+        route = (src, dst, latency, bandwidth, partitioned)
+        self._routes[(id(src), id(dst))] = route
+        return route
+
+    def transfer_time(self, src: Topology, dst: Topology, nbytes: float) -> float:
+        """One-way message time: propagation plus serialization delay."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        route = self._routes.get((id(src), id(dst)))
+        if route is None or route[0] is not src or route[1] is not dst:
+            route = self._route(src, dst)
+        _, _, latency, bandwidth, partitioned = route
+        if partitioned:
+            self.partition_drops += 1
+            raise NetworkPartitioned(f"no route from {src} to {dst} (partitioned)")
+        self.bytes_transferred += nbytes
+        self.messages_sent += 1
+        transmission = 0.0 if bandwidth == _INF else nbytes / bandwidth
         return latency + transmission
 
     def round_trip_time(
         self, src: Topology, dst: Topology, request_bytes: float, response_bytes: float
     ) -> float:
-        return self.transfer_time(src, dst, request_bytes) + self.transfer_time(
-            dst, src, response_bytes
-        )
+        """Request leg plus response leg.
+
+        Inlined two-leg :meth:`transfer_time` (this sits on the per-chunk
+        DFS read path): same checks, counter updates, and float evaluation
+        order, one call frame.
+        """
+        rtt = self._rtt_routes.get((id(src), id(dst)))
+        if rtt is None or rtt[0] is not src or rtt[1] is not dst:
+            routes = self._routes
+            fwd = routes.get((id(src), id(dst)))
+            if fwd is None or fwd[0] is not src or fwd[1] is not dst:
+                fwd = self._route(src, dst)
+            rev = routes.get((id(dst), id(src)))
+            if rev is None or rev[0] is not dst or rev[1] is not src:
+                rev = self._route(dst, src)
+            rtt = (src, dst, fwd[2], fwd[3], fwd[4], rev[2], rev[3], rev[4])
+            self._rtt_routes[(id(src), id(dst))] = rtt
+        if request_bytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if rtt[4]:
+            self.partition_drops += 1
+            raise NetworkPartitioned(f"no route from {src} to {dst} (partitioned)")
+        self.bytes_transferred += request_bytes
+        self.messages_sent += 1
+        bandwidth = rtt[3]
+        forward = rtt[2] + (0.0 if bandwidth == _INF else request_bytes / bandwidth)
+        if response_bytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if rtt[7]:
+            self.partition_drops += 1
+            raise NetworkPartitioned(f"no route from {dst} to {src} (partitioned)")
+        self.bytes_transferred += response_bytes
+        self.messages_sent += 1
+        bandwidth = rtt[6]
+        reverse = rtt[5] + (0.0 if bandwidth == _INF else response_bytes / bandwidth)
+        return forward + reverse

@@ -4,12 +4,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from heapq import heappush as _heappush
+from itertools import islice
 from typing import Generator, Optional
 
+import numpy as np
+
 from repro.cluster.network import Topology
-from repro.profiling.dapper import Span, SpanKind, Trace
+from repro.profiling.dapper import ChunkSpanBlock, Span, SpanKind, Trace
 from repro.profiling.gwp import FleetProfiler
-from repro.sim import Environment, Event, Interrupt, Resource
+from repro.sim import (
+    ColumnarEnvironment,
+    Environment,
+    Event,
+    Interrupt,
+    Resource,
+    SimulationError,
+)
 
 __all__ = ["NodeDown", "WorkContext", "ServerNode"]
 
@@ -286,6 +296,110 @@ class ServerNode:
         """Execute a sequence of (function, duration) chunks back to back."""
         yield from self.compute_batch(ctx, chunks)
 
+    def compute_block(self, ctx: WorkContext, block) -> Generator:
+        """Columnar counterpart of :meth:`compute_batch` for a ChunkBlock.
+
+        Same contract and same coalescing invariants, but the chunk run
+        arrives as a struct-of-arrays block (see
+        :class:`repro.platforms.common.ChunkBlock`): end times come from one
+        vectorized cumulative sum (bitwise equal to the iterative
+        ``t = t + d_k`` chain) and the boundary fires live in the engine's
+        calendar queue as one event block instead of one heap entry --
+        drained in bulk between ordinary events by
+        :class:`~repro.sim.ColumnarEnvironment`.
+
+        Falls back to :meth:`compute_batch` (which itself may fall back to
+        per-chunk :meth:`compute`) when the environment is not columnar or
+        the core is contended, so every measurement stays byte-identical to
+        the heap engine in every regime.
+        """
+        n = len(block)
+        if not n:
+            return
+        if not self.up:
+            raise NodeDown(self.name)
+        env = self.env
+        pool = self._core_pool
+        if (
+            not isinstance(env, ColumnarEnvironment)
+            or pool.queue_length > 0
+            or pool.in_use + 1 >= pool.capacity
+        ):
+            yield from self.compute_batch(ctx, block.pairs())
+            return
+        durations = block.durations
+        if float(durations.min()) < 0:
+            raise ValueError("duration must be non-negative")
+        start = env.now
+        tenant = env.active_process
+        registered = tenant is not None and tenant not in self._tenants
+        if registered:
+            self._tenants.add(tenant)
+        try:
+            grant = pool.request()
+            try:
+                yield grant
+            except Interrupt:
+                pool.cancel(grant)
+                raise
+            service_start = env.now
+            # Bitwise equal to the heap path's iterative `t = t + d_k` chain:
+            # cumsum performs the identical left-to-right float64 adds.
+            ends_arr = np.cumsum(
+                np.concatenate(((service_start,), durations))
+            )[1:]
+            ends = ends_arr.tolist()
+            t = ends[-1]
+            parent = ctx.parent_span
+            recorder = _ColumnarBatchRecorder(
+                ctx.profiler,
+                ctx.platform,
+                ctx.trace,
+                parent.span_id if parent is not None else None,
+                self.name,
+                block,
+                ends_arr,
+                ends,
+                start,
+                service_start,
+                env._queue,
+                env.reserve_counters(n),
+                pool._waiters,
+            )
+            resume_from = None
+            try:
+                if t > service_start:
+                    env.calendar.add(recorder)
+                    timeout = env.timeout_at(t)
+                    recorder.process = tenant
+                    recorder.timeout = timeout
+                    signal = yield timeout
+                    if type(signal) is _BatchPreempted:
+                        resume_from = signal.next_index
+                else:
+                    # Zero-duration batch: record synchronously, in order,
+                    # exactly like back-to-back zero-duration computes.
+                    for _ in range(n):
+                        recorder()
+                    recorder.cancelled = True
+            except BaseException:
+                # The block stays in the calendar; its next boundary drains
+                # as one counted no-op (the stale heap entry a cancelled
+                # _BatchRecorder leaves behind), keeping engine telemetry
+                # identical.
+                recorder.cancelled = True
+                raise
+            finally:
+                pool.release(grant)
+            if resume_from is not None:
+                for k in range(resume_from, n):
+                    yield from self.compute(
+                        ctx, block.function_at(k), float(durations[k])
+                    )
+        finally:
+            if registered:
+                self._tenants.discard(tenant)
+
 
 class _BatchPreempted:
     """Sent into a batched process when its batch is cut short mid-run."""
@@ -469,3 +583,208 @@ class _BatchRecorder:
         wakeup._triggered = True
         wakeup._value = _BatchPreempted(next_index)
         process._resume(wakeup)
+
+
+class _ColumnarBatchRecorder(_BatchRecorder):
+    """A :class:`_BatchRecorder` that drains as a calendar-queue event block.
+
+    Implements the :class:`~repro.sim.EventBlock` protocol over the same
+    cursor/ends state the heap recorder uses, so one instance serves both
+    lanes: registered with :meth:`ColumnarEnvironment.add_block` it fires
+    whole ``[cursor, j)`` ranges per drain with vectorized profiler math
+    and one compact span-block row; under contention, cancellation, or the
+    zero-duration path it falls back to the inherited per-entry
+    ``__call__`` -- heap semantics, byte for byte.
+
+    Bulk-drain safety: a drain runs no simulation callbacks, so the core
+    pool's waiter deque cannot change mid-drain; any heap event that could
+    add a waiter bounds the drain instead, and the next drain re-checks.
+    """
+
+    __slots__ = ("ends_arr", "prof_durs", "span_ids")
+
+    def __init__(
+        self,
+        profiler,
+        platform,
+        trace,
+        parent_id,
+        node_name,
+        block,
+        ends_arr,
+        ends,
+        start,
+        service_start,
+        queue,
+        base,
+        waiters,
+    ):
+        super().__init__(
+            profiler,
+            platform,
+            trace,
+            parent_id,
+            node_name,
+            block,
+            ends,
+            start,
+            service_start,
+            queue,
+            base,
+            waiters,
+        )
+        #: numpy view of ``ends`` for vectorized drains (``ends`` itself
+        #: stays a list of Python floats so inherited per-entry fires and
+        #: span materialization emit identical values to the heap engine).
+        self.ends_arr = ends_arr
+        self.prof_durs = None
+        self.span_ids = trace._span_ids if trace is not None else None
+
+    # -- EventBlock protocol -------------------------------------------------
+
+    @property
+    def next_when(self) -> float:
+        cursor = self.cursor
+        ends = self.ends
+        return ends[cursor] if cursor < len(ends) else float("inf")
+
+    @property
+    def next_count(self) -> int:
+        return self.base + self.cursor
+
+    @property
+    def exhausted(self) -> bool:
+        return self.cursor >= len(self.ends)
+
+    def drain(self, stop_when: float, stop_count) -> tuple[int, float, bool]:
+        ends = self.ends
+        n = len(ends)
+        i = self.cursor
+        if self.cancelled:
+            # The stale boundary the heap engine would still pop as a no-op
+            # after an interrupt: one counted event, then the block is gone.
+            return 1, ends[i], False
+        if self.waiters:
+            # A competitor queued for a core: this boundary gets per-entry
+            # heap semantics (__call__ preempts the batch or pushes the next
+            # boundary onto the event heap); the block leaves the calendar
+            # either way, any remainder continues on the heap lane.
+            self()
+            return 1, ends[i], False
+        ends_arr = self.ends_arr
+        j = i + int(np.searchsorted(ends_arr[i:], stop_when, side="left"))
+        base = self.base
+        while j < n and ends[j] == stop_when and base + j < stop_count:
+            j += 1
+        if j == i:
+            raise SimulationError("drain called without the smallest key")
+        profiler = self.profiler
+        if profiler is not None:
+            durs = self.prof_durs
+            if durs is None:
+                durs = self.prof_durs = np.diff(
+                    np.concatenate(((self.service_start,), ends_arr))
+                )
+            pid = self.pid
+            cpu = self.cpu_secs
+            credits = self.credits
+            period = self.period
+            platform = self.platform
+            block = self.chunks
+            if j - i <= 64:
+                # Crossing-dense drains (OLTP batches are a handful of chunks)
+                # skip the numpy window machinery below: plain Python float
+                # adds perform the identical left-to-right float64 fold, so
+                # cpu seconds, crossing values, and the carried credit are
+                # bitwise what the windowed cumsum path produces.
+                dlist = durs[i:j].tolist()
+                acc = cpu[pid]
+                for d in dlist:
+                    acc += d
+                cpu[pid] = acc
+                credit = credits[pid]
+                pos = i
+                while pos < j:
+                    if credit >= period:
+                        # cumsum window opening at ``pos`` crosses at m=0.
+                        q = pos - 1
+                        prev = ends[q - 1] if q else self.service_start
+                        profiler._record_crossing(
+                            pid, platform, block.function_at(q), credit, prev
+                        )
+                        credit = credits[pid]
+                        continue
+                    crossed = credit + dlist[pos - i]
+                    if crossed >= period:
+                        prev = ends[pos - 1] if pos else self.service_start
+                        profiler._record_crossing(
+                            pid, platform, block.function_at(pos), crossed, prev
+                        )
+                        credit = credits[pid]
+                    else:
+                        credit = crossed
+                    pos += 1
+                credits[pid] = credit
+                trace = self.trace
+                if trace is not None and trace.end is None:
+                    ids = self.span_ids
+                    first = next(ids)
+                    count = j - i
+                    if count > 1:
+                        next(islice(ids, count - 2, count - 1))
+                    self.append_span(
+                        ChunkSpanBlock(
+                            first, self.parent_id, self.node_name, self, i, j
+                        )
+                    )
+                self.cursor = j
+                return j - i, ends[j - 1], j < n
+            # Sequential fold: cumsum partials reproduce the heap engine's
+            # per-chunk `cpu_secs[pid] += duration` adds bitwise.
+            cpu[pid] = float(np.cumsum(np.concatenate(((cpu[pid],), durs[i:j])))[-1])
+            credit = credits[pid]
+            pos = i
+            while pos < j:
+                remaining = j - pos
+                d_typ = durs[pos]
+                if d_typ > 0.0:
+                    window = int((period - credit) / d_typ) + 2
+                    if window > remaining:
+                        window = remaining
+                    elif window < 1:
+                        window = 1
+                else:
+                    window = remaining if remaining < 64 else 64
+                cs = np.cumsum(
+                    np.concatenate(((credit,), durs[pos : pos + window]))
+                )
+                m = int(np.searchsorted(cs, period, side="left"))
+                if m >= len(cs):
+                    # No crossing in this window; cs[-1] equals the heap
+                    # engine's running credit after these chunks.
+                    credit = float(cs[-1])
+                    pos += window
+                    continue
+                q = pos + m - 1
+                prev = ends[q - 1] if q else self.service_start
+                profiler._record_crossing(
+                    pid, platform, block.function_at(q), float(cs[m]), prev
+                )
+                credit = credits[pid]
+                pos = q + 1
+            credits[pid] = credit
+        trace = self.trace
+        if trace is not None and trace.end is None:
+            # One compact row stands in for j-i chunk spans; consume the
+            # same span-id range the heap engine would so ids stay aligned
+            # with any spans recorded before/after this drain.
+            ids = self.span_ids
+            first = next(ids)
+            count = j - i
+            if count > 1:
+                next(islice(ids, count - 2, count - 1))
+            self.append_span(
+                ChunkSpanBlock(first, self.parent_id, self.node_name, self, i, j)
+            )
+        self.cursor = j
+        return j - i, ends[j - 1], j < n

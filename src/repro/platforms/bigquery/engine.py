@@ -101,11 +101,15 @@ class BigQueryEngine(PlatformBase):
         # The hot head of each file (recent partitions) starts SSD-resident,
         # as it would be in steady state.
         self._column_paths = []
+        #: FileMeta per column path, resolved once (the files are immutable
+        #: for the engine's lifetime) so the IO-op factory skips the lookup.
+        self._column_metas = []
         for column in ("user_id", "country", "revenue", "latency", "status"):
             path = f"/bigquery/events/{column}"
             self.dfs.create(path, 256 * MB)
             self._column_paths.append(path)
             meta = self.dfs.meta(path)
+            self._column_metas.append(meta)
             warmed = 0.0
             for chunk in meta.chunks:
                 if warmed >= meta.size * HOT_FRACTION:
@@ -138,6 +142,11 @@ class BigQueryEngine(PlatformBase):
         self.results: list[ColumnarTable] = []
         self._io_rate = 1e-9
         self._shuffle_rate = 1e-9  # seconds per shuffled byte, refined online
+        #: Data-plane results for stages whose inputs are engine constants
+        #: (the base tables and outputs of other memoized stages).  The
+        #: operators are pure, so repeated query shapes replay the cached
+        #: table instead of recomputing the join/destructure per query.
+        self._plane_memo: dict = {}
 
     # -- workload shape --------------------------------------------------------------
 
@@ -166,6 +175,25 @@ class BigQueryEngine(PlatformBase):
                 continue
         return dag
 
+    def _memoized(self, key, fn):
+        """Cache a stage function whose inputs are engine-lifetime constants.
+
+        Only valid for stages that do not depend on per-query randomness
+        (e.g. the filter threshold): the operators are pure and these stages
+        always see the same input tables, so the first query's result can be
+        replayed for every later query of the same shape.
+        """
+        memo = self._plane_memo
+
+        def run(inputs):
+            try:
+                return memo[key]
+            except KeyError:
+                result = memo[key] = fn(inputs)
+                return result
+
+        return run
+
     def _build_logical_dag(self, kind: str) -> QueryDag:
         dag = QueryDag()
         threshold = float(self.rng.uniform(20.0, 80.0))
@@ -175,7 +203,10 @@ class BigQueryEngine(PlatformBase):
             dag.add(
                 Stage(
                     "join",
-                    lambda inputs: ops.hash_join(inputs[0], inputs[1], on="user_id"),
+                    self._memoized(
+                        ("join_query", "join"),
+                        lambda inputs: ops.hash_join(inputs[0], inputs[1], on="user_id"),
+                    ),
                     inputs=("scan_events", "scan_users"),
                     shuffle_key="tier",
                 )
@@ -183,8 +214,11 @@ class BigQueryEngine(PlatformBase):
             dag.add(
                 Stage(
                     "agg",
-                    lambda inputs: ops.aggregate(
-                        inputs[0], "tier", {"total": ("sum", "revenue")}
+                    self._memoized(
+                        ("join_query", "agg"),
+                        lambda inputs: ops.aggregate(
+                            inputs[0], "tier", {"total": ("sum", "revenue")}
+                        ),
                     ),
                     inputs=("join",),
                 )
@@ -213,7 +247,10 @@ class BigQueryEngine(PlatformBase):
             dag.add(
                 Stage(
                     "destructure",
-                    lambda inputs: ops.destructure(inputs[0], "meta"),
+                    self._memoized(
+                        ("scan_agg", "destructure"),
+                        lambda inputs: ops.destructure(inputs[0], "meta"),
+                    ),
                     inputs=("scan",),
                 )
             )
@@ -348,20 +385,25 @@ class BigQueryEngine(PlatformBase):
         self._count_shuffle(nbytes)
 
     def _io_op_factory(self, ctx: WorkContext, node: ServerNode):
+        paths = self._column_paths
+        metas = self._column_metas
+        n = len(paths)
+        rng = self.rng
+
         def factory(remaining: float):
             min_op = 5e-3
             if remaining < min_op:
                 return None
-            path = self._column_paths[int(self.rng.integers(len(self._column_paths)))]
-            meta = self.dfs.meta(path)
+            index = int(rng.integers(n))
+            meta = metas[index]
             target = min(remaining * 0.8, 1.0)
             nbytes = max(4 * MB, min(target / self._io_rate, meta.size, MAX_SCAN_BYTES))
-            if self.rng.random() < HOT_SCAN_PROBABILITY:
+            if rng.random() < HOT_SCAN_PROBABILITY:
                 span = max(1.0, meta.size * HOT_FRACTION - nbytes)
-                offset = float(self.rng.uniform(0, span))
+                offset = float(rng.uniform(0, span))
             else:
-                offset = float(self.rng.uniform(0, max(1.0, meta.size - nbytes)))
-            return self._timed_scan(ctx, node, path, offset, nbytes)
+                offset = float(rng.uniform(0, max(1.0, meta.size - nbytes)))
+            return self._timed_scan(ctx, node, paths[index], offset, nbytes)
 
         return factory
 

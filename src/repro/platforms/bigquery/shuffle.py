@@ -49,6 +49,10 @@ class ShuffleEngine:
         self.shuffles_run = 0
         self.bytes_shuffled = 0.0
         self.retries = 0
+        #: Partitioning is pure, and stage shuffles re-send the same
+        #: (memoized) tables query after query; cache the split per table
+        #: identity.  Entries pin the input table so its id stays valid.
+        self._partition_memo: dict[tuple[int, str, int], tuple] = {}
 
     def partition(
         self, table: ColumnarTable, key: str, partitions: int
@@ -56,11 +60,16 @@ class ShuffleEngine:
         """Pure data-plane partitioning (no simulated time)."""
         if partitions < 1:
             raise ValueError("partitions must be >= 1")
+        memo_key = (id(table), key, partitions)
+        hit = self._partition_memo.get(memo_key)
+        if hit is not None and hit[0] is table:
+            return hit[1]
         assignment = _hash_partition(table.column(key), partitions)
         out: list[ColumnarTable | None] = []
         for p in range(partitions):
             keep = assignment == p
             out.append(table.mask(keep) if keep.any() else None)
+        self._partition_memo[memo_key] = (table, out)
         return out
 
     def estimate_time(

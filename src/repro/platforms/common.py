@@ -25,6 +25,7 @@ running a slice of the CPU work concurrently with the dependency phase.
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Generator, Iterable, Mapping, Sequence
 
@@ -38,7 +39,17 @@ from repro.profiling.dapper import SpanKind, Tracer
 from repro.profiling.gwp import FleetProfiler
 from repro.sim import Environment, Interrupt, all_of
 
-__all__ = ["QueryPlan", "CpuChunker", "PlatformBase", "QueryRecord"]
+__all__ = [
+    "QueryPlan",
+    "CpuChunker",
+    "ChunkBlock",
+    "ColumnarCpuChunker",
+    "PlatformBase",
+    "QueryRecord",
+]
+
+#: Valid values for ``PlatformBase.set_engine`` / ``FleetConfig.engine``.
+ENGINES = ("heap", "columnar")
 
 
 @dataclass(frozen=True, slots=True)
@@ -132,6 +143,198 @@ class CpuChunker:
         return list(chunks[:cut]), list(chunks[cut:])
 
 
+#: Memoized sub-trace expansion: a category segment's function names are
+#: fully determined by (pool, starting offset, chunk count), and the ~60-query
+#: fleet repeats those shapes constantly -- pool offsets cycle modulo small
+#: pools and repeated query budgets repeat chunk counts.  Expand each shape
+#: once and replay the cached tuple.
+_EXPANSION_CACHE: dict[tuple, tuple[str, ...]] = {}
+
+
+def _expand_pool_segment(pool: tuple[str, ...], offset: int, count: int) -> tuple[str, ...]:
+    key = (pool, offset, count)
+    names = _EXPANSION_CACHE.get(key)
+    if names is None:
+        if len(_EXPANSION_CACHE) > 4096:  # pragma: no cover - bounded cache
+            _EXPANSION_CACHE.clear()
+        size = len(pool)
+        names = tuple(pool[(offset + i) % size] for i in range(count))
+        _EXPANSION_CACHE[key] = names
+    return names
+
+
+class ChunkBlock:
+    """Struct-of-arrays chunk run: the columnar chunker's output.
+
+    Duck-types the ``list[(function, duration)]`` the heap chunker emits --
+    ``len``, truthiness, indexing, slicing and iteration all yield identical
+    values -- while storing durations in one shuffled float64 column.
+    Function names are not materialized: ``perm`` maps shuffled positions
+    back to the unshuffled category layout described by ``segments`` (tuples
+    of ``(segment start, function pool, pool offset)`` over the source
+    range), and names resolve lazily through the memoized expansion cache.
+    """
+
+    __slots__ = ("durations", "perm", "segments", "source_len", "_starts", "_names")
+
+    def __init__(self, durations, perm, segments, source_len, names=None):
+        self.durations = durations
+        self.perm = perm
+        self.segments = segments
+        self.source_len = source_len
+        self._starts = [seg[0] for seg in segments]
+        #: Cached unshuffled name table covering the source range.
+        self._names = names
+
+    def __len__(self) -> int:
+        return len(self.durations)
+
+    def __bool__(self) -> bool:
+        return len(self.durations) > 0
+
+    def function_at(self, k: int) -> str:
+        j = int(self.perm[k])
+        seg_start, pool, offset = self.segments[bisect_right(self._starts, j) - 1]
+        return pool[(offset + (j - seg_start)) % len(pool)]
+
+    def _name_table(self) -> list[str]:
+        names = self._names
+        if names is None:
+            names = []
+            segments = self.segments
+            for index, (seg_start, pool, offset) in enumerate(segments):
+                stop = (
+                    segments[index + 1][0]
+                    if index + 1 < len(segments)
+                    else self.source_len
+                )
+                names.extend(_expand_pool_segment(pool, offset, stop - seg_start))
+            self._names = names
+        return names
+
+    def pairs(self, lo: int = 0) -> list[tuple[str, float]]:
+        """Materialize (function, duration) tuples -- the heap representation."""
+        names = self._name_table()
+        return [
+            (names[j], duration)
+            for j, duration in zip(
+                self.perm[lo:].tolist(), self.durations[lo:].tolist()
+            )
+        ]
+
+    def __iter__(self):
+        return iter(self.pairs())
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return ChunkBlock(
+                self.durations[key],
+                self.perm[key],
+                self.segments,
+                self.source_len,
+                self._names,
+            )
+        return self.function_at(key), float(self.durations[key])
+
+
+class ColumnarCpuChunker(CpuChunker):
+    """A :class:`CpuChunker` emitting :class:`ChunkBlock` columns.
+
+    Byte-identical output to the heap chunker (same RNG draws, same float
+    chains, same function rotation) with vectorized construction: full-chunk
+    runs are views into cached fill templates, the per-category chunk count
+    comes from one cumulative sum reproducing the iterative
+    ``budget -= chunk_seconds`` loop bitwise, and the shuffle permutes an
+    index column (numpy's Fisher-Yates draws are identical for an array and
+    a list of the same length).
+    """
+
+    #: chunk_seconds -> readonly constant columns, grown geometrically; every
+    #: full-chunk run in every query is a view into these.
+    _fill_cache: dict[float, np.ndarray] = {}
+    _neg_cache: dict[float, np.ndarray] = {}
+
+    def __init__(self, component_fractions, *, chunk_seconds=100e-6, rng=None):
+        super().__init__(component_fractions, chunk_seconds=chunk_seconds, rng=rng)
+        self._pools = {key: tuple(functions_for(key)) for key in self._fractions}
+        #: Current rotation position per category (mirrors the base class's
+        #: itertools.cycle cursors, which have no readable position).
+        self._offsets = {key: 0 for key in self._fractions}
+
+    @staticmethod
+    def _column(cache: dict, value: float, count: int) -> np.ndarray:
+        arr = cache.get(value)
+        if arr is None or len(arr) < count:
+            size = max(count, 1024 if arr is None else 2 * len(arr))
+            arr = np.full(size, value)
+            arr.setflags(write=False)
+            cache[value] = arr
+        return arr[:count]
+
+    def chunks(self, t_cpu: float) -> ChunkBlock:
+        if t_cpu < 0:
+            raise ValueError("t_cpu must be non-negative")
+        chunk_seconds = self._chunk_seconds
+        segments: list[tuple[int, tuple[str, ...], int]] = []
+        columns: list[np.ndarray] = []
+        total = 0
+        if t_cpu == 0:
+            # The heap path returns [] here *without* consuming a shuffle.
+            return ChunkBlock(
+                np.empty(0), np.empty(0, dtype=np.intp), (), 0
+            )
+        for key, fraction in self._fractions.items():
+            budget = fraction * t_cpu
+            if budget > chunk_seconds:
+                guess = int(budget / chunk_seconds) + 2
+                while True:
+                    neg = self._column(self._neg_cache, -chunk_seconds, guess)
+                    # partials[k] is the budget after k full chunks -- the
+                    # same float chain as the iterative `budget -= c` loop,
+                    # which stops at the first k with partials[k] <= c.
+                    partials = np.cumsum(np.concatenate(((budget,), neg)))
+                    n_full = int(np.argmax(partials <= chunk_seconds))
+                    if n_full:  # partials[0] = budget > c, so 0 means "not found"
+                        break
+                    guess *= 2  # pragma: no cover - margin covers rounding
+                remainder = float(partials[n_full])
+            else:
+                n_full = 0
+                remainder = budget
+            count = n_full + (1 if remainder > 0 else 0)
+            if not count:
+                continue
+            pool = self._pools[key]
+            offset = self._offsets[key]
+            self._offsets[key] = (offset + count) % len(pool)
+            segments.append((total, pool, offset))
+            if n_full:
+                columns.append(self._column(self._fill_cache, chunk_seconds, n_full))
+            if remainder > 0:
+                columns.append(np.array((remainder,)))
+            total += count
+        perm = np.arange(total)
+        self._rng.shuffle(perm)
+        durations = (
+            np.concatenate(columns) if columns else np.empty(0)
+        )[perm]
+        return ChunkBlock(durations, perm, tuple(segments), total)
+
+    def split(self, chunks, first_budget: float):
+        if not isinstance(chunks, ChunkBlock):
+            return super().split(chunks, first_budget)
+        n = len(chunks)
+        cut = 0
+        if n and first_budget > 0:
+            # acc[k] is the running total after k+1 chunks (same float adds
+            # as the iterative loop); the heap path cuts at the first prefix
+            # whose total reaches the budget.
+            acc = np.cumsum(chunks.durations)
+            i = int(np.searchsorted(acc, first_budget, side="left"))
+            cut = i + 1 if i < n else n
+        return chunks[:cut], chunks[cut:]
+
+
 @dataclass(frozen=True, slots=True)
 class QueryRecord:
     """The platform's own log line for one served query."""
@@ -200,6 +403,8 @@ class PlatformBase:
         #: acceleration studies.
         self.offload = offload
         self.offload_model = offload_model
+        #: Execution engine lane ("heap" or "columnar"); see :meth:`set_engine`.
+        self.engine = "heap"
         self.chunker = CpuChunker(
             profile.cpu_component_fractions, rng=np.random.default_rng(seed + 1)
         )
@@ -236,6 +441,25 @@ class PlatformBase:
     def default_kind_for(self, group: QueryGroupProfile) -> str:
         return "query"
 
+    def set_engine(self, engine: str) -> None:
+        """Select the execution engine lane: ``"heap"`` or ``"columnar"``.
+
+        Columnar swaps the chunker for :class:`ColumnarCpuChunker` (same RNG
+        stream, struct-of-arrays output) so CPU runs flow through
+        :meth:`ServerNode.compute_block` into the calendar queue of a
+        :class:`~repro.sim.ColumnarEnvironment`.  Must be called before any
+        queries run: the chunker is rebuilt on a fresh ``seed + 1`` stream,
+        which only matches the heap engine's draws if nothing was drawn yet.
+        """
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        self.engine = engine
+        chunker_cls = ColumnarCpuChunker if engine == "columnar" else CpuChunker
+        self.chunker = chunker_cls(
+            self.profile.cpu_component_fractions,
+            rng=np.random.default_rng(self.seed + 1),
+        )
+
     def seed_query_streams(self, index: int) -> None:
         """Rebase the plan and chunker RNGs onto per-query streams.
 
@@ -249,7 +473,10 @@ class PlatformBase:
         """
         root = self.seed & 0xFFFFFFFF
         self.rng = np.random.default_rng([root, 0x5EED, index])
-        self.chunker = CpuChunker(
+        chunker_cls = (
+            ColumnarCpuChunker if self.engine == "columnar" else CpuChunker
+        )
+        self.chunker = chunker_cls(
             self.profile.cpu_component_fractions,
             rng=np.random.default_rng([root, 0xC41C, index]),
         )
@@ -385,7 +612,16 @@ class PlatformBase:
         complex covers run on accelerator units under the configured
         invocation model; the rest stay on the node's cores.
         """
-        chunks = list(chunks)
+        if isinstance(chunks, ChunkBlock):
+            if self.offload is None and self.coalesce:
+                yield from node.compute_block(ctx, chunks)
+                return
+            # Uncoalesced or offloaded runs use the heap representation --
+            # those paths are per-chunk (or re-categorized) anyway, and the
+            # materialized pairs are byte-identical to the heap chunker's.
+            chunks = chunks.pairs()
+        else:
+            chunks = list(chunks)
         if self.offload is None:
             if self.coalesce:
                 yield from node.compute_batch(ctx, chunks)

@@ -15,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping
 
+import numpy as np
+
 from repro import taxonomy
-from repro.profiling.dapper import SpanKind, Trace
+from repro.profiling.dapper import ChunkSpanBlock, SpanKind, Trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.profiling.gwp import CpuSample
@@ -158,11 +160,41 @@ def trace_breakdown(
     # intervals instead of hundreds of thousands.
     run_start = run_end = None
     for span in trace._spans:
-        if type(span) is tuple:
+        row_type = type(span)
+        if row_type is tuple:
             start = span[4]
             end = span[5]
             if end > start:
                 raw_total += end - start
+                if start == run_end:
+                    run_end = end
+                else:
+                    if run_start is not None:
+                        cpu_intervals.append((run_start, run_end))
+                    run_start, run_end = start, end
+            continue
+        if row_type is ChunkSpanBlock:
+            # A columnar drain's chunk run, read without materializing spans.
+            # The chunks abut exactly, so their positive spans collapse into
+            # one interval; raw_total folds the same positive durations the
+            # per-tuple path would add, via cumsum partials (bitwise equal).
+            src = span.source
+            lo = span.lo
+            hi = span.hi
+            ends_arr = src.ends_arr
+            prev0 = src.start if lo == 0 else ends_arr[lo - 1]
+            d = np.diff(np.concatenate(((prev0,), ends_arr[lo:hi])))
+            mask = d > 0.0
+            if mask.any():
+                raw_total = float(
+                    np.cumsum(np.concatenate(((raw_total,), d[mask])))[-1]
+                )
+                idx = np.nonzero(mask)[0]
+                k0 = lo + int(idx[0])
+                k1 = lo + int(idx[-1])
+                ends_list = src.ends
+                start = src.start if k0 == 0 else ends_list[k0 - 1]
+                end = ends_list[k1]
                 if start == run_end:
                     run_end = end
                 else:

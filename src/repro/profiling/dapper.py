@@ -15,7 +15,7 @@ import enum
 import itertools
 from typing import Iterable, Iterator
 
-__all__ = ["SpanKind", "Span", "Trace", "Tracer"]
+__all__ = ["SpanKind", "Span", "ChunkSpanBlock", "Trace", "Tracer"]
 
 
 class SpanKind(enum.Enum):
@@ -106,12 +106,65 @@ class Span:
         return self
 
 
+class ChunkSpanBlock:
+    """Compact span storage for one drained run of coalesced CPU chunks.
+
+    Appended by the columnar batch recorder: one row stands in for the
+    ``hi - lo`` chunk spans of one calendar-queue drain.  ``source`` is the
+    recorder itself (duck-typed: ``.ends`` -- Python-float chunk end times,
+    ``.start``, and ``.chunks.function_at``); span ids are the consecutive
+    range ``first_id .. first_id + (hi - lo) - 1`` consumed from the
+    trace's counter at drain time, so materialized spans are byte-identical
+    (ids, names, bounds, annotations) to the heap engine's per-chunk rows.
+    """
+
+    __slots__ = ("first_id", "parent_id", "node", "source", "lo", "hi")
+
+    def __init__(self, first_id, parent_id, node, source, lo, hi):
+        self.first_id = first_id
+        self.parent_id = parent_id
+        self.node = node
+        self.source = source
+        self.lo = lo
+        self.hi = hi
+
+    def materialize(self) -> list[Span]:
+        source = self.source
+        ends = source.ends
+        function_at = source.chunks.function_at
+        node = self.node
+        parent_id = self.parent_id
+        first = self.first_id
+        lo = self.lo
+        # Chunk 0's span starts at batch start (covering queue wait), chunk
+        # k's at chunk k-1's end -- the same bounds the per-entry path emits.
+        prev = source.start if lo == 0 else ends[lo - 1]
+        out = []
+        for k in range(lo, self.hi):
+            end = ends[k]
+            out.append(
+                Span(
+                    span_id=first + (k - lo),
+                    parent_id=parent_id,
+                    name=function_at(k),
+                    kind=SpanKind.CPU,
+                    start=prev,
+                    end=end,
+                    annotations={"node": node} if node is not None else None,
+                )
+            )
+            prev = end
+        return out
+
+
 class Trace:
     """The spans of one query, forming a tree via parent ids.
 
-    Internally ``_spans`` may hold two representations: full :class:`Span`
-    objects, and compact tuples ``(span_id, parent_id, name, kind, start,
-    end, node)`` appended by :meth:`record_chunk` on the CPU hot path.
+    Internally ``_spans`` may hold three representations: full :class:`Span`
+    objects, compact tuples ``(span_id, parent_id, name, kind, start,
+    end, node)`` appended by :meth:`record_chunk` on the CPU hot path, and
+    :class:`ChunkSpanBlock` rows appended by the columnar engine's batch
+    recorder (each standing in for a whole run of chunk spans).
     Compact rows are materialized into (cached) ``Span`` objects the first
     time :attr:`spans` is read, so every public API still deals in spans.
     """
@@ -204,10 +257,12 @@ class Trace:
     @property
     def spans(self) -> tuple[Span, ...]:
         spans = self._spans
+        expanded = None
         for index, span in enumerate(spans):
-            if type(span) is tuple:
+            row_type = type(span)
+            if row_type is tuple:
                 span_id, parent_id, name, kind, start, end, node = span
-                spans[index] = Span(
+                span = Span(
                     span_id=span_id,
                     parent_id=parent_id,
                     name=name,
@@ -216,6 +271,20 @@ class Trace:
                     end=end,
                     annotations={"node": node} if node is not None else None,
                 )
+                if expanded is None:
+                    spans[index] = span
+                else:
+                    expanded.append(span)
+            elif row_type is ChunkSpanBlock:
+                if expanded is None:
+                    # Block rows expand to multiple spans: rebuild the list
+                    # (keeping the already-materialized prefix) and cache it.
+                    expanded = spans[:index]
+                expanded.extend(span.materialize())
+            elif expanded is not None:
+                expanded.append(span)
+        if expanded is not None:
+            self._spans = spans = expanded
         return tuple(spans)
 
     def spans_of_kind(self, kind: SpanKind) -> Iterator[Span]:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable
 
 __all__ = [
@@ -112,16 +113,26 @@ class Timeout(Event):
         *,
         at: float | None = None,
     ):
-        if at is None and delay < 0:
-            raise ValueError(f"negative delay: {delay!r}")
-        if at is not None and at < env.now:
-            raise ValueError(f"at={at} is in the past (now={env.now})")
-        super().__init__(env)
+        # Flattened Event.__init__ + Environment._schedule: timeouts are the
+        # single most-constructed object in the simulation, and the two extra
+        # call frames are measurable on the DFS chunk path.
+        if at is None:
+            if delay < 0:
+                raise ValueError(f"negative delay: {delay!r}")
+            when = env._now + delay
+        else:
+            if at < env._now:
+                raise ValueError(f"at={at} is in the past (now={env.now})")
+            when = at
+        self.env = env
+        self.callbacks = []
         self.delay = delay
         self._triggered = True
         self._ok = True
         self._value = value
-        env._schedule(self, delay=delay, at=at)
+        count = env._counter
+        env._counter = count + 1
+        _heappush(env._queue, (when, count, self))
 
 
 ProcessGenerator = Generator[Event, Any, Any]
@@ -177,21 +188,25 @@ class Process(Event):
             # must not be thrown into the exhausted generator.
             return
         self._waiting_on = None
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
-            if trigger.ok:
-                target = self._generator.send(trigger.value)
+            # _ok/_value directly: the trigger is by construction triggered
+            # (its callbacks are running), and the ok/value property frames
+            # are measurable at ~100k resumes per run.
+            if trigger._ok:
+                target = self._generator.send(trigger._value)
             else:
-                target = self._generator.throw(trigger.value)
+                target = self._generator.throw(trigger._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
         if not isinstance(target, Event):
             self._generator.close()
             self.fail(
@@ -200,7 +215,7 @@ class Process(Event):
                 )
             )
             return
-        if target.env is not self.env:
+        if target.env is not env:
             self.fail(SimulationError("yielded event belongs to another environment"))
             return
         self._waiting_on = target
@@ -246,7 +261,7 @@ class Environment:
         when = self._now + delay if at is None else at
         count = self._counter
         self._counter = count + 1
-        heapq.heappush(self._queue, (when, count, event))
+        _heappush(self._queue, (when, count, event))
 
     def schedule_call(self, when: float, fn: Callable[[], None]) -> None:
         """Schedule a bare callable at an absolute time.
@@ -260,7 +275,7 @@ class Environment:
             raise ValueError(f"when={when} is in the past (now={self._now})")
         count = self._counter
         self._counter = count + 1
-        heapq.heappush(self._queue, (when, count, fn))
+        _heappush(self._queue, (when, count, fn))
 
     def schedule_calls(self, times: Iterable[float], fn: Callable[[], None]) -> None:
         """Bulk :meth:`schedule_call`: one invocation of ``fn`` per time.
@@ -298,7 +313,7 @@ class Environment:
         """Process the next scheduled event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        when, _, event = heapq.heappop(self._queue)
+        when, _, event = _heappop(self._queue)
         self._now = when
         self.events_processed += 1
         if not isinstance(event, Event):

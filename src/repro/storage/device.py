@@ -13,6 +13,12 @@ class DeviceKind(enum.Enum):
     SSD = "ssd"
     HDD = "hdd"
 
+    # Identity hash instead of Enum's Python-level ``hash(self._name_)``:
+    # members key per-tier hit counters on the chunk-read path, where the
+    # interpreted __hash__ frame is measurable.  Enum equality is already
+    # identity, so dict semantics are unchanged.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True, slots=True)
 class DeviceParams:

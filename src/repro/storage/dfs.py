@@ -11,13 +11,14 @@ and stores the data" of Section 2.1.
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Generator, Sequence
 
 from repro.cluster.network import NetworkFabric, NetworkPartitioned, Topology
 from repro.cluster.node import WorkContext
 from repro.profiling.dapper import SpanKind
-from repro.sim import Environment
+from repro.sim import Environment, Timeout
 from repro.storage.device import DeviceKind
 from repro.storage.tier import TieredStore
 
@@ -42,6 +43,11 @@ class FileMeta:
     path: str
     size: float
     chunks: list[Chunk] = field(default_factory=list)
+    #: Lazily-built prefix bounds (``starts``, ``ends``) for range lookups;
+    #: valid because the chunk list is immutable once the file is created.
+    _bounds: tuple[list[float], list[float]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -83,6 +89,17 @@ class DistributedFileSystem:
         self._files: dict[str, FileMeta] = {}
         self._placement = itertools.count()
         self._down: set[int] = set()
+        #: Sorted-live-replica lists, nested as id(reader) -> (reader,
+        #: {replica tuple: order}).  The order only depends on the down-set,
+        #: so the cache is dropped whenever a server fails or recovers.  The
+        #: outer entry pins the reader Topology (readers are long-lived node
+        #: attributes) so identity keys stay valid and the per-chunk lookup
+        #: skips hashing the topology strings.  Entries are shared -- callers
+        #: must not mutate the returned lists.
+        self._replica_order: dict[int, tuple[Topology, dict]] = {}
+        #: Bumped whenever ``_replica_order`` is cleared, so in-flight reads
+        #: holding a per-reader sub-dict can notice mid-read failovers.
+        self._replica_gen = 0
 
     # -- failure injection -----------------------------------------------------
 
@@ -91,9 +108,13 @@ class DistributedFileSystem:
         if not 0 <= index < len(self.servers):
             raise IndexError(f"no storage server {index}")
         self._down.add(index)
+        self._replica_order.clear()
+        self._replica_gen += 1
 
     def restore_server(self, index: int) -> None:
         self._down.discard(index)
+        self._replica_order.clear()
+        self._replica_gen += 1
 
     def is_down(self, index: int) -> bool:
         return index in self._down
@@ -149,6 +170,13 @@ class DistributedFileSystem:
         self, chunk: Chunk, reader: Topology
     ) -> list[StorageServer]:
         """Live replicas, closest first (ties keep replica-placement order)."""
+        per_reader = self._replica_order.get(id(reader))
+        if per_reader is not None and per_reader[0] is reader:
+            cached = per_reader[1].get(chunk.replicas)
+            if cached is not None:
+                return cached
+        else:
+            per_reader = self._replica_order[id(reader)] = (reader, {})
         live = [self.servers[i] for i in chunk.replicas if i not in self._down]
         if not live:
             raise IOError(
@@ -156,19 +184,36 @@ class DistributedFileSystem:
             )
         # Stable sort: the first element matches what min() picked before the
         # failover loop existed, so clean-run replica selection is unchanged.
-        return sorted(
+        order = sorted(
             live, key=lambda server: reader.locality_to(server.topology).value
         )
+        per_reader[1][chunk.replicas] = order
+        return order
 
     def _chunks_for_range(self, meta: FileMeta, offset: float, size: float):
         end = offset + size
-        position = 0.0
-        for chunk in meta.chunks:
-            chunk_end = position + chunk.size
-            if chunk_end > offset and position < end:
-                overlap = min(chunk_end, end) - max(position, offset)
-                yield chunk, overlap
-            position = chunk_end
+        bounds = meta._bounds
+        if bounds is None:
+            # Same accumulation as the old linear walk, run once per file, so
+            # chunk boundaries land on bit-identical floats.
+            starts: list[float] = []
+            ends: list[float] = []
+            position = 0.0
+            for chunk in meta.chunks:
+                starts.append(position)
+                position += chunk.size
+                ends.append(position)
+            bounds = meta._bounds = (starts, ends)
+        starts, ends = bounds
+        chunks = meta.chunks
+        # First chunk whose end exceeds the range start, then walk forward.
+        index = bisect_right(ends, offset)
+        while index < len(chunks) and starts[index] < end:
+            chunk_start = starts[index]
+            chunk_end = ends[index]
+            overlap = min(chunk_end, end) - max(chunk_start, offset)
+            yield chunks[index], overlap
+            index += 1
 
     def read(
         self,
@@ -192,25 +237,66 @@ class DistributedFileSystem:
             raise ValueError(
                 f"range [{offset}, {offset + size}) outside file of {meta.size} bytes"
             )
-        start = self.env.now
+        env = self.env
+        round_trip_time = self.fabric.round_trip_time
+        start = env.now
         served = 0.0
         failovers = 0
-        tiers_hit: dict[str, int] = {}
-        for chunk, nbytes in self._chunks_for_range(meta, offset, size):
+        hits_by_tier: dict[DeviceKind, int] = {}
+        # Hoist the per-reader replica-order sub-dict out of the chunk loop
+        # (the reader is fixed for the whole read); the generation counter
+        # re-fetches everything if a server fails or recovers mid-read.
+        replica_gen = self._replica_gen
+        per_reader = self._replica_order.get(id(reader))
+        if per_reader is None or per_reader[0] is not reader:
+            per_reader = self._replica_order[id(reader)] = (reader, {})
+        reader_orders = per_reader[1]
+        # Inlined _chunks_for_range: one generator resume per chunk is
+        # measurable at this call volume.  write() keeps the shared helper.
+        end = offset + size
+        bounds = meta._bounds
+        if bounds is None:
+            starts = []
+            chunk_ends = []
+            position = 0.0
+            for c in meta.chunks:
+                starts.append(position)
+                position += c.size
+                chunk_ends.append(position)
+            bounds = meta._bounds = (starts, chunk_ends)
+        starts, chunk_ends = bounds
+        chunks = meta.chunks
+        nchunks = len(chunks)
+        index = bisect_right(chunk_ends, offset)
+        while index < nchunks and starts[index] < end:
+            chunk = chunks[index]
+            nbytes = min(chunk_ends[index], end) - max(starts[index], offset)
+            index += 1
+            if self._replica_gen != replica_gen:
+                replica_gen = self._replica_gen
+                per_reader = self._replica_order.get(id(reader))
+                if per_reader is None or per_reader[0] is not reader:
+                    per_reader = self._replica_order[id(reader)] = (reader, {})
+                reader_orders = per_reader[1]
+            order = reader_orders.get(chunk.replicas)
+            if order is None:
+                order = self._replicas_by_locality(chunk, reader)
             # Closest replica first; fail over across a partition to the next
             # reachable one (the production DFS reroutes the same way).
-            for server in self._replicas_by_locality(chunk, reader):
+            for server in order:
                 try:
-                    network_time = self.fabric.round_trip_time(
+                    network_time = round_trip_time(
                         reader, server.topology, 256.0, nbytes
                     )
                 except NetworkPartitioned:
                     failovers += 1
                     continue
                 device_time, tier = server.store.read(chunk.chunk_id, nbytes)
-                yield self.env.timeout(device_time + network_time)
+                # Direct Timeout construction == env.timeout() minus the
+                # wrapper frame (one per chunk).
+                yield Timeout(env, device_time + network_time)
                 served += nbytes
-                tiers_hit[tier.value] = tiers_hit.get(tier.value, 0) + 1
+                hits_by_tier[tier] = hits_by_tier.get(tier, 0) + 1
                 break
             else:
                 ctx.record_span(
@@ -220,6 +306,7 @@ class DistributedFileSystem:
                 raise NetworkPartitioned(
                     f"no reachable replica of {chunk.chunk_id} from {reader}"
                 )
+        tiers_hit = {tier.value: count for tier, count in hits_by_tier.items()}
         annotations = {"bytes": served, "tiers": tiers_hit}
         if failovers:
             annotations["failovers"] = failovers

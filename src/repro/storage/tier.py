@@ -17,6 +17,12 @@ from repro.storage.device import DeviceKind, StorageDevice
 
 __all__ = ["LruCache", "TierStats", "TieredStore"]
 
+# Module-level member aliases: attribute access on an Enum class goes through
+# a descriptor on every lookup, which is measurable on the per-chunk read path.
+_RAM = DeviceKind.RAM
+_SSD = DeviceKind.SSD
+_HDD = DeviceKind.HDD
+
 
 class LruCache:
     """Byte-capacity LRU over item keys."""
@@ -40,8 +46,9 @@ class LruCache:
 
     def touch(self, key: str) -> bool:
         """Mark ``key`` most-recently-used; returns hit/miss."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
             return True
         return False
 
@@ -54,16 +61,19 @@ class LruCache:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         evicted: list[str] = []
-        if key in self._entries:
-            self._used -= self._entries.pop(key)
-        if nbytes > self.capacity_bytes:
+        entries = self._entries
+        capacity = self.capacity_bytes
+        if key in entries:
+            self._used -= entries.pop(key)
+        if nbytes > capacity:
             return evicted
-        while self._used + nbytes > self.capacity_bytes and self._entries:
-            old_key, old_size = self._entries.popitem(last=False)
-            self._used -= old_size
+        used = self._used
+        while used + nbytes > capacity and entries:
+            old_key, old_size = entries.popitem(last=False)
+            used -= old_size
             evicted.append(old_key)
-        self._entries[key] = nbytes
-        self._used += nbytes
+        entries[key] = nbytes
+        self._used = used + nbytes
         return evicted
 
     def remove(self, key: str) -> None:
@@ -133,19 +143,26 @@ class TieredStore:
 
     def read(self, key: str, nbytes: float) -> tuple[float, DeviceKind]:
         """Latency and serving tier for a read; promotes into caches."""
-        self.stats.accesses += 1
-        if self._ram_cache.touch(key):
-            self.stats.hits[DeviceKind.RAM] += 1
+        stats = self.stats
+        stats.accesses += 1
+        # LruCache.touch and _promote_to_ram inlined on the cache-hit paths:
+        # this is the hottest storage call in the simulation and the extra
+        # frames are measurable.
+        ram_entries = self._ram_cache._entries
+        if key in ram_entries:
+            ram_entries.move_to_end(key)
+            stats.hits[_RAM] += 1
             if self.ssd_admission is not None:
                 self.ssd_admission.on_access(key, hit=True)
-            return self.ram.read_time(nbytes), DeviceKind.RAM
+            return self.ram.read_time(nbytes), _RAM
         if self._ssd_cache.touch(key):
-            self.stats.hits[DeviceKind.SSD] += 1
+            stats.hits[_SSD] += 1
             if self.ssd_admission is not None:
                 self.ssd_admission.on_access(key, hit=True)
-            self._promote_to_ram(key, nbytes)
-            return self.ssd.read_time(nbytes), DeviceKind.SSD
-        self.stats.hits[DeviceKind.HDD] += 1
+            self._ram_cache.insert(key, nbytes)
+            self.ram.write_time(nbytes)
+            return self.ssd.read_time(nbytes), _SSD
+        stats.hits[_HDD] += 1
         latency = self.hdd.read_time(nbytes)
         # Fill the cache levels (exclusive of the HDD read cost), subject to
         # the admission policy.
@@ -156,8 +173,9 @@ class TieredStore:
         if admit:
             self._ssd_cache.insert(key, nbytes)
             self.ssd.write_time(nbytes)
-            self._promote_to_ram(key, nbytes)
-        return latency, DeviceKind.HDD
+            self._ram_cache.insert(key, nbytes)
+            self.ram.write_time(nbytes)
+        return latency, _HDD
 
     def _promote_to_ram(self, key: str, nbytes: float) -> None:
         self._ram_cache.insert(key, nbytes)

@@ -1,6 +1,6 @@
 """Differential runner: one config, every mode pair that must agree.
 
-Five execution-mode axes must not change a single measurement:
+Six execution-mode axes must not change a single measurement:
 
 * ``parallel`` -- work-stealing worker processes with a deterministic
   merge vs the sequential driver (same shard geometry on both legs);
@@ -10,6 +10,9 @@ Five execution-mode axes must not change a single measurement:
 * ``observability`` -- metrics registry + scraper on vs off (observers
   only read simulation state);
 * ``coalescing`` -- CPU-chunk coalescing fast path vs chunk-by-chunk;
+* ``engine`` -- the columnar calendar-queue event engine vs the
+  reference binary heap (the two engines must agree on *everything*,
+  including events processed -- they drain the identical event set);
 * ``replay`` -- the same config run twice: seed determinism, and (when
   the config carries fault plans) the chaos-replay ledger against the
   original run's ledger.
@@ -29,7 +32,14 @@ from repro.testing.diff import Mismatch, diff_snapshots, snapshot
 
 __all__ = ["PairResult", "DifferentialReport", "DifferentialRunner", "MODE_PAIRS"]
 
-MODE_PAIRS = ("parallel", "sharding", "observability", "coalescing", "replay")
+MODE_PAIRS = (
+    "parallel",
+    "sharding",
+    "observability",
+    "coalescing",
+    "engine",
+    "replay",
+)
 
 #: Engine bookkeeping that legitimately differs between coalesced and
 #: chunk-by-chunk execution: coalescing exists precisely to process fewer
@@ -151,6 +161,13 @@ class DifferentialRunner:
                         transform=_mask_engine_events,
                         coalesce=False,
                     )
+                )
+            elif pair == "engine":
+                # Flip the engine axis: no masking -- the calendar queue
+                # must count the same events the heap engine pops.
+                flipped = "heap" if config.engine == "columnar" else "columnar"
+                results.append(
+                    self._compare("engine", base_snap, config, engine=flipped)
                 )
             elif pair == "replay":
                 results.append(self._compare("replay", base_snap, config))

@@ -5,7 +5,7 @@ randomized-but-reproducible :class:`~repro.api.FleetConfig`: platform
 mixes (including single-platform and zero-query platforms), per-run
 seeds, trace sampling rates, counter jitter, BigQuery dataset sizing,
 observability on/off/per-platform scrape periods, parallel worker
-counts, and seeded fault plans.  Config ``i`` depends only on the
+counts, seeded fault plans, and the event engine (heap vs columnar).  Config ``i`` depends only on the
 fuzzer seed and ``i`` -- never on how many configs were generated
 before it -- so a failing index from a selftest log regenerates the
 exact config without replaying the run.
@@ -111,6 +111,8 @@ class FleetConfigFuzzer:
             # Drawn last so adding the sharding axis left every earlier
             # field of existing (seed, index) configs unchanged.
             shards=(None, None, 1, 2, 3, "auto")[int(rng.integers(6))],
+            # Drawn after shards for the same prefix-stability reason.
+            engine=("heap", "columnar")[int(rng.integers(2))],
         )
 
     def _fault_plans(
@@ -172,4 +174,5 @@ def config_to_jsonable(config) -> dict[str, Any]:
         "bigquery_dataset_rows": config.bigquery_dataset_rows,
         "observability": observability,
         "fault_plans": fault_plans,
+        "engine": config.engine,
     }

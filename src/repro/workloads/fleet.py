@@ -31,7 +31,7 @@ from repro.profiling.breakdown import CpuCycleBreakdown, E2EBreakdown, trace_bre
 from repro.profiling.counters import CounterRates, PerfCounterModel
 from repro.profiling.dapper import Tracer
 from repro.profiling.gwp import FleetProfiler
-from repro.sim import Environment
+from repro.sim import ColumnarEnvironment, Environment
 from repro.storage.telemetry import CapacityTelemetry
 from repro.workloads import calibration
 from repro.workloads.calibration import BIGQUERY, BIGTABLE, PLATFORMS, SPANNER
@@ -233,9 +233,15 @@ class FleetSimulation:
         coalesce: bool = True,
         observability: ObservabilityConfig | Mapping[str, float] | bool | None = None,
         shards: int | Mapping[str, int] | None = None,
+        engine: str = "heap",
     ):
+        from repro.platforms.common import ENGINES
         from repro.workloads.shards import validate_shards
 
+        if engine not in ENGINES:
+            raise ConfigError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
         self.queries = normalize_queries(queries)
         #: Query-granular sharding: ``None`` (default) keeps the legacy
         #: whole-platform decomposition with platform-lifetime RNG streams;
@@ -252,6 +258,11 @@ class FleetSimulation:
         #: Disable CPU-chunk coalescing (one event per micro-chunk instead);
         #: exists for the golden-equivalence tests and perf A/B runs.
         self.coalesce = coalesce
+        #: Event-engine lane: ``"heap"`` (the classic one-heappop-per-event
+        #: loop) or ``"columnar"`` (struct-of-arrays event blocks drained in
+        #: time-bucketed batches; byte-identical measurements, see
+        #: docs/performance.md).
+        self.engine = engine
         #: Optional chaos: platform name -> FaultPlan replayed into that
         #: platform's environment while it serves its query stream.
         self.fault_plans = dict(fault_plans or {})
@@ -280,6 +291,7 @@ class FleetSimulation:
             "observability": self.observability,
             "shards": self.shards if not isinstance(self.shards, dict)
             else dict(self.shards),
+            "engine": self.engine,
         }
 
     def fleet_profiler(self) -> FleetProfiler:
@@ -313,7 +325,7 @@ class FleetSimulation:
         metrics: MetricsRegistry | None = None,
     ) -> PlatformBase:
         """Construct one platform simulator on a fresh environment."""
-        env = Environment()
+        env = ColumnarEnvironment() if self.engine == "columnar" else Environment()
         tracer = Tracer(self.trace_sample_rate)
         seed = self.seed + _PLATFORM_SEED_OFFSET[name]
         profile = calibration.build_profile(name)
@@ -336,6 +348,7 @@ class FleetSimulation:
         else:
             raise ValueError(f"unknown platform {name!r}")
         platform.coalesce = self.coalesce
+        platform.set_engine(self.engine)
         return platform
 
     def start_observer(

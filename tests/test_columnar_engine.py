@@ -1,0 +1,185 @@
+"""Property suite for the calendar-queue scheduler behind the columnar engine.
+
+Three properties pin the scheduler to the heap engine's contract:
+
+* drains retire entries in globally nondecreasing ``(time, counter)`` key
+  order, no matter how blocks overlap;
+* a columnar environment fires the same schedule in exactly the heap
+  engine's order, ties included (both sides allocate the same counters);
+* interleaving pushes with partial drains never drops or duplicates an
+  entry, and the engine telemetry counts every firing exactly once.
+
+Strategies live in :mod:`tests.strategies` (``time_columns``,
+``schedule_plans``) so the differential-harness tests can reuse them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.sim.columnar import CalendarQueue, CallBlock, ColumnarEnvironment
+from repro.sim.engine import SimulationError
+from tests.strategies import schedule_plans, time_columns
+
+import pytest
+
+_INF = float("inf")
+
+
+# -- drain order --------------------------------------------------------------
+
+
+@given(st.lists(time_columns(), min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_calendar_drains_nondecreasing_keys(runs):
+    """Repeated head drains retire keys in global (time, counter) order."""
+    queue = CalendarQueue()
+    fired = []
+    counter = 0
+    blocks = []
+    for times in runs:
+        base = counter
+        counter += len(times)
+        block = CallBlock(times, base, lambda: None)
+
+        def log(block=block):
+            index = block.index - 1  # fire_one advances before calling
+            fired.append((block.times[index], block.base + index))
+
+        block.fn = log
+        blocks.append(block)
+        queue.add(block)
+
+    while queue:
+        count, _, had_block = queue.drain_head(_INF, 0)
+        assert had_block and count > 0  # a head drain always makes progress
+
+    assert fired == sorted(fired)
+    expected = sorted(
+        (when, block.base + k)
+        for block in blocks
+        for k, when in enumerate(block.times)
+    )
+    assert fired == expected  # every entry fired exactly once
+
+
+# -- tie-breaking parity with the heap engine ---------------------------------
+
+
+def _apply(env, ops, log):
+    """Schedule ``ops`` on either engine, logging ``(op, now)`` per firing."""
+    for op, (kind, payload) in enumerate(ops):
+        def fire(op=op):
+            log.append((op, env.now))
+
+        if kind == "block":
+            if isinstance(env, ColumnarEnvironment):
+                env.schedule_block(payload, fire)
+            else:
+                env.schedule_calls(payload, fire)
+        else:
+            env.schedule_call(payload, fire)
+
+
+@given(schedule_plans())
+@settings(max_examples=60, deadline=None)
+def test_columnar_fires_in_heap_order_ties_included(ops):
+    """The same plan fires identically on both engines, ties included.
+
+    ``schedule_plans`` draws times off a coarse grid, so equal timestamps
+    across blocks and bare calls are common -- the order then rests
+    entirely on counter allocation, which must match the heap's.
+    """
+    heap_log, col_log = [], []
+    heap_env, col_env = Environment(), ColumnarEnvironment()
+    _apply(heap_env, ops, heap_log)
+    _apply(col_env, ops, col_log)
+    heap_env.run()
+    col_env.run()
+
+    assert col_log == heap_log
+    assert col_env.now == heap_env.now
+    assert col_env.events_processed == heap_env.events_processed
+    assert col_env.stats() == heap_env.stats()
+
+
+# -- interleaved push/pop -----------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            schedule_plans(max_ops=4),
+            st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_interleaved_push_pop_never_drops_or_duplicates(phases):
+    """Pushing between partial drains loses nothing and repeats nothing.
+
+    Each phase schedules fresh work (times offset to the current clock)
+    and then advances the clock a bounded amount, so blocks routinely
+    straddle deadlines half-drained.  Every ``call`` op also pushes a
+    child call at its own firing time from inside its callback --
+    a push landing mid-drain with a tie against the in-flight entry.
+    """
+    env = ColumnarEnvironment()
+    fired = {}
+    expected = {}
+    uid = 0
+    for ops, advance in phases:
+        now = env.now
+        for kind, payload in ops:
+            op = uid
+            uid += 1
+            if kind == "block":
+                times = [now + t for t in payload]
+                expected[op] = len(times)
+
+                def fire_block(op=op):
+                    fired[op] = fired.get(op, 0) + 1
+
+                env.schedule_block(times, fire_block)
+            else:
+                expected[op] = 2  # the call plus the child it schedules
+
+                def make_call(op):
+                    def fire_call():
+                        fired[op] = fired.get(op, 0) + 1
+                        if fired[op] == 1:
+                            env.schedule_call(env.now, fire_call)
+
+                    return fire_call
+
+                env.schedule_call(now + payload, make_call(op))
+        env.run(until=env.now + advance)
+    env.run()
+
+    assert fired == expected
+    assert env.events_processed == sum(expected.values())
+    assert env.stats()["queue_depth"] == 0.0
+
+
+# -- scheduler contract edges -------------------------------------------------
+
+
+def test_schedule_block_rejects_decreasing_times():
+    env = ColumnarEnvironment()
+    with pytest.raises(ValueError):
+        env.schedule_block([0.2, 0.1], lambda: None)
+
+
+def test_add_block_rejects_past_and_exhausted_blocks():
+    env = ColumnarEnvironment()
+    env.schedule_call(1.0, lambda: None)
+    env.run()
+    stale = CallBlock([0.5], env.reserve_counters(1), lambda: None)
+    with pytest.raises(ValueError):
+        env.add_block(stale)  # starts before the current clock
+    drained = CallBlock([2.0], env.reserve_counters(1), lambda: None)
+    drained.fire_one()
+    with pytest.raises(SimulationError):
+        env.calendar.add(drained)

@@ -27,7 +27,7 @@ from repro.testing.diff import diff_snapshots, snapshot
 from repro.testing.differential import DifferentialRunner
 from repro.testing.oracles import run_oracles
 from repro.workloads.calibration import BIGQUERY, PLATFORMS
-from repro.workloads.fleet import FleetSimulation
+from repro.workloads.fleet import FleetSimulation, normalize_queries
 from repro.workloads.parallel import (
     InlineWorkerPool,
     ParallelFleetSimulation,
@@ -311,3 +311,45 @@ class TestHarnessIntegration:
         base = run_fleet(config)
         verdicts = run_oracles(config, base, oracles=("steal_order",))
         assert not verdicts[0].ok
+
+
+class TestBenchSampleDrift:
+    """The BENCH_fleet.json sample drift is shard geometry, not sample loss.
+
+    The perf harness records 15,777 samples for the sequential leg and
+    15,649 for the work-stealing leg at the same (queries=60, seed=0)
+    workload.  The legs sit in different determinism classes: sequential
+    runs unsharded (one legacy RNG stream per platform), work stealing
+    runs ``shards="auto"`` (one stream per query, sampling clocks
+    re-phased at each shard boundary), so the jittered sampling clocks
+    land differently.  At *fixed* geometry the executor never moves a
+    sample: the stealing pool reproduces the sequential sharded run byte
+    for byte.
+    """
+
+    def test_drift_is_determinism_class_and_stealing_loses_nothing(self):
+        # Columnar engine for wall-clock; engine parity is pinned elsewhere.
+        unsharded = run_fleet(FleetConfig(queries=60, seed=0, engine="columnar"))
+        assert unsharded.profiler.sample_count() == 15_777
+
+        # Pin the geometry instead of passing ``"auto"`` through: auto
+        # resolves against the host's worker count, and sample counts move
+        # by +-1 per shard boundary -- the geometry below is the one the
+        # BENCH work-stealing leg recorded as 15,649.
+        geometry = resolve_shards("auto", normalize_queries(60), workers=1)
+        sharded = run_fleet(
+            FleetConfig(queries=60, seed=0, engine="columnar", shards=geometry)
+        )
+        assert sharded.profiler.sample_count() == 15_649
+
+        stolen = run_fleet(
+            FleetConfig(
+                queries=60,
+                seed=0,
+                engine="columnar",
+                shards=geometry,
+                parallel=True,
+                max_workers=2,
+            )
+        )
+        assert not diff_snapshots(snapshot(sharded), snapshot(stolen))
