@@ -14,17 +14,24 @@ Everything the CLI (and downstream scripts) need lives here:
   run: breakdowns, measured profiles, and folded stacks on one side;
   Prometheus text, scraped time series, and counter/quantile lookups on
   the other.
-* :func:`export_text` / :data:`EXPORT_FORMATS` -- finished run to
-  exporter text in one call, with a typed error for unknown formats.
+* :class:`ServeConfig` / :func:`run_service` -- the streaming half of the
+  facade: an open-loop service run described by one frozen dataclass, and
+  an iterator of rolling :class:`WindowSnapshot` rows instead of one
+  terminal result (the API behind ``repro serve`` / ``repro top
+  --follow``).
+* :func:`export_text` / :data:`EXPORT_FORMATS` /
+  :func:`validate_export_format` -- finished run to exporter text in one
+  call, with a typed error for unknown formats raised *before* any fleet
+  runs.
 * :func:`selftest` -- the differential verification harness behind
   ``repro selftest``.
 * The typed config errors (:class:`ConfigError`,
   :class:`EmptyFleetError`, :class:`UnknownFormatError`) re-exported so
   callers can catch them without importing submodules.
 
-The old direct constructors (``FleetSimulation``,
-``ParallelFleetSimulation``, ...) still work but importing them from
-:mod:`repro.workloads` now raises a :class:`DeprecationWarning`.
+This module is the enforced import surface: the direct constructors
+(``FleetSimulation``, ``ParallelFleetSimulation``, ...) are no longer
+importable from :mod:`repro.workloads`.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from __future__ import annotations
 import logging
 import os
 from dataclasses import dataclass, fields, replace
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.errors import ConfigError, EmptyFleetError, UnknownFormatError
 from repro.observability import (
@@ -44,7 +51,18 @@ from repro.observability import (
     prometheus_text,
     traces_jsonl,
 )
+from repro.platforms.common import ENGINES
 from repro.workloads.fleet import FleetResult, FleetSimulation, normalize_queries
+from repro.workloads.service import (
+    ARRIVAL_CURVES,
+    DEFAULT_TENANTS,
+    AgentFleet,
+    ArrivalSchedule,
+    TenantProfile,
+    WindowSnapshot,
+    serve_windows,
+    validate_tenants,
+)
 from repro.workloads.shards import QUERY_COST, SchedulerStats, resolve_shards
 
 logger = logging.getLogger("repro.api")
@@ -53,6 +71,12 @@ __all__ = [
     "FleetConfig",
     "build_simulation",
     "run_fleet",
+    "ServeConfig",
+    "run_service",
+    "WindowSnapshot",
+    "TenantProfile",
+    "DEFAULT_TENANTS",
+    "ARRIVAL_CURVES",
     "ParallelPlan",
     "parallel_plan",
     "MIN_PARALLEL_COST",
@@ -69,6 +93,7 @@ __all__ = [
     "UnknownFormatError",
     "EXPORT_FORMATS",
     "export_text",
+    "validate_export_format",
     "selftest",
 ]
 
@@ -234,6 +259,155 @@ def run_fleet(
             result.scheduler.mode = "sequential-fallback"
         result.scheduler.reason = plan.reason
     return result
+
+
+# -- service mode -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One open-loop service run, fully described.
+
+    The streaming counterpart of :class:`FleetConfig`: instead of a query
+    count, traffic is an arrival *rate* shaped by one of the
+    :data:`ARRIVAL_CURVES` and split across :class:`TenantProfile` mixes,
+    and the run is read out as rolling :class:`WindowSnapshot` rows (see
+    :func:`run_service`) rather than one terminal result.  All times are
+    simulated seconds.
+    """
+
+    #: Simulated seconds of traffic generation (drain windows may follow).
+    duration: float = 14400.0
+    #: Snapshot cadence; also the GWP/Dapper drain granularity.
+    window: float = 60.0
+    #: Trailing windows the latency quantile sketches roll over.
+    rolling_windows: int = 5
+    #: Arrival curve: ``poisson`` (constant), ``diurnal``, or ``flash``.
+    arrival: str = "diurnal"
+    #: Mean fleet-wide arrivals per simulated second at curve multiplier 1.
+    rate: float = 0.05
+    diurnal_period: float = 86400.0
+    diurnal_amplitude: float = 0.6
+    #: Flash-crowd segment (``arrival="flash"``); ``None`` defaults the
+    #: start to half the duration and the surge length to a tenth of it.
+    flash_start: float | None = None
+    flash_duration: float | None = None
+    flash_magnitude: float = 4.0
+    #: Traffic mix; ``None`` uses :data:`DEFAULT_TENANTS`.
+    tenants: Sequence[TenantProfile] | None = None
+    #: Simulated profiling-agent hosts and their heartbeat cadence.
+    agents: int = 16
+    heartbeat_period: float = 0.25
+    seed: int = 0
+    trace_sample_rate: int = 1
+    counter_jitter: float = 0.02
+    bigquery_dataset_rows: int = 4000
+    #: Extra windows allowed after ``duration`` for in-flight queries to
+    #: finish before the stream ends regardless.
+    drain_windows: int = 50
+    #: Event-engine lane, as on :class:`FleetConfig`; snapshots are
+    #: byte-identical either way (the ``service`` differential pair).
+    engine: str = "heap"
+
+    def with_overrides(self, **overrides) -> "ServeConfig":
+        """A copy with the given fields replaced (validates field names)."""
+        return replace(self, **overrides)
+
+    def resolved(self) -> "ServeConfig":
+        """A validated copy with every defaulted field made concrete.
+
+        Raises :class:`ConfigError` for out-of-range values -- the
+        fail-fast gate :func:`run_service` applies before any simulation
+        state exists.
+        """
+        if self.duration <= 0:
+            raise ConfigError(f"duration must be positive, got {self.duration}")
+        if self.window <= 0:
+            raise ConfigError(f"window must be positive, got {self.window}")
+        if self.rolling_windows < 1:
+            raise ConfigError(
+                f"rolling_windows must be >= 1, got {self.rolling_windows}"
+            )
+        if self.rate <= 0:
+            raise ConfigError(f"rate must be positive, got {self.rate}")
+        if self.trace_sample_rate < 1:
+            raise ConfigError(
+                f"trace_sample_rate must be >= 1, got {self.trace_sample_rate}"
+            )
+        if self.drain_windows < 0:
+            raise ConfigError(
+                f"drain_windows must be non-negative, got {self.drain_windows}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
+        flash_start = (
+            self.duration * 0.5 if self.flash_start is None else self.flash_start
+        )
+        flash_duration = (
+            self.duration * 0.1
+            if self.flash_duration is None
+            else self.flash_duration
+        )
+        if flash_start < 0:
+            raise ConfigError(
+                f"flash_start must be non-negative, got {flash_start}"
+            )
+        if flash_duration < 0:
+            raise ConfigError(
+                f"flash_duration must be non-negative, got {flash_duration}"
+            )
+        tenants = validate_tenants(
+            DEFAULT_TENANTS if self.tenants is None else self.tenants
+        )
+        # Curve and agent parameters validate in their constructors.
+        ArrivalSchedule(
+            self.arrival,
+            diurnal_period=self.diurnal_period,
+            diurnal_amplitude=self.diurnal_amplitude,
+            flash_start=flash_start,
+            flash_duration=flash_duration,
+            flash_magnitude=self.flash_magnitude,
+        )
+        AgentFleet(self.agents, self.heartbeat_period)
+        return replace(
+            self,
+            flash_start=flash_start,
+            flash_duration=flash_duration,
+            tenants=tenants,
+        )
+
+
+def _coerce_serve_config(
+    config: "ServeConfig | Mapping[str, Any] | None", overrides: Mapping[str, Any]
+) -> ServeConfig:
+    if config is None:
+        config = ServeConfig()
+    elif isinstance(config, Mapping):
+        config = ServeConfig(**config)
+    elif not isinstance(config, ServeConfig):
+        raise TypeError(f"expected ServeConfig, mapping, or None, got {config!r}")
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config
+
+
+def run_service(
+    config: "ServeConfig | Mapping[str, Any] | None" = None, **overrides
+) -> Iterator[WindowSnapshot]:
+    """Run an open-loop service and stream rolling window snapshots.
+
+    The streaming entry point: config in, an iterator of
+    :class:`WindowSnapshot` out -- one per simulated window, produced as
+    the simulation advances, with GWP/Dapper state drained between
+    windows so memory stays bounded over arbitrarily long runs.  The
+    config is validated (typed :class:`ConfigError`) before any
+    simulation state is built; for a fixed seed the snapshot stream is
+    byte-identical across the heap and columnar engines.
+    """
+    config = _coerce_serve_config(config, overrides).resolved()
+    return serve_windows(config)
 
 
 # -- design-point sweep -------------------------------------------------------
@@ -430,6 +604,20 @@ class Telemetry:
 EXPORT_FORMATS = ("prom", "folded", "jsonl")
 
 
+def validate_export_format(format: str) -> str:
+    """Check an export format up front; returns it for chaining.
+
+    Raises :class:`UnknownFormatError` naming the valid formats.  Callers
+    with a fleet run ahead of them (the CLI, scripts) call this on the
+    config path so a typo'd format fails before any simulation work.
+    """
+    if format not in EXPORT_FORMATS:
+        raise UnknownFormatError(
+            f"unknown export format {format!r}; choose from {list(EXPORT_FORMATS)}"
+        )
+    return format
+
+
 def export_text(
     result: FleetResult,
     format: str,
@@ -444,13 +632,11 @@ def export_text(
 
     ``prom`` is the Prometheus text exposition (requires an observed run),
     ``folded`` the flamegraph stacks, ``jsonl`` the Dapper trace search.
-    Raises :class:`UnknownFormatError` for anything else, so callers can
-    validate a format string *before* paying for a fleet run.
+    Raises :class:`UnknownFormatError` for anything else; use
+    :func:`validate_export_format` to reject a bad format *before* paying
+    for a fleet run.
     """
-    if format not in EXPORT_FORMATS:
-        raise UnknownFormatError(
-            f"unknown export format {format!r}; choose from {list(EXPORT_FORMATS)}"
-        )
+    validate_export_format(format)
     if format == "prom":
         return Telemetry(result).prometheus()
     if format == "folded":

@@ -5,6 +5,8 @@ Usage::
     repro fleet [--queries N] [--seed S] [--parallel] [--shards N|auto]
                                                 # Tables 1, 6, 7 + Figures 2-6
     repro top [--queries N] [--parallel]        # live-ish summary of an observed run
+    repro top --follow [--duration S]           # stream service-mode windows
+    repro serve [--arrival diurnal] [--rate R]  # open-loop service, rolling windows
     repro export --format prom|folded|jsonl     # exporters over an observed run
     repro validate [--batch N]                  # Table 8 on the simulated SoC
     repro model [--figure 9|10|13|14|15]        # the Section 6 model figures
@@ -12,9 +14,14 @@ Usage::
     repro report [--out report.md]              # the full markdown report
     repro selftest [--budget N] [--seed S]      # differential verification harness
 
-Every fleet run goes through :func:`repro.api.run_fleet`; this module is
-argument parsing and presentation only.  Installed as the ``repro`` console
-script; also runnable as ``python -m repro.cli``.
+Every fleet run goes through :func:`repro.api.run_fleet` (service runs
+through :func:`repro.api.run_service`); this module is argument parsing
+and presentation only.  The config axes ``--engine``, ``--shards``,
+``--workers`` and ``--seed`` are accepted uniformly across the run verbs
+and validated through the typed :mod:`repro.errors` taxonomy -- a bad
+value prints one ``ConfigError`` line and exits 2, never an argparse
+traceback.  Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from repro.analysis import (
     table7_data,
     table8_data,
 )
+from repro.errors import ConfigError
 
 __all__ = ["main", "build_parser"]
 
@@ -52,48 +60,106 @@ _MODEL_FIGURES = {
     "15": figure15_data,
 }
 
+_ENGINES = ("heap", "columnar")
 
-def _parse_shards(value: str):
-    """``--shards`` argument: a positive int or the literal ``auto``."""
-    if value == "auto":
+
+# -- config-axis parsing ------------------------------------------------------
+#
+# The shared axes are declared as plain strings and validated here instead
+# of through argparse ``type=`` callables: argparse converts any ValueError
+# (including the typed ConfigError taxonomy) into its own usage error, and
+# the contract is that a bad axis value surfaces as a ConfigError uniformly
+# whether it came from the CLI, a mapping, or a config object.
+
+
+def _axis_int(name: str, value, *, minimum: int | None = None):
+    """Validate an integer axis value (``None`` passes through)."""
+    if value is None:
+        return None
+    if not isinstance(value, int):
+        try:
+            value = int(value)
+        except ValueError:
+            raise ConfigError(
+                f"--{name} expects an integer, got {value!r}"
+            ) from None
+    if minimum is not None and value < minimum:
+        raise ConfigError(f"--{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def _axis_shards(value):
+    """Validate ``--shards``: a positive int or the literal ``auto``."""
+    if value is None or value == "auto":
         return value
-    try:
-        shards = int(value)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected a positive integer or 'auto', got {value!r}"
-        ) from None
-    if shards < 1:
-        raise argparse.ArgumentTypeError(f"shards must be >= 1, got {shards}")
-    return shards
+    return _axis_int("shards", value, minimum=1)
 
 
-def _add_scheduler_flags(command: argparse.ArgumentParser) -> None:
-    command.add_argument(
-        "--shards",
-        type=_parse_shards,
-        default=None,
-        metavar="N|auto",
-        help="split each platform's query stream into N deterministic "
-        "sub-shards (same measurements for any worker count); 'auto' sizes "
-        "shards from the per-platform cost model and the CPU count",
-    )
-    command.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker process count for --parallel (also disables the "
-        "small-host auto-fallback)",
-    )
+def _axis_engine(value):
+    if value is None:
+        return None
+    if value not in _ENGINES:
+        raise ConfigError(
+            f"--engine must be one of {list(_ENGINES)}, got {value!r}"
+        )
+    return value
+
+
+def _resolve_axes(args: argparse.Namespace) -> dict:
+    """The shared config axes, validated, as config-field kwargs.
+
+    Maps 1:1 onto :class:`repro.api.FleetConfig` /
+    :class:`repro.api.ServeConfig` fields: ``--seed`` -> ``seed``,
+    ``--engine`` -> ``engine``, ``--shards`` -> ``shards``, ``--workers``
+    -> ``max_workers``.  Only axes the verb declared appear in the result.
+    """
+    axes: dict = {}
+    if hasattr(args, "seed"):
+        axes["seed"] = _axis_int("seed", args.seed)
+    if hasattr(args, "engine"):
+        axes["engine"] = _axis_engine(args.engine)
+    if hasattr(args, "shards"):
+        axes["shards"] = _axis_shards(args.shards)
+    if hasattr(args, "workers"):
+        axes["max_workers"] = _axis_int("workers", args.workers, minimum=1)
+    return axes
+
+
+def _add_axis_flags(
+    command: argparse.ArgumentParser,
+    *,
+    scheduler: bool = True,
+    engine_default: str | None = "heap",
+) -> None:
+    """Declare the shared config axes (validated by :func:`_resolve_axes`)."""
+    if scheduler:
+        command.add_argument(
+            "--shards",
+            default=None,
+            metavar="N|auto",
+            help="split each platform's query stream into N deterministic "
+            "sub-shards (same measurements for any worker count); 'auto' "
+            "sizes shards from the per-platform cost model and the CPU count",
+        )
+        command.add_argument(
+            "--workers",
+            default=None,
+            metavar="N",
+            help="worker process count for --parallel (also disables the "
+            "small-host auto-fallback)",
+        )
     command.add_argument(
         "--engine",
-        choices=("heap", "columnar"),
-        default="heap",
+        default=engine_default,
+        metavar="|".join(_ENGINES),
         help="discrete-event engine for the simulation inner loop: the "
         "reference binary heap, or the batched columnar calendar queue "
         "(byte-identical measurements, lower wall-clock)",
     )
+
+
+# Backwards-compatible alias used by older scripts importing the helper.
+_add_scheduler_flags = _add_axis_flags
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet", help="run the fleet simulation and print the measurement tables"
     )
     fleet.add_argument("--queries", type=int, default=150, help="queries per database")
-    fleet.add_argument("--seed", type=int, default=42)
+    fleet.add_argument("--seed", default=42)
     fleet.add_argument(
         "--compare", action="store_true", help="also print paper-vs-measured rows"
     )
@@ -126,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
         "top-style summary at the end",
     )
     top.add_argument("--queries", type=int, default=150, help="queries per database")
-    top.add_argument("--seed", type=int, default=42)
+    top.add_argument("--seed", default=42)
     top.add_argument(
         "--parallel",
         action="store_true",
@@ -138,6 +204,36 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         help="minimum wall-clock seconds between printed rows per platform",
+    )
+    top.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream service-mode rolling windows instead of a batch run "
+        "(open-loop traffic on the sim clock; one row per window)",
+    )
+    top.add_argument(
+        "--duration",
+        type=float,
+        default=600.0,
+        help="--follow: simulated seconds of traffic",
+    )
+    top.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="--follow: window width in simulated seconds",
+    )
+    top.add_argument(
+        "--arrival",
+        default="diurnal",
+        metavar="poisson|diurnal|flash",
+        help="--follow: arrival-rate curve",
+    )
+    top.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        help="--follow: mean arrivals per simulated second, fleet-wide",
     )
     _add_scheduler_flags(top)
 
@@ -160,7 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="queries for BigQuery (its queries run ~1000x longer)",
     )
-    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--seed", default=0)
     export.add_argument(
         "--parallel",
         action="store_true",
@@ -190,9 +286,100 @@ def build_parser() -> argparse.ArgumentParser:
         "--errors-only", action="store_true", help="jsonl: failed traces only"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the fleet open-loop under an arrival curve, emitting one "
+        "rolling-window snapshot per window (bounded memory, any duration)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=14400.0,
+        help="simulated seconds of traffic (drain windows run after)",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="window width in simulated seconds",
+    )
+    serve.add_argument(
+        "--rolling-windows",
+        type=int,
+        default=5,
+        help="trailing windows merged into the rolling latency quantiles",
+    )
+    serve.add_argument(
+        "--arrival",
+        default="diurnal",
+        metavar="poisson|diurnal|flash",
+        help="arrival-rate curve",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        help="mean arrivals per simulated second, fleet-wide",
+    )
+    serve.add_argument("--seed", default=0)
+    serve.add_argument(
+        "--agents",
+        type=int,
+        default=16,
+        help="simulated profiling-agent hosts reporting heartbeats",
+    )
+    serve.add_argument(
+        "--heartbeat-period",
+        type=float,
+        default=0.25,
+        help="seconds between one agent's heartbeats (sub-second default)",
+    )
+    serve.add_argument(
+        "--diurnal-period",
+        type=float,
+        default=86400.0,
+        help="diurnal/flash: sinusoid period in simulated seconds",
+    )
+    serve.add_argument(
+        "--diurnal-amplitude",
+        type=float,
+        default=0.6,
+        help="diurnal/flash: sinusoid amplitude in [0, 1)",
+    )
+    serve.add_argument(
+        "--flash-start",
+        type=float,
+        default=None,
+        help="flash: surge start (default: half the duration)",
+    )
+    serve.add_argument(
+        "--flash-duration",
+        type=float,
+        default=None,
+        help="flash: surge length (default: a tenth of the duration)",
+    )
+    serve.add_argument(
+        "--flash-magnitude",
+        type=float,
+        default=4.0,
+        help="flash: rate multiplier during the surge",
+    )
+    serve.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="also stream window snapshots as JSON lines ('-' for stdout)",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the human-readable window rows",
+    )
+    _add_axis_flags(serve)
+
     validate = sub.add_parser("validate", help="reproduce Table 8 on the SoC model")
     validate.add_argument("--batch", type=int, default=100, help="messages per batch")
-    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--seed", default=0)
 
     model = sub.add_parser("model", help="print a Section 6 model figure")
     model.add_argument(
@@ -220,7 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path, or '-' for stdout",
     )
     report.add_argument("--queries", type=int, default=150)
-    report.add_argument("--seed", type=int, default=42)
+    report.add_argument("--seed", default=42)
 
     selftest = sub.add_parser(
         "selftest",
@@ -230,7 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
     selftest.add_argument(
         "--budget", type=int, default=25, help="number of fuzzed configs to run"
     )
-    selftest.add_argument("--seed", type=int, default=0, help="fuzzer seed")
+    selftest.add_argument("--seed", default=0, help="fuzzer seed")
+    # Axis pins: fix one config axis across every fuzzed config (the fuzzer
+    # still draws the rest).  No default pin for --engine here -- the engine
+    # differential pair needs both engines free to flip.
+    _add_axis_flags(selftest, engine_default=None)
     selftest.add_argument(
         "--jsonl",
         default=None,
@@ -295,17 +486,11 @@ def _print_scheduler(result) -> None:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro import api
 
+    axes = _resolve_axes(args)
     queries = _fleet_queries(args)
-    print(f"simulating fleet: {queries} queries, seed {args.seed} ...\n")
+    print(f"simulating fleet: {queries} queries, seed {axes['seed']} ...\n")
     result = api.run_fleet(
-        api.FleetConfig(
-            queries=queries,
-            seed=args.seed,
-            parallel=args.parallel,
-            shards=args.shards,
-            max_workers=args.workers,
-            engine=args.engine,
-        )
+        api.FleetConfig(queries=queries, parallel=args.parallel, **axes)
     )
     _print_scheduler(result)
     for regenerate in (
@@ -348,17 +533,17 @@ class _ThrottledPrinter:
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro import api
 
+    axes = _resolve_axes(args)
+    if args.follow:
+        return _follow_service(args, axes)
     queries = _fleet_queries(args)
     config = api.FleetConfig(
         queries=queries,
-        seed=args.seed,
         parallel=args.parallel,
-        shards=args.shards,
-        max_workers=args.workers,
-        engine=args.engine,
         observability=True,
+        **axes,
     )
-    print(f"observing fleet: {queries} queries, seed {args.seed} ...")
+    print(f"observing fleet: {queries} queries, seed {axes['seed']} ...")
     printer = _ThrottledPrinter(args.interval)
     if args.parallel:
         import multiprocessing
@@ -421,26 +606,19 @@ def _cmd_top(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro import api
 
-    # Validate the format before paying for a fleet run.
-    if args.format not in api.EXPORT_FORMATS:
-        print(
-            f"unknown export format {args.format!r}; "
-            f"choose from {', '.join(api.EXPORT_FORMATS)}",
-            file=sys.stderr,
-        )
-        return 2
+    # Validate the format before paying for a fleet run (UnknownFormatError
+    # propagates to main(), which prints it and exits 2).
+    api.validate_export_format(args.format)
+    axes = _resolve_axes(args)
     # Traces live on in-process platform objects only; a parallel run has
     # none to export, so jsonl always runs sequentially.
     parallel = args.parallel and args.format != "jsonl"
     result = api.run_fleet(
         api.FleetConfig(
             queries=_fleet_queries(args),
-            seed=args.seed,
             parallel=parallel,
-            shards=args.shards,
-            max_workers=args.workers,
-            engine=args.engine,
             observability=True,
+            **axes,
         )
     )
     text = api.export_text(
@@ -459,10 +637,134 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _window_row(snapshot) -> str:
+    """One human-readable line per rolling window."""
+    arrivals = sum(snapshot.arrivals.values())
+    completed = sum(snapshot.completed.values())
+    failed = sum(snapshot.failed.values())
+    in_flight = sum(snapshot.in_flight.values())
+    p99 = " ".join(
+        # Abbreviate by capitals: Spanner -> S, BigTable -> BT, BigQuery -> BQ.
+        f"{''.join(c for c in name if c.isupper())}="
+        f"{quantiles.get(0.99, 0.0) * 1e3:.2f}"
+        for name, quantiles in snapshot.latency.items()
+    )
+    return (
+        f"w{snapshot.index:<5d} [{snapshot.start:>9.1f},{snapshot.end:>9.1f})"
+        f" arr={arrivals:<5d} done={completed:<5d} fail={failed:<3d}"
+        f" inflight={in_flight:<4d} p99ms {p99}"
+        f" hb={snapshot.heartbeats}"
+    )
+
+
+def _serve_stream(config, *, jsonl: str | None, quiet: bool) -> int:
+    """Run a service config, streaming rows and/or JSONL snapshots.
+
+    Shared by ``repro serve`` and ``repro top --follow``.  ``--jsonl -``
+    implies quiet human output so stdout stays machine-readable.
+    """
+    import contextlib
+
+    from repro import api
+    from repro.observability.exporters import window_jsonl
+
+    quiet = quiet or jsonl == "-"
+    windows = 0
+    last = None
+    with contextlib.ExitStack() as stack:
+        emit = None
+        if jsonl == "-":
+            emit = print
+        elif jsonl is not None:
+            stream = stack.enter_context(open(jsonl, "w"))
+
+            def emit(line, stream=stream):
+                stream.write(line + "\n")
+
+        if not quiet:
+            print(
+                f"serving: arrival={config.arrival} rate={config.rate}/s "
+                f"duration={config.duration:g}s window={config.window:g}s "
+                f"seed={config.seed} engine={config.engine}"
+            )
+        for snapshot in api.run_service(config):
+            windows += 1
+            last = snapshot
+            if emit is not None:
+                emit(window_jsonl(snapshot))
+            if not quiet:
+                print(_window_row(snapshot), flush=True)
+
+    if not quiet and last is not None:
+        served = sum(last.completed.values())  # final window only
+        print(
+            f"\nserved {windows} windows to t={last.end:g}s "
+            f"({served} completions in the last window, "
+            f"agent rate {last.heartbeat_qpm:,.0f} beats/min)"
+        )
+    if jsonl not in (None, "-"):
+        print(f"wrote {windows} snapshots to {jsonl}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import api
+
+    axes = _resolve_axes(args)
+    # ServeConfig has no sharding axes: service mode is single-process by
+    # construction (the window loop IS the scheduler).  Reject explicitly
+    # rather than silently ignoring.
+    for flag in ("shards", "max_workers"):
+        if axes.pop(flag, None) is not None:
+            option = "--workers" if flag == "max_workers" else "--shards"
+            raise ConfigError(
+                f"{option} does not apply to serve: service mode drives "
+                "all platforms in one process on the shared sim clock"
+            )
+    config = api.ServeConfig(
+        duration=args.duration,
+        window=args.window,
+        rolling_windows=args.rolling_windows,
+        arrival=args.arrival,
+        rate=args.rate,
+        diurnal_period=args.diurnal_period,
+        diurnal_amplitude=args.diurnal_amplitude,
+        flash_start=args.flash_start,
+        flash_duration=args.flash_duration,
+        flash_magnitude=args.flash_magnitude,
+        agents=args.agents,
+        heartbeat_period=args.heartbeat_period,
+        **axes,
+    ).resolved()
+    return _serve_stream(config, jsonl=args.jsonl, quiet=args.quiet)
+
+
+def _follow_service(args: argparse.Namespace, axes: dict) -> int:
+    """``repro top --follow``: a service run with top's flag surface."""
+    from repro import api
+
+    axes = dict(axes)
+    for flag in ("shards", "max_workers"):
+        if axes.pop(flag, None) is not None:
+            option = "--workers" if flag == "max_workers" else "--shards"
+            raise ConfigError(f"{option} does not apply to top --follow")
+    if args.parallel:
+        raise ConfigError("--parallel does not apply to top --follow")
+    config = api.ServeConfig(
+        duration=args.duration,
+        window=args.window,
+        arrival=args.arrival,
+        rate=args.rate,
+        **axes,
+    ).resolved()
+    return _serve_stream(config, jsonl=None, quiet=False)
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.soc import ValidationExperiment
 
-    result = ValidationExperiment(batch_messages=args.batch, seed=args.seed).run()
+    seed = _axis_int("seed", args.seed)
+    result = ValidationExperiment(batch_messages=args.batch, seed=seed).run()
     table, comparisons = table8_data(result)
     _print(table, comparisons, args.batch == 100)
     print(f"digests match: {result.digests_match}")
@@ -501,10 +803,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro import api
 
     queries = _fleet_queries(args)
+    seed = _axis_int("seed", args.seed)
     print(f"simulating fleet ({queries}) and the Table 8 experiment ...")
     try:
         report = api.profile_report(
-            api.FleetConfig(queries=queries, seed=args.seed)
+            api.FleetConfig(queries=queries, seed=seed)
         )
     except ValueError as error:
         print(f"report failed: {error}", file=sys.stderr)
@@ -527,6 +830,9 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     if args.budget < 1:
         print("selftest budget must be >= 1", file=sys.stderr)
         return 2
+    axes = _resolve_axes(args)
+    seed = axes.pop("seed")
+    overrides = {name: value for name, value in axes.items() if value is not None}
 
     with contextlib.ExitStack() as stack:
         emit = None
@@ -541,16 +847,22 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
 
         quiet = args.jsonl == "-"  # keep pure-JSONL stdout machine-readable
         progress = (lambda line: None) if quiet else print
+        pins = (
+            " pinned " + " ".join(f"{k}={v}" for k, v in sorted(overrides.items()))
+            if overrides
+            else ""
+        )
         progress(
-            f"selftest: {args.budget} fuzzed configs, fuzzer seed {args.seed}"
+            f"selftest: {args.budget} fuzzed configs, fuzzer seed {seed}{pins}"
         )
         report = api.selftest(
             budget=args.budget,
-            seed=args.seed,
+            seed=seed,
             start=args.start,
             shrink=not args.no_shrink,
             emit=emit,
             progress=progress,
+            overrides=overrides or None,
         )
 
     if report.ok:
@@ -579,7 +891,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
             "  " + json.dumps(config_to_jsonable(report.reproducer)), file=out
         )
     print(
-        f"regenerate with: FleetConfigFuzzer({args.seed}).config({failing.index})",
+        f"regenerate with: FleetConfigFuzzer({seed}).config({failing.index})",
         file=out,
     )
     return report.exit_code
@@ -590,6 +902,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "fleet": _cmd_fleet,
         "top": _cmd_top,
+        "serve": _cmd_serve,
         "export": _cmd_export,
         "validate": _cmd_validate,
         "model": _cmd_model,
@@ -597,7 +910,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "selftest": _cmd_selftest,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ConfigError as error:
+        # The typed taxonomy (ConfigError, EmptyFleetError,
+        # UnknownFormatError, ...) renders as one line, never a traceback.
+        print(f"{args.command}: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from repro.observability.exporters import (
     search_traces,
     trace_to_dict,
     traces_jsonl,
+    window_jsonl,
 )
 from repro.observability.observer import (
     DEFAULT_SCRAPE_PERIODS,
@@ -41,7 +42,12 @@ from repro.observability.registry import (
     MetricsRegistry,
 )
 from repro.observability.scraper import Scraper, TimeSeries
-from repro.observability.sketch import DEFAULT_QUANTILES, P2Quantile, QuantileSketch
+from repro.observability.sketch import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    QuantileSketch,
+    WindowedQuantileSketch,
+)
 
 __all__ = [
     "Counter",
@@ -51,6 +57,7 @@ __all__ = [
     "MetricsRegistry",
     "P2Quantile",
     "QuantileSketch",
+    "WindowedQuantileSketch",
     "DEFAULT_QUANTILES",
     "Scraper",
     "TimeSeries",
@@ -64,4 +71,5 @@ __all__ = [
     "trace_to_dict",
     "search_traces",
     "fleet_traces",
+    "window_jsonl",
 ]

@@ -10,6 +10,9 @@ Three read-side serializations of one observed fleet run:
 * :func:`traces_jsonl` / :func:`search_traces` -- Dapper span trees as one
   JSON object per line, with predicate filtering (name substring,
   annotation match, minimum duration, error-only).
+* :func:`window_jsonl` -- one service-mode
+  :class:`~repro.workloads.service.WindowSnapshot` as a JSON line (the
+  ``repro serve --jsonl`` row format).
 
 All output is deterministically ordered so exports golden-test cleanly.
 """
@@ -31,7 +34,17 @@ __all__ = [
     "traces_jsonl",
     "search_traces",
     "fleet_traces",
+    "window_jsonl",
 ]
+
+
+def window_jsonl(snapshot) -> str:
+    """One rolling window snapshot as a sorted-key JSON line.
+
+    Byte-deterministic for a fixed serve seed (the format the serve-smoke
+    CI job diffs across runs and engines).
+    """
+    return json.dumps(snapshot.to_jsonable(), sort_keys=True)
 
 
 def _fmt(value: float) -> str:

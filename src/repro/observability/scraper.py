@@ -29,10 +29,16 @@ Collector = Callable[[float], Mapping[str, float]]
 
 @dataclass
 class TimeSeries:
-    """Scrape snapshots for one platform: fixed columns, one row per scrape."""
+    """Scrape snapshots for one platform: fixed columns, one row per scrape.
+
+    ``retain`` bounds the row count for long-lived (service-mode) series:
+    when set, only the newest ``retain`` rows are kept and older ones are
+    discarded on append.  Batch runs leave it ``None`` (keep everything).
+    """
 
     columns: tuple[str, ...] = ()
     rows: list[tuple[float, ...]] = field(default_factory=list)
+    retain: int | None = None
 
     def append(self, sim_time: float, values: Mapping[str, float]) -> None:
         if not self.columns:
@@ -40,6 +46,8 @@ class TimeSeries:
         self.rows.append(
             (sim_time, *(float(values.get(name, 0.0)) for name in self.columns))
         )
+        if self.retain is not None and len(self.rows) > self.retain:
+            del self.rows[: len(self.rows) - self.retain]
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -334,6 +334,20 @@ class Tracer:
     def finished_traces(self) -> list[Trace]:
         return [trace for trace in self._traces if trace.finished]
 
+    def drain_finished(self) -> list[Trace]:
+        """Remove and return finished traces, keeping in-flight ones.
+
+        Trace and span id counters keep running, so draining between
+        rolling windows never changes the ids later traces would have
+        received -- a drained stream concatenates to the undrained one.
+        """
+        finished: list[Trace] = []
+        in_flight: list[Trace] = []
+        for trace in self._traces:
+            (finished if trace.finished else in_flight).append(trace)
+        self._traces = in_flight
+        return finished
+
     def extend(self, traces: Iterable[Trace]) -> None:
         """Merge traces collected by another tracer shard."""
         self._traces.extend(traces)

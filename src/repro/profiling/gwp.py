@@ -343,6 +343,48 @@ class FleetProfiler:
             counters=counters,
         )
 
+    def drain_samples(self) -> list[tuple[str, str, str, float, float]]:
+        """Materialize and remove every buffered sample row.
+
+        Returns ``(platform, function, broad_category, cycles, when)``
+        tuples.  Interning tables, per-platform sampling credit, and
+        CPU-second accounting are all preserved, so sampling continues
+        seamlessly across the drain -- only row storage (and the derived
+        counter cache) is released.  Service mode drains once per rolling
+        window to keep profiler memory bounded over unbounded streams;
+        modeled counters are not derived for drained rows, so windowed
+        aggregation works in cycles.
+        """
+        broad_by_cid = self._broad_by_cid
+        platform_names = self._platform_names
+        function_names = self._function_names
+        drained = [
+            (
+                platform_names[pid],
+                function_names[fid],
+                broad_by_cid[cid].value,
+                cycles,
+                when,
+            )
+            for pid, fid, cid, cycles, when in zip(
+                self._pid_col,
+                self._fid_col,
+                self._cid_col,
+                self._cycles_col,
+                self._when_col,
+            )
+        ]
+        self._pid_col.clear()
+        self._fid_col.clear()
+        self._cid_col.clear()
+        self._cycles_col.clear()
+        self._when_col.clear()
+        self._local_col.clear()
+        for rows in self._rows_by_pid:
+            rows.clear()
+        self._counter_cache.clear()
+        return drained
+
     # -- counters ------------------------------------------------------------
 
     def _counter_rng(self, platform: str) -> np.random.Generator:

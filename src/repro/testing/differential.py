@@ -1,6 +1,6 @@
 """Differential runner: one config, every mode pair that must agree.
 
-Six execution-mode axes must not change a single measurement:
+Seven execution-mode axes must not change a single measurement:
 
 * ``parallel`` -- work-stealing worker processes with a deterministic
   merge vs the sequential driver (same shard geometry on both legs);
@@ -15,7 +15,11 @@ Six execution-mode axes must not change a single measurement:
   including events processed -- they drain the identical event set);
 * ``replay`` -- the same config run twice: seed determinism, and (when
   the config carries fault plans) the chaos-replay ledger against the
-  original run's ledger.
+  original run's ledger;
+* ``service`` -- the open-loop service driver (``repro serve``) run on
+  both event engines with the fuzzed config's seed: the rolling
+  :class:`~repro.workloads.service.WindowSnapshot` streams must be
+  byte-identical as JSON lines.
 
 :class:`DifferentialRunner` executes the legs for one config and diffs
 each against the base run with the structured snapshot differ.  A leg
@@ -39,6 +43,7 @@ MODE_PAIRS = (
     "coalescing",
     "engine",
     "replay",
+    "service",
 )
 
 #: Engine bookkeeping that legitimately differs between coalesced and
@@ -171,7 +176,51 @@ class DifferentialRunner:
                 )
             elif pair == "replay":
                 results.append(self._compare("replay", base_snap, config))
+            elif pair == "service":
+                results.append(self._pair_service(config))
         return DifferentialReport(base=base, pairs=results)
+
+    def _pair_service(self, config) -> PairResult:
+        # Service mode has no batch base leg; the pair drives the open-loop
+        # window generator itself, once per engine, seeded from the fuzzed
+        # config, and diffs the snapshot streams byte-for-byte as JSON
+        # lines.  The serve run is deliberately tiny (a flash crowd inside
+        # a short diurnal day) so the pair stays cheap per fuzzed config.
+        from repro.api import ServeConfig, run_service
+        from repro.observability.exporters import window_jsonl
+
+        serve = ServeConfig(
+            duration=20.0,
+            window=5.0,
+            rolling_windows=2,
+            arrival="flash",
+            rate=0.4,
+            diurnal_period=40.0,
+            diurnal_amplitude=0.5,
+            flash_start=5.0,
+            flash_duration=5.0,
+            flash_magnitude=3.0,
+            agents=2,
+            heartbeat_period=0.5,
+            seed=getattr(config, "seed", 0),
+        )
+        try:
+            legs = {
+                engine: [
+                    window_jsonl(snap)
+                    for snap in run_service(serve.with_overrides(engine=engine))
+                ]
+                for engine in ("heap", "columnar")
+            }
+        except Exception as exc:
+            return PairResult("service", error=f"{type(exc).__name__}: {exc}")
+        return PairResult(
+            "service",
+            mismatches=diff_snapshots(
+                {"service_windows": legs["heap"]},
+                {"service_windows": legs["columnar"]},
+            ),
+        )
 
     def _pair_parallel(self, base_snap: dict, config) -> PairResult:
         # Force a real pool (max_workers set skips the auto-fallback

@@ -17,7 +17,7 @@ regenerated offline from just ``(seed, index)``::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.testing.differential import MODE_PAIRS, DifferentialRunner, PairResult
 from repro.testing.fuzzer import FleetConfigFuzzer, FuzzSpace, config_to_jsonable
@@ -106,14 +106,17 @@ def run_selftest(
     shrink_evals: int = 24,
     emit: Callable[[dict[str, Any]], None] | None = None,
     progress: Callable[[str], None] | None = None,
+    overrides: Mapping[str, Any] | None = None,
 ) -> SelftestReport:
     """Fuzz ``budget`` configs and differentially verify each one.
 
     ``emit`` receives one JSON-safe dict per verdict (plus a reproducer
     record on failure and a final summary) -- the JSONL stream.
-    ``progress`` receives human-readable one-liners.  The run stops at
-    the first failing config (after shrinking it); a clean run executes
-    all ``budget`` configs.
+    ``progress`` receives human-readable one-liners.  ``overrides`` pins
+    config axes across every fuzzed config (the CLI's ``--engine`` /
+    ``--shards`` / ``--workers`` pins); the fuzzer still draws the rest.
+    The run stops at the first failing config (after shrinking it); a
+    clean run executes all ``budget`` configs.
     """
     if budget < 1:
         raise ValueError(f"selftest budget must be >= 1, got {budget}")
@@ -143,6 +146,8 @@ def run_selftest(
         )
 
     for index, config in fuzzer.configs(budget, start=start):
+        if overrides:
+            config = config.with_overrides(**overrides)
         try:
             diff_report = runner.run_config(config)
         except Exception as exc:

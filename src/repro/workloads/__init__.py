@@ -8,10 +8,19 @@
   runs all three platforms under the profiling pipeline.
 * :mod:`repro.workloads.parallel` -- the same driver fanned out across a
   process pool (one worker per platform, deterministic merge).
+* :mod:`repro.workloads.service` -- open-loop service mode: arrival
+  curves, tenant mixes, agent heartbeats, and the rolling-window driver
+  behind :func:`repro.api.run_service`.
 
 (The per-query budget generators themselves live on
 :class:`repro.platforms.common.PlatformBase`, parameterized from the
 calibration.)
+
+The fleet drivers themselves are deliberately *not* re-exported here:
+:mod:`repro.api` is the import surface (``run_fleet``, ``run_service``,
+``build_simulation``, ...).  The PR-3 ``DeprecationWarning`` shims for
+``FleetSimulation`` and friends have been removed; importing them from
+this package now raises :class:`AttributeError` pointing at the facade.
 """
 
 from repro.workloads.calibration import (
@@ -34,36 +43,22 @@ __all__ = [
     "build_profile",
 ]
 
-# -- deprecated re-exports ----------------------------------------------------
-#
-# The fleet drivers moved behind the stable facade (:mod:`repro.api`).
-# ``from repro.workloads import FleetSimulation`` still works but warns;
-# importing from the submodules directly (repro.workloads.fleet / .parallel)
-# stays silent, since that is what the facade itself does.
-
-_DEPRECATED = {
-    "FleetSimulation": ("repro.workloads.fleet", "repro.api.build_simulation"),
-    "FleetResult": ("repro.workloads.fleet", "repro.api.run_fleet"),
-    "ParallelFleetSimulation": ("repro.workloads.parallel", "repro.api.run_fleet"),
-    "run_parallel": ("repro.workloads.parallel", "repro.api.run_fleet"),
-    "sweep_seeds": ("repro.workloads.parallel", "repro.api.sweep"),
+# Former PR-3 deprecation shims, kept so the AttributeError can name the
+# facade entry point that replaced each removed name.
+_MOVED_TO_API = {
+    "FleetSimulation": "repro.api.build_simulation",
+    "FleetResult": "repro.api.run_fleet",
+    "ParallelFleetSimulation": "repro.api.run_fleet",
+    "run_parallel": "repro.api.run_fleet",
+    "sweep_seeds": "repro.api.sweep_seeds",
 }
 
 
 def __getattr__(name: str):
-    try:
-        module_name, replacement = _DEPRECATED[name]
-    except KeyError:
+    replacement = _MOVED_TO_API.get(name)
+    if replacement is not None:
         raise AttributeError(
-            f"module {__name__!r} has no attribute {name!r}"
-        ) from None
-    import importlib
-    import warnings
-
-    warnings.warn(
-        f"importing {name} from repro.workloads is deprecated; "
-        f"use {replacement} instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return getattr(importlib.import_module(module_name), name)
+            f"{name} is no longer importable from repro.workloads; "
+            f"use {replacement} (repro.api is the supported import surface)"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -115,6 +115,39 @@ lsm_values = st.one_of(st.none(), st.integers(min_value=0, max_value=999))
 #: One sorted run's contents; ``None`` values are tombstones.
 run_contents = st.dictionaries(lsm_keys, lsm_values, min_size=1, max_size=12)
 
+# -- windowed quantile streams ------------------------------------------------
+
+#: Observation values spanning several orders of magnitude (latencies).
+window_values = st.floats(
+    min_value=1e-6, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def timed_streams(draw, *, max_size: int = 60, horizon: float = 40.0):
+    """``(value, when)`` observations with nondecreasing timestamps.
+
+    The raw material for :class:`WindowedQuantileSketch` properties: times
+    are sorted (the sketch requires a forward-only clock) and cluster
+    naturally into bucket-sized bursts.
+    """
+    whens = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=horizon, allow_nan=False),
+                min_size=1,
+                max_size=max_size,
+            )
+        )
+    )
+    return [(draw(window_values), when) for when in whens]
+
+
+#: Window geometries kept small so properties cross bucket boundaries.
+window_widths = st.sampled_from([1.0, 2.5, 8.0])
+window_bucket_counts = st.integers(min_value=1, max_value=6)
+
+
 # -- fleet configs and fault plans --------------------------------------------
 
 

@@ -139,7 +139,9 @@ class TestSweepAndReport:
             api.profile_report(api.FleetConfig(queries=empty, seed=0))
 
 
-class TestDeprecationShims:
+class TestRemovedShims:
+    """The PR-3 deprecation shims are gone: repro.api is the import surface."""
+
     @pytest.mark.parametrize(
         "name",
         [
@@ -150,12 +152,9 @@ class TestDeprecationShims:
             "sweep_seeds",
         ],
     )
-    def test_old_imports_warn_but_work(self, name):
-        with pytest.deprecated_call():
-            shimmed = getattr(repro.workloads, name)
-        assert shimmed is not None
-        if name == "FleetSimulation":
-            assert shimmed is FleetSimulation
+    def test_old_imports_raise_and_name_the_facade(self, name):
+        with pytest.raises(AttributeError, match="repro.api"):
+            getattr(repro.workloads, name)
 
     def test_unknown_attribute_still_raises(self):
         with pytest.raises(AttributeError):

@@ -25,6 +25,55 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--platform", "Oracle"])
 
+    def test_axis_flags_uniform_across_run_verbs(self):
+        # --engine and --seed parse on every run verb; --shards/--workers
+        # on everything with a scheduler surface (serve declares them too,
+        # but rejects them at resolve time with a typed error).
+        for verb in ("fleet", "top", "export", "serve", "selftest"):
+            argv = [verb, "--engine", "columnar", "--seed", "7"]
+            if verb == "export":
+                argv += ["--format", "prom"]
+            args = build_parser().parse_args(argv)
+            assert args.engine == "columnar"
+            assert args.seed == "7"  # validated later, not by argparse
+            assert hasattr(args, "shards") and hasattr(args, "workers")
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.duration == 14400.0
+        assert args.window == 60.0
+        assert args.arrival == "diurnal"
+        assert args.engine == "heap"
+        assert args.jsonl is None
+
+    def test_selftest_engine_unpinned_by_default(self):
+        assert build_parser().parse_args(["selftest"]).engine is None
+
+
+class TestTypedAxisErrors:
+    """Bad axis values exit 2 with one ConfigError line, no usage dump."""
+
+    @pytest.mark.parametrize(
+        "argv, needle",
+        [
+            (["fleet", "--seed", "abc"], "--seed expects an integer"),
+            (["fleet", "--engine", "quantum"], "--engine must be one of"),
+            (["fleet", "--shards", "zero"], "--shards"),
+            (["fleet", "--workers", "0"], "--workers must be >= 1"),
+            (["serve", "--shards", "2"], "--shards does not apply"),
+            (["serve", "--workers", "2"], "--workers does not apply"),
+            (["serve", "--arrival", "bursty"], "arrival"),
+            (["top", "--follow", "--parallel"], "--parallel does not apply"),
+            (["export", "--format", "parquet"], "parquet"),
+        ],
+    )
+    def test_bad_value_is_one_line_exit_2(self, argv, needle, capsys):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert needle in captured.err
+        assert "Traceback" not in captured.err
+        assert "usage:" not in captured.err
+
 
 class TestCommands:
     def test_model_command(self, capsys):
@@ -89,3 +138,53 @@ class TestCommands:
         assert code == 1
         assert "report failed" in captured.err
         assert "# Reproduction report" not in captured.out
+
+
+SERVE_SMALL = [
+    "serve",
+    "--duration", "60",
+    "--window", "30",
+    "--rate", "0.3",
+    "--arrival", "flash",
+    "--flash-start", "15",
+    "--flash-duration", "15",
+    "--seed", "11",
+]
+
+
+class TestServeCommand:
+    def test_serve_prints_window_rows(self, capsys):
+        assert main(SERVE_SMALL) == 0
+        out = capsys.readouterr().out
+        assert "serving: arrival=flash" in out
+        assert "w0" in out and "w1" in out
+        assert "p99ms" in out and "hb=" in out
+        assert "served" in out
+
+    def test_serve_jsonl_stdout_is_pure_and_engine_invariant(self, capsys):
+        import json
+
+        legs = {}
+        for engine in ("heap", "columnar"):
+            assert main(SERVE_SMALL + ["--jsonl", "-", "--engine", engine]) == 0
+            out = capsys.readouterr().out
+            rows = [json.loads(line) for line in out.splitlines()]
+            assert [row["index"] for row in rows] == list(range(len(rows)))
+            legs[engine] = out
+        assert legs["heap"] == legs["columnar"]
+
+    def test_serve_jsonl_file(self, tmp_path, capsys):
+        target = tmp_path / "windows.jsonl"
+        assert main(SERVE_SMALL + ["--jsonl", str(target), "--quiet"]) == 0
+        lines = target.read_text().splitlines()
+        assert len(lines) == 2
+        assert f"wrote 2 snapshots to {target}" in capsys.readouterr().out
+
+    def test_top_follow_streams_windows(self, capsys):
+        assert main(
+            ["top", "--follow", "--duration", "60", "--window", "30",
+             "--rate", "0.3", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving: arrival=diurnal" in out
+        assert "w0" in out and "w1" in out
