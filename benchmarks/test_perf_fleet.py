@@ -47,6 +47,9 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 REPORT_PATH = REPO_ROOT / "BENCH_fleet.json"
 PROM_PATH = REPO_ROOT / "BENCH_fleet.prom"
 FOLDED_PATH = REPO_ROOT / "BENCH_fleet.folded"
+#: Rolling bench-leg time series (one profile-store run per harness run);
+#: not committed -- CI uploads it as an artifact instead.
+STORE_PATH = REPO_ROOT / "BENCH_fleet.sqlite"
 
 QUERIES = 60
 SEED = 0
@@ -249,9 +252,21 @@ def test_fleet_hot_path_perf_report():
     }
     _assert_schema_committed(report)
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    # Append this harness run's legs to the profile store so wall-clock
+    # becomes a queryable time series rather than a single overwritten
+    # JSON file: ``repro store regress BENCH_fleet.sqlite --bench
+    # sequential`` gates the two newest legs.  The JSON report above stays
+    # the committed single-run artifact (its schema guard is unchanged).
+    from repro.store import StoreWriter, open_store
+
+    with open_store(STORE_PATH) as store:
+        StoreWriter(store).ingest_bench(report, label="perf-harness")
+
     print(f"\nwrote {REPORT_PATH}")
     print(f"wrote {PROM_PATH}")
     print(f"wrote {FOLDED_PATH}")
+    print(f"appended bench legs to {STORE_PATH}")
     print(json.dumps(report, indent=2))
 
 

@@ -25,6 +25,8 @@ from repro.analysis.figures import (
     figure13_data,
     figure14_data,
     figure15_data,
+    figures_from_store,
+    render_figures,
 )
 from repro.analysis.markdown import (
     comparisons_to_markdown,
@@ -32,7 +34,14 @@ from repro.analysis.markdown import (
     write_report,
 )
 from repro.analysis.report import Comparison, TextTable, render_comparisons
-from repro.analysis.tables import table1_data, table6_data, table7_data, table8_data
+from repro.analysis.tables import (
+    render_tables,
+    table1_data,
+    table6_data,
+    table7_data,
+    table8_data,
+    tables_from_store,
+)
 
 __all__ = [
     "TextTable",
@@ -45,6 +54,10 @@ __all__ = [
     "table6_data",
     "table7_data",
     "table8_data",
+    "render_tables",
+    "tables_from_store",
+    "render_figures",
+    "figures_from_store",
     "figure2_data",
     "figure3_data",
     "figure4_data",

@@ -38,6 +38,8 @@ __all__ = [
     "figure13_data",
     "figure14_data",
     "figure15_data",
+    "render_figures",
+    "figures_from_store",
 ]
 
 Profiles = Mapping[str, PlatformProfile]
@@ -387,3 +389,30 @@ def figure15_data(
             )
         )
     return table, comparisons
+
+
+def render_figures(result: FleetResult) -> str:
+    """The measurement figures (2-6) rendered as one text document.
+
+    The canonical rendering for both the in-memory path and
+    :func:`figures_from_store` -- byte-identical for the same run.
+    """
+    blocks = [
+        figure2_data(result)[0].render(),
+        figure3_data(result)[0].render(),
+        figure4_data(result)[0].render(),
+        figure5_data(result)[0].render(),
+        figure6_data(result)[0].render(),
+    ]
+    return "\n\n".join(blocks) + "\n"
+
+
+def figures_from_store(provider, run_id: int | None = None) -> str:
+    """Regenerate Figures 2-6 straight from a profile store.
+
+    ``provider`` is a :class:`repro.store.DataProvider`; ``run_id``
+    defaults to the newest stored fleet run.  The rehydrated result
+    feeds the exact figure functions a live run does, so the bytes
+    match :func:`render_figures` on the ingested result.
+    """
+    return render_figures(provider.fleet_result(run_id))

@@ -8,7 +8,14 @@ from repro.soc.benchmarks import Table8Result
 from repro.workloads import calibration
 from repro.workloads.fleet import FleetResult
 
-__all__ = ["table1_data", "table6_data", "table7_data", "table8_data"]
+__all__ = [
+    "table1_data",
+    "table6_data",
+    "table7_data",
+    "table8_data",
+    "render_tables",
+    "tables_from_store",
+]
 
 _EVENT_LABELS = {
     "br": "BR",
@@ -116,3 +123,48 @@ def table8_data(result: Table8Result) -> tuple[TextTable, list[Comparison]]:
             Comparison("table8", row_name, paper, measured, 0.10)
         )
     return table, comparisons
+
+
+def render_tables(
+    result: FleetResult, table8: Table8Result | None = None
+) -> str:
+    """All measurement tables rendered as one text document.
+
+    Tables 1, 6, and 7 come from the fleet run; Table 8 is appended when
+    a validation result is supplied.  This is the canonical rendering
+    both the in-memory path and :func:`tables_from_store` produce --
+    byte-identical for the same run, which the golden-table tests
+    enforce.
+    """
+    blocks = [
+        table1_data(result)[0].render(),
+        table6_data(result)[0].render(),
+        table7_data(result)[0].render(),
+    ]
+    if table8 is not None:
+        blocks.append(table8_data(table8)[0].render())
+    return "\n\n".join(blocks) + "\n"
+
+
+def tables_from_store(
+    provider,
+    run_id: int | None = None,
+    *,
+    validation_run: int | None = None,
+) -> str:
+    """Regenerate the paper tables straight from a profile store.
+
+    ``provider`` is a :class:`repro.store.DataProvider`; ``run_id``
+    defaults to the newest stored fleet run.  Table 8 rows come from
+    ``validation_run`` when given, else from the newest stored
+    ``validate`` run (omitted when the store holds none).  The rendered
+    bytes equal :func:`render_tables` on the live result that was
+    ingested -- the store round-trips the measurement surface exactly.
+    """
+    result = provider.fleet_result(run_id)
+    table8 = None
+    if validation_run is not None:
+        table8 = provider.table8_result(validation_run)
+    elif provider.latest_run("validate") is not None:
+        table8 = provider.table8_result()
+    return render_tables(result, table8)

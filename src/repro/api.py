@@ -41,7 +41,12 @@ import os
 from dataclasses import dataclass, fields, replace
 from typing import Any, Iterator, Mapping, Sequence
 
-from repro.errors import ConfigError, EmptyFleetError, UnknownFormatError
+from repro.errors import (
+    ConfigError,
+    EmptyFleetError,
+    StoreError,
+    UnknownFormatError,
+)
 from repro.observability import (
     ObservabilityConfig,
     ObservabilityResult,
@@ -64,8 +69,16 @@ from repro.workloads.service import (
     validate_tenants,
 )
 from repro.workloads.shards import QUERY_COST, SchedulerStats, resolve_shards
+from repro.store import ProfileStore, open_store
 
 logger = logging.getLogger("repro.api")
+
+
+def _resolve_store(store) -> tuple[ProfileStore, bool]:
+    """A live handle from a handle-or-path; True when this call owns it."""
+    if isinstance(store, ProfileStore):
+        return store, False
+    return open_store(store), True
 
 __all__ = [
     "FleetConfig",
@@ -91,6 +104,8 @@ __all__ = [
     "ConfigError",
     "EmptyFleetError",
     "UnknownFormatError",
+    "StoreError",
+    "open_store",
     "EXPORT_FORMATS",
     "export_text",
     "validate_export_format",
@@ -229,6 +244,8 @@ def run_fleet(
     config: FleetConfig | Mapping[str, Any] | None = None,
     *,
     progress=None,
+    store=None,
+    store_label: str | None = None,
     **overrides,
 ) -> FleetResult:
     """Run one fleet simulation and return its full measurement set.
@@ -241,8 +258,17 @@ def run_fleet(
     queue-like object that receives live
     ``(platform, sim_time, queries_served, gwp_samples)`` rows during the
     run -- the channel behind ``repro top``.
+
+    ``store`` (a path or an open :class:`~repro.store.ProfileStore`)
+    ingests the finished run into the persistent profile store; the new
+    run id lands on ``result.store_run_id``.  A path handle is opened
+    and closed by this call; an open handle is left open for the caller.
     """
     config = _coerce_config(config, overrides)
+    store_handle = owned = None
+    if store is not None:
+        # Open eagerly so a bad store path fails before the fleet runs.
+        store_handle, owned = _resolve_store(store)
     plan = parallel_plan(config)
     fell_back = config.parallel and not plan.parallel
     if fell_back:
@@ -251,13 +277,28 @@ def run_fleet(
     sim = build_simulation(config)
     if progress is not None:
         sim.progress_sink = progress
-    result = sim.run()
+    try:
+        result = sim.run()
+    except BaseException:
+        if owned:
+            store_handle.close()
+        raise
     if fell_back:
         if result.scheduler is None:
             result.scheduler = SchedulerStats(mode="sequential-fallback", worker_count=1)
         else:
             result.scheduler.mode = "sequential-fallback"
         result.scheduler.reason = plan.reason
+    if store_handle is not None:
+        from repro.store import StoreWriter
+
+        try:
+            StoreWriter(store_handle).ingest_fleet(
+                result, config=config, label=store_label
+            )
+        finally:
+            if owned:
+                store_handle.close()
     return result
 
 
@@ -394,7 +435,11 @@ def _coerce_serve_config(
 
 
 def run_service(
-    config: "ServeConfig | Mapping[str, Any] | None" = None, **overrides
+    config: "ServeConfig | Mapping[str, Any] | None" = None,
+    *,
+    store=None,
+    store_label: str | None = None,
+    **overrides,
 ) -> Iterator[WindowSnapshot]:
     """Run an open-loop service and stream rolling window snapshots.
 
@@ -405,9 +450,31 @@ def run_service(
     config is validated (typed :class:`ConfigError`) before any
     simulation state is built; for a fixed seed the snapshot stream is
     byte-identical across the heap and columnar engines.
+
+    ``store`` mirrors :func:`run_fleet`: each window is persisted (as
+    its canonical JSONL body) into one ``serve`` run as it streams past,
+    without disturbing the yielded snapshots.
     """
     config = _coerce_serve_config(config, overrides).resolved()
-    return serve_windows(config)
+    stream = serve_windows(config)
+    if store is None:
+        return stream
+    # Open eagerly so a bad store path fails before any window is served.
+    store_handle, owned = _resolve_store(store)
+    return _serve_into_store(stream, store_handle, owned, config, store_label)
+
+
+def _serve_into_store(
+    stream, store_handle, owned, config, label
+) -> Iterator[WindowSnapshot]:
+    from repro.store import StoreWriter
+
+    writer = StoreWriter(store_handle)
+    try:
+        yield from writer.stream_service(stream, config=config, label=label)
+    finally:
+        if owned:
+            store_handle.close()
 
 
 # -- design-point sweep -------------------------------------------------------
@@ -576,7 +643,12 @@ class Telemetry:
         return self.result.metrics
 
     def prometheus(self) -> str:
-        return prometheus_text(self._require().registry)
+        # Store-rehydrated runs carry the export verbatim (no registry).
+        metrics = self._require()
+        text = getattr(metrics, "prometheus", None)
+        if isinstance(text, str):
+            return text
+        return prometheus_text(metrics.registry)
 
     def series(self, platform: str) -> TimeSeries:
         return self._require().series[platform]

@@ -13,6 +13,8 @@ Usage::
     repro sweep --platform Spanner [--speedup 8]  # one platform's design points
     repro report [--out report.md]              # the full markdown report
     repro selftest [--budget N] [--seed S]      # differential verification harness
+    repro store ingest|runs|query|tables|regress PATH ...
+                                                # persistent profile store
 
 Every fleet run goes through :func:`repro.api.run_fleet` (service runs
 through :func:`repro.api.run_service`); this module is argument parsing
@@ -435,6 +437,137 @@ def build_parser() -> argparse.ArgumentParser:
     )
     selftest.add_argument(
         "--start", type=int, default=0, help="first fuzz index (resume a range)"
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="persistent profile store: ingest runs, list history, slice "
+        "stored measurements, regenerate tables, gate regressions",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    ingest = store_sub.add_parser(
+        "ingest", help="run a workload and persist it into a store"
+    )
+    ingest.add_argument("path", help="sqlite store path (created if missing)")
+    ingest.add_argument(
+        "--queries", type=int, default=40, help="queries per database"
+    )
+    ingest.add_argument("--seed", default=42)
+    ingest.add_argument(
+        "--observe",
+        action="store_true",
+        help="run observed so the Prometheus export and scrape series are "
+        "stored alongside the measurements",
+    )
+    _add_axis_flags(ingest)
+    ingest.add_argument(
+        "--serve",
+        default=None,
+        metavar="SECONDS",
+        help="ingest an open-loop service run of this sim duration instead "
+        "of a batch fleet (window snapshots stored verbatim)",
+    )
+    ingest.add_argument(
+        "--window", default=None, metavar="SECONDS", help="serve window size"
+    )
+    ingest.add_argument(
+        "--rate", default=None, metavar="QPS", help="serve arrival rate"
+    )
+    ingest.add_argument(
+        "--arrival", default=None, help="serve arrival process (e.g. poisson)"
+    )
+    ingest.add_argument(
+        "--bench",
+        default=None,
+        metavar="JSON",
+        help="ingest the legs of an existing bench report JSON file instead "
+        "of running anything",
+    )
+    ingest.add_argument(
+        "--label", default=None, help="free-form label stored with the run"
+    )
+
+    runs = store_sub.add_parser("runs", help="list stored runs, oldest first")
+    runs.add_argument("path", help="existing sqlite store path")
+    runs.add_argument("--kind", default=None, help="filter by run kind")
+
+    query = store_sub.add_parser(
+        "query", help="typed slices of one stored run"
+    )
+    query.add_argument("path", help="existing sqlite store path")
+    query.add_argument(
+        "what",
+        help="one of: samples, cycles, top, windows, prom "
+        "(validated, not argparse choices -- bad values exit 2 with one line)",
+    )
+    query.add_argument(
+        "--run", default=None, metavar="ID", help="run id (default: newest)"
+    )
+    query.add_argument("--platform", default=None, help="platform filter")
+    query.add_argument(
+        "--limit", default=10, metavar="N", help="row limit for samples/top"
+    )
+    query.add_argument(
+        "--out", default="-", help="output path, or '-' for stdout (default)"
+    )
+
+    tables = store_sub.add_parser(
+        "tables",
+        help="regenerate the paper tables from a stored run "
+        "(byte-identical to the in-memory rendering)",
+    )
+    tables.add_argument("path", help="existing sqlite store path")
+    tables.add_argument(
+        "--run", default=None, metavar="ID", help="fleet run id (default: newest)"
+    )
+    tables.add_argument(
+        "--validation-run",
+        default=None,
+        metavar="ID",
+        help="validate-run id for Table 8 (default: newest, when stored)",
+    )
+    tables.add_argument(
+        "--figures",
+        action="store_true",
+        help="also append the Figure 2-6 data series",
+    )
+    tables.add_argument(
+        "--out", default="-", help="output path, or '-' for stdout (default)"
+    )
+
+    regress = store_sub.add_parser(
+        "regress",
+        help="tolerance-band regression check of the newest run against "
+        "its predecessor (exit 1 on regression)",
+    )
+    regress.add_argument("path", help="existing sqlite store path")
+    regress.add_argument(
+        "--metric",
+        default="samples",
+        help="fleet metric: samples, cycles, cpu_seconds, queries",
+    )
+    regress.add_argument(
+        "--tolerance",
+        default=None,
+        metavar="FRAC",
+        help="relative band (default 0 for fleet metrics, 0.2 for --bench)",
+    )
+    regress.add_argument(
+        "--run", default=None, metavar="ID", help="target run (default: newest)"
+    )
+    regress.add_argument(
+        "--baseline",
+        default=None,
+        metavar="ID",
+        help="baseline run (default: the run before the target)",
+    )
+    regress.add_argument(
+        "--bench",
+        default=None,
+        metavar="MODE",
+        help="gate the two newest bench legs of MODE on samples_per_second "
+        "instead of a fleet metric",
     )
     return parser
 
@@ -897,6 +1030,208 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _axis_float(name: str, value, *, minimum: float | None = None):
+    """Validate a float flag value through the typed taxonomy."""
+    if value is None:
+        return None
+    try:
+        value = float(value)
+    except ValueError:
+        raise ConfigError(f"--{name} expects a number, got {value!r}") from None
+    if minimum is not None and value < minimum:
+        raise ConfigError(f"--{name} must be >= {minimum:g}, got {value:g}")
+    return value
+
+
+def _store_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import api
+    from repro.store import StoreWriter, open_store
+
+    sources = [
+        flag for flag in ("serve", "bench") if getattr(args, flag) is not None
+    ]
+    if len(sources) > 1:
+        raise ConfigError("--serve and --bench are mutually exclusive, got both")
+    axes = _resolve_axes(args)
+
+    if args.bench is not None:
+        bench_path = Path(args.bench)
+        if not bench_path.is_file():
+            raise ConfigError(f"--bench report {args.bench!r} does not exist")
+        try:
+            report = json.loads(bench_path.read_text())
+        except json.JSONDecodeError as error:
+            raise ConfigError(
+                f"--bench report {args.bench!r} is not JSON: {error}"
+            ) from None
+        with open_store(args.path) as store:
+            run_id = StoreWriter(store).ingest_bench(report, label=args.label)
+        print(f"ingested bench run {run_id} into {args.path}")
+        return 0
+
+    if args.serve is not None:
+        for flag in ("shards", "max_workers"):
+            if axes.pop(flag, None) is not None:
+                option = "--workers" if flag == "max_workers" else "--shards"
+                raise ConfigError(f"{option} does not apply to --serve ingest")
+        config = api.ServeConfig(
+            duration=_axis_float("serve", args.serve, minimum=0.0),
+            window=_axis_float("window", args.window, minimum=0.0) or 10.0,
+            rate=_axis_float("rate", args.rate, minimum=0.0) or 0.5,
+            arrival=args.arrival or "poisson",
+            **axes,
+        ).resolved()
+        windows = 0
+        with open_store(args.path) as store:
+            for _ in api.run_service(config, store=store, store_label=args.label):
+                windows += 1
+            run = store.execute("SELECT MAX(run_id) FROM runs").fetchone()[0]
+        print(f"ingested serve run {run} ({windows} windows) into {args.path}")
+        return 0
+
+    queries = _fleet_queries(args)
+    config = api.FleetConfig(
+        queries=queries, observability=args.observe or None, **axes
+    )
+    with open_store(args.path) as store:
+        result = api.run_fleet(config, store=store, store_label=args.label)
+    print(
+        f"ingested fleet run {result.store_run_id} "
+        f"({sum(queries.values())} queries, seed {axes['seed']}) "
+        f"into {args.path}"
+    )
+    return 0
+
+
+def _store_runs(args: argparse.Namespace) -> int:
+    from repro.store import DataProvider, open_store
+
+    with open_store(args.path, create=False) as store:
+        rows = DataProvider(store).runs(args.kind)
+    if not rows:
+        qualifier = f" of kind {args.kind!r}" if args.kind else ""
+        print(f"store {args.path} holds no runs{qualifier}", file=sys.stderr)
+        return 1
+    for row in rows:
+        print(row.describe())
+    return 0
+
+
+def _store_query(args: argparse.Namespace) -> int:
+    from repro.store import DataProvider, open_store
+
+    what = args.what
+    known = ("samples", "cycles", "top", "windows", "prom")
+    if what not in known:
+        raise ConfigError(
+            f"unknown query {what!r}; choose from {list(known)}"
+        )
+    if what in ("cycles", "top") and args.platform is None:
+        raise ConfigError(f"query {what!r} requires --platform")
+    limit = _axis_int("limit", args.limit, minimum=1)
+    with open_store(args.path, create=False) as store:
+        provider = DataProvider(store)
+        run = _axis_int("run", args.run)
+        if run is None:
+            latest = provider.latest_run()
+            if latest is None:
+                raise ConfigError(f"store {args.path} holds no runs")
+            run = latest.run_id
+        else:
+            provider.run(run)  # surface "no run N" as one ConfigError line
+        if what == "samples":
+            rows = provider.sample_rows(run, platform=args.platform)[:limit]
+            lines = [
+                f"{p}\t{fn}\t{cat}\t{cycles:g}\t{ts:g}"
+                for p, fn, cat, cycles, ts in rows
+            ]
+        elif what == "cycles":
+            lines = [
+                f"{category}\t{total:g}"
+                for category, total in provider.cycles_by_category(
+                    run, args.platform
+                ).items()
+            ]
+        elif what == "top":
+            lines = [
+                f"{name}\t{total:g}"
+                for name, total in provider.top_functions(
+                    run, args.platform, count=limit
+                )
+            ]
+        elif what == "windows":
+            lines = provider.window_lines(run)
+        else:  # prom
+            text = provider.prometheus(run)
+            if text is None:
+                print(
+                    f"run {run} has no prometheus artifact "
+                    "(ingest with --observe)",
+                    file=sys.stderr,
+                )
+                return 1
+            lines = [text.rstrip("\n")]
+    if not lines:
+        print(f"run {run} holds no {what} rows", file=sys.stderr)
+        return 1
+    _write_out("\n".join(lines) + "\n", args.out)
+    return 0
+
+
+def _store_tables(args: argparse.Namespace) -> int:
+    from repro.analysis import figures_from_store, tables_from_store
+    from repro.store import DataProvider, open_store
+
+    with open_store(args.path, create=False) as store:
+        provider = DataProvider(store)
+        text = tables_from_store(
+            provider,
+            _axis_int("run", args.run),
+            validation_run=_axis_int("validation-run", args.validation_run),
+        )
+        if args.figures:
+            text += "\n" + figures_from_store(
+                provider, _axis_int("run", args.run)
+            )
+    _write_out(text, args.out)
+    return 0
+
+
+def _store_regress(args: argparse.Namespace) -> int:
+    from repro.store import DataProvider, open_store
+
+    tolerance = _axis_float("tolerance", args.tolerance, minimum=0.0)
+    with open_store(args.path, create=False) as store:
+        provider = DataProvider(store)
+        if args.bench is not None:
+            report = provider.bench_check(
+                args.bench,
+                tolerance=0.2 if tolerance is None else tolerance,
+            )
+        else:
+            report = provider.regression_check(
+                args.metric,
+                tolerance=0.0 if tolerance is None else tolerance,
+                run=_axis_int("run", args.run),
+                baseline=_axis_int("baseline", args.baseline),
+            )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    handlers = {
+        "ingest": _store_ingest,
+        "runs": _store_runs,
+        "query": _store_query,
+        "tables": _store_tables,
+        "regress": _store_regress,
+    }
+    return handlers[args.store_command](args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -909,6 +1244,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "report": _cmd_report,
         "selftest": _cmd_selftest,
+        "store": _cmd_store,
     }
     try:
         return handlers[args.command](args)

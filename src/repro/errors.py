@@ -9,7 +9,7 @@ CLI's report handler, older tests -- keep working unchanged.
 
 from __future__ import annotations
 
-__all__ = ["ConfigError", "EmptyFleetError", "UnknownFormatError"]
+__all__ = ["ConfigError", "EmptyFleetError", "UnknownFormatError", "StoreError"]
 
 
 class ConfigError(ValueError):
@@ -22,3 +22,7 @@ class EmptyFleetError(ConfigError):
 
 class UnknownFormatError(ConfigError):
     """An export format no exporter implements."""
+
+
+class StoreError(ConfigError):
+    """A profile-store path, schema, or query the store cannot honor."""

@@ -385,6 +385,27 @@ class FleetProfiler:
         self._counter_cache.clear()
         return drained
 
+    def sampling_credit(self, platform: str) -> float:
+        """Fractional sampling periods accrued but not yet fired."""
+        pid = self._platform_id.get(platform)
+        return 0.0 if pid is None else self._credit_by_pid[pid]
+
+    def restore_accounting(
+        self, platform: str, *, cpu_seconds: float, credit: float = 0.0
+    ) -> None:
+        """Restore one platform's accumulator state (store rehydration).
+
+        :meth:`extend` appends sample rows but deliberately leaves the
+        CPU-second and sampling-credit accumulators untouched (a merge adds
+        samples *on top of* local accounting).  Rehydrating a persisted run
+        needs the opposite: the stored totals *replace* the fresh
+        profiler's zeros so ``cpu_seconds()`` reads back exactly what the
+        original run measured.
+        """
+        pid = self._intern_platform(platform)
+        self._cpu_seconds_by_pid[pid] = cpu_seconds
+        self._credit_by_pid[pid] = credit
+
     # -- counters ------------------------------------------------------------
 
     def _counter_rng(self, platform: str) -> np.random.Generator:

@@ -112,9 +112,15 @@ def snapshot(result, *, traces: bool = False) -> dict[str, Any]:
     for name, controller in result.chaos.items():
         snap[f"chaos/{name}"] = ledger_rows(controller)
     if result.metrics is not None:
-        from repro.observability import prometheus_text
+        # Rehydrated (store-backed) runs carry the export verbatim as a
+        # ``prometheus`` text attribute instead of a live registry.
+        text = getattr(result.metrics, "prometheus", None)
+        if isinstance(text, str):
+            snap["prometheus"] = text
+        else:
+            from repro.observability import prometheus_text
 
-        snap["prometheus"] = prometheus_text(result.metrics.registry)
+            snap["prometheus"] = prometheus_text(result.metrics.registry)
     return snap
 
 

@@ -19,7 +19,13 @@ Seven execution-mode axes must not change a single measurement:
 * ``service`` -- the open-loop service driver (``repro serve``) run on
   both event engines with the fuzzed config's seed: the rolling
   :class:`~repro.workloads.service.WindowSnapshot` streams must be
-  byte-identical as JSON lines.
+  byte-identical as JSON lines;
+* ``store`` -- the persistent profile store: the base run ingested into
+  two fresh stores must produce row-identical contents (writer
+  determinism), an engine-flipped leg ingested alongside must match
+  row-for-row (the stored surface inherits engine parity), and reading
+  the store back must rehydrate a result whose snapshot is
+  byte-identical to the base run's (round-trip fidelity).
 
 :class:`DifferentialRunner` executes the legs for one config and diffs
 each against the base run with the structured snapshot differ.  A leg
@@ -44,6 +50,7 @@ MODE_PAIRS = (
     "engine",
     "replay",
     "service",
+    "store",
 )
 
 #: Engine bookkeeping that legitimately differs between coalesced and
@@ -178,7 +185,38 @@ class DifferentialRunner:
                 results.append(self._compare("replay", base_snap, config))
             elif pair == "service":
                 results.append(self._pair_service(config))
+            elif pair == "store":
+                results.append(self._pair_store(base, base_snap, config))
         return DifferentialReport(base=base, pairs=results)
+
+    def _pair_store(self, base, base_snap: dict, config) -> PairResult:
+        # Three invariants in one pair: (1) ingesting the same result into
+        # two fresh stores dumps row-identically (writer determinism);
+        # (2) an engine-flipped leg's store rows match the base's -- the
+        # stored surface inherits the engine-parity invariant; (3) reading
+        # the base's store back rehydrates a snapshot byte-identical to
+        # the live one (round-trip fidelity).
+        from repro.store import DataProvider, ProfileStore, StoreWriter
+
+        try:
+            mismatches: list[Mismatch] = []
+            with ProfileStore(":memory:") as store:
+                writer = StoreWriter(store)
+                provider = DataProvider(store)
+                first = writer.ingest_fleet(base, config=config)
+                second = writer.ingest_fleet(base, config=config)
+                mismatches.extend(provider.delta(first, second))
+                flipped = "heap" if config.engine == "columnar" else "columnar"
+                other = self._leg(config, engine=flipped)
+                third = writer.ingest_fleet(
+                    other, config=config.with_overrides(engine=flipped)
+                )
+                mismatches.extend(provider.delta(first, third))
+                rehydrated = snapshot(provider.fleet_result(first))
+                mismatches.extend(diff_snapshots(base_snap, rehydrated))
+        except Exception as exc:
+            return PairResult("store", error=f"{type(exc).__name__}: {exc}")
+        return PairResult("store", mismatches=mismatches)
 
     def _pair_service(self, config) -> PairResult:
         # Service mode has no batch base leg; the pair drives the open-loop
