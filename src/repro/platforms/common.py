@@ -38,6 +38,7 @@ from repro.platforms.functions import functions_for
 from repro.profiling.dapper import SpanKind, Tracer
 from repro.profiling.gwp import FleetProfiler
 from repro.sim import Environment, Interrupt, all_of
+from repro.storage.reader import IO_MODES as _IO_MODES
 
 __all__ = [
     "QueryPlan",
@@ -50,6 +51,13 @@ __all__ = [
 
 #: Valid values for ``PlatformBase.set_engine`` / ``FleetConfig.engine``.
 ENGINES = ("heap", "columnar")
+
+#: Valid values for ``PlatformBase.set_io_mode`` / ``FleetConfig.io_mode``:
+#: ``"batched"`` resolves multi-chunk DFS reads into tier-contiguous legs
+#: up front (one event per leg, one resume per read); ``"chunked"`` is the
+#: legacy one-Timeout-per-chunk reader.  Measurements are identical either
+#: way -- the ``batched-io`` differential pair enforces it.
+IO_MODES = _IO_MODES
 
 
 @dataclass(frozen=True, slots=True)
@@ -405,6 +413,9 @@ class PlatformBase:
         self.offload_model = offload_model
         #: Execution engine lane ("heap" or "columnar"); see :meth:`set_engine`.
         self.engine = "heap"
+        #: Storage read-path lane ("batched" or "chunked"); see
+        #: :meth:`set_io_mode`.
+        self.io_mode = "batched"
         self.chunker = CpuChunker(
             profile.cpu_component_fractions, rng=np.random.default_rng(seed + 1)
         )
@@ -459,6 +470,21 @@ class PlatformBase:
             self.profile.cpu_component_fractions,
             rng=np.random.default_rng(self.seed + 1),
         )
+
+    def set_io_mode(self, io_mode: str) -> None:
+        """Select the storage read-path lane: ``"batched"`` or ``"chunked"``.
+
+        Forwards to the platform's DFS (every platform builds one before
+        this is called from ``FleetSimulation.build_platform``).  Chaos
+        wiring pins the DFS back to ``"chunked"`` regardless of this
+        setting -- batched plans must not race mid-read fault injection.
+        """
+        if io_mode not in IO_MODES:
+            raise ValueError(f"io_mode must be one of {IO_MODES}, got {io_mode!r}")
+        self.io_mode = io_mode
+        dfs = getattr(self, "dfs", None)
+        if dfs is not None:
+            dfs.io_mode = io_mode
 
     def seed_query_streams(self, index: int) -> None:
         """Rebase the plan and chunker RNGs onto per-query streams.

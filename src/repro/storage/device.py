@@ -72,20 +72,28 @@ class StorageDevice:
         self.slowdown = 1.0
 
     def read_time(self, nbytes: float) -> float:
-        """Seconds to read ``nbytes`` (latency + transfer); counts traffic."""
+        """Seconds to read ``nbytes`` (latency + transfer); counts traffic.
+
+        Called once per chunk by both the per-chunk reader and the batched
+        read planner (:mod:`repro.storage.reader`), in the same order --
+        traffic counters are therefore identical across io modes.  The
+        undegraded path skips the slowdown multiply: ``x * 1.0 == x``
+        bitwise for finite positive times, and this is the hottest device
+        call in a fleet run.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         self.bytes_read += nbytes
         self.reads += 1
-        return self.slowdown * (
-            self.params.read_latency + nbytes / self.params.read_bandwidth
-        )
+        time = self.params.read_latency + nbytes / self.params.read_bandwidth
+        slowdown = self.slowdown
+        return time if slowdown == 1.0 else slowdown * time
 
     def write_time(self, nbytes: float) -> float:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         self.bytes_written += nbytes
         self.writes += 1
-        return self.slowdown * (
-            self.params.write_latency + nbytes / self.params.write_bandwidth
-        )
+        time = self.params.write_latency + nbytes / self.params.write_bandwidth
+        slowdown = self.slowdown
+        return time if slowdown == 1.0 else slowdown * time

@@ -20,6 +20,7 @@ from repro.cluster.node import WorkContext
 from repro.profiling.dapper import SpanKind
 from repro.sim import Environment, Timeout
 from repro.storage.device import DeviceKind
+from repro.storage.reader import plan_read
 from repro.storage.tier import TieredStore
 
 __all__ = ["Chunk", "FileMeta", "StorageServer", "DistributedFileSystem"]
@@ -100,6 +101,13 @@ class DistributedFileSystem:
         #: Bumped whenever ``_replica_order`` is cleared, so in-flight reads
         #: holding a per-reader sub-dict can notice mid-read failovers.
         self._replica_gen = 0
+        #: Read-path lane: ``"batched"`` plans a whole multi-chunk read up
+        #: front and schedules one event per tier-contiguous leg (see
+        #: :mod:`repro.storage.reader`); ``"chunked"`` is the legacy
+        #: one-Timeout-per-chunk reader.  Chaos controllers pin this to
+        #: ``"chunked"`` because batched plans resolve replica/tier/fabric
+        #: state at plan time and must not race mid-read fault injection.
+        self.io_mode = "batched"
 
     # -- failure injection -----------------------------------------------------
 
@@ -229,6 +237,14 @@ class DistributedFileSystem:
         Wall-clock = per-chunk (closest-replica network round trip + device
         time), recorded as one IO span.  Chunks are fetched sequentially,
         modeling a streaming read.
+
+        In ``"batched"`` mode (the default) the whole read is resolved up
+        front by :func:`repro.storage.reader.plan_read` and executes as one
+        scheduled event per tier-contiguous leg plus a single generator
+        resume, on timestamps bit-identical to the per-chunk reader's.
+        Reads that could race mid-read state changes -- a nonempty down-set,
+        or ``io_mode`` pinned to ``"chunked"`` by an attached chaos
+        controller -- take the legacy per-chunk path.
         """
         meta = self.meta(path)
         if size is None:
@@ -237,6 +253,64 @@ class DistributedFileSystem:
             raise ValueError(
                 f"range [{offset}, {offset + size}) outside file of {meta.size} bytes"
             )
+        if self.io_mode != "batched" or self._down:
+            return (
+                yield from self._read_chunked(ctx, reader, path, meta, offset, size)
+            )
+        env = self.env
+        start = env.now
+        plan = plan_read(self, reader, meta, offset, size, start)
+        legs = plan.legs
+        served = plan.served
+        if plan.partitioned is not None:
+            if legs:
+                # Advance to the last completed chunk's timestamp first so
+                # the error span covers the same interval as the per-chunk
+                # reader's, then land every deferred tally -- by this time
+                # the chunk-by-chunk path would have applied them all.
+                yield Timeout(env, 0.0, at=plan.end)
+                for leg in legs:
+                    leg.apply()
+            ctx.record_span(
+                f"dfs:read:{path}", SpanKind.IO, start, env.now,
+                bytes=served, error="partition",
+            )
+            raise NetworkPartitioned(
+                f"no reachable replica of {plan.partitioned} from {reader}"
+            )
+        if legs:
+            # Interior legs land their deferred tier tallies as bare
+            # scheduled callables at the leg boundary; the final leg is the
+            # one event this generator resumes on.
+            for leg in legs[:-1]:
+                env.schedule_call(leg.end, leg.apply)
+            final = legs[-1]
+            yield Timeout(env, 0.0, at=final.end)
+            final.apply()
+        tiers_hit = {tier.value: count for tier, count in plan.hits_by_tier.items()}
+        annotations = {"bytes": served, "tiers": tiers_hit}
+        if plan.failovers:
+            annotations["failovers"] = plan.failovers
+        ctx.record_span(
+            f"dfs:read:{path}", SpanKind.IO, start, env.now, **annotations
+        )
+        return served
+
+    def _read_chunked(
+        self,
+        ctx: WorkContext,
+        reader: Topology,
+        path: str,
+        meta: FileMeta,
+        offset: float,
+        size: float,
+    ) -> Generator:
+        """The legacy per-chunk reader: one Timeout yield per chunk.
+
+        Kept verbatim as the fallback lane for reads that can interleave
+        with fault injection, and as the ``batched-io`` differential pair's
+        reference leg.
+        """
         env = self.env
         round_trip_time = self.fabric.round_trip_time
         start = env.now

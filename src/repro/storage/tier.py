@@ -145,24 +145,36 @@ class TieredStore:
         """Latency and serving tier for a read; promotes into caches."""
         stats = self.stats
         stats.accesses += 1
+        latency, tier = self.read_planned(key, nbytes)
+        stats.hits[tier] += 1
+        return latency, tier
+
+    def read_planned(self, key: str, nbytes: float) -> tuple[float, DeviceKind]:
+        """:meth:`read` minus the :class:`TierStats` tally.
+
+        The batched DFS read planner walks every chunk of a multi-chunk
+        read at plan time: cache state (LRU order, promotions, admission)
+        and device counters must advance eagerly so later chunks of the
+        same plan see them, but the hit/access tallies are returned to the
+        caller and applied at the plan's leg boundaries -- the simulated
+        times the per-chunk reader would have reached them -- so a
+        mid-read observability scrape reads the same progression.
+        """
         # LruCache.touch and _promote_to_ram inlined on the cache-hit paths:
         # this is the hottest storage call in the simulation and the extra
         # frames are measurable.
         ram_entries = self._ram_cache._entries
         if key in ram_entries:
             ram_entries.move_to_end(key)
-            stats.hits[_RAM] += 1
             if self.ssd_admission is not None:
                 self.ssd_admission.on_access(key, hit=True)
             return self.ram.read_time(nbytes), _RAM
         if self._ssd_cache.touch(key):
-            stats.hits[_SSD] += 1
             if self.ssd_admission is not None:
                 self.ssd_admission.on_access(key, hit=True)
             self._ram_cache.insert(key, nbytes)
             self.ram.write_time(nbytes)
             return self.ssd.read_time(nbytes), _SSD
-        stats.hits[_HDD] += 1
         latency = self.hdd.read_time(nbytes)
         # Fill the cache levels (exclusive of the HDD read cost), subject to
         # the admission policy.

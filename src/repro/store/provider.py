@@ -261,7 +261,8 @@ class DataProvider:
     def bench_legs(self, mode: str | None = None) -> list[dict[str, Any]]:
         sql = (
             "SELECT leg_id, run_id, mode, engine, wall_seconds, samples,"
-            " samples_per_second, events_processed, detail FROM bench_legs"
+            " samples_per_second, events_processed, events_per_second,"
+            " detail FROM bench_legs"
         )
         params: tuple = ()
         if mode is not None:
@@ -279,8 +280,9 @@ class DataProvider:
                 "samples": row[5],
                 "samples_per_second": row[6],
                 "events_processed": row[7],
+                "events_per_second": row[8],
             }
-            leg["detail"] = json.loads(row[8])
+            leg["detail"] = json.loads(row[9])
             legs.append(leg)
         return legs
 

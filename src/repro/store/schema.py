@@ -28,7 +28,9 @@ from repro.errors import StoreError
 __all__ = ["SCHEMA_VERSION", "V1_DDL", "MIGRATIONS", "ensure_schema", "schema_ddl"]
 
 #: Current schema version (stamped into ``PRAGMA user_version``).
-SCHEMA_VERSION = 2
+#: v3 adds ``bench_legs.events_per_second`` (the batched-IO harness
+#: records event throughput per leg, not just wall time).
+SCHEMA_VERSION = 3
 
 # -- table DDL ----------------------------------------------------------------
 #
@@ -240,6 +242,12 @@ _V2_TABLES = {
     """,
 }
 
+#: v3: event throughput per bench leg, queryable without JSON-parsing
+#: the detail blob (additive column, NULL on legs ingested before v3).
+_V3_STATEMENTS = (
+    "ALTER TABLE bench_legs ADD COLUMN events_per_second REAL",
+)
+
 _INDEXES = (
     "CREATE INDEX IF NOT EXISTS idx_samples_run_platform"
     " ON samples (run_id, platform)",
@@ -257,7 +265,13 @@ def schema_ddl(version: int = SCHEMA_VERSION) -> list[str]:
         runs = (
             f"CREATE TABLE IF NOT EXISTS runs ({_RUNS_COLUMNS_V1}, label TEXT)"
         )
-        return [runs, *_CORE_TABLES.values(), *_V2_TABLES.values(), *_INDEXES]
+        return [
+            runs,
+            *_CORE_TABLES.values(),
+            *_V2_TABLES.values(),
+            *_V3_STATEMENTS,
+            *_INDEXES,
+        ]
     raise StoreError(f"unknown store schema version {version}")
 
 
@@ -273,6 +287,7 @@ MIGRATIONS: dict[int, tuple[str, ...]] = {
         *(_V2_TABLES.values()),
         *_INDEXES,
     ),
+    2: _V3_STATEMENTS,
 }
 
 

@@ -454,13 +454,15 @@ class StoreWriter:
                     leg.get("samples"),
                     leg.get("samples_per_second"),
                     leg.get("events_processed"),
+                    leg.get("events_per_second"),
                     json.dumps(dict(leg), sort_keys=True, default=str),
                 )
             )
         self.store.executemany(
             "INSERT INTO bench_legs (run_id, mode, engine, wall_seconds,"
-            " samples, samples_per_second, events_processed, detail)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            " samples, samples_per_second, events_processed,"
+            " events_per_second, detail)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
             rows,
         )
         self.store.commit()
